@@ -1,0 +1,225 @@
+//! Resource estimators (paper §V-B, Eq. 2 and 3).
+//!
+//! For stateless jobs CPU consumption is approximately proportional to the
+//! data volume: with `P` the maximum stable processing rate of a single
+//! thread, `k` threads per task, and `n` tasks, the CPU resource unit
+//! needed for input rate `X` is `X / (P·k·n)` (Eq. 2); when a backlog `B`
+//! must be recovered within time `t` it becomes `(X + B/t) / (P·k·n)`
+//! (Eq. 3). For stateful jobs, memory is proportional to key cardinality
+//! (aggregations) or window size and input matching (joins).
+
+use crate::symptoms::JobMetrics;
+use turbine_types::{Duration, Resources};
+
+/// CPU resource units (fraction of the job's current capacity) needed for
+/// input rate `x` — Eq. 2, or Eq. 3 when `backlog`/`recovery_time` are
+/// supplied. A value above 1.0 means the job cannot keep up as sized.
+pub fn cpu_units_needed(
+    x: f64,
+    p: f64,
+    k: u32,
+    n: u32,
+    backlog: f64,
+    recovery_time: Option<Duration>,
+) -> f64 {
+    assert!(p > 0.0, "P must be positive (bootstrap during staging)");
+    assert!(k > 0 && n > 0, "threads and tasks must be positive");
+    let effective_rate = match recovery_time {
+        Some(t) if backlog > 0.0 && !t.is_zero() => x + backlog / t.as_secs_f64(),
+        _ => x,
+    };
+    effective_rate / (p * k as f64 * n as f64)
+}
+
+/// The smallest task count able to sustain input rate `x` (plus backlog
+/// recovery, if requested) at per-thread throughput `p` with `k` threads
+/// per task — the `n' = ceil(X/P)` rule of §V-C generalized to `k` threads.
+pub fn required_task_count(
+    x: f64,
+    p: f64,
+    k: u32,
+    backlog: f64,
+    recovery_time: Option<Duration>,
+) -> u32 {
+    assert!(p > 0.0 && k > 0);
+    let effective_rate = match recovery_time {
+        Some(t) if backlog > 0.0 && !t.is_zero() => x + backlog / t.as_secs_f64(),
+        _ => x,
+    };
+    ((effective_rate / (p * k as f64)).ceil() as u32).max(1)
+}
+
+/// A multi-dimensional resource estimate for one job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceEstimate {
+    /// Minimum tasks needed to sustain current input.
+    pub min_task_count: u32,
+    /// Tasks needed to also recover the backlog within the target.
+    pub recovery_task_count: u32,
+    /// Estimated per-task resource needs at `recovery_task_count`.
+    pub per_task: Resources,
+}
+
+/// Configurable estimator combining the CPU model with memory/disk models
+/// for stateful jobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ResourceEstimator {
+    /// Baseline memory every task consumes regardless of traffic (the
+    /// paper observes ~400 MB for every Scuba tailer task: binary +
+    /// metric-collection sidecar).
+    pub base_memory_mb: f64,
+    /// Memory per byte/sec of per-task input rate (buffering a few seconds
+    /// of in-flight data).
+    pub memory_per_rate: f64,
+    /// Memory per state key for stateful jobs (aggregation tables).
+    pub memory_per_key_mb: f64,
+    /// Disk per state key for stateful jobs (spilling joins/aggregations).
+    pub disk_per_key_mb: f64,
+    /// Backlog recovery target used for Eq. 3.
+    pub recovery_time: Duration,
+}
+
+impl Default for ResourceEstimator {
+    fn default() -> Self {
+        ResourceEstimator {
+            base_memory_mb: 400.0,
+            memory_per_rate: 8.0e-6, // ≈8 s of buffered data, in MB per B/s
+            memory_per_key_mb: 1.0e-3,
+            disk_per_key_mb: 4.0e-3,
+            recovery_time: Duration::from_mins(10),
+        }
+    }
+}
+
+impl ResourceEstimator {
+    /// Estimate the resources a job needs given its metrics, the current
+    /// per-thread throughput estimate `p`, and whether it keeps state.
+    pub fn estimate(&self, metrics: &JobMetrics, p: f64, stateful: bool) -> ResourceEstimate {
+        let k = metrics.threads_per_task.max(1);
+        let min_task_count = required_task_count(metrics.input_rate, p, k, 0.0, None);
+        let recovery_task_count = required_task_count(
+            metrics.input_rate,
+            p,
+            k,
+            metrics.total_bytes_lagged,
+            Some(self.recovery_time),
+        );
+
+        let n = recovery_task_count.max(1) as f64;
+        let per_task_rate = metrics.input_rate / n;
+        let mut memory_mb = self.base_memory_mb + per_task_rate * self.memory_per_rate;
+        let mut disk_mb = 0.0;
+        if stateful {
+            // Aggregation/join state is partitioned across tasks: memory
+            // and disk per task shrink as the task count grows — the
+            // "correlated adjustment" the Plan Generator exploits.
+            let keys = metrics.key_cardinality.unwrap_or(0.0) / n;
+            memory_mb += keys * self.memory_per_key_mb;
+            disk_mb += keys * self.disk_per_key_mb;
+        }
+        // CPU per task: enough to run its share at the target rate, with
+        // Eq. 3 headroom folded in via the recovery task count.
+        let cpu = (per_task_rate / (p * k as f64) * k as f64).max(0.1);
+        ResourceEstimate {
+            min_task_count,
+            recovery_task_count,
+            per_task: Resources::new(cpu, memory_mb, disk_mb, per_task_rate / 1.0e6),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq2_matches_hand_computation() {
+        // X=1000 B/s, P=100 B/s/thread, k=2, n=5 ⇒ 1000/(100·2·5) = 1.0.
+        assert!((cpu_units_needed(1000.0, 100.0, 2, 5, 0.0, None) - 1.0).abs() < 1e-12);
+        // Half the input: half the units.
+        assert!((cpu_units_needed(500.0, 100.0, 2, 5, 0.0, None) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq3_adds_backlog_recovery() {
+        // B=60000 bytes over t=60s adds 1000 B/s of effective rate.
+        let units = cpu_units_needed(
+            1000.0,
+            100.0,
+            2,
+            5,
+            60_000.0,
+            Some(Duration::from_secs(60)),
+        );
+        assert!((units - 2.0).abs() < 1e-12);
+        // No recovery target: backlog ignored.
+        assert!((cpu_units_needed(1000.0, 100.0, 2, 5, 60_000.0, None) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn required_task_count_ceils_and_floors_at_one() {
+        assert_eq!(required_task_count(1000.0, 100.0, 1, 0.0, None), 10);
+        assert_eq!(required_task_count(1001.0, 100.0, 1, 0.0, None), 11);
+        assert_eq!(required_task_count(0.0, 100.0, 1, 0.0, None), 1);
+        // k threads multiply per-task capacity.
+        assert_eq!(required_task_count(1000.0, 100.0, 2, 0.0, None), 5);
+    }
+
+    #[test]
+    fn estimate_scales_with_backlog() {
+        let estimator = ResourceEstimator::default();
+        let mut metrics = JobMetrics {
+            input_rate: 1.0e6,
+            threads_per_task: 1,
+            task_count: 10,
+            ..Default::default()
+        };
+        let p = 2.0e5; // 200 KB/s per thread
+        let idle = estimator.estimate(&metrics, p, false);
+        assert_eq!(idle.min_task_count, 5);
+        assert_eq!(idle.recovery_task_count, 5);
+
+        metrics.total_bytes_lagged = 1.8e9; // 1.8 GB backlog
+        let backed_up = estimator.estimate(&metrics, p, false);
+        assert_eq!(backed_up.min_task_count, 5);
+        assert!(
+            backed_up.recovery_task_count > idle.recovery_task_count,
+            "backlog must demand more tasks: {backed_up:?}"
+        );
+    }
+
+    #[test]
+    fn stateful_memory_shrinks_with_more_tasks() {
+        let estimator = ResourceEstimator::default();
+        let metrics_small = JobMetrics {
+            input_rate: 1.0e6,
+            threads_per_task: 1,
+            key_cardinality: Some(1.0e7),
+            ..Default::default()
+        };
+        let est_small = estimator.estimate(&metrics_small, 1.0e5, true);
+        // Same job at double throughput estimate (half the tasks): more
+        // memory per task.
+        let est_fewer_tasks = estimator.estimate(&metrics_small, 2.0e5, true);
+        assert!(est_fewer_tasks.recovery_task_count < est_small.recovery_task_count);
+        assert!(est_fewer_tasks.per_task.memory_mb > est_small.per_task.memory_mb);
+    }
+
+    #[test]
+    fn every_task_gets_the_memory_floor() {
+        let estimator = ResourceEstimator::default();
+        let metrics = JobMetrics {
+            input_rate: 1.0, // almost no traffic
+            threads_per_task: 1,
+            ..Default::default()
+        };
+        let est = estimator.estimate(&metrics, 1.0e5, false);
+        assert!(est.per_task.memory_mb >= 400.0, "fig. 5's ~400 MB floor");
+    }
+
+    #[test]
+    #[should_panic(expected = "P must be positive")]
+    fn zero_p_is_rejected() {
+        let _ = cpu_units_needed(1.0, 0.0, 1, 1, 0.0, None);
+    }
+}

@@ -1,0 +1,428 @@
+//! The Pattern Analyzer (paper §V-C): the "preactive" layer that prunes
+//! destabilizing scaling decisions.
+//!
+//! Two knowledge sources are maintained:
+//!
+//! * **Resource adjustment data** — outcomes of past scaling actions,
+//!   folded into the per-thread max-throughput estimate `P` via
+//!   [`ThroughputModel`];
+//! * **Historical workload patterns** — per-minute workload metrics over
+//!   the last 14 days, used to verify that a planned downscale could have
+//!   sustained the traffic observed at the same time-of-day in prior days
+//!   (most Facebook streaming workloads are diurnal within ~1 % on
+//!   aggregate), and to detect anomalies (storms, incidents) during which
+//!   pattern-based decisions are disabled.
+
+use std::collections::HashMap;
+use turbine_types::{Duration, JobId, SimTime};
+
+/// Adaptive estimate of `P`, the maximum stable processing rate of a
+/// single thread (bytes/sec). Bootstrapped during the job's staging period
+/// and adjusted at runtime from observed outcomes (§V-C item 1).
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputModel {
+    p: f64,
+}
+
+impl ThroughputModel {
+    /// Start from the staging-period bootstrap value.
+    pub fn new(bootstrap_p: f64) -> Self {
+        assert!(bootstrap_p > 0.0, "bootstrap P must be positive");
+        ThroughputModel { p: bootstrap_p }
+    }
+
+    /// Current estimate.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// The planned downscale target exceeded the current task count
+    /// (`n' > n`): `P` must be *smaller* than the actual max throughput.
+    /// Adjust `P` up to the observed average per-thread throughput and
+    /// skip the action this round.
+    pub fn record_underestimate(&mut self, observed_per_thread: f64) {
+        if observed_per_thread > self.p {
+            self.p = observed_per_thread;
+        }
+    }
+
+    /// An SLO violation followed a downscale: `P` must be *greater* than
+    /// the actual max throughput. Move `P` to a value between the observed
+    /// per-thread throughput (`X/n/k`) and the old `P`.
+    pub fn record_overestimate(&mut self, observed_per_thread: f64) {
+        if observed_per_thread < self.p {
+            self.p = (self.p + observed_per_thread) / 2.0;
+        }
+    }
+}
+
+/// Outcome of the Pattern Analyzer's downscale check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatternVerdict {
+    /// History confirms the reduced capacity sustains upcoming traffic.
+    Safe,
+    /// History shows upcoming traffic would exceed the reduced capacity.
+    Unsafe,
+    /// Not enough recorded days to judge; the scaler may fall back to
+    /// estimate-only guards (with extra margin).
+    InsufficientHistory,
+    /// The recent workload differs significantly from the same time of
+    /// day in prior days (storm/incident): pattern-based decisions are
+    /// disabled (§V-C).
+    Anomalous,
+}
+
+/// Pattern Analyzer tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct PatternConfig {
+    /// Days of history kept (paper: 14).
+    pub history_days: usize,
+    /// Bucket width for the per-minute workload record. The paper records
+    /// per minute; 10-minute buckets keep memory modest with the same
+    /// decision quality at our horizons.
+    pub bucket: Duration,
+    /// How far ahead a downscale must be historically sustainable
+    /// ("the next x hours", configurable).
+    pub lookahead: Duration,
+    /// Recent window compared against the same window in prior days for
+    /// anomaly detection (paper: last 30 minutes).
+    pub recent_window: Duration,
+    /// Relative difference beyond which the recent workload counts as
+    /// "significantly different" and pattern decisions are disabled.
+    pub anomaly_threshold: f64,
+    /// Minimum full days of history before pattern checks activate.
+    pub min_history_days: usize,
+}
+
+impl Default for PatternConfig {
+    fn default() -> Self {
+        PatternConfig {
+            history_days: 14,
+            bucket: Duration::from_mins(10),
+            lookahead: Duration::from_hours(4),
+            recent_window: Duration::from_mins(30),
+            anomaly_threshold: 0.5,
+            min_history_days: 2,
+        }
+    }
+}
+
+/// Ring buffer of workload buckets for one job. Each slot remembers which
+/// absolute bucket wrote it, so stale data from a previous ring cycle is
+/// never misread as current history.
+#[derive(Debug, Clone)]
+struct JobHistory {
+    /// `history_days * buckets_per_day` slots.
+    buckets: Vec<f64>,
+    /// Absolute bucket index that last wrote each slot; `u64::MAX` = never.
+    slot_bucket: Vec<u64>,
+}
+
+impl JobHistory {
+    fn value_at_abs(&self, abs: u64) -> Option<f64> {
+        let slot = (abs % self.buckets.len() as u64) as usize;
+        (self.slot_bucket[slot] == abs).then(|| self.buckets[slot])
+    }
+}
+
+/// The Pattern Analyzer.
+#[derive(Debug)]
+pub struct PatternAnalyzer {
+    config: PatternConfig,
+    buckets_per_day: u64,
+    history: HashMap<JobId, JobHistory>,
+}
+
+impl PatternAnalyzer {
+    /// An analyzer with the given tunables.
+    pub fn new(config: PatternConfig) -> Self {
+        let buckets_per_day = Duration::from_days(1).as_millis() / config.bucket.as_millis();
+        assert!(buckets_per_day > 0, "bucket must divide a day");
+        PatternAnalyzer {
+            config,
+            buckets_per_day,
+            history: HashMap::new(),
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &PatternConfig {
+        &self.config
+    }
+
+    fn abs_bucket(&self, at: SimTime) -> u64 {
+        at.as_millis() / self.config.bucket.as_millis()
+    }
+
+    fn total_slots(&self) -> usize {
+        (self.buckets_per_day * self.config.history_days as u64) as usize
+    }
+
+    /// Record a workload sample (input rate) for `job` at `at`. Within a
+    /// bucket the maximum is kept — sustainability must hold at peak, not
+    /// on average.
+    pub fn record(&mut self, job: JobId, at: SimTime, input_rate: f64) {
+        let total = self.total_slots();
+        let abs = self.abs_bucket(at);
+        let entry = self.history.entry(job).or_insert_with(|| JobHistory {
+            buckets: vec![0.0; total],
+            slot_bucket: vec![u64::MAX; total],
+        });
+        let slot = (abs % total as u64) as usize;
+        if entry.slot_bucket[slot] == abs {
+            entry.buckets[slot] = entry.buckets[slot].max(input_rate);
+        } else {
+            entry.buckets[slot] = input_rate;
+            entry.slot_bucket[slot] = abs;
+        }
+    }
+
+    /// Days of history available for `job` (approximate: written slots
+    /// divided by slots per day, capped by elapsed simulation time).
+    fn days_recorded(&self, job: JobId, now: SimTime) -> usize {
+        match self.history.get(&job) {
+            None => 0,
+            Some(h) => {
+                let written = h.slot_bucket.iter().filter(|&&b| b != u64::MAX).count() as u64;
+                ((written / self.buckets_per_day.max(1)) as usize)
+                    .min(now.as_days_f64() as usize)
+            }
+        }
+    }
+
+    /// Would a capacity of `sustainable_rate` (bytes/sec) have kept up
+    /// with the traffic observed during `[now, now + lookahead)` on prior
+    /// recorded days?
+    pub fn check_downscale(
+        &self,
+        job: JobId,
+        now: SimTime,
+        sustainable_rate: f64,
+    ) -> PatternVerdict {
+        if self.days_recorded(job, now) < self.config.min_history_days {
+            return PatternVerdict::InsufficientHistory;
+        }
+        match self.is_anomalous(job, now) {
+            None => return PatternVerdict::InsufficientHistory,
+            Some(true) => return PatternVerdict::Anomalous,
+            Some(false) => {}
+        }
+        match self.downscale_is_safe_inner(job, now, sustainable_rate) {
+            None => PatternVerdict::InsufficientHistory,
+            Some(true) => PatternVerdict::Safe,
+            Some(false) => PatternVerdict::Unsafe,
+        }
+    }
+
+    /// Backwards-compatible boolean view of [`Self::check_downscale`]:
+    /// `None` when history is insufficient or the workload anomalous.
+    pub fn downscale_is_safe(
+        &self,
+        job: JobId,
+        now: SimTime,
+        sustainable_rate: f64,
+    ) -> Option<bool> {
+        match self.check_downscale(job, now, sustainable_rate) {
+            PatternVerdict::Safe => Some(true),
+            PatternVerdict::Unsafe => Some(false),
+            PatternVerdict::InsufficientHistory | PatternVerdict::Anomalous => None,
+        }
+    }
+
+    fn downscale_is_safe_inner(
+        &self,
+        job: JobId,
+        now: SimTime,
+        sustainable_rate: f64,
+    ) -> Option<bool> {
+        let history = self.history.get(&job)?;
+        let start = self.abs_bucket(now);
+        let horizon = (self.config.lookahead.as_millis() / self.config.bucket.as_millis()).max(1);
+        // For each prior day, scan the same time-of-day window.
+        for day in 1..self.config.history_days as u64 {
+            let day_offset = day * self.buckets_per_day;
+            if day_offset > start {
+                break; // before the simulation began
+            }
+            for b in 0..horizon {
+                let abs = start + b - day_offset;
+                if let Some(observed) = history.value_at_abs(abs) {
+                    if observed > sustainable_rate {
+                        return Some(false);
+                    }
+                }
+            }
+        }
+        Some(true)
+    }
+
+    /// Is the recent workload significantly different from the same
+    /// time-of-day in prior days? `None` with insufficient history.
+    pub fn is_anomalous(&self, job: JobId, now: SimTime) -> Option<bool> {
+        if self.days_recorded(job, now) < self.config.min_history_days {
+            return None;
+        }
+        let history = self.history.get(&job)?;
+        let window =
+            (self.config.recent_window.as_millis() / self.config.bucket.as_millis()).max(1);
+        let end = self.abs_bucket(now);
+        let start = end.saturating_sub(window - 1);
+
+        let mut recent_sum = 0.0;
+        let mut recent_n = 0usize;
+        for abs in start..=end {
+            if let Some(v) = history.value_at_abs(abs) {
+                recent_sum += v;
+                recent_n += 1;
+            }
+        }
+        let mut hist_sum = 0.0;
+        let mut hist_n = 0usize;
+        for day in 1..self.config.history_days as u64 {
+            let day_offset = day * self.buckets_per_day;
+            if day_offset > start {
+                break;
+            }
+            for abs in start..=end {
+                if let Some(v) = history.value_at_abs(abs - day_offset) {
+                    hist_sum += v;
+                    hist_n += 1;
+                }
+            }
+        }
+        if recent_n == 0 || hist_n == 0 {
+            return None;
+        }
+        let recent = recent_sum / recent_n as f64;
+        let historical = hist_sum / hist_n as f64;
+        if historical <= 0.0 {
+            return Some(recent > 0.0);
+        }
+        let ratio = recent / historical;
+        Some(ratio > 1.0 + self.config.anomaly_threshold || ratio < 1.0 / (1.0 + self.config.anomaly_threshold))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const JOB: JobId = JobId(1);
+
+    fn t(days: u64, hours: u64, mins: u64) -> SimTime {
+        SimTime::ZERO
+            + Duration::from_days(days)
+            + Duration::from_hours(hours)
+            + Duration::from_mins(mins)
+    }
+
+    /// Record a perfect diurnal pattern: rate = 100 + 50·sin(time-of-day).
+    fn diurnal_rate(at: SimTime) -> f64 {
+        let frac = at.time_of_day().as_millis() as f64 / Duration::from_days(1).as_millis() as f64;
+        100.0 + 50.0 * (2.0 * std::f64::consts::PI * frac).sin()
+    }
+
+    fn analyzer_with_days(days: u64) -> PatternAnalyzer {
+        let mut pa = PatternAnalyzer::new(PatternConfig::default());
+        let step = Duration::from_mins(10);
+        let mut at = SimTime::ZERO;
+        let end = SimTime::ZERO + Duration::from_days(days);
+        while at < end {
+            pa.record(JOB, at, diurnal_rate(at));
+            at += step;
+        }
+        pa
+    }
+
+    #[test]
+    fn throughput_model_adjusts_both_ways() {
+        let mut model = ThroughputModel::new(100.0);
+        // Underestimate discovered: jump to observed.
+        model.record_underestimate(150.0);
+        assert_eq!(model.p(), 150.0);
+        // Observed below current: no change on the underestimate path.
+        model.record_underestimate(120.0);
+        assert_eq!(model.p(), 150.0);
+        // Overestimate discovered: move halfway down.
+        model.record_overestimate(100.0);
+        assert_eq!(model.p(), 125.0);
+        // Observed above current: no change on the overestimate path.
+        model.record_overestimate(200.0);
+        assert_eq!(model.p(), 125.0);
+    }
+
+    #[test]
+    fn insufficient_history_returns_none() {
+        let pa = analyzer_with_days(1);
+        assert_eq!(pa.downscale_is_safe(JOB, t(1, 0, 0), 1000.0), None);
+        let empty = PatternAnalyzer::new(PatternConfig::default());
+        assert_eq!(empty.downscale_is_safe(JobId(9), t(5, 0, 0), 1000.0), None);
+    }
+
+    #[test]
+    fn generous_capacity_is_safe_tight_capacity_is_not() {
+        let pa = analyzer_with_days(5);
+        let now = t(5, 0, 0);
+        // Peak of the diurnal curve is 150: capacity 200 clears it.
+        assert_eq!(pa.downscale_is_safe(JOB, now, 200.0), Some(true));
+        // Capacity 60 is below even the trough at some hours.
+        assert_eq!(pa.downscale_is_safe(JOB, now, 60.0), Some(false));
+    }
+
+    #[test]
+    fn lookahead_catches_upcoming_peaks() {
+        let pa = analyzer_with_days(5);
+        // 4 hours before the historical daily peak (sin peaks at 6h):
+        // capacity of 120 holds now (rate 100 at midnight) but not at the
+        // peak (150) within the 4h lookahead window reaching 04:00 where
+        // rate = 100+50·sin(2π·4/24) ≈ 143.3.
+        let now = t(5, 0, 0);
+        assert_eq!(pa.downscale_is_safe(JOB, now, 120.0), Some(false));
+    }
+
+    #[test]
+    fn anomaly_disables_pattern_decisions() {
+        let mut pa = analyzer_with_days(5);
+        // Storm: traffic doubles for the last 30 minutes.
+        let now = t(5, 2, 0);
+        for m in 0..3 {
+            pa.record(JOB, t(5, 1, 30 + m * 10), diurnal_rate(now) * 2.5);
+        }
+        assert_eq!(pa.is_anomalous(JOB, now), Some(true));
+        assert_eq!(pa.downscale_is_safe(JOB, now, 1.0e9), None);
+    }
+
+    #[test]
+    fn normal_traffic_is_not_anomalous() {
+        let pa = analyzer_with_days(5);
+        assert_eq!(pa.is_anomalous(JOB, t(5, 0, 0)), Some(false));
+    }
+
+    #[test]
+    fn ring_overwrites_after_full_cycle() {
+        // With 14-day history, day 15's data lands on day 1's slots.
+        let mut pa = PatternAnalyzer::new(PatternConfig {
+            history_days: 2,
+            min_history_days: 1,
+            ..PatternConfig::default()
+        });
+        // Days 0-1: constant 100. Days 2-3 overwrite the 2-day ring with
+        // a sustained 500 — after which 100-era data must be gone.
+        let step = Duration::from_mins(10);
+        let mut at = SimTime::ZERO;
+        while at < t(2, 0, 0) {
+            pa.record(JOB, at, 100.0);
+            at += step;
+        }
+        while at < t(4, 0, 0) {
+            pa.record(JOB, at, 500.0);
+            at += step;
+        }
+        // At day 4 the recent traffic (500) matches history (500): not
+        // anomalous, and capacity 200 is unsafe because the ring now holds
+        // the 500-rate days, not the stale 100-rate ones.
+        assert_eq!(pa.is_anomalous(JOB, t(4, 0, 0)), Some(false));
+        assert_eq!(pa.downscale_is_safe(JOB, t(4, 0, 0), 200.0), Some(false));
+        assert_eq!(pa.downscale_is_safe(JOB, t(4, 0, 0), 600.0), Some(true));
+    }
+}

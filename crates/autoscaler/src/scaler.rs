@@ -1,0 +1,994 @@
+//! The Auto Scaler decision engine (paper §V, Algorithm 2 and Fig. 4).
+//!
+//! [`AutoScaler::evaluate`] runs one scaling round for one job: symptoms
+//! are detected, resource estimates computed, and the Plan Generator
+//! synthesizes a final decision subject to the §V-B guards:
+//!
+//! 1. downscaling must never make a healthy job unhealthy (estimates give
+//!    the lower bound; the Pattern Analyzer checks history);
+//! 2. untriaged problems (enough resources, no imbalance, still lagging)
+//!    must not trigger scaling — they raise an operator alert instead;
+//! 3. multi-resource adjustments are correlated (more tasks ⇒ less memory
+//!    per task for stateful jobs).
+//!
+//! Vertical scaling is preferred until the per-task footprint reaches the
+//! configured cap (typically 1/5 of a container), then horizontal scaling
+//! kicks in (§V-E). [`ScalerMode::Reactive`] reproduces the first
+//! generation (Dhalion-like) behaviour as the ablation baseline.
+
+use crate::estimator::{required_task_count, ResourceEstimator};
+use crate::patterns::{PatternAnalyzer, PatternConfig, ThroughputModel};
+use crate::symptoms::{detect, JobMetrics, Symptom, SymptomConfig};
+use std::collections::HashMap;
+use turbine_config::JobConfig;
+use turbine_types::{Duration, JobId, Priority, Resources, SimTime};
+
+/// Which generation of the scaler to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalerMode {
+    /// First generation: purely symptom-driven, no estimates, no pattern
+    /// pruning. Kept as the evaluation baseline.
+    Reactive,
+    /// Second generation: proactive estimates + preactive pattern analysis.
+    Full,
+}
+
+/// Scaler tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalerConfig {
+    /// Generation selector.
+    pub mode: ScalerMode,
+    /// Symptom thresholds.
+    pub symptoms: SymptomConfig,
+    /// Resource estimation model.
+    pub estimator: ResourceEstimator,
+    /// Pattern analyzer settings.
+    pub patterns: PatternConfig,
+    /// How long a job must stay symptom-free before downscaling is
+    /// considered (the paper observes "no lag detected in a day").
+    pub downscale_stability: Duration,
+    /// Minimum gap between successive scaling actions on one job.
+    pub min_action_gap: Duration,
+    /// Per-task resource ceiling for vertical scaling — typically 1/5 of a
+    /// Turbine container, keeping tasks fine-grained enough to move.
+    pub vertical_limit: Resources,
+    /// Memory growth factor applied on OOM.
+    pub oom_memory_factor: f64,
+    /// Window after a downscale during which an SLO violation is
+    /// attributed to an overestimated `P`.
+    pub overestimate_window: Duration,
+    /// Bootstrap per-thread throughput used until staging/observation
+    /// provides a better value (bytes/sec).
+    pub bootstrap_p: f64,
+    /// Proactive pre-emptive upscale trigger: when the estimated CPU
+    /// units (Eq. 2) exceed this fraction of capacity, scale up *before*
+    /// lag appears. This is what keeps jobs inside their SLOs through
+    /// predictable ramps.
+    pub preemptive_units: f64,
+    /// Utilization targeted by scale-ups and downscales. Together with
+    /// `preemptive_units` it forms the hysteresis band that prevents
+    /// churn.
+    pub target_units: f64,
+}
+
+impl Default for ScalerConfig {
+    fn default() -> Self {
+        ScalerConfig {
+            mode: ScalerMode::Full,
+            symptoms: SymptomConfig::default(),
+            estimator: ResourceEstimator::default(),
+            patterns: PatternConfig::default(),
+            downscale_stability: Duration::from_hours(24),
+            min_action_gap: Duration::from_mins(5),
+            vertical_limit: Resources::new(8.0, 10_240.0, 102_400.0, 200.0),
+            oom_memory_factor: 1.5,
+            overestimate_window: Duration::from_hours(1),
+            bootstrap_p: 1.0e6,
+            preemptive_units: 0.85,
+            target_units: 0.7,
+        }
+    }
+}
+
+/// A scaling action to apply to a job's Scaler configuration level.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalingAction {
+    /// Redistribute input traffic among the existing tasks (the resolver
+    /// for imbalanced input; no parallelism change).
+    RebalanceInput,
+    /// Vertical scaling: change per-task threads/resources without
+    /// changing the task count (a *simple* sync).
+    Vertical {
+        /// New worker-thread count per task.
+        threads_per_task: u32,
+        /// New per-task resource reservation.
+        per_task: Resources,
+    },
+    /// Horizontal scaling: change the task count (a *complex* sync), with
+    /// the correlated per-task resource adjustment.
+    Horizontal {
+        /// New number of tasks.
+        task_count: u32,
+        /// New per-task resource reservation (correlated adjustment).
+        per_task: Resources,
+    },
+}
+
+/// The outcome of evaluating one job.
+#[derive(Debug, Clone)]
+pub struct ScalingDecision {
+    /// The job evaluated.
+    pub job: JobId,
+    /// Action to apply, if any.
+    pub action: Option<ScalingAction>,
+    /// Set when symptoms exist that scaling cannot explain or fix — the
+    /// paper's "untriaged problems" that fire operator alerts.
+    pub untriaged: Option<String>,
+    /// Symptoms observed this round.
+    pub symptoms: Vec<Symptom>,
+    /// Human-readable rationale (for logs/runbooks).
+    pub reason: String,
+}
+
+/// Per-job persistent scaler state.
+#[derive(Debug)]
+struct JobState {
+    throughput: ThroughputModel,
+    healthy_since: Option<SimTime>,
+    last_action_at: Option<SimTime>,
+    last_downscale_at: Option<SimTime>,
+    /// Consecutive rounds the job has shown lag; untriaged alerts only
+    /// fire once lag persists (start-up catch-up is not an incident).
+    lag_rounds: u32,
+}
+
+/// The Auto Scaler.
+#[derive(Debug)]
+pub struct AutoScaler {
+    config: ScalerConfig,
+    patterns: PatternAnalyzer,
+    states: HashMap<JobId, JobState>,
+    /// When set by the Capacity Manager, only jobs at or above this
+    /// priority may scale *up* (cluster under pressure, §V-F).
+    priority_floor: Option<Priority>,
+}
+
+impl AutoScaler {
+    /// A scaler with the given tunables.
+    pub fn new(config: ScalerConfig) -> Self {
+        AutoScaler {
+            patterns: PatternAnalyzer::new(config.patterns),
+            config,
+            states: HashMap::new(),
+            priority_floor: None,
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &ScalerConfig {
+        &self.config
+    }
+
+    /// Current `P` estimate for a job (bytes/sec per thread), if known.
+    pub fn throughput_estimate(&self, job: JobId) -> Option<f64> {
+        self.states.get(&job).map(|s| s.throughput.p())
+    }
+
+    /// Set/clear the Capacity Manager's priority floor for scale-ups.
+    pub fn set_priority_floor(&mut self, floor: Option<Priority>) {
+        self.priority_floor = floor;
+    }
+
+    /// Direct access to the Pattern Analyzer (for recording workload
+    /// samples outside evaluation rounds).
+    pub fn patterns_mut(&mut self) -> &mut PatternAnalyzer {
+        &mut self.patterns
+    }
+
+    /// Run one scaling evaluation for `job`.
+    pub fn evaluate(
+        &mut self,
+        job: JobId,
+        metrics: &JobMetrics,
+        config: &JobConfig,
+        now: SimTime,
+    ) -> ScalingDecision {
+        self.patterns.record(job, now, metrics.input_rate);
+        let bootstrap_p = self.config.bootstrap_p;
+        let state = self.states.entry(job).or_insert_with(|| JobState {
+            throughput: ThroughputModel::new(bootstrap_p),
+            healthy_since: Some(now),
+            last_action_at: None,
+            last_downscale_at: None,
+            lag_rounds: 0,
+        });
+
+        // Continuously refine P upward from observation: a task observed
+        // processing faster than P proves P was too small.
+        let k = config.threads_per_task.max(1) as f64;
+        let n = config.task_count.max(1) as f64;
+        if metrics.processing_rate > 0.0 {
+            let observed_per_thread = metrics.processing_rate / (n * k);
+            state.throughput.record_underestimate(observed_per_thread);
+        }
+
+        let symptoms = detect(metrics, config.slo_lag_secs, &self.config.symptoms);
+        let lagging = symptoms.iter().any(|s| matches!(s, Symptom::Lagging { .. }));
+        let imbalanced = symptoms
+            .iter()
+            .any(|s| matches!(s, Symptom::ImbalancedInput { .. }));
+        let oom = symptoms.iter().any(|s| {
+            matches!(s, Symptom::OutOfMemory { .. } | Symptom::MemoryPressure { .. })
+        });
+
+        // Health bookkeeping for the downscale stability window and the
+        // untriaged-alert debounce.
+        if lagging {
+            state.lag_rounds += 1;
+        } else {
+            state.lag_rounds = 0;
+        }
+        if lagging || oom {
+            state.healthy_since = None;
+        } else if state.healthy_since.is_none() {
+            state.healthy_since = Some(now);
+        }
+
+        // Cooldown: at most one action per job per gap.
+        let in_cooldown = state
+            .last_action_at
+            .is_some_and(|at| now.since(at) < self.config.min_action_gap);
+        if in_cooldown {
+            return ScalingDecision {
+                job,
+                action: None,
+                untriaged: None,
+                symptoms,
+                reason: "cooldown".into(),
+            };
+        }
+
+        let decision = match self.config.mode {
+            ScalerMode::Reactive => {
+                self.evaluate_reactive(job, metrics, config, now, lagging, imbalanced, oom, symptoms)
+            }
+            ScalerMode::Full => {
+                self.evaluate_full(job, metrics, config, now, lagging, imbalanced, oom, symptoms)
+            }
+        };
+        if decision.action.is_some() {
+            let state = self.states.get_mut(&job).expect("state created above");
+            state.last_action_at = Some(now);
+        }
+        decision
+    }
+
+    /// Generation 1 (Algorithm 2): purely reactive.
+    #[allow(clippy::too_many_arguments)]
+    fn evaluate_reactive(
+        &mut self,
+        job: JobId,
+        _metrics: &JobMetrics,
+        config: &JobConfig,
+        now: SimTime,
+        lagging: bool,
+        imbalanced: bool,
+        oom: bool,
+        symptoms: Vec<Symptom>,
+    ) -> ScalingDecision {
+        let state = self.states.get_mut(&job).expect("state exists");
+        if lagging {
+            if imbalanced && config.task_count > 1 {
+                return ScalingDecision {
+                    job,
+                    action: Some(ScalingAction::RebalanceInput),
+                    untriaged: None,
+                    symptoms,
+                    reason: "reactive: lag + imbalance -> rebalance".into(),
+                };
+            }
+            // Blind doubling: no estimate of how much is actually needed.
+            let target = (config.task_count * 2).min(config.max_task_count);
+            if target > config.task_count {
+                return ScalingDecision {
+                    job,
+                    action: Some(ScalingAction::Horizontal {
+                        task_count: target,
+                        per_task: config.task_resources,
+                    }),
+                    untriaged: None,
+                    symptoms,
+                    reason: "reactive: lag -> double task count".into(),
+                };
+            }
+            return ScalingDecision {
+                job,
+                action: None,
+                untriaged: Some("lagging at max task count".into()),
+                symptoms,
+                reason: "reactive: capped".into(),
+            };
+        }
+        if oom {
+            let mut per_task = config.task_resources;
+            per_task.memory_mb *= self.config.oom_memory_factor;
+            return ScalingDecision {
+                job,
+                action: Some(ScalingAction::Vertical {
+                    threads_per_task: config.threads_per_task,
+                    per_task,
+                }),
+                untriaged: None,
+                symptoms,
+                reason: "reactive: OOM -> grow memory".into(),
+            };
+        }
+        // No symptom for the stability window: shrink slowly (the gen-1
+        // convergence problem — no lower-bound estimate, so shrink blindly
+        // one step at a time).
+        let stable = state
+            .healthy_since
+            .is_some_and(|since| now.since(since) >= self.config.downscale_stability);
+        if stable && config.task_count > 1 {
+            let target = (config.task_count as f64 * 0.75).floor().max(1.0) as u32;
+            if target < config.task_count {
+                state.last_downscale_at = Some(now);
+                state.healthy_since = Some(now);
+                return ScalingDecision {
+                    job,
+                    action: Some(ScalingAction::Horizontal {
+                        task_count: target,
+                        per_task: config.task_resources,
+                    }),
+                    untriaged: None,
+                    symptoms,
+                    reason: "reactive: stable -> blind 25% shrink".into(),
+                };
+            }
+        }
+        ScalingDecision {
+            job,
+            action: None,
+            untriaged: None,
+            symptoms,
+            reason: "reactive: healthy".into(),
+        }
+    }
+
+    /// Generation 2: proactive estimates + preactive pattern pruning.
+    #[allow(clippy::too_many_arguments)]
+    fn evaluate_full(
+        &mut self,
+        job: JobId,
+        metrics: &JobMetrics,
+        config: &JobConfig,
+        now: SimTime,
+        lagging: bool,
+        imbalanced: bool,
+        oom: bool,
+        symptoms: Vec<Symptom>,
+    ) -> ScalingDecision {
+        let state = self.states.get_mut(&job).expect("state exists");
+        let p = state.throughput.p();
+        let k = config.threads_per_task.max(1);
+        let n = config.task_count.max(1);
+        let estimate = self
+            .config
+            .estimator
+            .estimate(metrics, p, config.stateful);
+
+        if lagging {
+            // An SLO violation shortly after a downscale indicts the P
+            // estimate (§V-C): pull P down toward the observed rate.
+            if state
+                .last_downscale_at
+                .is_some_and(|at| now.since(at) <= self.config.overestimate_window)
+            {
+                let observed_per_thread = metrics.input_rate / (n as f64 * k as f64);
+                state.throughput.record_overestimate(observed_per_thread);
+                state.last_downscale_at = None;
+            }
+
+            if imbalanced && n > 1 {
+                return ScalingDecision {
+                    job,
+                    action: Some(ScalingAction::RebalanceInput),
+                    untriaged: None,
+                    symptoms,
+                    reason: "lag + imbalance -> rebalance input".into(),
+                };
+            }
+
+            // Size the scale-up in one shot: a horizontal resize pauses
+            // the job for a few minutes of sync + restart, so the backlog
+            // it must recover includes the arrivals of that pause. Without
+            // this, each resize chases the backlog the previous resize
+            // created and the job creeps up in many small (pausing!)
+            // steps.
+            let resize_pause_secs = 240.0;
+            let needed = crate::estimator::required_task_count(
+                metrics.input_rate,
+                p,
+                k,
+                metrics.total_bytes_lagged + metrics.input_rate * resize_pause_secs,
+                Some(self.config.estimator.recovery_time),
+            )
+            .max(estimate.recovery_task_count);
+            // Recovery-in-progress guard: if capacity already exceeds the
+            // arrival rate, the backlog is demonstrably shrinking, *and*
+            // the projected drain finishes within the recovery target,
+            // the previous Eq.-3 sizing is doing its job — re-scaling now
+            // only adds churn (every parallelism change pauses the job
+            // and grows the very backlog being drained).
+            let capacity_rate = n as f64 * k as f64 * p;
+            let surplus = capacity_rate - metrics.input_rate;
+            let drain_within_target = surplus > 0.0
+                && metrics.total_bytes_lagged / surplus
+                    <= self.config.estimator.recovery_time.as_secs_f64() * 1.5;
+            if n >= estimate.min_task_count
+                && metrics.processing_rate > metrics.input_rate
+                && drain_within_target
+                && needed > n
+            {
+                return ScalingDecision {
+                    job,
+                    action: None,
+                    untriaged: None,
+                    symptoms,
+                    reason: "recovery in progress: backlog drains within target at current capacity".into(),
+                };
+            }
+            if needed <= n {
+                // Plan Generator guard 2: the job already has enough
+                // resources by our estimates — scaling would not fix this
+                // and may amplify it (dependency failure, app bug, ...).
+                // Alert only once the lag persists: a job catching up
+                // right after starting is not an incident.
+                let persistent = self.states[&job].lag_rounds >= 3;
+                return ScalingDecision {
+                    job,
+                    action: None,
+                    untriaged: persistent.then(|| format!(
+                        "lagging with sufficient resources (have {n} tasks, estimate needs {needed}): untriaged"
+                    )),
+                    symptoms,
+                    reason: "untriaged problem: do not scale".into(),
+                };
+            }
+
+            if self.blocked_by_priority_floor(config) {
+                return ScalingDecision {
+                    job,
+                    action: None,
+                    untriaged: None,
+                    symptoms,
+                    reason: "scale-up suppressed by capacity manager priority floor".into(),
+                };
+            }
+            if let Some((action, reason)) =
+                plan_scale_up(&self.config, config, &estimate, needed, "lag")
+            {
+                return ScalingDecision {
+                    job,
+                    action: Some(action),
+                    untriaged: None,
+                    symptoms,
+                    reason,
+                };
+            }
+            return ScalingDecision {
+                job,
+                action: None,
+                untriaged: Some(format!(
+                    "needs {needed} tasks but max_task_count={}: operator approval required",
+                    config.max_task_count
+                )),
+                symptoms,
+                reason: "capped by max_task_count".into(),
+            };
+        }
+
+        if oom {
+            let peak = metrics.peak_task_memory_mb();
+            let mut per_task = config.task_resources;
+            per_task.memory_mb = (per_task.memory_mb * self.config.oom_memory_factor)
+                .max(peak * 1.2);
+            if per_task.memory_mb <= self.config.vertical_limit.memory_mb {
+                return ScalingDecision {
+                    job,
+                    action: Some(ScalingAction::Vertical {
+                        threads_per_task: k,
+                        per_task,
+                    }),
+                    untriaged: None,
+                    symptoms,
+                    reason: "OOM -> vertical memory increase".into(),
+                };
+            }
+            // Memory ceiling reached: spread the state across more tasks
+            // (correlated: memory per task falls as count rises).
+            if self.blocked_by_priority_floor(config) {
+                return ScalingDecision {
+                    job,
+                    action: None,
+                    untriaged: None,
+                    symptoms,
+                    reason: "scale-up suppressed by capacity manager priority floor".into(),
+                };
+            }
+            let target = (n * 2).min(config.max_task_count);
+            if target > n {
+                let mut per_task = config.task_resources;
+                per_task.memory_mb =
+                    (per_task.memory_mb * n as f64 / target as f64).max(self.config.estimator.base_memory_mb);
+                return ScalingDecision {
+                    job,
+                    action: Some(ScalingAction::Horizontal {
+                        task_count: target,
+                        per_task,
+                    }),
+                    untriaged: None,
+                    symptoms,
+                    reason: "OOM at memory ceiling -> horizontal + correlated memory cut".into(),
+                };
+            }
+            return ScalingDecision {
+                job,
+                action: None,
+                untriaged: Some("OOM at memory ceiling and max task count".into()),
+                symptoms,
+                reason: "OOM: capped".into(),
+            };
+        }
+
+        // Proactive pre-emptive upscale (§V-B): when the estimated CPU
+        // units approach saturation, add capacity *before* lag appears, so
+        // ramps (diurnal climbs, storm redirects) never violate the SLO.
+        let units = crate::estimator::cpu_units_needed(metrics.input_rate, p, k, n, 0.0, None);
+        if units > self.config.preemptive_units && !self.blocked_by_priority_floor(config) {
+            let needed = ((metrics.input_rate / (self.config.target_units * p * k as f64)).ceil()
+                as u32)
+                .max(1);
+            if let Some((action, reason)) =
+                plan_scale_up(&self.config, config, &estimate, needed, "pre-emptive")
+            {
+                return ScalingDecision {
+                    job,
+                    action: Some(action),
+                    untriaged: None,
+                    symptoms,
+                    reason,
+                };
+            }
+        }
+
+        // Healthy: consider reclaiming resources after the stability
+        // window (Plan Generator guard 1 + Pattern Analyzer pruning).
+        let state = self.states.get_mut(&job).expect("state exists");
+        let stable = state
+            .healthy_since
+            .is_some_and(|since| now.since(since) >= self.config.downscale_stability);
+        if stable {
+            let n_plain = required_task_count(metrics.input_rate, p, k, 0.0, None);
+            if n_plain > n {
+                // P must be underestimated (§V-C): fix P, skip the action.
+                let observed_per_thread = metrics.input_rate / (n as f64 * k as f64);
+                state.throughput.record_underestimate(observed_per_thread);
+                return ScalingDecision {
+                    job,
+                    action: None,
+                    untriaged: None,
+                    symptoms,
+                    reason: "downscale plan exceeded current count: adjusted P, skipped".into(),
+                };
+            }
+            // Horizontal reclaim — down to the same target utilization the
+            // pre-emptive upscaler aims for, giving hysteresis instead of
+            // churn around the thresholds.
+            let n0 = ((metrics.input_rate / (self.config.target_units * p * k as f64)).ceil()
+                as u32)
+                .max(1)
+                .min(n);
+            if n0 < n {
+                use crate::patterns::PatternVerdict;
+                // "Sustains" = would not re-trigger the pre-emptive
+                // upscaler within the lookahead window.
+                let sustainable = n0 as f64 * k as f64 * p * self.config.preemptive_units;
+                // With insufficient history the Plan Generator's estimate
+                // guard still applies, but with an extra 25 % margin so an
+                // unseen peak does not immediately re-trigger scaling.
+                let (target, verdict_note) =
+                    match self.patterns.check_downscale(job, now, sustainable) {
+                        PatternVerdict::Safe => (n0, "history-safe"),
+                        PatternVerdict::InsufficientHistory => {
+                            let margin = ((n0 as f64 * 1.25).ceil() as u32).min(n);
+                            (margin, "estimate-only, +25% margin")
+                        }
+                        PatternVerdict::Unsafe => {
+                            return ScalingDecision {
+                                job,
+                                action: None,
+                                untriaged: None,
+                                symptoms,
+                                reason: "downscale pruned: history shows upcoming load needs capacity"
+                                    .into(),
+                            };
+                        }
+                        PatternVerdict::Anomalous => {
+                            return ScalingDecision {
+                                job,
+                                action: None,
+                                untriaged: None,
+                                symptoms,
+                                reason: "downscale skipped: workload anomalous vs history".into(),
+                            };
+                        }
+                    };
+                if target < n {
+                    let state = self.states.get_mut(&job).expect("state exists");
+                    state.last_downscale_at = Some(now);
+                    state.healthy_since = Some(now);
+                    let mut per_task = estimate.per_task.min(&self.config.vertical_limit);
+                    // Reserve the estimated need plus margin — NOT a full
+                    // thread: most tailer tasks use well under one core
+                    // (Fig. 5a), and fractional reservations are exactly
+                    // how consolidation saves CPU (Fig. 10).
+                    per_task.cpu = (estimate.per_task.cpu * 1.3)
+                        .clamp(0.1, self.config.vertical_limit.cpu);
+                    return ScalingDecision {
+                        job,
+                        action: Some(ScalingAction::Horizontal {
+                            task_count: target,
+                            per_task,
+                        }),
+                        untriaged: None,
+                        symptoms,
+                        reason: format!(
+                            "stable -> downscale {n} -> {target} tasks ({verdict_note})"
+                        ),
+                    };
+                }
+            }
+            // Vertical reclaim: memory reserved far above observed peak.
+            let peak = metrics.peak_task_memory_mb();
+            let floor = self.config.estimator.base_memory_mb;
+            if peak > 0.0 && config.task_resources.memory_mb > (peak * 1.5).max(floor) {
+                let mut per_task = config.task_resources;
+                per_task.memory_mb = (peak * 1.3).max(floor);
+                let state = self.states.get_mut(&job).expect("state exists");
+                state.healthy_since = Some(now);
+                return ScalingDecision {
+                    job,
+                    action: Some(ScalingAction::Vertical {
+                        threads_per_task: k,
+                        per_task,
+                    }),
+                    untriaged: None,
+                    symptoms,
+                    reason: "stable -> vertical memory reclaim".into(),
+                };
+            }
+        }
+
+        ScalingDecision {
+            job,
+            action: None,
+            untriaged: None,
+            symptoms,
+            reason: "healthy".into(),
+        }
+    }
+
+    fn blocked_by_priority_floor(&self, config: &JobConfig) -> bool {
+        self.priority_floor
+            .is_some_and(|floor| config.priority < floor)
+    }
+}
+
+/// Plan a capacity increase to `needed` tasks' worth of capacity,
+/// vertical-first (§V-E): grow threads per task while the per-task CPU
+/// footprint stays under the vertical limit, then go horizontal with the
+/// correlated per-task resource adjustment. Returns `None` when already at
+/// (or above) the needed capacity and no change would result.
+fn plan_scale_up(
+    scaler: &ScalerConfig,
+    config: &JobConfig,
+    estimate: &crate::estimator::ResourceEstimate,
+    needed: u32,
+    why: &str,
+) -> Option<(ScalingAction, String)> {
+    let k = config.threads_per_task.max(1);
+    let n = config.task_count.max(1);
+    let total_threads_needed = needed * k;
+    let max_threads_per_task = (scaler.vertical_limit.cpu.floor() as u32).max(1);
+    if total_threads_needed.div_ceil(n) <= max_threads_per_task {
+        let threads = total_threads_needed.div_ceil(n).max(k);
+        if threads > k {
+            let mut per_task = config.task_resources;
+            per_task.cpu = (threads as f64).min(scaler.vertical_limit.cpu);
+            per_task.memory_mb = per_task
+                .memory_mb
+                .max(estimate.per_task.memory_mb)
+                .min(scaler.vertical_limit.memory_mb);
+            return Some((
+                ScalingAction::Vertical {
+                    threads_per_task: threads,
+                    per_task,
+                },
+                format!("{why} -> vertical scale to {threads} threads/task"),
+            ));
+        }
+        return None;
+    }
+    let target = needed.min(config.max_task_count);
+    if target > n {
+        let mut per_task = estimate.per_task.min(&scaler.vertical_limit);
+        per_task.memory_mb = per_task
+            .memory_mb
+            .max(config.task_resources.memory_mb.min(scaler.vertical_limit.memory_mb));
+        return Some((
+            ScalingAction::Horizontal {
+                task_count: target,
+                per_task,
+            },
+            format!("{why} -> horizontal scale {n} -> {target} tasks"),
+        ));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const JOB: JobId = JobId(1);
+
+    fn scaler() -> AutoScaler {
+        let mut cfg = ScalerConfig::default();
+        cfg.bootstrap_p = 1.0e6; // 1 MB/s per thread
+        cfg.downscale_stability = Duration::from_hours(1);
+        cfg.min_action_gap = Duration::ZERO;
+        AutoScaler::new(cfg)
+    }
+
+    fn job_config(task_count: u32) -> JobConfig {
+        let mut c = JobConfig::stateless("tailer", task_count, 256);
+        c.max_task_count = 128;
+        c.task_resources = Resources::cpu_mem(1.0, 800.0);
+        c
+    }
+
+    fn healthy_metrics(task_count: u32, input_rate: f64) -> JobMetrics {
+        JobMetrics {
+            input_rate,
+            processing_rate: input_rate,
+            total_bytes_lagged: 0.0,
+            per_task_rates: vec![input_rate / task_count as f64; task_count as usize],
+            per_task_memory_mb: vec![500.0; task_count as usize],
+            oom_events: 0,
+            task_count,
+            threads_per_task: 1,
+            reserved: Resources::cpu_mem(1.0, 800.0),
+            key_cardinality: None,
+        }
+    }
+
+    fn t(mins: u64) -> SimTime {
+        SimTime::ZERO + Duration::from_mins(mins)
+    }
+
+    #[test]
+    fn healthy_job_is_left_alone() {
+        let mut s = scaler();
+        let d = s.evaluate(JOB, &healthy_metrics(4, 2.0e6), &job_config(4), t(0));
+        assert!(d.action.is_none());
+        assert!(d.untriaged.is_none());
+    }
+
+    #[test]
+    fn lag_with_insufficient_capacity_scales_up() {
+        let mut s = scaler();
+        let mut m = healthy_metrics(4, 16.0e6); // needs 16 tasks at P=1MB/s
+        m.processing_rate = 4.0e6; // maxed out
+        m.total_bytes_lagged = 4.0e6 * 200.0; // 200 s of lag
+        let d = s.evaluate(JOB, &m, &job_config(4), t(0));
+        match d.action {
+            Some(ScalingAction::Vertical { threads_per_task, .. }) => {
+                assert!(threads_per_task > 1, "{d:?}")
+            }
+            Some(ScalingAction::Horizontal { task_count, .. }) => {
+                assert!(task_count > 4, "{d:?}")
+            }
+            other => panic!("expected scale-up, got {other:?} ({})", d.reason),
+        }
+    }
+
+    #[test]
+    fn vertical_is_preferred_until_the_limit() {
+        let mut cfg = ScalerConfig::default();
+        cfg.bootstrap_p = 1.0e6;
+        cfg.min_action_gap = Duration::ZERO;
+        cfg.vertical_limit = Resources::new(4.0, 10_240.0, 102_400.0, 200.0);
+        let mut s = AutoScaler::new(cfg);
+        // Needs 8 tasks' worth; 4 tasks with up to 4 threads can absorb it.
+        let mut m = healthy_metrics(4, 8.0e6);
+        m.processing_rate = 4.0e6;
+        m.total_bytes_lagged = 4.0e6 * 120.0;
+        let d = s.evaluate(JOB, &m, &job_config(4), t(0));
+        assert!(
+            matches!(d.action, Some(ScalingAction::Vertical { .. })),
+            "expected vertical first: {d:?}"
+        );
+        // A demand beyond the vertical ceiling goes horizontal.
+        let mut m = healthy_metrics(4, 64.0e6);
+        m.processing_rate = 4.0e6;
+        m.total_bytes_lagged = 4.0e6 * 120.0;
+        let d = s.evaluate(JOB, &m, &job_config(4), t(10));
+        assert!(
+            matches!(d.action, Some(ScalingAction::Horizontal { .. })),
+            "expected horizontal beyond limit: {d:?}"
+        );
+    }
+
+    #[test]
+    fn imbalance_triggers_rebalance_not_scaling() {
+        let mut s = scaler();
+        let mut m = healthy_metrics(4, 4.0e6);
+        m.per_task_rates = vec![3.7e6, 0.1e6, 0.1e6, 0.1e6];
+        m.processing_rate = 4.0e6;
+        m.total_bytes_lagged = 4.0e6 * 120.0;
+        let d = s.evaluate(JOB, &m, &job_config(4), t(0));
+        assert_eq!(d.action, Some(ScalingAction::RebalanceInput), "{d:?}");
+    }
+
+    #[test]
+    fn lag_with_sufficient_resources_is_untriaged() {
+        let mut s = scaler();
+        // 4 tasks can do 4 MB/s; input is only 1 MB/s but a dependency
+        // failure stalls processing: estimates say capacity is plenty.
+        let mut m = healthy_metrics(4, 1.0e6);
+        m.processing_rate = 0.1e6;
+        m.total_bytes_lagged = 0.1e6 * 1000.0;
+        // First rounds: no action, but the alert is debounced (a job
+        // catching up after a restart is not an incident).
+        let d = s.evaluate(JOB, &m, &job_config(4), t(0));
+        assert!(d.action.is_none());
+        assert!(d.untriaged.is_none(), "debounced: {d:?}");
+        s.evaluate(JOB, &m, &job_config(4), t(1));
+        let d = s.evaluate(JOB, &m, &job_config(4), t(2));
+        assert!(d.action.is_none());
+        assert!(d.untriaged.is_some(), "persistent lag must alert: {d:?}");
+    }
+
+    #[test]
+    fn oom_grows_memory_vertically() {
+        let mut s = scaler();
+        let mut m = healthy_metrics(4, 2.0e6);
+        m.oom_events = 1;
+        m.per_task_memory_mb = vec![790.0; 4];
+        let d = s.evaluate(JOB, &m, &job_config(4), t(0));
+        match d.action {
+            Some(ScalingAction::Vertical { per_task, .. }) => {
+                assert!(per_task.memory_mb > 800.0, "{per_task:?}")
+            }
+            other => panic!("expected vertical memory growth, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn downscale_requires_stability_and_history() {
+        let mut s = scaler();
+        let config = job_config(16);
+        // 16 tasks for 2 MB/s at P=1MB/s: massively overprovisioned.
+        // Feed two days of history at 30 s cadence (coarse: every 10 min).
+        let mut now = SimTime::ZERO;
+        let mut downscaled_to = None;
+        while now < t(3 * 24 * 60) {
+            let d = s.evaluate(JOB, &healthy_metrics(16, 2.0e6), &config, now);
+            if let Some(ScalingAction::Horizontal { task_count, .. }) = d.action {
+                downscaled_to = Some(task_count);
+                break;
+            }
+            now += Duration::from_mins(10);
+        }
+        let target = downscaled_to.expect("stable overprovisioned job must downscale");
+        assert!((2..16).contains(&target), "target {target}");
+        // Plan Generator guard: the target still sustains the input.
+        assert!(target as f64 * s.throughput_estimate(JOB).expect("p") >= 2.0e6);
+    }
+
+    #[test]
+    fn early_downscale_is_blocked_without_history() {
+        let mut s = scaler();
+        // Job stable for only 30 minutes: stability window (1 h) not met.
+        let mut d = None;
+        for i in 0..6 {
+            d = Some(s.evaluate(JOB, &healthy_metrics(16, 2.0e6), &job_config(16), t(i * 5)));
+        }
+        assert!(d.expect("decision").action.is_none());
+    }
+
+    #[test]
+    fn slo_violation_after_downscale_adjusts_p_down() {
+        let mut s = scaler();
+        let config = job_config(8);
+        // Converge history then force a downscale state.
+        let mut now = SimTime::ZERO;
+        while now < t(2 * 24 * 60 + 120) {
+            s.evaluate(JOB, &healthy_metrics(8, 2.0e6), &config, now);
+            now += Duration::from_mins(10);
+        }
+        let p_before = s.throughput_estimate(JOB).expect("p");
+        // Mark a downscale, then a lag arrives inside the window while the
+        // job observably sustains only 0.6 MB/s per thread.
+        s.states.get_mut(&JOB).expect("state").last_downscale_at = Some(now);
+        let mut m = healthy_metrics(2, 1.2e6);
+        m.processing_rate = 0.6e6;
+        m.total_bytes_lagged = 0.6e6 * 500.0;
+        let mut config2 = job_config(2);
+        config2.task_resources = Resources::cpu_mem(1.0, 800.0);
+        s.evaluate(JOB, &m, &config2, now + Duration::from_mins(1));
+        let p_after = s.throughput_estimate(JOB).expect("p");
+        assert!(p_after < p_before, "P must drop: {p_before} -> {p_after}");
+    }
+
+    #[test]
+    fn priority_floor_suppresses_scale_up_of_low_jobs() {
+        let mut s = scaler();
+        s.set_priority_floor(Some(Priority::High));
+        let mut m = healthy_metrics(4, 64.0e6);
+        m.processing_rate = 4.0e6;
+        m.total_bytes_lagged = 4.0e6 * 300.0;
+        let mut low = job_config(4);
+        low.priority = Priority::Normal;
+        let d = s.evaluate(JOB, &m, &low, t(0));
+        assert!(d.action.is_none(), "{d:?}");
+        // Privileged jobs still scale.
+        let mut privileged = job_config(4);
+        privileged.priority = Priority::Privileged;
+        let d = s.evaluate(JobId(2), &m, &privileged, t(0));
+        assert!(d.action.is_some(), "{d:?}");
+    }
+
+    #[test]
+    fn cooldown_suppresses_rapid_consecutive_actions() {
+        let mut cfg = ScalerConfig::default();
+        cfg.bootstrap_p = 1.0e6;
+        cfg.min_action_gap = Duration::from_mins(5);
+        let mut s = AutoScaler::new(cfg);
+        let mut m = healthy_metrics(1, 64.0e6);
+        m.processing_rate = 1.0e6;
+        m.total_bytes_lagged = 1.0e6 * 300.0;
+        let d1 = s.evaluate(JOB, &m, &job_config(1), t(0));
+        assert!(d1.action.is_some());
+        let d2 = s.evaluate(JOB, &m, &job_config(1), t(1));
+        assert!(d2.action.is_none());
+        assert_eq!(d2.reason, "cooldown");
+        let d3 = s.evaluate(JOB, &m, &job_config(1), t(6));
+        assert!(d3.action.is_some());
+    }
+
+    #[test]
+    fn reactive_mode_doubles_blindly_and_shrinks_slowly() {
+        let mut cfg = ScalerConfig::default();
+        cfg.mode = ScalerMode::Reactive;
+        cfg.min_action_gap = Duration::ZERO;
+        cfg.downscale_stability = Duration::from_mins(30);
+        let mut s = AutoScaler::new(cfg);
+        let mut m = healthy_metrics(4, 4.0e6);
+        m.processing_rate = 1.0e6;
+        m.total_bytes_lagged = 1.0e6 * 200.0;
+        let d = s.evaluate(JOB, &m, &job_config(4), t(0));
+        assert!(
+            matches!(d.action, Some(ScalingAction::Horizontal { task_count: 8, .. })),
+            "{d:?}"
+        );
+        // Untriaged-style lag *also* triggers blind scaling in gen-1 —
+        // the flaw the proactive generation fixes.
+        let mut m2 = healthy_metrics(4, 0.5e6);
+        m2.processing_rate = 0.05e6;
+        m2.total_bytes_lagged = 0.05e6 * 500.0;
+        let d = s.evaluate(JobId(3), &m2, &job_config(4), t(0));
+        assert!(matches!(d.action, Some(ScalingAction::Horizontal { .. })), "{d:?}");
+    }
+}

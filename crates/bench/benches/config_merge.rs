@@ -1,0 +1,34 @@
+//! Criterion bench for Algorithm 1 config layering: the State Syncer
+//! merges four levels per job per 30 s round, so layering must stay
+//! microsecond-cheap.
+
+#![allow(missing_docs)] // criterion_group!/criterion_main! expansions
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use turbine_config::{layer_all, ConfigLevel, ConfigValue, JobConfig};
+
+fn bench_merge(c: &mut Criterion) {
+    let base = JobConfig::stateless("tailer", 8, 64).to_value();
+    let mut provisioner = ConfigValue::empty_map();
+    provisioner.insert_path("package.version", ConfigValue::Int(7));
+    let mut scaler = ConfigValue::empty_map();
+    scaler.insert("task_count", ConfigValue::Int(12));
+    scaler.insert_path("resources.memory_mb", ConfigValue::Float(900.0));
+    let mut oncall = ConfigValue::empty_map();
+    oncall.insert("task_count", ConfigValue::Int(32));
+
+    c.bench_function("layer_all/4_levels", |b| {
+        b.iter(|| {
+            layer_all(black_box(&[&base, &provisioner, &scaler, &oncall]))
+        })
+    });
+    c.bench_function("typed_decode", |b| {
+        let merged = layer_all(&[&base, &provisioner, &scaler, &oncall]);
+        b.iter(|| JobConfig::from_value(black_box(&merged)).expect("valid"))
+    });
+    let _ = ConfigLevel::PRECEDENCE;
+}
+
+criterion_group!(benches, bench_merge);
+criterion_main!(benches);

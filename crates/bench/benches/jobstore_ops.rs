@@ -1,0 +1,59 @@
+//! Criterion bench for Job Store primitives: versioned read-modify-write,
+//! WAL append, merged-view reads, and recovery.
+
+#![allow(missing_docs)] // criterion_group!/criterion_main! expansions
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use turbine_config::{ConfigLevel, ConfigValue, JobConfig};
+use turbine_jobstore::{JobService, JobStore, MemWal};
+use turbine_types::JobId;
+
+fn bench_ops(c: &mut Criterion) {
+    let mut svc = JobService::new(JobStore::new(MemWal::new()));
+    for i in 0..1_000u64 {
+        svc.provision(JobId(i), &JobConfig::stateless(&format!("j{i}"), 2, 8))
+            .expect("provision");
+    }
+    c.bench_function("jobstore/rmw_scaler_level", |b| {
+        let mut n = 2u32;
+        b.iter(|| {
+            n += 1;
+            svc.set_level_field(
+                black_box(JobId(500)),
+                ConfigLevel::Scaler,
+                "task_count",
+                ConfigValue::Int(n as i64 % 32 + 1),
+            )
+            .expect("write")
+        })
+    });
+    c.bench_function("jobstore/expected_typed_cached", |b| {
+        b.iter(|| svc.expected_typed(black_box(JobId(500))).expect("typed"))
+    });
+    c.bench_function("jobstore/expected_merged_ref", |b| {
+        b.iter(|| {
+            svc.store()
+                .expected_merged_ref(black_box(JobId(500)))
+                .expect("merged")
+                .len()
+        })
+    });
+    let mut group = c.benchmark_group("jobstore_recovery");
+    group.sample_size(10);
+    group.bench_function("recover_1000_jobs", |b| {
+        let wal = {
+            let mut svc = JobService::new(JobStore::new(MemWal::new()));
+            for i in 0..1_000u64 {
+                svc.provision(JobId(i), &JobConfig::stateless(&format!("j{i}"), 2, 8))
+                    .expect("provision");
+            }
+            svc.store().wal().clone()
+        };
+        b.iter(|| JobStore::recover(black_box(wal.clone())).expect("recover"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion bench for the shard placement algorithm (paper §VI-A: 100 K
+//! shards onto thousands of containers in < 2 s; we verify the scaling
+//! curve at 1 K / 10 K / 100 K shards, cold and warm).
+
+#![allow(missing_docs)] // criterion_group!/criterion_main! expansions
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::HashMap;
+use std::hint::black_box;
+use turbine_shardmgr::{compute_placement, PlacementConfig, PlacementInput};
+use turbine_types::{ContainerId, Resources, ShardId};
+
+fn shards(n: u64) -> Vec<(ShardId, Resources)> {
+    (0..n)
+        .map(|i| {
+            (
+                ShardId(i),
+                Resources::cpu_mem(0.1 + (i % 17) as f64 * 0.05, 200.0 + (i % 23) as f64 * 40.0),
+            )
+        })
+        .collect()
+}
+
+fn containers(n: u64) -> Vec<(ContainerId, Resources)> {
+    (0..n)
+        .map(|i| (ContainerId(i), Resources::cpu_mem(45.0, 210_000.0)))
+        .collect()
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement");
+    group.sample_size(10);
+    for (n_shards, n_containers) in [(1_000u64, 30u64), (10_000, 300), (100_000, 3_000)] {
+        let shards = shards(n_shards);
+        let conts = containers(n_containers);
+        group.bench_with_input(
+            BenchmarkId::new("cold", n_shards),
+            &n_shards,
+            |b, _| {
+                b.iter(|| {
+                    compute_placement(
+                        PlacementInput {
+                            shards: black_box(&shards),
+                            containers: black_box(&conts),
+                            current: &HashMap::new(),
+                        },
+                        PlacementConfig::default(),
+                    )
+                })
+            },
+        );
+        let warm = compute_placement(
+            PlacementInput {
+                shards: &shards,
+                containers: &conts,
+                current: &HashMap::new(),
+            },
+            PlacementConfig::default(),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("warm", n_shards),
+            &n_shards,
+            |b, _| {
+                b.iter(|| {
+                    compute_placement(
+                        PlacementInput {
+                            shards: black_box(&shards),
+                            containers: black_box(&conts),
+                            current: black_box(&warm.assignment),
+                        },
+                        PlacementConfig::default(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_placement);
+criterion_main!(benches);

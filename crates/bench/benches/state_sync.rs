@@ -1,0 +1,67 @@
+//! Criterion bench for batched simple synchronization (paper §III-B:
+//! "tens of thousands of jobs within seconds through batching").
+
+#![allow(missing_docs)] // criterion_group!/criterion_main! expansions
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use turbine_config::{ConfigLevel, ConfigValue, JobConfig};
+use turbine_jobstore::{JobService, JobStore, MemWal};
+use turbine_statesyncer::{Redistribute, StateSyncer, SyncEnvironment};
+use turbine_types::JobId;
+
+struct NoopEnv;
+impl SyncEnvironment for NoopEnv {
+    fn request_stop(&mut self, _job: JobId) {}
+    fn all_stopped(&mut self, _job: JobId) -> bool {
+        true
+    }
+    fn redistribute_checkpoints(&mut self, _j: JobId, _o: u32, _n: u32) -> Result<Redistribute, String> {
+        Ok(Redistribute::Done)
+    }
+}
+
+fn service_with(jobs: u64) -> (JobService<MemWal>, StateSyncer) {
+    let mut svc = JobService::new(JobStore::new(MemWal::new()));
+    for i in 0..jobs {
+        svc.provision(JobId(i), &JobConfig::stateless(&format!("j{i}"), 2, 8))
+            .expect("provision");
+    }
+    let mut syncer = StateSyncer::default();
+    syncer.run_round(&mut svc, &mut NoopEnv);
+    (svc, syncer)
+}
+
+fn bench_sync(c: &mut Criterion) {
+    let mut group = c.benchmark_group("state_sync");
+    group.sample_size(10);
+    for jobs in [1_000u64, 10_000] {
+        // No-op round: every job in sync (the steady-state hot path).
+        let (mut svc, mut syncer) = service_with(jobs);
+        group.bench_with_input(BenchmarkId::new("noop_round", jobs), &jobs, |b, _| {
+            b.iter(|| syncer.run_round(&mut svc, &mut NoopEnv))
+        });
+        // Release round: every job needs one simple sync. (Each iteration
+        // must re-dirty the store, so we measure write+sync together.)
+        let (mut svc, mut syncer) = service_with(jobs);
+        let mut version = 2i64;
+        group.bench_with_input(BenchmarkId::new("release_round", jobs), &jobs, |b, _| {
+            b.iter(|| {
+                for i in 0..jobs {
+                    svc.set_level_field(
+                        JobId(i),
+                        ConfigLevel::Provisioner,
+                        "package.version",
+                        ConfigValue::Int(version),
+                    )
+                    .expect("release");
+                }
+                version += 1;
+                syncer.run_round(&mut svc, &mut NoopEnv)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sync);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for Task Service spec expansion and snapshot indexing
+//! (runs on every cache refresh; paper cadence 90 s for the whole tier).
+
+#![allow(missing_docs)] // criterion_group!/criterion_main! expansions
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::HashMap;
+use std::hint::black_box;
+use turbine_config::JobConfig;
+use turbine_taskmgr::{snapshot::TaskSnapshot, TaskService};
+use turbine_types::JobId;
+
+fn bench_specs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("task_specs");
+    let config = JobConfig::stateless("tailer", 16, 64);
+    group.bench_function("generate_specs/16_tasks", |b| {
+        b.iter(|| TaskService::generate_specs(black_box(JobId(1)), black_box(&config)))
+    });
+    group.sample_size(10);
+    for jobs in [1_000u64, 10_000] {
+        let specs: Vec<_> = (0..jobs)
+            .flat_map(|i| {
+                TaskService::generate_specs(JobId(i), &JobConfig::stateless("t", 2, 8))
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("snapshot_build", jobs * 2),
+            &jobs,
+            |b, _| {
+                let mut cache = HashMap::new();
+                b.iter(|| TaskSnapshot::build(black_box(specs.clone()), 1024, &mut cache))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_specs);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Scenario-driven front end for the Turbine platform simulator.
+//!
+//! A *scenario* is a JSON file (parsed with the workspace's own
+//! [`turbine_config`] parser — the same representation job configs use)
+//! describing a cluster, a set of jobs, and a timeline of events to
+//! inject: host failures, storms, oncall overrides, deletions. The
+//! [`runner`] executes it against a full [`turbine::Turbine`] platform and
+//! reports the metrics over time.
+//!
+//! ```sh
+//! cargo run --release -p turbine-cli --bin turbinesim -- demo
+//! cargo run --release -p turbine-cli --bin turbinesim -- run scenario.json
+//! ```
+
+pub mod runner;
+pub mod scenario;
+
+pub use runner::{run_scenario, RunSummary};
+pub use scenario::{Scenario, ScenarioError, ScenarioEvent};

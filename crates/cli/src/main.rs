@@ -1,0 +1,55 @@
+//! `turbinesim`: run Turbine platform scenarios from the command line.
+//!
+//! ```text
+//! turbinesim demo                 # run the built-in demo scenario
+//! turbinesim run scenario.json    # run a scenario file
+//! turbinesim schema               # print the demo scenario JSON as a format reference
+//! ```
+
+use turbine_cli::{run_scenario, Scenario};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let usage = "usage: turbinesim <demo | run <scenario.json> | schema>";
+    match args.get(1).map(String::as_str) {
+        Some("demo") => {
+            let scenario = Scenario::demo();
+            eprintln!(
+                "running demo: {} hosts, {} jobs, {} events, {:.1} h",
+                scenario.hosts,
+                scenario.jobs.len(),
+                scenario.events.len(),
+                scenario.duration_hours
+            );
+            print!("{}", run_scenario(&scenario).render());
+        }
+        Some("run") => {
+            let Some(path) = args.get(2) else {
+                eprintln!("{usage}");
+                std::process::exit(2);
+            };
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let scenario = match Scenario::parse(&text) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+            };
+            print!("{}", run_scenario(&scenario).render());
+        }
+        Some("schema") => {
+            println!("{}", turbine_cli::scenario::DEMO_SCENARIO);
+        }
+        _ => {
+            eprintln!("{usage}");
+            std::process::exit(2);
+        }
+    }
+}

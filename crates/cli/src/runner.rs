@@ -1,0 +1,250 @@
+//! Scenario execution against a full platform.
+
+use crate::scenario::{Scenario, ScenarioEvent};
+use std::collections::BTreeMap;
+use turbine::{Turbine, TurbineConfig};
+use turbine_config::{ConfigValue, JobConfig};
+use turbine_types::{Duration, JobId, Resources, SimTime};
+use turbine_workloads::{TrafficEvent, TrafficEventKind, TrafficModel};
+
+/// Outcome of a scenario run: the report rows plus final aggregates.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// One row per report interval: (hours, traffic MB/s, running tasks,
+    /// SLO-ok fraction, total backlog MB).
+    pub rows: Vec<(f64, f64, f64, f64, f64)>,
+    /// Final per-job status lines: (name, running tasks, backlog MB).
+    pub jobs: Vec<(String, usize, f64)>,
+    /// Lifecycle counters: (task starts, stops, restarts, shard moves,
+    /// fail-overs, scaling actions, alerts).
+    pub counters: [u64; 7],
+    /// The rendered fleet-health dashboard at the end of the run (§VII).
+    pub dashboard: String,
+}
+
+impl RunSummary {
+    /// Render the summary as the CLI prints it.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:>7}  {:>13}  {:>7}  {:>7}  {:>12}\n",
+            "hour", "traffic_mb_s", "tasks", "slo_ok", "backlog_mb"
+        ));
+        for &(h, traffic, tasks, slo, backlog) in &self.rows {
+            out.push_str(&format!(
+                "{h:>7.1}  {traffic:>13.1}  {tasks:>7.0}  {slo:>7.3}  {backlog:>12.1}\n"
+            ));
+        }
+        out.push('\n');
+        for (name, tasks, backlog) in &self.jobs {
+            out.push_str(&format!(
+                "job {name:<24} tasks = {tasks:>3}  backlog = {backlog:>10.1} MB\n"
+            ));
+        }
+        out.push('\n');
+        out.push_str(&self.dashboard);
+        let [starts, stops, restarts, moves, failovers, scalings, alerts] = self.counters;
+        out.push_str(&format!(
+            "\nlifecycle: {starts} starts, {stops} stops, {restarts} restarts, \
+             {moves} shard moves, {failovers} fail-overs, {scalings} scaling actions, {alerts} alerts\n"
+        ));
+        out
+    }
+}
+
+/// Execute a scenario and collect the summary. Deterministic: the same
+/// scenario always produces the same summary.
+pub fn run_scenario(scenario: &Scenario) -> RunSummary {
+    let mut config = TurbineConfig::default();
+    config.scaler_enabled = scenario.scaler_enabled;
+    config.load_balancing_enabled = scenario.load_balancing;
+    let mut turbine = Turbine::new(config);
+    let hosts = turbine.add_hosts(
+        scenario.hosts,
+        Resources::new(
+            scenario.host_cpu,
+            scenario.host_memory_gb * 1024.0,
+            1.0e6,
+            1000.0,
+        ),
+    );
+
+    // Provision jobs; remember name → id.
+    let mut ids: BTreeMap<String, JobId> = BTreeMap::new();
+    for (i, job) in scenario.jobs.iter().enumerate() {
+        let id = JobId(i as u64 + 1);
+        let mut jc = JobConfig::stateless(&job.name, job.tasks, job.partitions);
+        jc.max_task_count = job.max_tasks.max(job.tasks);
+        let traffic = TrafficModel::diurnal(job.rate_mbps * 1.0e6, job.diurnal, job.seed);
+        if job.stateful_keys > 0.0 {
+            turbine
+                .provision_stateful_job(id, jc, traffic, 1.0e6, 256.0, job.stateful_keys)
+                .expect("scenario job provisions");
+        } else {
+            turbine
+                .provision_job(id, jc, traffic, 1.0e6, 256.0)
+                .expect("scenario job provisions");
+        }
+        ids.insert(job.name.clone(), id);
+    }
+
+    // Pre-register storm windows on every job's traffic model (they are
+    // pure functions of time, so this is equivalent to firing them live).
+    for event in &scenario.events {
+        if let ScenarioEvent::Storm {
+            at_mins,
+            multiplier,
+            duration_mins,
+        } = event
+        {
+            let window = TrafficEvent {
+                start: SimTime::ZERO + Duration::from_mins(*at_mins),
+                end: SimTime::ZERO + Duration::from_mins(at_mins + duration_mins),
+                kind: TrafficEventKind::RampedMultiplier {
+                    peak: *multiplier,
+                    ramp_mins: (duration_mins / 6).max(1),
+                },
+            };
+            for &id in ids.values() {
+                turbine.with_job_traffic(id, |t| t.events.push(window));
+            }
+        }
+    }
+
+    // Drive time, firing non-storm events at their minutes and sampling a
+    // report row every interval.
+    let total_mins = (scenario.duration_hours * 60.0).ceil() as u64;
+    let mut pending: Vec<&ScenarioEvent> = scenario
+        .events
+        .iter()
+        .filter(|e| !matches!(e, ScenarioEvent::Storm { .. }))
+        .collect();
+    let mut rows = Vec::new();
+    for minute in 1..=total_mins {
+        turbine.run_for(Duration::from_mins(1));
+        while let Some(event) = pending.first().filter(|e| e.at_mins() <= minute) {
+            match event {
+                ScenarioEvent::FailHost { host, .. } => {
+                    turbine.fail_host(hosts[*host]).expect("valid host");
+                }
+                ScenarioEvent::RecoverHost { host, .. } => {
+                    turbine.recover_host(hosts[*host]).expect("valid host");
+                }
+                ScenarioEvent::OncallSet { job, path, value, .. } => {
+                    turbine
+                        .oncall_set(ids[job], path, ConfigValue::Int(*value))
+                        .expect("valid job");
+                }
+                ScenarioEvent::OncallClear { job, .. } => {
+                    turbine.oncall_clear(ids[job]).expect("valid job");
+                }
+                ScenarioEvent::DeleteJob { job, .. } => {
+                    turbine.delete_job(ids[job]).expect("valid job");
+                }
+                ScenarioEvent::Storm { .. } => unreachable!("pre-registered"),
+            }
+            pending.remove(0);
+        }
+        if minute % scenario.report_every_mins == 0 || minute == total_mins {
+            rows.push((
+                turbine.now().as_hours_f64(),
+                turbine.metrics.cluster_traffic.last().unwrap_or(0.0) / 1.0e6,
+                turbine.metrics.task_count.last().unwrap_or(0.0),
+                turbine.metrics.slo_ok_fraction.last().unwrap_or(0.0),
+                turbine.metrics.total_backlog.last().unwrap_or(0.0) / 1.0e6,
+            ));
+        }
+    }
+
+    let jobs = ids
+        .iter()
+        .map(|(name, &id)| match turbine.job_status(id) {
+            Some(status) => (name.clone(), status.running_tasks, status.backlog_bytes / 1.0e6),
+            None => (format!("{name} (deleted)"), 0, 0.0),
+        })
+        .collect();
+    let dashboard = turbine::fleet_health(&turbine).render();
+    let counters = [
+        turbine.metrics.task_starts.get(),
+        turbine.metrics.task_stops.get(),
+        turbine.metrics.task_restarts.get(),
+        turbine.metrics.shard_moves.get(),
+        turbine.metrics.failovers.get(),
+        turbine.metrics.scaling_actions.get(),
+        turbine.metrics.alerts.get(),
+    ];
+    RunSummary {
+        rows,
+        jobs,
+        counters,
+        dashboard,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    fn tiny() -> Scenario {
+        Scenario::parse(
+            r#"{
+              "hosts": 3, "duration_hours": 1.0, "report_every_mins": 15,
+              "jobs": [
+                {"name": "a", "tasks": 2, "partitions": 16, "rate_mbps": 2.0, "seed": 1},
+                {"name": "b", "tasks": 1, "partitions": 8, "rate_mbps": 0.5, "seed": 2}
+              ],
+              "events": [
+                {"action": "fail_host", "at_mins": 20, "host": 1},
+                {"action": "recover_host", "at_mins": 40, "host": 1}
+              ]
+            }"#,
+        )
+        .expect("parse")
+    }
+
+    #[test]
+    fn scenario_runs_to_completion_with_reports() {
+        let summary = run_scenario(&tiny());
+        assert_eq!(summary.rows.len(), 4, "15-min reports over 1 h");
+        assert_eq!(summary.jobs.len(), 2);
+        // Both jobs running at the end despite the mid-run host failure.
+        for (name, tasks, _) in &summary.jobs {
+            assert!(*tasks > 0, "{name} must be running");
+        }
+        assert!(summary.counters[4] >= 1, "fail-over happened");
+    }
+
+    #[test]
+    fn scenario_runs_are_deterministic() {
+        let a = run_scenario(&tiny());
+        let b = run_scenario(&tiny());
+        assert_eq!(a.rows, b.rows);
+        assert_eq!(a.counters, b.counters);
+    }
+
+    #[test]
+    fn deleted_jobs_report_as_deleted() {
+        let scenario = Scenario::parse(
+            r#"{
+              "hosts": 2, "duration_hours": 0.5,
+              "jobs": [{"name": "doomed", "tasks": 1, "partitions": 4}],
+              "events": [{"action": "delete_job", "at_mins": 10, "job": "doomed"}]
+            }"#,
+        )
+        .expect("parse");
+        let summary = run_scenario(&scenario);
+        assert!(summary.jobs[0].0.contains("deleted"));
+        assert_eq!(summary.jobs[0].1, 0);
+    }
+
+    #[test]
+    fn demo_scenario_survives_end_to_end() {
+        let mut demo = Scenario::demo();
+        demo.duration_hours = 1.0; // keep the unit test fast
+        demo.events.retain(|e| e.at_mins() <= 55);
+        let summary = run_scenario(&demo);
+        assert!(!summary.rows.is_empty());
+        assert_eq!(summary.jobs.len(), 3);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for cluster allocation accounting: capacity is
+//! conserved through arbitrary allocate/release/fail sequences.
+
+use proptest::prelude::*;
+use turbine_cluster::Cluster;
+use turbine_types::Resources;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Allocate { host_idx: usize, cpu: f64, mem: f64 },
+    ReleaseOldest,
+    FailHost { host_idx: usize },
+    RecoverHost { host_idx: usize },
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0usize..8, 0.5f64..16.0, 256.0f64..32_000.0)
+                .prop_map(|(host_idx, cpu, mem)| Op::Allocate { host_idx, cpu, mem }),
+            Just(Op::ReleaseOldest),
+            (0usize..8).prop_map(|host_idx| Op::FailHost { host_idx }),
+            (0usize..8).prop_map(|host_idx| Op::RecoverHost { host_idx }),
+        ],
+        0..60,
+    )
+}
+
+proptest! {
+    /// For any operation sequence: allocations never exceed host capacity,
+    /// releases restore capacity exactly, and health transitions never
+    /// corrupt the container inventory.
+    #[test]
+    fn allocation_accounting_is_conserved(ops in arb_ops()) {
+        let mut cluster = Cluster::new();
+        let hosts = cluster.add_hosts(8, Resources::new(32.0, 64_000.0, 1.0e6, 1000.0));
+        let mut live = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Allocate { host_idx, cpu, mem } => {
+                    let host = hosts[host_idx];
+                    if let Ok(c) = cluster.allocate_container(host, Resources::cpu_mem(cpu, mem)) {
+                        live.push(c);
+                    }
+                }
+                Op::ReleaseOldest => {
+                    if !live.is_empty() {
+                        let c = live.remove(0);
+                        cluster.release_container(c).expect("release live container");
+                    }
+                }
+                Op::FailHost { host_idx } => {
+                    cluster.fail_host(hosts[host_idx]).expect("known host");
+                }
+                Op::RecoverHost { host_idx } => {
+                    cluster.recover_host(hosts[host_idx]).expect("known host");
+                }
+            }
+            // Invariants after every step:
+            prop_assert_eq!(cluster.container_count(), live.len());
+            // Per-host allocation never exceeds capacity: verified by
+            // summing container capacities per host.
+            for &host in &hosts {
+                let total: Resources = cluster
+                    .containers_on(host)
+                    .expect("known host")
+                    .iter()
+                    .map(|&c| cluster.container_capacity(c).expect("live"))
+                    .sum();
+                prop_assert!(
+                    total.fits_within(&Resources::new(32.0 + 1e-9, 64_000.0 + 1e-6, 1.0e6, 1000.0)),
+                    "host over-allocated: {total:?}"
+                );
+            }
+            // Healthy containers are exactly those on healthy hosts.
+            let healthy_hosts = cluster.healthy_hosts();
+            for &c in &live {
+                let host = cluster.host_of(c).expect("live");
+                prop_assert_eq!(
+                    cluster.is_container_healthy(c),
+                    healthy_hosts.contains(&host)
+                );
+            }
+        }
+
+        // Releasing everything restores (essentially) full capacity on
+        // every host; a few ulps of float residue from the add/sub cycles
+        // are acceptable, hence the 1e-9 relative slack.
+        for c in live {
+            cluster.release_container(c).expect("release");
+        }
+        let nearly_full = Resources::cpu_mem(32.0 * (1.0 - 1e-9), 64_000.0 * (1.0 - 1e-9));
+        for &host in &hosts {
+            cluster
+                .allocate_container(host, nearly_full)
+                .expect("full capacity must be available again");
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! The typed job configuration schema.
+//!
+//! Production Turbine enforces compile-time type checking of configurations
+//! with Thrift and then serializes to JSON for layering (paper §III-A).
+//! [`JobConfig`] plays the Thrift role here: a statically typed view with
+//! lossless conversion to/from the [`ConfigValue`] JSON model, plus the
+//! validation checks a query must pass before provisioning.
+
+use crate::value::ConfigValue;
+use std::fmt;
+use turbine_types::{Priority, Resources};
+
+/// Name and version of the binary package a job runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackageSpec {
+    /// Package name, e.g. `"scribe_tailer"`.
+    pub name: String,
+    /// Monotonically increasing release version.
+    pub version: u64,
+}
+
+/// How per-task memory limits are enforced (paper §V-A): the detection
+/// path for OOM symptoms differs per mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MemoryEnforcement {
+    /// cgroup limit; OOM stats are preserved after the kill.
+    Cgroup,
+    /// JVM `-Xmx`; the JVM posts OOM metrics before killing the task.
+    Jvm,
+    /// No hard enforcement; usage is compared against a soft limit.
+    #[default]
+    SoftLimit,
+}
+
+impl MemoryEnforcement {
+    fn as_str(self) -> &'static str {
+        match self {
+            MemoryEnforcement::Cgroup => "cgroup",
+            MemoryEnforcement::Jvm => "jvm",
+            MemoryEnforcement::SoftLimit => "soft_limit",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Self> {
+        match s {
+            "cgroup" => Some(MemoryEnforcement::Cgroup),
+            "jvm" => Some(MemoryEnforcement::Jvm),
+            "soft_limit" => Some(MemoryEnforcement::SoftLimit),
+            _ => None,
+        }
+    }
+}
+
+/// Fully resolved configuration of one streaming job: everything the Task
+/// Service needs to expand the job into task specs, and everything the Auto
+/// Scaler needs to reason about its resources.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobConfig {
+    /// Binary package to run.
+    pub package: PackageSpec,
+    /// Command-line argument template. The Task Service substitutes
+    /// `{index}`, `{count}`, `{category}`, and `{checkpoint_dir}` per task
+    /// when expanding the job into task specs.
+    pub args: Vec<String>,
+    /// Number of parallel tasks (the job's degree of parallelism).
+    pub task_count: u32,
+    /// Worker threads per task (`k` in the paper's Eq. 2).
+    pub threads_per_task: u32,
+    /// Resources reserved for each task.
+    pub task_resources: Resources,
+    /// Directory where tasks persist checkpoints.
+    pub checkpoint_dir: String,
+    /// Scribe category the job consumes.
+    pub input_category: String,
+    /// Number of partitions in the input category. Each task reads a
+    /// disjoint subset, so `task_count <= input_partitions`.
+    pub input_partitions: u32,
+    /// Whether the job maintains application state beyond checkpoints
+    /// (aggregations, joins) — changes the complex-sync protocol and the
+    /// scaler's memory/disk estimation.
+    pub stateful: bool,
+    /// Business priority (Capacity Manager ordering).
+    pub priority: Priority,
+    /// SLO threshold on `time_lagged`, in seconds (e.g. the 90-second
+    /// end-to-end guarantee common at Facebook).
+    pub slo_lag_secs: f64,
+    /// Memory enforcement mode.
+    pub memory_enforcement: MemoryEnforcement,
+    /// Upper limit on `task_count` enforced against runaway scaling (the
+    /// paper's default is 32 for unprivileged Scuba tailers).
+    pub max_task_count: u32,
+}
+
+impl JobConfig {
+    /// A minimal valid stateless job, handy for tests and examples.
+    pub fn stateless(name: &str, task_count: u32, input_partitions: u32) -> JobConfig {
+        JobConfig {
+            package: PackageSpec {
+                name: name.to_string(),
+                version: 1,
+            },
+            args: vec![
+                "--task-index={index}".to_string(),
+                "--task-count={count}".to_string(),
+                "--category={category}".to_string(),
+            ],
+            task_count,
+            threads_per_task: 1,
+            task_resources: Resources::cpu_mem(1.0, 800.0),
+            checkpoint_dir: format!("/checkpoints/{name}"),
+            input_category: format!("{name}_input"),
+            input_partitions,
+            stateful: false,
+            priority: Priority::Normal,
+            slo_lag_secs: 90.0,
+            memory_enforcement: MemoryEnforcement::SoftLimit,
+            max_task_count: 32,
+        }
+    }
+
+    /// Validation checks performed before a job is provisioned. Returns the
+    /// first violation found.
+    pub fn validate(&self) -> Result<(), ValidationError> {
+        if self.package.name.is_empty() {
+            return Err(ValidationError::new("package.name must be non-empty"));
+        }
+        if self.task_count == 0 {
+            return Err(ValidationError::new("task_count must be at least 1"));
+        }
+        if self.threads_per_task == 0 {
+            return Err(ValidationError::new("threads_per_task must be at least 1"));
+        }
+        if self.input_partitions == 0 {
+            return Err(ValidationError::new("input_partitions must be at least 1"));
+        }
+        if self.task_count > self.input_partitions {
+            return Err(ValidationError::new(
+                "task_count cannot exceed input_partitions: each task reads a disjoint, non-empty partition subset",
+            ));
+        }
+        if self.task_count > self.max_task_count {
+            return Err(ValidationError::new("task_count exceeds max_task_count"));
+        }
+        if !self.task_resources.is_non_negative() || self.task_resources.cpu <= 0.0 {
+            return Err(ValidationError::new(
+                "task_resources must be non-negative with positive cpu",
+            ));
+        }
+        if self.slo_lag_secs <= 0.0 || self.slo_lag_secs.is_nan() {
+            return Err(ValidationError::new("slo_lag_secs must be positive"));
+        }
+        Ok(())
+    }
+
+    /// Serialize to the JSON model. The inverse of [`JobConfig::from_value`].
+    pub fn to_value(&self) -> ConfigValue {
+        let mut v = ConfigValue::empty_map();
+        v.insert_path("package.name", self.package.name.as_str().into());
+        v.insert_path("package.version", ConfigValue::Int(self.package.version as i64));
+        v.insert(
+            "args",
+            ConfigValue::Array(self.args.iter().map(|a| a.as_str().into()).collect()),
+        );
+        v.insert("task_count", self.task_count.into());
+        v.insert("threads_per_task", self.threads_per_task.into());
+        v.insert_path("resources.cpu", self.task_resources.cpu.into());
+        v.insert_path("resources.memory_mb", self.task_resources.memory_mb.into());
+        v.insert_path("resources.disk_mb", self.task_resources.disk_mb.into());
+        v.insert_path("resources.network_mbps", self.task_resources.network_mbps.into());
+        v.insert("checkpoint_dir", self.checkpoint_dir.as_str().into());
+        v.insert_path("input.category", self.input_category.as_str().into());
+        v.insert_path("input.partitions", self.input_partitions.into());
+        v.insert("stateful", self.stateful.into());
+        v.insert("priority", priority_to_str(self.priority).into());
+        v.insert("slo_lag_secs", self.slo_lag_secs.into());
+        v.insert("memory_enforcement", self.memory_enforcement.as_str().into());
+        v.insert("max_task_count", self.max_task_count.into());
+        v
+    }
+
+    /// Decode a merged configuration back into the typed schema. Fails if a
+    /// required field is missing or has the wrong type — the JSON layering
+    /// is schemaless, so this is where type errors surface.
+    pub fn from_value(v: &ConfigValue) -> Result<JobConfig, ValidationError> {
+        let get_str = |path: &str| -> Result<String, ValidationError> {
+            v.get_path(path)
+                .and_then(|x| x.as_str())
+                .map(str::to_string)
+                .ok_or_else(|| ValidationError::new(&format!("missing or non-string field '{path}'")))
+        };
+        let get_u32 = |path: &str| -> Result<u32, ValidationError> {
+            v.get_path(path)
+                .and_then(|x| x.as_int())
+                .and_then(|i| u32::try_from(i).ok())
+                .ok_or_else(|| {
+                    ValidationError::new(&format!("missing or invalid integer field '{path}'"))
+                })
+        };
+        let get_f64 = |path: &str| -> Result<f64, ValidationError> {
+            v.get_path(path)
+                .and_then(|x| x.as_float())
+                .ok_or_else(|| ValidationError::new(&format!("missing or non-numeric field '{path}'")))
+        };
+
+        let priority_str = get_str("priority")?;
+        let priority = priority_from_str(&priority_str)
+            .ok_or_else(|| ValidationError::new(&format!("unknown priority '{priority_str}'")))?;
+        let enforcement_str = get_str("memory_enforcement")?;
+        let memory_enforcement = MemoryEnforcement::from_str(&enforcement_str).ok_or_else(|| {
+            ValidationError::new(&format!("unknown memory_enforcement '{enforcement_str}'"))
+        })?;
+
+        let config = JobConfig {
+            package: PackageSpec {
+                name: get_str("package.name")?,
+                version: v
+                    .get_path("package.version")
+                    .and_then(|x| x.as_int())
+                    .and_then(|i| u64::try_from(i).ok())
+                    .ok_or_else(|| ValidationError::new("missing or invalid 'package.version'"))?,
+            },
+            args: v
+                .get_path("args")
+                .and_then(|x| x.as_array())
+                .ok_or_else(|| ValidationError::new("missing or non-array field 'args'"))?
+                .iter()
+                .map(|a| {
+                    a.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| ValidationError::new("'args' entries must be strings"))
+                })
+                .collect::<Result<Vec<String>, ValidationError>>()?,
+            task_count: get_u32("task_count")?,
+            threads_per_task: get_u32("threads_per_task")?,
+            task_resources: Resources::new(
+                get_f64("resources.cpu")?,
+                get_f64("resources.memory_mb")?,
+                get_f64("resources.disk_mb")?,
+                get_f64("resources.network_mbps")?,
+            ),
+            checkpoint_dir: get_str("checkpoint_dir")?,
+            input_category: get_str("input.category")?,
+            input_partitions: get_u32("input.partitions")?,
+            stateful: v
+                .get_path("stateful")
+                .and_then(|x| x.as_bool())
+                .ok_or_else(|| ValidationError::new("missing or non-boolean field 'stateful'"))?,
+            priority,
+            slo_lag_secs: get_f64("slo_lag_secs")?,
+            memory_enforcement,
+            max_task_count: get_u32("max_task_count")?,
+        };
+        Ok(config)
+    }
+}
+
+fn priority_to_str(p: Priority) -> &'static str {
+    match p {
+        Priority::Low => "low",
+        Priority::Normal => "normal",
+        Priority::High => "high",
+        Priority::Privileged => "privileged",
+    }
+}
+
+fn priority_from_str(s: &str) -> Option<Priority> {
+    match s {
+        "low" => Some(Priority::Low),
+        "normal" => Some(Priority::Normal),
+        "high" => Some(Priority::High),
+        "privileged" => Some(Priority::Privileged),
+        _ => None,
+    }
+}
+
+/// A failed schema validation or typed decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationError {
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl ValidationError {
+    fn new(message: &str) -> Self {
+        ValidationError {
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid job config: {}", self.message)
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stateless_template_is_valid() {
+        let cfg = JobConfig::stateless("tailer", 4, 16);
+        cfg.validate().expect("template must validate");
+    }
+
+    #[test]
+    fn typed_roundtrip_through_json() {
+        let mut cfg = JobConfig::stateless("tailer", 4, 16);
+        cfg.stateful = true;
+        cfg.priority = Priority::Privileged;
+        cfg.memory_enforcement = MemoryEnforcement::Cgroup;
+        cfg.task_resources = Resources::new(2.5, 1024.0, 4096.0, 12.5);
+        let decoded = JobConfig::from_value(&cfg.to_value()).expect("decode");
+        assert_eq!(decoded, cfg);
+    }
+
+    #[test]
+    fn roundtrip_survives_text_serialization() {
+        let cfg = JobConfig::stateless("tailer", 2, 8);
+        let text = crate::text::to_text(&cfg.to_value());
+        let reparsed = crate::text::parse(&text).expect("parse");
+        assert_eq!(JobConfig::from_value(&reparsed).expect("decode"), cfg);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut cfg = JobConfig::stateless("tailer", 4, 16);
+        cfg.task_count = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = JobConfig::stateless("tailer", 4, 16);
+        cfg.task_count = 17; // more tasks than partitions
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = JobConfig::stateless("tailer", 4, 16);
+        cfg.max_task_count = 2;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = JobConfig::stateless("", 4, 16);
+        cfg.package.name.clear();
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = JobConfig::stateless("tailer", 4, 16);
+        cfg.slo_lag_secs = 0.0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = JobConfig::stateless("tailer", 4, 16);
+        cfg.task_resources.cpu = 0.0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn decode_reports_missing_fields() {
+        let err = JobConfig::from_value(&ConfigValue::empty_map()).expect_err("must fail");
+        assert!(err.message.contains("missing"), "got: {}", err.message);
+    }
+
+    #[test]
+    fn decode_reports_type_errors() {
+        let mut v = JobConfig::stateless("t", 1, 1).to_value();
+        v.insert("task_count", "four".into());
+        let err = JobConfig::from_value(&v).expect_err("must fail");
+        assert!(err.message.contains("task_count"));
+    }
+
+    #[test]
+    fn decode_rejects_unknown_enum_strings() {
+        let mut v = JobConfig::stateless("t", 1, 1).to_value();
+        v.insert("priority", "urgent".into());
+        assert!(JobConfig::from_value(&v).is_err());
+
+        let mut v = JobConfig::stateless("t", 1, 1).to_value();
+        v.insert("memory_enforcement", "none".into());
+        assert!(JobConfig::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn scaler_override_merges_into_typed_view() {
+        // A Scaler-level config that only bumps task_count layers cleanly
+        // over the base config and decodes back.
+        let base = JobConfig::stateless("tailer", 4, 64).to_value();
+        let mut scaler = ConfigValue::empty_map();
+        scaler.insert("task_count", 12u32.into());
+        let merged = crate::merge::layer_configs(&base, &scaler);
+        let cfg = JobConfig::from_value(&merged).expect("decode");
+        assert_eq!(cfg.task_count, 12);
+        assert_eq!(cfg.package.name, "tailer");
+    }
+}

@@ -1,0 +1,76 @@
+//! Configuration precedence levels (paper Table I).
+//!
+//! The Expected Job Table holds four configuration levels; each subsequent
+//! level takes precedence over all the preceding ones. The hierarchical
+//! design isolates updates between components: the Provision Service and the
+//! Auto Scaler modify their own levels without knowing about each other, and
+//! oncall overrides always win so a broken automation service cannot
+//! clobber a human mitigation.
+
+use std::fmt;
+
+/// One level of the Expected Job Configuration, lowest precedence first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ConfigLevel {
+    /// Common settings: package name, version, checkpoint directory.
+    Base,
+    /// Modified when users update applications (Provision Service).
+    Provisioner,
+    /// Updated by the Auto Scaler when it adjusts resource allocation.
+    Scaler,
+    /// Highest precedence; used only for human intervention during an
+    /// ongoing service degradation.
+    Oncall,
+}
+
+impl ConfigLevel {
+    /// All levels in precedence order (lowest first) — the order in which
+    /// [`crate::merge::layer_all`] must fold them.
+    pub const PRECEDENCE: [ConfigLevel; 4] = [
+        ConfigLevel::Base,
+        ConfigLevel::Provisioner,
+        ConfigLevel::Scaler,
+        ConfigLevel::Oncall,
+    ];
+
+    /// Stable index of this level within [`Self::PRECEDENCE`].
+    pub fn index(self) -> usize {
+        match self {
+            ConfigLevel::Base => 0,
+            ConfigLevel::Provisioner => 1,
+            ConfigLevel::Scaler => 2,
+            ConfigLevel::Oncall => 3,
+        }
+    }
+}
+
+impl fmt::Display for ConfigLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ConfigLevel::Base => "base",
+            ConfigLevel::Provisioner => "provisioner",
+            ConfigLevel::Scaler => "scaler",
+            ConfigLevel::Oncall => "oncall",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precedence_order_is_base_to_oncall() {
+        assert!(ConfigLevel::Base < ConfigLevel::Provisioner);
+        assert!(ConfigLevel::Provisioner < ConfigLevel::Scaler);
+        assert!(ConfigLevel::Scaler < ConfigLevel::Oncall);
+    }
+
+    #[test]
+    fn index_matches_precedence_array() {
+        for (i, level) in ConfigLevel::PRECEDENCE.iter().enumerate() {
+            assert_eq!(level.index(), i);
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! The JSON-like configuration value model.
+//!
+//! Turbine serializes Thrift-typed configurations to JSON and layers them
+//! with a generic merge (paper §III-A). [`ConfigValue`] is that JSON model.
+//! Maps are ordered (`BTreeMap`) so serialization — and therefore the WAL
+//! and all test expectations — is deterministic.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON-like configuration value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum ConfigValue {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON integer (Turbine configs use integers for counts and versions).
+    Int(i64),
+    /// JSON floating-point number.
+    Float(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<ConfigValue>),
+    /// JSON object with deterministic (sorted) key order.
+    Map(BTreeMap<String, ConfigValue>),
+}
+
+impl ConfigValue {
+    /// An empty map — the starting point for building configs.
+    pub fn empty_map() -> ConfigValue {
+        ConfigValue::Map(BTreeMap::new())
+    }
+
+    /// True if this value is a map (the only values Algorithm 1 recurses
+    /// into).
+    pub fn is_map(&self) -> bool {
+        matches!(self, ConfigValue::Map(_))
+    }
+
+    /// Borrow as a map, if it is one.
+    pub fn as_map(&self) -> Option<&BTreeMap<String, ConfigValue>> {
+        match self {
+            ConfigValue::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Mutably borrow as a map, if it is one.
+    pub fn as_map_mut(&mut self) -> Option<&mut BTreeMap<String, ConfigValue>> {
+        match self {
+            ConfigValue::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            ConfigValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// As an integer. `Float` values that are exactly integral convert too,
+    /// since layered configs may round-trip counts through floats.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            ConfigValue::Int(i) => Some(*i),
+            ConfigValue::Float(f) if f.fract() == 0.0 && f.is_finite() => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// As a float (integers widen).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            ConfigValue::Float(f) => Some(*f),
+            ConfigValue::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// As a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            ConfigValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an array, if it is one.
+    pub fn as_array(&self) -> Option<&[ConfigValue]> {
+        match self {
+            ConfigValue::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Value at `key`, if this is a map containing it.
+    pub fn get(&self, key: &str) -> Option<&ConfigValue> {
+        self.as_map().and_then(|m| m.get(key))
+    }
+
+    /// Value at a `.`-separated path, e.g. `"package.version"`.
+    pub fn get_path(&self, path: &str) -> Option<&ConfigValue> {
+        let mut cur = self;
+        for seg in path.split('.') {
+            cur = cur.get(seg)?;
+        }
+        Some(cur)
+    }
+
+    /// Insert `value` at `key`, converting `self` to a map if it is `Null`.
+    /// Panics if `self` is a non-map, non-null scalar: that indicates a
+    /// schema bug, not a runtime condition.
+    pub fn insert(&mut self, key: impl Into<String>, value: ConfigValue) -> &mut Self {
+        if matches!(self, ConfigValue::Null) {
+            *self = ConfigValue::empty_map();
+        }
+        self.as_map_mut()
+            .expect("insert target must be a map or null")
+            .insert(key.into(), value);
+        self
+    }
+
+    /// Insert `value` at a `.`-separated path, creating intermediate maps.
+    /// Existing non-map intermediates are replaced by maps (mirroring how a
+    /// higher layer overrides a scalar with a subtree).
+    pub fn insert_path(&mut self, path: &str, value: ConfigValue) {
+        let mut cur = self;
+        let segs: Vec<&str> = path.split('.').collect();
+        for (i, seg) in segs.iter().enumerate() {
+            if matches!(cur, ConfigValue::Null) || !cur.is_map() {
+                *cur = ConfigValue::empty_map();
+            }
+            let map = cur.as_map_mut().expect("just ensured map");
+            if i + 1 == segs.len() {
+                map.insert((*seg).to_string(), value);
+                return;
+            }
+            cur = map
+                .entry((*seg).to_string())
+                .or_insert_with(ConfigValue::empty_map);
+        }
+    }
+
+    /// Number of entries if a map or array; 0 otherwise.
+    pub fn len(&self) -> usize {
+        match self {
+            ConfigValue::Map(m) => m.len(),
+            ConfigValue::Array(a) => a.len(),
+            _ => 0,
+        }
+    }
+
+    /// True if a map/array with no entries, or any scalar.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl From<bool> for ConfigValue {
+    fn from(v: bool) -> Self {
+        ConfigValue::Bool(v)
+    }
+}
+impl From<i64> for ConfigValue {
+    fn from(v: i64) -> Self {
+        ConfigValue::Int(v)
+    }
+}
+impl From<u32> for ConfigValue {
+    fn from(v: u32) -> Self {
+        ConfigValue::Int(v as i64)
+    }
+}
+impl From<f64> for ConfigValue {
+    fn from(v: f64) -> Self {
+        ConfigValue::Float(v)
+    }
+}
+impl From<&str> for ConfigValue {
+    fn from(v: &str) -> Self {
+        ConfigValue::Str(v.to_string())
+    }
+}
+impl From<String> for ConfigValue {
+    fn from(v: String) -> Self {
+        ConfigValue::Str(v)
+    }
+}
+
+impl fmt::Display for ConfigValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::text::to_text(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_reject_wrong_types() {
+        assert_eq!(ConfigValue::Int(3).as_str(), None);
+        assert_eq!(ConfigValue::Str("x".into()).as_int(), None);
+        assert_eq!(ConfigValue::Bool(true).as_float(), None);
+        assert_eq!(ConfigValue::Null.get("k"), None);
+    }
+
+    #[test]
+    fn integral_float_converts_to_int() {
+        assert_eq!(ConfigValue::Float(4.0).as_int(), Some(4));
+        assert_eq!(ConfigValue::Float(4.5).as_int(), None);
+        assert_eq!(ConfigValue::Float(f64::INFINITY).as_int(), None);
+    }
+
+    #[test]
+    fn int_widens_to_float() {
+        assert_eq!(ConfigValue::Int(4).as_float(), Some(4.0));
+    }
+
+    #[test]
+    fn path_get_and_insert() {
+        let mut v = ConfigValue::empty_map();
+        v.insert_path("package.version", ConfigValue::Int(7));
+        v.insert_path("package.name", "scuba_tailer".into());
+        assert_eq!(v.get_path("package.version").and_then(|x| x.as_int()), Some(7));
+        assert_eq!(
+            v.get_path("package.name").and_then(|x| x.as_str()),
+            Some("scuba_tailer")
+        );
+        assert_eq!(v.get_path("package.missing"), None);
+        assert_eq!(v.get_path("missing.deep"), None);
+    }
+
+    #[test]
+    fn insert_path_replaces_scalar_intermediates() {
+        let mut v = ConfigValue::empty_map();
+        v.insert("a", ConfigValue::Int(1));
+        v.insert_path("a.b", ConfigValue::Int(2));
+        assert_eq!(v.get_path("a.b").and_then(|x| x.as_int()), Some(2));
+    }
+
+    #[test]
+    fn insert_promotes_null_to_map() {
+        let mut v = ConfigValue::Null;
+        v.insert("k", ConfigValue::Bool(true));
+        assert_eq!(v.get("k").and_then(|x| x.as_bool()), Some(true));
+    }
+
+    #[test]
+    fn len_counts_entries() {
+        let mut v = ConfigValue::empty_map();
+        assert!(v.is_empty());
+        v.insert("a", 1i64.into());
+        v.insert("b", 2i64.into());
+        assert_eq!(v.len(), 2);
+        assert_eq!(ConfigValue::Array(vec![ConfigValue::Null]).len(), 1);
+        assert_eq!(ConfigValue::Int(5).len(), 0);
+    }
+}

@@ -1,0 +1,236 @@
+//! Fleet-health reporting (paper §VII).
+//!
+//! "A significant part of large-scale distributed systems is about
+//! operations at scale: scalable monitoring, alerting, and diagnosis.
+//! Aside from job level monitoring and alert dashboards, Turbine has
+//! several tools to report the percentage of tasks not running, lagging,
+//! or unhealthy." This module is that reporting surface: a point-in-time
+//! [`FleetHealth`] snapshot with per-job drill-down, renderable as the
+//! text dashboard operators read.
+
+use crate::platform::Turbine;
+use std::fmt::Write as _;
+use turbine_types::JobId;
+
+/// Why a job shows up in the unhealthy drill-down.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HealthIssue {
+    /// Fewer tasks running than the running configuration demands.
+    TasksNotRunning {
+        /// Tasks the running config expects.
+        expected: u32,
+        /// Tasks actually executing.
+        running: usize,
+    },
+    /// `time_lagged` above the job's SLO threshold.
+    Lagging {
+        /// Estimated lag in seconds.
+        lag_secs: f64,
+        /// The SLO threshold.
+        slo_secs: f64,
+    },
+    /// The State Syncer quarantined the job (repeated update failures).
+    Quarantined,
+    /// The job is mid-complex-sync (paused); expected to be transient.
+    Paused,
+}
+
+impl std::fmt::Display for HealthIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HealthIssue::TasksNotRunning { expected, running } => {
+                write!(f, "{running}/{expected} tasks running")
+            }
+            HealthIssue::Lagging { lag_secs, slo_secs } => {
+                write!(f, "lagging {lag_secs:.0}s (SLO {slo_secs:.0}s)")
+            }
+            HealthIssue::Quarantined => f.write_str("quarantined by the state syncer"),
+            HealthIssue::Paused => f.write_str("paused for a complex sync"),
+        }
+    }
+}
+
+/// A point-in-time fleet health snapshot.
+#[derive(Debug, Clone)]
+pub struct FleetHealth {
+    /// Total jobs in the fleet.
+    pub total_jobs: usize,
+    /// Total tasks the running configurations demand.
+    pub expected_tasks: u64,
+    /// Tasks actually executing.
+    pub running_tasks: u64,
+    /// Fraction of expected tasks that are running.
+    pub tasks_running_fraction: f64,
+    /// Fraction of jobs within their lag SLO.
+    pub jobs_within_slo_fraction: f64,
+    /// Jobs with issues, with every issue listed (a job may have several).
+    pub unhealthy: Vec<(JobId, Vec<HealthIssue>)>,
+}
+
+impl FleetHealth {
+    /// True when every task runs and every job is within SLO.
+    pub fn all_green(&self) -> bool {
+        self.unhealthy.is_empty()
+    }
+
+    /// Render the operator dashboard as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "fleet: {} jobs | tasks running {:.1}% ({}/{}) | jobs in SLO {:.1}%",
+            self.total_jobs,
+            self.tasks_running_fraction * 100.0,
+            self.running_tasks,
+            self.expected_tasks,
+            self.jobs_within_slo_fraction * 100.0,
+        );
+        if self.unhealthy.is_empty() {
+            let _ = writeln!(out, "all green");
+        } else {
+            let _ = writeln!(out, "unhealthy jobs ({}):", self.unhealthy.len());
+            for (job, issues) in &self.unhealthy {
+                let descriptions: Vec<String> = issues.iter().map(|i| i.to_string()).collect();
+                let _ = writeln!(out, "  {job}: {}", descriptions.join("; "));
+            }
+        }
+        out
+    }
+}
+
+/// Build the fleet-health snapshot from a platform.
+pub fn fleet_health(turbine: &Turbine) -> FleetHealth {
+    let mut total_jobs = 0usize;
+    let mut expected_tasks = 0u64;
+    let mut running_tasks = 0u64;
+    let mut jobs_in_slo = 0usize;
+    let mut unhealthy = Vec::new();
+
+    for job in turbine.job_ids() {
+        let Some(status) = turbine.job_status(job) else {
+            continue;
+        };
+        total_jobs += 1;
+        expected_tasks += u64::from(status.running_config_tasks);
+        running_tasks += status.running_tasks as u64;
+
+        let mut issues = Vec::new();
+        if status.quarantined {
+            issues.push(HealthIssue::Quarantined);
+        }
+        if status.paused {
+            issues.push(HealthIssue::Paused);
+        } else if status.running_tasks < status.running_config_tasks as usize {
+            issues.push(HealthIssue::TasksNotRunning {
+                expected: status.running_config_tasks,
+                running: status.running_tasks,
+            });
+        }
+        let slo = turbine.job_slo_secs(job).unwrap_or(90.0);
+        let rate = turbine.job_arrival_rate(job).unwrap_or(0.0).max(1.0);
+        let lag_secs = status.backlog_bytes / rate;
+        if lag_secs <= slo {
+            jobs_in_slo += 1;
+        } else {
+            issues.push(HealthIssue::Lagging {
+                lag_secs,
+                slo_secs: slo,
+            });
+        }
+        if !issues.is_empty() {
+            unhealthy.push((job, issues));
+        }
+    }
+
+    FleetHealth {
+        total_jobs,
+        expected_tasks,
+        running_tasks,
+        tasks_running_fraction: if expected_tasks == 0 {
+            1.0
+        } else {
+            running_tasks as f64 / expected_tasks as f64
+        },
+        jobs_within_slo_fraction: if total_jobs == 0 {
+            1.0
+        } else {
+            jobs_in_slo as f64 / total_jobs as f64
+        },
+        unhealthy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::TurbineConfig;
+    use turbine_config::JobConfig;
+    use turbine_types::{Duration, Resources};
+    use turbine_workloads::TrafficModel;
+
+    fn platform() -> Turbine {
+        let mut t = Turbine::new(TurbineConfig::default());
+        t.add_hosts(4, Resources::new(56.0, 256.0 * 1024.0, 1.0e6, 1000.0));
+        t
+    }
+
+    #[test]
+    fn healthy_fleet_is_all_green() {
+        let mut t = platform();
+        t.provision_job(
+            JobId(1),
+            JobConfig::stateless("ok", 4, 16),
+            TrafficModel::flat(2.0e6),
+            1.0e6,
+            256.0,
+        )
+        .expect("provision");
+        t.run_for(Duration::from_mins(10));
+        let health = fleet_health(&t);
+        assert!(health.all_green(), "{}", health.render());
+        assert_eq!(health.total_jobs, 1);
+        assert_eq!(health.running_tasks, 4);
+        assert!((health.tasks_running_fraction - 1.0).abs() < 1e-12);
+        assert!(health.render().contains("all green"));
+    }
+
+    #[test]
+    fn dead_host_shows_tasks_not_running_and_lag() {
+        let mut config = TurbineConfig::default();
+        config.scaler_enabled = false;
+        let mut t = Turbine::new(config);
+        t.add_hosts(2, Resources::new(56.0, 256.0 * 1024.0, 1.0e6, 1000.0));
+        t.provision_job(
+            JobId(1),
+            JobConfig::stateless("hurt", 8, 32),
+            TrafficModel::flat(4.0e6),
+            1.0e6,
+            256.0,
+        )
+        .expect("provision");
+        t.run_for(Duration::from_mins(5));
+        // Fail BOTH hosts: nothing can fail over, tasks stay down.
+        for host in t.cluster.hosts() {
+            t.fail_host(host).expect("fail");
+        }
+        t.run_for(Duration::from_mins(10));
+        let health = fleet_health(&t);
+        assert!(!health.all_green());
+        let (_, issues) = &health.unhealthy[0];
+        assert!(
+            issues.iter().any(|i| matches!(i, HealthIssue::Lagging { .. })),
+            "{issues:?}"
+        );
+        let rendered = health.render();
+        assert!(rendered.contains("unhealthy jobs"), "{rendered}");
+    }
+
+    #[test]
+    fn empty_fleet_is_vacuously_green() {
+        let t = platform();
+        let health = fleet_health(&t);
+        assert!(health.all_green());
+        assert_eq!(health.total_jobs, 0);
+        assert_eq!(health.tasks_running_fraction, 1.0);
+    }
+}

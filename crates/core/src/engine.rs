@@ -1,0 +1,619 @@
+//! The data-plane model: what the stream-processing *engine* does, as seen
+//! by the management plane.
+//!
+//! Turbine manages engines, it does not implement one — but reproducing the
+//! paper's evaluation requires tasks that consume partitioned input at a
+//! bounded per-thread rate, fall behind when under-provisioned, contend for
+//! CPU on overloaded containers, hold memory proportional to their traffic,
+//! and OOM when they outgrow their reservation. This module models exactly
+//! that, deterministically, against the workload models of
+//! [`turbine_workloads`].
+
+use std::collections::{BTreeMap, HashMap};
+use turbine_config::MemoryEnforcement;
+use turbine_scribe::{CheckpointStore, Scribe};
+use turbine_taskmgr::TaskSpec;
+use turbine_types::{ContainerId, Duration, JobId, PartitionId, Resources, SimTime, TaskId};
+use turbine_workloads::{fleet::task_usage, TrafficModel};
+
+/// Per-partition byte accounting (kept compact: the hot loop touches every
+/// partition of every job each tick).
+#[derive(Debug, Clone, Copy, Default)]
+struct PartitionState {
+    /// Total bytes ever arrived.
+    appended: f64,
+    /// Total bytes ever consumed (the checkpoint offset).
+    consumed: f64,
+    /// Bytes already mirrored into the Scribe substrate.
+    scribe_synced: f64,
+}
+
+/// Runtime state of one job's data plane.
+#[derive(Debug)]
+pub struct JobRuntime {
+    /// Input arrival model.
+    pub traffic: TrafficModel,
+    /// The *actual* maximum per-thread processing rate (bytes/sec) — the
+    /// ground truth the scaler's `P` estimate chases.
+    pub true_per_thread_rate: f64,
+    /// Average message size, bytes (drives the memory model).
+    pub avg_message_bytes: f64,
+    /// Whether the job keeps state (extra memory per key).
+    pub stateful: bool,
+    /// State key cardinality (stateful jobs).
+    pub key_cardinality: f64,
+    /// Arrival weight per partition (normalized); skewing this simulates
+    /// imbalanced input, and the scaler's `RebalanceInput` resets it.
+    pub partition_weights: Vec<f64>,
+    partitions: Vec<PartitionState>,
+    // Scaler-window accumulators.
+    window_arrived: f64,
+    window_processed: f64,
+    window_per_task: BTreeMap<TaskId, f64>,
+    window_ooms: u32,
+}
+
+impl JobRuntime {
+    /// Total unconsumed bytes (`total_bytes_lagged`).
+    pub fn backlog(&self) -> f64 {
+        self.partitions
+            .iter()
+            .map(|p| p.appended - p.consumed)
+            .sum()
+    }
+
+    /// Total bytes ever arrived.
+    pub fn total_arrived(&self) -> f64 {
+        self.partitions.iter().map(|p| p.appended).sum()
+    }
+}
+
+/// One running task as the engine sees it.
+#[derive(Debug, Clone)]
+pub struct ActiveTask {
+    /// Where the task runs.
+    pub container: ContainerId,
+    /// Worker threads.
+    pub threads: u32,
+    /// Reserved resources (OOM ceiling under cgroup enforcement).
+    pub reserved: Resources,
+    /// Partition slice owned.
+    pub partitions: Vec<PartitionId>,
+    /// Memory enforcement mode.
+    pub enforcement: MemoryEnforcement,
+    /// When the task was (re)started on this container.
+    pub started_at: SimTime,
+    /// Task is restarting until this instant (no processing).
+    pub down_until: Option<SimTime>,
+    /// Throughput multiplier for host-level degradation injection (1.0 =
+    /// healthy). Cleared when the task is (re)started elsewhere.
+    pub degradation: f64,
+    /// Memory usage at the last tick, MB.
+    pub memory_usage_mb: f64,
+    /// CPU used at the last tick, cores.
+    pub cpu_usage: f64,
+}
+
+/// Stats drained by the scaler each round.
+#[derive(Debug, Clone, Default)]
+pub struct WindowStats {
+    /// Bytes arrived during the window.
+    pub arrived: f64,
+    /// Bytes processed during the window.
+    pub processed: f64,
+    /// Bytes processed per task.
+    pub per_task: Vec<(TaskId, f64)>,
+    /// OOM kills during the window.
+    pub ooms: u32,
+}
+
+/// Result of one engine tick.
+#[derive(Debug, Default)]
+pub struct TickOutcome {
+    /// Tasks OOM-killed this tick (they restart after the configured
+    /// delay).
+    pub oom_kills: Vec<TaskId>,
+}
+
+/// The data-plane engine.
+#[derive(Debug, Default)]
+pub struct Engine {
+    jobs: BTreeMap<JobId, JobRuntime>,
+    tasks: BTreeMap<TaskId, ActiveTask>,
+}
+
+impl Engine {
+    /// An engine with no jobs.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a job's data plane.
+    #[allow(clippy::too_many_arguments)] // one call site, each arg distinct
+    pub fn add_job(
+        &mut self,
+        job: JobId,
+        traffic: TrafficModel,
+        true_per_thread_rate: f64,
+        avg_message_bytes: f64,
+        partitions: u32,
+        stateful: bool,
+        key_cardinality: f64,
+    ) {
+        assert!(partitions > 0);
+        assert!(true_per_thread_rate > 0.0);
+        self.jobs.insert(
+            job,
+            JobRuntime {
+                traffic,
+                true_per_thread_rate,
+                avg_message_bytes,
+                stateful,
+                key_cardinality,
+                partition_weights: vec![1.0 / partitions as f64; partitions as usize],
+                partitions: vec![PartitionState::default(); partitions as usize],
+                window_arrived: 0.0,
+                window_processed: 0.0,
+                window_per_task: BTreeMap::new(),
+                window_ooms: 0,
+            },
+        );
+    }
+
+    /// Remove a job's data plane entirely.
+    pub fn remove_job(&mut self, job: JobId) {
+        self.jobs.remove(&job);
+        self.tasks.retain(|id, _| id.job != job);
+    }
+
+    /// Access a job's runtime (e.g. to mutate its traffic model or skew
+    /// its partition weights mid-experiment).
+    pub fn job_mut(&mut self, job: JobId) -> Option<&mut JobRuntime> {
+        self.jobs.get_mut(&job)
+    }
+
+    /// Read access to a job's runtime.
+    pub fn job(&self, job: JobId) -> Option<&JobRuntime> {
+        self.jobs.get(&job)
+    }
+
+    /// All jobs registered.
+    pub fn job_ids(&self) -> Vec<JobId> {
+        self.jobs.keys().copied().collect()
+    }
+
+    /// A task started (or restarted) on a container.
+    pub fn task_started(&mut self, spec: &TaskSpec, container: ContainerId, now: SimTime, restart_delay: Duration) {
+        self.tasks.insert(
+            spec.id,
+            ActiveTask {
+                container,
+                threads: spec.threads,
+                reserved: spec.reserved,
+                partitions: spec.partitions.clone(),
+                enforcement: spec.memory_enforcement,
+                started_at: now,
+                down_until: Some(now + restart_delay),
+                degradation: 1.0,
+                memory_usage_mb: 0.0,
+                cpu_usage: 0.0,
+            },
+        );
+    }
+
+    /// Degrade (or restore) one task's throughput — models a sick host
+    /// slowing a single task (§V-D's hardware-issue class). The factor is
+    /// cleared when the task restarts on a(nother) container.
+    pub fn degrade_task(&mut self, task: TaskId, factor: f64) {
+        assert!(factor > 0.0);
+        if let Some(t) = self.tasks.get_mut(&task) {
+            t.degradation = factor;
+        }
+    }
+
+    /// A task stopped.
+    pub fn task_stopped(&mut self, task: TaskId) {
+        self.tasks.remove(&task);
+    }
+
+    /// Number of active tasks of a job.
+    pub fn running_tasks_of(&self, job: JobId) -> usize {
+        self.tasks_of_job(job).count()
+    }
+
+    /// Total active tasks.
+    pub fn total_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Iterate active tasks.
+    pub fn tasks(&self) -> impl Iterator<Item = (&TaskId, &ActiveTask)> {
+        self.tasks.iter()
+    }
+
+    /// Iterate the active tasks of one job (range query on the ordered
+    /// task map — O(log n + tasks of the job)).
+    pub fn tasks_of_job(&self, job: JobId) -> impl Iterator<Item = (&TaskId, &ActiveTask)> {
+        self.tasks
+            .range(TaskId::new(job, 0)..=TaskId::new(job, u32::MAX))
+    }
+
+    /// Last-tick resource usage of every task (for load aggregation and
+    /// utilization metrics).
+    pub fn task_usage_map(&self) -> HashMap<TaskId, Resources> {
+        self.tasks
+            .iter()
+            .map(|(&id, t)| {
+                (
+                    id,
+                    Resources::cpu_mem(t.cpu_usage, t.memory_usage_mb),
+                )
+            })
+            .collect()
+    }
+
+    /// Force a task into restart (crash injection, container reboot).
+    pub fn knock_down_task(&mut self, task: TaskId, until: SimTime) {
+        if let Some(t) = self.tasks.get_mut(&task) {
+            t.down_until = Some(until);
+        }
+    }
+
+    /// Advance the data plane by `dt`. `container_cpu` supplies the CPU
+    /// capacity of each healthy container (tasks on missing containers do
+    /// not run); `paused` jobs receive arrivals but process nothing.
+    pub fn tick(
+        &mut self,
+        now: SimTime,
+        dt: Duration,
+        container_cpu: &HashMap<ContainerId, f64>,
+        paused: &dyn Fn(JobId) -> bool,
+    ) -> TickOutcome {
+        let dt_secs = dt.as_secs_f64();
+        // Phase 1: arrivals.
+        for (&job, rt) in &mut self.jobs {
+            let _ = job;
+            let rate = rt.traffic.arrival_rate(now);
+            if rate > 0.0 {
+                let amount = rate * dt_secs;
+                rt.window_arrived += amount;
+                for (p, w) in rt.partitions.iter_mut().zip(&rt.partition_weights) {
+                    p.appended += amount * w;
+                }
+            }
+        }
+
+        // Phase 2: per-task desired work and per-container CPU demand.
+        struct Work {
+            id: TaskId,
+            desired: f64, // bytes the task wants to process this tick
+        }
+        let mut works: Vec<Work> = Vec::with_capacity(self.tasks.len());
+        let mut demand: HashMap<ContainerId, f64> = HashMap::new();
+        for (&id, task) in &mut self.tasks {
+            if task.down_until.is_some_and(|until| now < until) {
+                task.cpu_usage = 0.0;
+                continue;
+            }
+            task.down_until = None;
+            let Some(rt) = self.jobs.get(&id.job) else {
+                continue;
+            };
+            if paused(id.job) || rt.traffic.consumer_disabled(now) {
+                task.cpu_usage = 0.0;
+                task.memory_usage_mb = task.memory_usage_mb.max(400.0);
+                continue;
+            }
+            if !container_cpu.contains_key(&task.container) {
+                // Host dead: task is effectively down.
+                task.cpu_usage = 0.0;
+                continue;
+            }
+            let capacity =
+                rt.true_per_thread_rate * task.threads as f64 * dt_secs * task.degradation;
+            let backlog: f64 = task
+                .partitions
+                .iter()
+                .map(|p| {
+                    let ps = &rt.partitions[p.raw() as usize];
+                    ps.appended - ps.consumed
+                })
+                .sum();
+            let desired = backlog.min(capacity);
+            let cpu_cores = desired / (rt.true_per_thread_rate * dt_secs);
+            *demand.entry(task.container).or_default() += cpu_cores;
+            let _ = capacity;
+            works.push(Work { id, desired });
+        }
+
+        // Phase 3: contention factors per container.
+        let factor: HashMap<ContainerId, f64> = demand
+            .iter()
+            .map(|(&c, &d)| {
+                let cap = container_cpu.get(&c).copied().unwrap_or(0.0);
+                (c, if d > cap && d > 0.0 { cap / d } else { 1.0 })
+            })
+            .collect();
+
+        // Phase 4: processing + memory + OOM.
+        let mut outcome = TickOutcome::default();
+        for work in works {
+            let task = self.tasks.get_mut(&work.id).expect("collected above");
+            let rt = self.jobs.get_mut(&work.id.job).expect("collected above");
+            let f = factor.get(&task.container).copied().unwrap_or(1.0);
+            let mut to_process = work.desired * f;
+            task.cpu_usage = to_process / (rt.true_per_thread_rate * dt_secs);
+            if to_process > 0.0 {
+                // Consume proportionally to per-partition backlog.
+                let slice_backlog: f64 = task
+                    .partitions
+                    .iter()
+                    .map(|p| {
+                        let ps = &rt.partitions[p.raw() as usize];
+                        ps.appended - ps.consumed
+                    })
+                    .sum();
+                if slice_backlog > 0.0 {
+                    to_process = to_process.min(slice_backlog);
+                    let share = to_process / slice_backlog;
+                    for p in &task.partitions {
+                        let ps = &mut rt.partitions[p.raw() as usize];
+                        ps.consumed += (ps.appended - ps.consumed) * share;
+                    }
+                    rt.window_processed += to_process;
+                    *rt.window_per_task.entry(work.id).or_default() += to_process;
+                }
+            }
+            // Memory model: footprint follows the processed rate, plus
+            // state for stateful jobs.
+            let rate = task.cpu_usage * rt.true_per_thread_rate;
+            let mut usage =
+                task_usage(rate, rt.avg_message_bytes, rt.true_per_thread_rate).memory_mb;
+            if rt.stateful {
+                let tasks_of_job = task.partitions.len().max(1) as f64
+                    / rt.partitions.len().max(1) as f64;
+                usage += rt.key_cardinality * tasks_of_job * 1.0e-3;
+            }
+            task.memory_usage_mb = usage;
+            let enforced = matches!(
+                task.enforcement,
+                MemoryEnforcement::Cgroup | MemoryEnforcement::Jvm
+            );
+            if enforced && usage > task.reserved.memory_mb {
+                outcome.oom_kills.push(work.id);
+                rt.window_ooms += 1;
+            }
+        }
+        outcome
+    }
+
+    /// Drain and reset the scaler-window accumulators for one job.
+    pub fn drain_window(&mut self, job: JobId) -> WindowStats {
+        let Some(rt) = self.jobs.get_mut(&job) else {
+            return WindowStats::default();
+        };
+        let stats = WindowStats {
+            arrived: rt.window_arrived,
+            processed: rt.window_processed,
+            per_task: rt.window_per_task.iter().map(|(&t, &v)| (t, v)).collect(),
+            ooms: rt.window_ooms,
+        };
+        rt.window_arrived = 0.0;
+        rt.window_processed = 0.0;
+        rt.window_per_task.clear();
+        rt.window_ooms = 0;
+        stats
+    }
+
+    /// Mirror accumulated arrivals into the Scribe substrate and commit
+    /// consumed offsets to the checkpoint store. Called on the checkpoint
+    /// cadence — tasks checkpoint periodically, not per record.
+    pub fn sync_durable(
+        &mut self,
+        now: SimTime,
+        scribe: &mut Scribe,
+        checkpoints: &mut CheckpointStore,
+        category_of: &dyn Fn(JobId) -> String,
+    ) {
+        for (&job, rt) in &mut self.jobs {
+            let category = category_of(job);
+            for (i, p) in rt.partitions.iter_mut().enumerate() {
+                let delta = p.appended - p.scribe_synced;
+                if delta >= 1.0 {
+                    let _ = scribe.append_bytes(
+                        &category,
+                        PartitionId(i as u64),
+                        delta as u64,
+                        now,
+                    );
+                    p.scribe_synced += delta.floor();
+                }
+                checkpoints.commit(job, PartitionId(i as u64), p.consumed as u64);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbine_config::JobConfig;
+    use turbine_taskmgr::TaskService;
+
+    const JOB: JobId = JobId(1);
+    const C0: ContainerId = ContainerId(0);
+
+    fn engine_with_job(rate: f64, task_count: u32) -> (Engine, Vec<TaskSpec>) {
+        let mut engine = Engine::new();
+        engine.add_job(JOB, TrafficModel::flat(rate), 1.0e6, 256.0, 16, false, 0.0);
+        let config = JobConfig::stateless("t", task_count, 16);
+        let specs = TaskService::generate_specs(JOB, &config);
+        for spec in &specs {
+            engine.task_started(spec, C0, SimTime::ZERO, Duration::ZERO);
+        }
+        (engine, specs)
+    }
+
+    fn caps(cpu: f64) -> HashMap<ContainerId, f64> {
+        HashMap::from([(C0, cpu)])
+    }
+
+    fn run_ticks(engine: &mut Engine, ticks: u64, cpu: f64) -> SimTime {
+        let dt = Duration::from_secs(10);
+        let mut now = SimTime::ZERO;
+        for _ in 0..ticks {
+            now += dt;
+            engine.tick(now, dt, &caps(cpu), &|_| false);
+        }
+        now
+    }
+
+    #[test]
+    fn sufficient_capacity_keeps_up() {
+        let (mut engine, _) = engine_with_job(1.0e6, 2);
+        run_ticks(&mut engine, 30, 64.0);
+        let backlog = engine.job(JOB).expect("job").backlog();
+        // 2 tasks × 1 MB/s can absorb 1 MB/s: backlog stays ~one tick.
+        assert!(backlog < 1.1e7, "backlog {backlog}");
+        let stats = engine.drain_window(JOB);
+        assert!((stats.processed / stats.arrived) > 0.95);
+        assert_eq!(stats.per_task.len(), 2);
+    }
+
+    #[test]
+    fn undersized_job_builds_backlog() {
+        let (mut engine, _) = engine_with_job(4.0e6, 2); // capacity 2 MB/s
+        run_ticks(&mut engine, 30, 64.0);
+        let backlog = engine.job(JOB).expect("job").backlog();
+        // Deficit 2 MB/s over 300 s = 600 MB.
+        assert!(backlog > 5.5e8, "backlog {backlog}");
+        let stats = engine.drain_window(JOB);
+        assert!(stats.processed < stats.arrived * 0.6);
+    }
+
+    #[test]
+    fn container_contention_slows_all_tenants() {
+        let (mut engine, _) = engine_with_job(4.0e6, 4); // wants 4 cores
+        run_ticks(&mut engine, 10, 1.0); // container only has 1 core
+        let stats = engine.drain_window(JOB);
+        let ratio = stats.processed / stats.arrived;
+        assert!(ratio < 0.35, "contention should cap throughput: {ratio}");
+    }
+
+    #[test]
+    fn paused_jobs_accumulate_without_processing() {
+        let (mut engine, _) = engine_with_job(1.0e6, 2);
+        let dt = Duration::from_secs(10);
+        let mut now = SimTime::ZERO;
+        for _ in 0..10 {
+            now += dt;
+            engine.tick(now, dt, &caps(64.0), &|_| true);
+        }
+        let stats = engine.drain_window(JOB);
+        assert_eq!(stats.processed, 0.0);
+        assert!(engine.job(JOB).expect("job").backlog() >= 1.0e7 * 0.99);
+    }
+
+    #[test]
+    fn dead_container_stops_processing() {
+        let (mut engine, _) = engine_with_job(1.0e6, 2);
+        let dt = Duration::from_secs(10);
+        engine.tick(SimTime::ZERO + dt, dt, &HashMap::new(), &|_| false);
+        let stats = engine.drain_window(JOB);
+        assert_eq!(stats.processed, 0.0);
+    }
+
+    #[test]
+    fn skewed_partitions_create_imbalanced_per_task_rates() {
+        let (mut engine, _) = engine_with_job(2.0e6, 2);
+        {
+            let rt = engine.job_mut(JOB).expect("job");
+            // All traffic into the first task's slice (partitions 0..8).
+            let mut weights = vec![0.0; 16];
+            for w in weights.iter_mut().take(8) {
+                *w = 1.0 / 8.0;
+            }
+            rt.partition_weights = weights;
+        }
+        run_ticks(&mut engine, 10, 64.0);
+        let stats = engine.drain_window(JOB);
+        let rates: Vec<f64> = stats.per_task.iter().map(|&(_, v)| v).collect();
+        assert!(rates[0] > 0.0);
+        // Task 1 (partitions 8..16) sees nothing.
+        assert!(stats.per_task.len() == 1 || rates[1] == 0.0, "{stats:?}");
+    }
+
+    #[test]
+    fn cgroup_task_ooms_when_over_reserved() {
+        let mut engine = Engine::new();
+        engine.add_job(JOB, TrafficModel::flat(4.0e6), 1.0e6, 4096.0, 4, false, 0.0);
+        let mut config = JobConfig::stateless("t", 1, 4);
+        config.memory_enforcement = turbine_config::MemoryEnforcement::Cgroup;
+        config.task_resources = Resources::cpu_mem(8.0, 410.0); // tight memory
+        let specs = TaskService::generate_specs(JOB, &config);
+        engine.task_started(&specs[0], C0, SimTime::ZERO, Duration::ZERO);
+        let dt = Duration::from_secs(10);
+        let outcome = engine.tick(SimTime::ZERO + dt, dt, &caps(64.0), &|_| false);
+        assert_eq!(outcome.oom_kills, vec![specs[0].id]);
+        assert_eq!(engine.drain_window(JOB).ooms, 1);
+    }
+
+    #[test]
+    fn soft_limit_task_never_oom_kills() {
+        let mut engine = Engine::new();
+        engine.add_job(JOB, TrafficModel::flat(4.0e6), 1.0e6, 4096.0, 4, false, 0.0);
+        let mut config = JobConfig::stateless("t", 1, 4);
+        config.task_resources = Resources::cpu_mem(8.0, 410.0);
+        let specs = TaskService::generate_specs(JOB, &config);
+        engine.task_started(&specs[0], C0, SimTime::ZERO, Duration::ZERO);
+        let dt = Duration::from_secs(10);
+        let outcome = engine.tick(SimTime::ZERO + dt, dt, &caps(64.0), &|_| false);
+        assert!(outcome.oom_kills.is_empty());
+    }
+
+    #[test]
+    fn restart_delay_suppresses_processing() {
+        let mut engine = Engine::new();
+        engine.add_job(JOB, TrafficModel::flat(1.0e6), 1.0e6, 256.0, 4, false, 0.0);
+        let specs = TaskService::generate_specs(JOB, &JobConfig::stateless("t", 1, 4));
+        engine.task_started(&specs[0], C0, SimTime::ZERO, Duration::from_secs(60));
+        let dt = Duration::from_secs(10);
+        let mut now = SimTime::ZERO;
+        for _ in 0..5 {
+            now += dt;
+            engine.tick(now, dt, &caps(64.0), &|_| false);
+        }
+        assert_eq!(engine.drain_window(JOB).processed, 0.0, "still restarting");
+        for _ in 0..5 {
+            now += dt;
+            engine.tick(now, dt, &caps(64.0), &|_| false);
+        }
+        assert!(engine.drain_window(JOB).processed > 0.0, "restarted");
+    }
+
+    #[test]
+    fn durable_sync_mirrors_scribe_and_checkpoints() {
+        let (mut engine, specs) = engine_with_job(1.0e6, 2);
+        let now = run_ticks(&mut engine, 6, 64.0);
+        let mut scribe = Scribe::new();
+        scribe.create_category("cat", 16).expect("create");
+        let mut checkpoints = CheckpointStore::new();
+        engine.sync_durable(now, &mut scribe, &mut checkpoints, &|_| "cat".to_string());
+        let total: u64 = (0..16)
+            .map(|p| scribe.tail_offset("cat", PartitionId(p)).expect("tail"))
+            .sum();
+        // 60 s at 1 MB/s = 60 MB arrived.
+        assert!((total as f64 - 6.0e7).abs() < 1.0e6, "total {total}");
+        assert!(checkpoints.job_total_ingested(JOB) > 0);
+        let _ = specs;
+    }
+
+    #[test]
+    fn remove_job_clears_tasks() {
+        let (mut engine, _) = engine_with_job(1.0e6, 2);
+        assert_eq!(engine.total_tasks(), 2);
+        engine.remove_job(JOB);
+        assert_eq!(engine.total_tasks(), 0);
+        assert!(engine.job(JOB).is_none());
+    }
+}

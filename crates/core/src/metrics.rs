@@ -1,0 +1,122 @@
+//! Cluster- and job-level metric recording for experiments.
+//!
+//! Every figure in the paper's evaluation is a time series of something:
+//! traffic volume and task count (Fig. 1, 9), host utilization percentile
+//! bands (Fig. 6, 7), job lag (Fig. 8), fleet footprints (Fig. 5, 10).
+//! [`PlatformMetrics`] records all of them on a fixed sampling cadence.
+
+use std::collections::BTreeMap;
+use turbine_types::{Counter, JobId, Percentiles, SimTime, TimeSeries};
+
+/// One percentile band series (p5/p50/p95 + mean over hosts).
+#[derive(Debug, Default, Clone)]
+pub struct BandSeries {
+    /// 5th percentile over hosts at each sample.
+    pub p5: TimeSeries,
+    /// Median over hosts.
+    pub p50: TimeSeries,
+    /// 95th percentile over hosts.
+    pub p95: TimeSeries,
+    /// Mean over hosts.
+    pub mean: TimeSeries,
+}
+
+impl BandSeries {
+    /// Record one snapshot of per-host samples.
+    pub fn record(&mut self, at: SimTime, samples: &[f64]) {
+        let p = Percentiles::from_samples(samples);
+        self.p5.record(at, p.p5);
+        self.p50.record(at, p.p50);
+        self.p95.record(at, p.p95);
+        self.mean.record(at, p.mean);
+    }
+}
+
+/// All platform metrics captured during a run.
+#[derive(Debug, Default)]
+pub struct PlatformMetrics {
+    /// Total input traffic across jobs, bytes/sec.
+    pub cluster_traffic: TimeSeries,
+    /// Total running task count.
+    pub task_count: TimeSeries,
+    /// Host CPU utilization band (fraction of capacity).
+    pub host_cpu: BandSeries,
+    /// Host memory utilization band (fraction of capacity).
+    pub host_memory: BandSeries,
+    /// Fraction of jobs within their lag SLO.
+    pub slo_ok_fraction: TimeSeries,
+    /// Total backlog across all jobs, bytes.
+    pub total_backlog: TimeSeries,
+    /// Per-job lag (seconds) for explicitly watched jobs.
+    pub watched_job_lag: BTreeMap<JobId, TimeSeries>,
+    /// Per-job task count for explicitly watched jobs.
+    pub watched_job_tasks: BTreeMap<JobId, TimeSeries>,
+    /// Total reserved CPU across running tasks (cores).
+    pub reserved_cpu: TimeSeries,
+    /// Total reserved memory across running tasks (MB).
+    pub reserved_memory_mb: TimeSeries,
+
+    /// Lifecycle counters.
+    pub task_starts: Counter,
+    /// Tasks stopped.
+    pub task_stops: Counter,
+    /// Tasks restarted (spec change, crash, reboot).
+    pub task_restarts: Counter,
+    /// Shard movements executed.
+    pub shard_moves: Counter,
+    /// Container fail-overs performed.
+    pub failovers: Counter,
+    /// OOM kills.
+    pub oom_kills: Counter,
+    /// Scaling actions applied.
+    pub scaling_actions: Counter,
+    /// Operator alerts raised (untriaged problems, quarantines).
+    pub alerts: Counter,
+    /// Root-cause diagnoses produced for untriaged problems:
+    /// (time, job, rationale).
+    pub diagnoses: Vec<(SimTime, JobId, String)>,
+}
+
+impl PlatformMetrics {
+    /// Start watching a job's lag/task series.
+    pub fn watch_job(&mut self, job: JobId) {
+        self.watched_job_lag.entry(job).or_default();
+        self.watched_job_tasks.entry(job).or_default();
+    }
+
+    /// True if the job is being watched.
+    pub fn is_watched(&self, job: JobId) -> bool {
+        self.watched_job_lag.contains_key(&job)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbine_types::Duration;
+
+    #[test]
+    fn band_series_tracks_percentiles() {
+        let mut band = BandSeries::default();
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64 / 100.0).collect();
+        band.record(SimTime::ZERO, &samples);
+        band.record(SimTime::ZERO + Duration::from_mins(1), &samples);
+        assert_eq!(band.p5.last(), Some(0.05));
+        assert_eq!(band.p50.last(), Some(0.5));
+        assert_eq!(band.p95.last(), Some(0.95));
+        assert_eq!(band.p5.len(), 2);
+    }
+
+    #[test]
+    fn watch_registers_series() {
+        let mut m = PlatformMetrics::default();
+        assert!(!m.is_watched(JobId(1)));
+        m.watch_job(JobId(1));
+        assert!(m.is_watched(JobId(1)));
+        m.watched_job_lag
+            .get_mut(&JobId(1))
+            .expect("series")
+            .record(SimTime::ZERO, 12.0);
+        assert_eq!(m.watched_job_lag[&JobId(1)].last(), Some(12.0));
+    }
+}

@@ -1,0 +1,1217 @@
+//! The Turbine platform: all control-plane components wired together and
+//! driven in simulated time.
+//!
+//! Production cadences (paper values) are the defaults: State Syncer every
+//! 30 s, Task Manager refresh every 60 s with a 90 s Task Service cache,
+//! heartbeats with a 40 s proactive connection timeout and 60 s fail-over,
+//! load reports every 10 min, cluster-wide rebalance every 30 min.
+
+use crate::engine::Engine;
+use crate::metrics::PlatformMetrics;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use turbine_autoscaler::{
+    AutoScaler, CapacityManager, CapacityManagerConfig, DiagnosisInput, JobMetrics, Mitigation,
+    RootCauser, ScalerConfig, ScalingAction,
+};
+use turbine_cluster::Cluster;
+use turbine_config::{ConfigLevel, ConfigValue, JobConfig};
+use turbine_jobstore::{JobService, JobStore, MemWal};
+use turbine_scribe::{CheckpointStore, Scribe};
+use turbine_shardmgr::{ShardManager, ShardManagerConfig, ShardMovement};
+use turbine_sim::{Periodic, SimRng};
+use turbine_statesyncer::{Redistribute, StateSyncer, SyncEnvironment, SyncerConfig};
+use turbine_taskmgr::{LocalTaskManager, TaskEvent, TaskService};
+use turbine_types::{ContainerId, Duration, HostId, JobId, Resources, SimTime};
+use turbine_workloads::TrafficModel;
+
+/// Platform configuration. Defaults are the paper's production values.
+#[derive(Debug, Clone)]
+pub struct TurbineConfig {
+    /// Simulation tick (must not exceed the smallest cadence).
+    pub tick: Duration,
+    /// Shards in the tier.
+    pub shard_count: u64,
+    /// Fraction of each host handed to its Turbine container.
+    pub container_fraction: f64,
+    /// State Syncer round interval (paper: 30 s).
+    pub sync_interval: Duration,
+    /// Task Manager snapshot refresh interval (paper: 60 s).
+    pub tm_refresh_interval: Duration,
+    /// Task Service snapshot cache TTL (paper: 90 s).
+    pub task_service_ttl: Duration,
+    /// Heartbeat interval from Task Managers to the Shard Manager.
+    pub heartbeat_interval: Duration,
+    /// Proactive connection timeout after which a disconnected container
+    /// reboots itself (paper: 40 s — before the 60 s fail-over).
+    pub connection_timeout: Duration,
+    /// Load-report interval from Task Managers (paper: every 10 min).
+    pub load_report_interval: Duration,
+    /// Shard Manager rebalance interval (paper: 30 min for most tiers).
+    pub rebalance_interval: Duration,
+    /// Auto Scaler evaluation interval.
+    pub scaler_interval: Duration,
+    /// Capacity Manager evaluation interval.
+    pub capacity_interval: Duration,
+    /// Metric sampling interval.
+    pub metrics_interval: Duration,
+    /// Checkpoint/Scribe durability sync interval.
+    pub checkpoint_interval: Duration,
+    /// Downtime a task suffers when (re)started.
+    pub restart_delay: Duration,
+    /// Bandwidth at which stateful jobs' state is moved during complex
+    /// synchronizations, bytes/sec. Stateless jobs redistribute instantly
+    /// (checkpoints are per-partition; nothing moves).
+    pub state_move_bandwidth: f64,
+    /// State Syncer tunables.
+    pub syncer: SyncerConfig,
+    /// Auto Scaler tunables.
+    pub scaler: ScalerConfig,
+    /// Shard Manager tunables.
+    pub shardmgr: ShardManagerConfig,
+    /// Capacity Manager tunables.
+    pub capacity: CapacityManagerConfig,
+    /// Master switch for the Auto Scaler (ablations).
+    pub scaler_enabled: bool,
+    /// Master switch for load-balancing rebalances (ablations; fail-over
+    /// stays on).
+    pub load_balancing_enabled: bool,
+}
+
+impl Default for TurbineConfig {
+    fn default() -> Self {
+        TurbineConfig {
+            tick: Duration::from_secs(10),
+            shard_count: 1024,
+            container_fraction: 0.8,
+            sync_interval: Duration::from_secs(30),
+            tm_refresh_interval: Duration::from_secs(60),
+            task_service_ttl: Duration::from_secs(90),
+            heartbeat_interval: Duration::from_secs(10),
+            connection_timeout: Duration::from_secs(40),
+            load_report_interval: Duration::from_mins(10),
+            rebalance_interval: Duration::from_mins(30),
+            scaler_interval: Duration::from_mins(2),
+            capacity_interval: Duration::from_mins(5),
+            metrics_interval: Duration::from_mins(1),
+            checkpoint_interval: Duration::from_secs(60),
+            restart_delay: Duration::from_secs(10),
+            state_move_bandwidth: 256.0e6,
+            syncer: SyncerConfig::default(),
+            scaler: ScalerConfig::default(),
+            shardmgr: ShardManagerConfig::default(),
+            capacity: CapacityManagerConfig::default(),
+            scaler_enabled: true,
+            load_balancing_enabled: true,
+        }
+    }
+}
+
+/// Point-in-time status of one job, for experiments and assertions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobStatus {
+    /// Task count in the merged expected configuration.
+    pub expected_tasks: u32,
+    /// Task count in the running configuration (0 if not yet started).
+    pub running_config_tasks: u32,
+    /// Tasks actually executing in containers.
+    pub running_tasks: usize,
+    /// Current backlog in bytes.
+    pub backlog_bytes: f64,
+    /// Whether the job is paused for a complex synchronization.
+    pub paused: bool,
+    /// Whether the State Syncer quarantined the job.
+    pub quarantined: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SeveredState {
+    at: SimTime,
+    rebooted: bool,
+}
+
+/// The Turbine platform.
+pub struct Turbine {
+    config: TurbineConfig,
+    now: SimTime,
+    /// The cluster substrate (public for experiment scripting).
+    pub cluster: Cluster,
+    /// The Scribe substrate (public for inspection).
+    pub scribe: Scribe,
+    /// Recorded metrics (public for experiment output).
+    pub metrics: PlatformMetrics,
+    jobs: JobService<MemWal>,
+    syncer: StateSyncer,
+    task_service: TaskService,
+    shard_manager: ShardManager,
+    task_managers: BTreeMap<ContainerId, LocalTaskManager>,
+    scaler: AutoScaler,
+    capacity: CapacityManager,
+    checkpoints: CheckpointStore,
+    engine: Engine,
+    paused: BTreeSet<JobId>,
+    capacity_stopped: BTreeSet<JobId>,
+    /// In-flight state moves for stateful complex syncs: job → completion
+    /// time.
+    state_moves: HashMap<JobId, SimTime>,
+    /// Mean time between random task crashes; `None` disables injection.
+    crash_mtbf: Option<Duration>,
+    rng: SimRng,
+    root_causer: RootCauser,
+    /// Per-job release tracking for the root-causer:
+    /// (current version, previous version, changed at).
+    releases: HashMap<JobId, (u64, u64, SimTime)>,
+    /// Start of the ongoing lag episode per job.
+    lag_since: HashMap<JobId, SimTime>,
+    /// Last diagnosis time per job (debounce).
+    last_diagnosis: HashMap<JobId, SimTime>,
+    severed: HashMap<ContainerId, SeveredState>,
+    categories: BTreeMap<JobId, String>,
+    // Schedules.
+    sched_sync: Periodic,
+    sched_tm_refresh: Periodic,
+    sched_heartbeat: Periodic,
+    sched_load_report: Periodic,
+    sched_rebalance: Periodic,
+    sched_scaler: Periodic,
+    sched_capacity: Periodic,
+    sched_metrics: Periodic,
+    sched_checkpoint: Periodic,
+    last_scaler_drain: SimTime,
+}
+
+impl Turbine {
+    /// A platform with no hosts or jobs yet.
+    pub fn new(config: TurbineConfig) -> Self {
+        let smallest = config
+            .sync_interval
+            .min(config.tm_refresh_interval)
+            .min(config.heartbeat_interval);
+        assert!(
+            config.tick <= smallest,
+            "tick must not exceed the smallest control cadence"
+        );
+        let mut task_service = TaskService::with_ttl(config.task_service_ttl, config.shard_count);
+        task_service.invalidate();
+        let mut shard_manager = ShardManager::new(config.shardmgr);
+        shard_manager.ensure_shards(config.shard_count);
+        let mut capacity = CapacityManager::new(config.capacity);
+        capacity.register_cluster("primary", Resources::ZERO);
+        Turbine {
+            now: SimTime::ZERO,
+            cluster: Cluster::new(),
+            scribe: Scribe::new(),
+            metrics: PlatformMetrics::default(),
+            jobs: JobService::new(JobStore::new(MemWal::new())),
+            syncer: StateSyncer::new(config.syncer),
+            task_service,
+            shard_manager,
+            task_managers: BTreeMap::new(),
+            scaler: AutoScaler::new(config.scaler),
+            capacity,
+            checkpoints: CheckpointStore::new(),
+            engine: Engine::new(),
+            paused: BTreeSet::new(),
+            capacity_stopped: BTreeSet::new(),
+            state_moves: HashMap::new(),
+            crash_mtbf: None,
+            rng: SimRng::seeded(0x0C2A_54E5),
+            root_causer: RootCauser::default(),
+            releases: HashMap::new(),
+            lag_since: HashMap::new(),
+            last_diagnosis: HashMap::new(),
+            severed: HashMap::new(),
+            categories: BTreeMap::new(),
+            sched_sync: Periodic::every(config.sync_interval),
+            sched_tm_refresh: Periodic::every(config.tm_refresh_interval),
+            sched_heartbeat: Periodic::with_phase(config.heartbeat_interval, Duration::ZERO),
+            sched_load_report: Periodic::every(config.load_report_interval),
+            sched_rebalance: Periodic::every(config.rebalance_interval),
+            sched_scaler: Periodic::every(config.scaler_interval),
+            sched_capacity: Periodic::every(config.capacity_interval),
+            sched_metrics: Periodic::every(config.metrics_interval),
+            sched_checkpoint: Periodic::every(config.checkpoint_interval),
+            last_scaler_drain: SimTime::ZERO,
+            config,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &TurbineConfig {
+        &self.config
+    }
+
+    /// Add `n` hosts, allocate one Turbine container on each, register the
+    /// containers with the Shard Manager, and start a local Task Manager
+    /// in each. Returns the host ids.
+    pub fn add_hosts(&mut self, n: usize, capacity: Resources) -> Vec<HostId> {
+        let hosts = self.cluster.add_hosts(n, capacity);
+        for &host in &hosts {
+            let cap = capacity.scale(self.config.container_fraction);
+            let container = self
+                .cluster
+                .allocate_container(host, cap)
+                .expect("fresh host has capacity");
+            self.shard_manager.register_container(container, cap, self.now);
+            self.task_managers.insert(
+                container,
+                LocalTaskManager::new(container, self.config.shard_count),
+            );
+        }
+        self.capacity
+            .register_cluster("primary", self.cluster.total_healthy_capacity());
+        // Fast initial scheduling: place shards on the new containers now
+        // rather than waiting for the next periodic rebalance.
+        let result = self.shard_manager.rebalance();
+        self.apply_movements(&result.moves);
+        hosts
+    }
+
+    /// Provision a stateless job with its data-plane model. Creates the
+    /// input Scribe category, registers the job with the Job Service, and
+    /// hands its runtime to the engine. Tasks start once the State Syncer
+    /// commits the first running configuration and Task Managers pick up
+    /// the specs (1–2 minutes of simulated time).
+    pub fn provision_job(
+        &mut self,
+        job: JobId,
+        config: JobConfig,
+        traffic: TrafficModel,
+        true_per_thread_rate: f64,
+        avg_message_bytes: f64,
+    ) -> Result<(), String> {
+        self.provision_job_inner(job, config, traffic, true_per_thread_rate, avg_message_bytes, 0.0)
+    }
+
+    /// Provision a stateful job (aggregation/join) with a state key
+    /// cardinality driving its memory model.
+    pub fn provision_stateful_job(
+        &mut self,
+        job: JobId,
+        mut config: JobConfig,
+        traffic: TrafficModel,
+        true_per_thread_rate: f64,
+        avg_message_bytes: f64,
+        key_cardinality: f64,
+    ) -> Result<(), String> {
+        config.stateful = true;
+        self.provision_job_inner(
+            job,
+            config,
+            traffic,
+            true_per_thread_rate,
+            avg_message_bytes,
+            key_cardinality,
+        )
+    }
+
+    fn provision_job_inner(
+        &mut self,
+        job: JobId,
+        config: JobConfig,
+        traffic: TrafficModel,
+        true_per_thread_rate: f64,
+        avg_message_bytes: f64,
+        key_cardinality: f64,
+    ) -> Result<(), String> {
+        self.scribe
+            .create_category(&config.input_category, config.input_partitions)
+            .map_err(|e| e.to_string())?;
+        self.categories.insert(job, config.input_category.clone());
+        let stateful = config.stateful;
+        let partitions = config.input_partitions;
+        self.jobs.provision(job, &config).map_err(|e| e.to_string())?;
+        self.engine.add_job(
+            job,
+            traffic,
+            true_per_thread_rate,
+            avg_message_bytes,
+            partitions,
+            stateful,
+            key_cardinality,
+        );
+        self.task_service.invalidate();
+        Ok(())
+    }
+
+    /// Request deletion of a job; the State Syncer winds it down.
+    pub fn delete_job(&mut self, job: JobId) -> Result<(), String> {
+        self.jobs
+            .store_mut()
+            .delete_job(job)
+            .map_err(|e| e.to_string())
+    }
+
+    /// Status snapshot of one job.
+    pub fn job_status(&self, job: JobId) -> Option<JobStatus> {
+        let expected_tasks = self.jobs.expected_typed(job).map(|c| c.task_count).unwrap_or(0);
+        let running_config_tasks = self
+            .jobs
+            .running_typed(job)
+            .map(|c| c.task_count)
+            .unwrap_or(0);
+        let runtime = self.engine.job(job)?;
+        Some(JobStatus {
+            expected_tasks,
+            running_config_tasks,
+            running_tasks: self.engine.running_tasks_of(job),
+            backlog_bytes: runtime.backlog(),
+            paused: self.paused.contains(&job),
+            quarantined: self.syncer.is_quarantined(job),
+        })
+    }
+
+    /// The Job Service (operator interventions write Oncall-level configs
+    /// through it).
+    pub fn job_service_mut(&mut self) -> &mut JobService<MemWal> {
+        &mut self.jobs
+    }
+
+    /// Where every active task currently runs — for placement-quality
+    /// analyses (Fig. 6c's tasks-per-host spread).
+    pub fn task_placements(&self) -> Vec<(turbine_types::TaskId, ContainerId)> {
+        self.engine
+            .tasks()
+            .map(|(&id, task)| (id, task.container))
+            .collect()
+    }
+
+    /// All jobs known to the data plane.
+    pub fn job_ids(&self) -> Vec<JobId> {
+        self.engine.job_ids()
+    }
+
+    /// A job's configured lag SLO in seconds, if its config decodes.
+    pub fn job_slo_secs(&self, job: JobId) -> Option<f64> {
+        self.jobs.expected_typed(job).ok().map(|c| c.slo_lag_secs)
+    }
+
+    /// Current arrival rate of a job's input, bytes/sec.
+    pub fn job_arrival_rate(&self, job: JobId) -> Option<f64> {
+        self.engine.job(job).map(|rt| rt.traffic.arrival_rate(self.now))
+    }
+
+    /// Mutate a job's traffic model mid-experiment (storms, spikes).
+    pub fn with_job_traffic(&mut self, job: JobId, f: impl FnOnce(&mut TrafficModel)) {
+        if let Some(rt) = self.engine.job_mut(job) {
+            f(&mut rt.traffic);
+        }
+    }
+
+    /// Degrade (or restore) a job's true per-thread processing rate —
+    /// models dependency failures and slow sinks, where adding capacity
+    /// does not help (the paper's "untriaged problems", §V-D).
+    pub fn with_job_true_rate(&mut self, job: JobId, rate: f64) {
+        assert!(rate > 0.0);
+        if let Some(rt) = self.engine.job_mut(job) {
+            rt.true_per_thread_rate = rate;
+        }
+    }
+
+    /// Skew a job's partition arrival weights (imbalance injection).
+    pub fn skew_job_input(&mut self, job: JobId, weights: Vec<f64>) {
+        if let Some(rt) = self.engine.job_mut(job) {
+            assert_eq!(weights.len(), rt.partition_weights.len());
+            rt.partition_weights = weights;
+        }
+    }
+
+    /// Enable/disable the load balancer (fail-over stays active).
+    pub fn set_load_balancing(&mut self, enabled: bool) {
+        self.config.load_balancing_enabled = enabled;
+    }
+
+    /// Enable/disable the Auto Scaler.
+    pub fn set_scaler_enabled(&mut self, enabled: bool) {
+        self.config.scaler_enabled = enabled;
+    }
+
+    /// Oncall intervention: pin a field at the Oncall level.
+    pub fn oncall_set(&mut self, job: JobId, path: &str, value: ConfigValue) -> Result<(), String> {
+        self.jobs
+            .set_level_field(job, ConfigLevel::Oncall, path, value)
+            .map_err(|e| e.to_string())
+    }
+
+    /// Oncall intervention: clear all Oncall overrides for a job.
+    pub fn oncall_clear(&mut self, job: JobId) -> Result<(), String> {
+        self.jobs
+            .clear_level(job, ConfigLevel::Oncall)
+            .map_err(|e| e.to_string())
+    }
+
+    /// Inject host-level degradation on one task (it processes at
+    /// `factor` of its normal throughput until it is restarted on another
+    /// container) — the hardware-issue class of §V-D, for experiments.
+    pub fn degrade_task(&mut self, task: turbine_types::TaskId, factor: f64) {
+        self.engine.degrade_task(task, factor);
+    }
+
+    /// Root-cause diagnoses recorded so far (time, job, rationale).
+    pub fn diagnoses(&self) -> &[(SimTime, JobId, String)] {
+        &self.metrics.diagnoses
+    }
+
+    /// Enable random task crashes with the given fleet-wide mean time
+    /// between crashes (chaos testing; `None` disables). Crashed tasks are
+    /// restarted by their local Task Manager — the paper's §IV goal 3.
+    pub fn set_crash_mtbf(&mut self, mtbf: Option<Duration>) {
+        self.crash_mtbf = mtbf;
+    }
+
+    /// Sever a container's connection to the Shard Manager (network
+    /// failure injection). Heartbeats stop; after the proactive timeout
+    /// the container reboots itself (§IV-C).
+    pub fn sever_connection(&mut self, container: ContainerId) {
+        self.severed.entry(container).or_insert(SeveredState {
+            at: self.now,
+            rebooted: false,
+        });
+    }
+
+    /// Restore a severed connection. If the Shard Manager already failed
+    /// the container over, it rejoins as an empty container; otherwise its
+    /// shards resume where they were.
+    pub fn restore_connection(&mut self, container: ContainerId) {
+        let Some(state) = self.severed.remove(&container) else {
+            return;
+        };
+        if state.rebooted {
+            use turbine_shardmgr::ContainerStatus;
+            let status = self.shard_manager.status(container);
+            if status == Some(ContainerStatus::Alive) {
+                // Re-connected before fail-over: re-own assigned shards.
+                let shards = self.shard_manager.shards_of(container);
+                let mut all_events = Vec::new();
+                if let Some(tm) = self.task_managers.get_mut(&container) {
+                    for shard in shards {
+                        all_events.extend(tm.add_shard(shard));
+                    }
+                }
+                self.handle_task_events(container, &all_events);
+            }
+            // If failed over: stays empty until the next rebalance.
+        }
+    }
+
+    /// Fail a host (crash / maintenance). Tasks on it stop processing
+    /// immediately; the Shard Manager fails its shards over after the
+    /// fail-over interval.
+    pub fn fail_host(&mut self, host: HostId) -> Result<(), String> {
+        self.cluster.fail_host(host).map_err(|e| e.to_string())
+    }
+
+    /// Recover a failed host. Its containers rejoin empty (their previous
+    /// shards were failed over) and receive shards at the next rebalance.
+    pub fn recover_host(&mut self, host: HostId) -> Result<(), String> {
+        let containers = self.cluster.containers_on(host).map_err(|e| e.to_string())?;
+        self.cluster.recover_host(host).map_err(|e| e.to_string())?;
+        for container in containers {
+            // Clear stale local state: anything it ran was failed over.
+            let mut all_events = Vec::new();
+            if let Some(tm) = self.task_managers.get_mut(&container) {
+                let owned: Vec<_> = tm.owned_shards().collect();
+                for shard in owned {
+                    all_events.extend(tm.drop_shard(shard));
+                }
+            }
+            self.handle_task_events(container, &all_events);
+        }
+        Ok(())
+    }
+
+    /// Advance the simulation by `span`.
+    pub fn run_for(&mut self, span: Duration) {
+        let end = self.now + span;
+        self.run_until(end);
+    }
+
+    /// Advance the simulation to absolute time `end`.
+    pub fn run_until(&mut self, end: SimTime) {
+        while self.now < end {
+            self.now += self.config.tick;
+            self.step();
+        }
+    }
+
+    /// One simulation tick: data plane first, then every due control loop
+    /// in a fixed, deterministic order.
+    fn step(&mut self) {
+        let now = self.now;
+
+        // Data plane.
+        let container_cpu: HashMap<ContainerId, f64> = self
+            .cluster
+            .healthy_containers()
+            .into_iter()
+            .filter_map(|c| {
+                self.cluster
+                    .container_capacity(c)
+                    .ok()
+                    .map(|cap| (c, cap.cpu))
+            })
+            .collect();
+        let paused = &self.paused;
+        let stopped = &self.capacity_stopped;
+        let outcome = self.engine.tick(now, self.config.tick, &container_cpu, &|job| {
+            paused.contains(&job) || stopped.contains(&job)
+        });
+        for task in outcome.oom_kills {
+            self.metrics.oom_kills.incr();
+            self.metrics.task_restarts.incr();
+            self.engine
+                .knock_down_task(task, now + self.config.restart_delay);
+        }
+
+        // Random crash injection (when enabled): pick victims with
+        // per-tick probability tick/mtbf across the fleet, restart them
+        // via their Task Manager (the paper's "restart tasks upon
+        // crashes").
+        if let Some(mtbf) = self.crash_mtbf {
+            let p_crash = self.config.tick.as_secs_f64() / mtbf.as_secs_f64();
+            if self.rng.chance(p_crash.min(1.0)) && self.engine.total_tasks() > 0 {
+                let victims: Vec<turbine_types::TaskId> =
+                    self.engine.tasks().map(|(&id, _)| id).collect();
+                let victim = victims[self.rng.uniform_usize(0, victims.len())];
+                let container = self
+                    .engine
+                    .tasks_of_job(victim.job)
+                    .find(|(id, _)| **id == victim)
+                    .map(|(_, t)| t.container);
+                if let Some(container) = container {
+                    let event = self
+                        .task_managers
+                        .get_mut(&container)
+                        .and_then(|tm| tm.restart_crashed(victim));
+                    if let Some(event) = event {
+                        self.handle_task_events(container, &[event]);
+                    }
+                }
+            }
+        }
+
+        // Heartbeats + proactive reboot of disconnected containers.
+        if self.sched_heartbeat.fire_if_due(now) {
+            self.heartbeat_round();
+        }
+
+        // Shard Manager fail-over check (piggybacks the heartbeat cadence).
+        let failover_moves = self.shard_manager.check_failover(now);
+        if !failover_moves.is_empty() {
+            self.metrics.failovers.incr();
+            self.apply_movements(&failover_moves);
+        }
+
+        // Task Manager refresh.
+        if self.sched_tm_refresh.fire_if_due(now) {
+            self.tm_refresh_round();
+        }
+
+        // State Syncer round.
+        if self.sched_sync.fire_if_due(now) {
+            self.syncer_round();
+        }
+
+        // Auto Scaler round.
+        if self.sched_scaler.fire_if_due(now) {
+            self.scaler_round();
+        }
+
+        // Load reports.
+        if self.sched_load_report.fire_if_due(now) {
+            self.load_report_round();
+        }
+
+        // Rebalance.
+        if self.sched_rebalance.fire_if_due(now) && self.config.load_balancing_enabled {
+            let result = self.shard_manager.rebalance();
+            self.apply_movements(&result.moves);
+        }
+
+        // Capacity Manager.
+        if self.sched_capacity.fire_if_due(now) {
+            self.capacity_round();
+        }
+
+        // Durability sync.
+        if self.sched_checkpoint.fire_if_due(now) {
+            let categories = self.categories.clone();
+            self.engine.sync_durable(
+                now,
+                &mut self.scribe,
+                &mut self.checkpoints,
+                &move |job| categories.get(&job).cloned().unwrap_or_default(),
+            );
+        }
+
+        // Metrics.
+        if self.sched_metrics.fire_if_due(now) {
+            self.metrics_round();
+        }
+    }
+
+    fn heartbeat_round(&mut self) {
+        let now = self.now;
+        let healthy: BTreeSet<ContainerId> =
+            self.cluster.healthy_containers().into_iter().collect();
+        // Proactive reboots first.
+        let due_reboot: Vec<ContainerId> = self
+            .severed
+            .iter()
+            .filter(|(_, s)| !s.rebooted && now.since(s.at) >= self.config.connection_timeout)
+            .map(|(&c, _)| c)
+            .collect();
+        for container in due_reboot {
+            self.severed.get_mut(&container).expect("present").rebooted = true;
+            let mut all_events = Vec::new();
+            if let Some(tm) = self.task_managers.get_mut(&container) {
+                let owned: Vec<_> = tm.owned_shards().collect();
+                for shard in owned {
+                    all_events.extend(tm.drop_shard(shard));
+                }
+            }
+            self.handle_task_events(container, &all_events);
+        }
+        for &container in self.task_managers.keys() {
+            if healthy.contains(&container) && !self.severed.contains_key(&container) {
+                self.shard_manager.heartbeat(container, now);
+            }
+        }
+    }
+
+    fn tm_refresh_round(&mut self) {
+        let now = self.now;
+        // Snapshot (cached and indexed inside the Task Service for its
+        // TTL; Task Managers share it by reference).
+        let jobs = &self.jobs;
+        let paused = &self.paused;
+        let stopped = &self.capacity_stopped;
+        let snapshot = self.task_service.snapshot(now, || {
+            jobs.store()
+                .running_jobs()
+                .into_iter()
+                .filter(|j| !paused.contains(j) && !stopped.contains(j))
+                .filter_map(|j| jobs.running_typed(j).map(|c| (j, c)))
+                .collect()
+        });
+        let healthy: BTreeSet<ContainerId> =
+            self.cluster.healthy_containers().into_iter().collect();
+        let containers: Vec<ContainerId> = self.task_managers.keys().copied().collect();
+        for container in containers {
+            if !healthy.contains(&container) {
+                continue;
+            }
+            let events = self
+                .task_managers
+                .get_mut(&container)
+                .expect("iterating keys")
+                .refresh(snapshot.clone());
+            self.handle_task_events(container, &events);
+        }
+    }
+
+    fn syncer_round(&mut self) {
+        struct Env<'a> {
+            paused: &'a mut BTreeSet<JobId>,
+            task_service: &'a mut TaskService,
+            task_managers: &'a BTreeMap<ContainerId, LocalTaskManager>,
+            engine: &'a Engine,
+            state_moves: &'a mut HashMap<JobId, SimTime>,
+            now: SimTime,
+            state_move_bandwidth: f64,
+        }
+        impl SyncEnvironment for Env<'_> {
+            fn request_stop(&mut self, job: JobId) {
+                if self.paused.insert(job) {
+                    self.task_service.invalidate();
+                }
+            }
+            fn all_stopped(&mut self, job: JobId) -> bool {
+                self.task_managers.values().all(|tm| !tm.runs_job(job))
+            }
+            fn redistribute_checkpoints(
+                &mut self,
+                job: JobId,
+                _old: u32,
+                _new: u32,
+            ) -> Result<Redistribute, String> {
+                // Checkpoints are keyed by (job, partition), so a
+                // parallelism change re-maps ownership without moving
+                // offsets; the barrier above guarantees no two tasks ever
+                // own a partition concurrently. Stateful jobs additionally
+                // move their state (≈1 KB per key) at the configured
+                // bandwidth — real time during which the job stays paused.
+                let stateful_bytes = self
+                    .engine
+                    .job(job)
+                    .filter(|rt| rt.stateful)
+                    .map(|rt| rt.key_cardinality * 1.0e3)
+                    .unwrap_or(0.0);
+                if stateful_bytes <= 0.0 {
+                    return Ok(Redistribute::Done);
+                }
+                let done_at = *self.state_moves.entry(job).or_insert_with(|| {
+                    self.now + Duration::from_secs_f64(stateful_bytes / self.state_move_bandwidth)
+                });
+                if self.now >= done_at {
+                    self.state_moves.remove(&job);
+                    Ok(Redistribute::Done)
+                } else {
+                    Ok(Redistribute::InProgress)
+                }
+            }
+        }
+        let mut env = Env {
+            paused: &mut self.paused,
+            task_service: &mut self.task_service,
+            task_managers: &self.task_managers,
+            engine: &self.engine,
+            state_moves: &mut self.state_moves,
+            now: self.now,
+            state_move_bandwidth: self.config.state_move_bandwidth,
+        };
+        let report = self.syncer.run_round(&mut self.jobs, &mut env);
+        let mut invalidate = report.total_changed() > 0;
+        for &job in report
+            .started
+            .iter()
+            .chain(&report.simple)
+            .chain(&report.complex_completed)
+        {
+            self.paused.remove(&job);
+            invalidate = true;
+        }
+        for &job in &report.deleted {
+            self.paused.remove(&job);
+            self.capacity_stopped.remove(&job);
+            self.engine.remove_job(job);
+            self.checkpoints.remove_job(job);
+            self.categories.remove(&job);
+            invalidate = true;
+        }
+        if invalidate {
+            self.task_service.invalidate();
+        }
+        self.metrics.alerts.add(report.alerts.len() as u64);
+    }
+
+    fn scaler_round(&mut self) {
+        let now = self.now;
+        let window = now.since(self.last_scaler_drain).as_secs_f64().max(1.0);
+        self.last_scaler_drain = now;
+        if !self.config.scaler_enabled {
+            // Still drain windows so a later enable starts fresh.
+            for job in self.engine.job_ids() {
+                let _ = self.engine.drain_window(job);
+            }
+            return;
+        }
+        let usage = self.engine.task_usage_map();
+        for job in self.engine.job_ids() {
+            if self.paused.contains(&job)
+                || self.capacity_stopped.contains(&job)
+                || self.syncer.is_quarantined(job)
+            {
+                let _ = self.engine.drain_window(job);
+                continue;
+            }
+            let Ok(config) = self.jobs.expected_typed(job) else {
+                continue;
+            };
+            if self.jobs.running_typed(job).is_none() {
+                let _ = self.engine.drain_window(job);
+                continue; // not started yet
+            }
+            let stats = self.engine.drain_window(job);
+            let runtime = self.engine.job(job).expect("registered");
+            let backlog = runtime.backlog();
+            let mut per_task_rates = Vec::new();
+            let mut per_task_memory = Vec::new();
+            for (id, task) in self.engine.tasks_of_job(job) {
+                let processed = stats
+                    .per_task
+                    .iter()
+                    .find(|(t, _)| t == id)
+                    .map(|(_, v)| *v)
+                    .unwrap_or(0.0);
+                per_task_rates.push(processed / window);
+                per_task_memory.push(task.memory_usage_mb);
+            }
+            let metrics = JobMetrics {
+                input_rate: stats.arrived / window,
+                processing_rate: stats.processed / window,
+                total_bytes_lagged: backlog,
+                per_task_rates,
+                per_task_memory_mb: per_task_memory,
+                oom_events: stats.ooms,
+                task_count: config.task_count,
+                threads_per_task: config.threads_per_task,
+                reserved: config.task_resources,
+                key_cardinality: runtime.stateful.then_some(runtime.key_cardinality),
+            };
+            // Track releases (for the root-causer's bad-update rule).
+            match self.releases.get(&job) {
+                Some(&(current, _, _)) if current != config.package.version => {
+                    self.releases
+                        .insert(job, (config.package.version, current, now));
+                }
+                None => {
+                    self.releases
+                        .insert(job, (config.package.version, config.package.version, now));
+                }
+                _ => {}
+            }
+            let decision = self.scaler.evaluate(job, &metrics, &config, now);
+            // Track lag episodes.
+            let lagging = decision
+                .symptoms
+                .iter()
+                .any(|s| matches!(s, turbine_autoscaler::Symptom::Lagging { .. }));
+            if lagging {
+                self.lag_since.entry(job).or_insert(now);
+            } else {
+                self.lag_since.remove(&job);
+            }
+            // The root-causer watches every lagging job independently of
+            // the scaler: a single-task hardware anomaly must be moved,
+            // not scaled around — scaling would both waste capacity and
+            // accidentally mask the sick host.
+            let mut action = decision.action;
+            if lagging {
+                let window = now.since(self.last_scaler_drain).as_secs_f64().max(1.0);
+                let _ = window;
+                // Hardware diagnosis needs a *stable* measurement window:
+                // a task (re)started mid-window shows a near-zero rate and
+                // would be misdiagnosed as a sick host.
+                let window_start = now - self.config.scaler_interval;
+                let stable_window = self
+                    .engine
+                    .tasks_of_job(job)
+                    .all(|(_, t)| t.started_at <= window_start);
+                let hardware = if stable_window {
+                    let per_task_rates = self.per_task_rates(job, &stats.per_task);
+                    self.root_causer.hardware_anomaly(&metrics, &per_task_rates)
+                } else {
+                    None
+                };
+                let recently_diagnosed = self
+                    .last_diagnosis
+                    .get(&job)
+                    .is_some_and(|&at| now.since(at) < Duration::from_mins(10));
+                if (hardware.is_some() || decision.untriaged.is_some()) && !recently_diagnosed {
+                    self.last_diagnosis.insert(job, now);
+                    self.diagnose_untriaged(job, &metrics, &stats.per_task, now);
+                    if hardware.is_some() {
+                        // The move is the mitigation; do not also scale.
+                        action = None;
+                    }
+                }
+            }
+            if decision.untriaged.is_some() {
+                self.metrics.alerts.incr();
+            }
+            if let Some(action) = action {
+                self.apply_scaling_action(job, &config, action);
+            }
+        }
+        let _ = usage;
+    }
+
+    /// Per-task processing rates over the last scaler window.
+    fn per_task_rates(
+        &self,
+        job: JobId,
+        per_task_window: &[(turbine_types::TaskId, f64)],
+    ) -> Vec<(turbine_types::TaskId, f64)> {
+        let window = self.config.scaler_interval.as_secs_f64();
+        self.engine
+            .tasks_of_job(job)
+            .map(|(&id, _)| {
+                let processed = per_task_window
+                    .iter()
+                    .find(|(t, _)| *t == id)
+                    .map(|(_, v)| *v)
+                    .unwrap_or(0.0);
+                (id, processed / window)
+            })
+            .collect()
+    }
+
+    /// Run the auto root-causer on an untriaged problem, record the
+    /// diagnosis, and apply the safe automated mitigation (task moves for
+    /// hardware issues; everything else stays a recommendation).
+    fn diagnose_untriaged(
+        &mut self,
+        job: JobId,
+        metrics: &JobMetrics,
+        per_task_window: &[(turbine_types::TaskId, f64)],
+        now: SimTime,
+    ) {
+        let per_task_rates = self.per_task_rates(job, per_task_window);
+        let diagnosis = self.root_causer.diagnose(&DiagnosisInput {
+            metrics,
+            per_task_rates: &per_task_rates,
+            expected_per_thread: self.scaler.throughput_estimate(job).unwrap_or(0.0),
+            last_release: self.releases.get(&job).copied(),
+            lag_since: self.lag_since.get(&job).copied(),
+            now,
+        });
+        if let Mitigation::MoveTask(task) = diagnosis.mitigation {
+            self.move_task_shard(task);
+        }
+        self.metrics
+            .diagnoses
+            .push((now, job, diagnosis.rationale));
+    }
+
+    /// Move one task's shard to a different alive container (root-causer
+    /// mitigation for hardware issues).
+    fn move_task_shard(&mut self, task: turbine_types::TaskId) {
+        let shard = turbine_taskmgr::shard_of_task(task, self.config.shard_count);
+        let from = self.shard_manager.container_of(shard);
+        let target = self
+            .shard_manager
+            .alive_containers()
+            .into_iter()
+            .find(|&c| Some(c) != from);
+        if let Some(to) = target {
+            if let Some(movement) = self.shard_manager.move_shard(shard, to) {
+                self.apply_movements(&[movement]);
+            }
+        }
+    }
+
+    fn apply_scaling_action(&mut self, job: JobId, config: &JobConfig, action: ScalingAction) {
+        self.metrics.scaling_actions.incr();
+        match action {
+            ScalingAction::RebalanceInput => {
+                if let Some(rt) = self.engine.job_mut(job) {
+                    let n = rt.partition_weights.len();
+                    rt.partition_weights = vec![1.0 / n as f64; n];
+                }
+            }
+            ScalingAction::Vertical {
+                threads_per_task,
+                per_task,
+            } => {
+                let result = self.jobs.update_level(job, ConfigLevel::Scaler, move |cfg| {
+                    cfg.insert("threads_per_task", threads_per_task.into());
+                    cfg.insert_path("resources.cpu", per_task.cpu.into());
+                    cfg.insert_path("resources.memory_mb", per_task.memory_mb.into());
+                    cfg.insert_path("resources.disk_mb", per_task.disk_mb.into());
+                    cfg.insert_path("resources.network_mbps", per_task.network_mbps.into());
+                });
+                debug_assert!(result.is_ok());
+            }
+            ScalingAction::Horizontal {
+                task_count,
+                per_task,
+            } => {
+                // Parallelism can never exceed the input partition count.
+                let count = task_count.clamp(1, config.input_partitions);
+                let result = self.jobs.update_level(job, ConfigLevel::Scaler, move |cfg| {
+                    cfg.insert("task_count", count.into());
+                    cfg.insert_path("resources.cpu", per_task.cpu.into());
+                    cfg.insert_path("resources.memory_mb", per_task.memory_mb.into());
+                    cfg.insert_path("resources.disk_mb", per_task.disk_mb.into());
+                    cfg.insert_path("resources.network_mbps", per_task.network_mbps.into());
+                });
+                debug_assert!(result.is_ok());
+            }
+        }
+    }
+
+    fn load_report_round(&mut self) {
+        let usage = self.engine.task_usage_map();
+        for tm in self.task_managers.values() {
+            for (shard, load) in tm.aggregate_shard_loads(&usage) {
+                self.shard_manager.report_load(shard, load);
+            }
+        }
+    }
+
+    fn capacity_round(&mut self) {
+        let total_reserved: Resources = self
+            .jobs
+            .store()
+            .running_jobs()
+            .into_iter()
+            .filter_map(|j| self.jobs.running_typed(j))
+            .map(|c| c.task_resources.scale(c.task_count as f64))
+            .sum();
+        let job_list: Vec<(JobId, turbine_types::Priority, Resources)> = self
+            .jobs
+            .store()
+            .running_jobs()
+            .into_iter()
+            .filter_map(|j| {
+                self.jobs
+                    .running_typed(j)
+                    .map(|c| (j, c.priority, c.task_resources.scale(c.task_count as f64)))
+            })
+            .collect();
+        self.capacity
+            .register_cluster("primary", self.cluster.total_healthy_capacity());
+        let directive = self.capacity.evaluate("primary", total_reserved, &job_list);
+        self.scaler.set_priority_floor(directive.priority_floor);
+        if !directive.jobs_to_stop.is_empty() {
+            for job in directive.jobs_to_stop {
+                if self.capacity_stopped.insert(job) {
+                    self.metrics.alerts.incr();
+                }
+            }
+            self.task_service.invalidate();
+        } else if directive.priority_floor.is_none() && !self.capacity_stopped.is_empty() {
+            // Pressure cleared: resume capacity-stopped jobs.
+            self.capacity_stopped.clear();
+            self.task_service.invalidate();
+        }
+    }
+
+    fn metrics_round(&mut self) {
+        let now = self.now;
+        // Cluster traffic (pure function of the models: cheap).
+        let traffic: f64 = self
+            .engine
+            .job_ids()
+            .iter()
+            .filter_map(|&j| self.engine.job(j))
+            .map(|rt| rt.traffic.arrival_rate(now))
+            .sum();
+        self.metrics.cluster_traffic.record(now, traffic);
+        self.metrics
+            .task_count
+            .record(now, self.engine.total_tasks() as f64);
+
+        // Host utilization bands.
+        let usage = self.engine.task_usage_map();
+        let mut per_container: HashMap<ContainerId, Resources> = HashMap::new();
+        for (id, task) in self.engine.tasks() {
+            let u = usage.get(id).copied().unwrap_or(Resources::ZERO);
+            *per_container.entry(task.container).or_default() += u;
+        }
+        let mut cpu_samples = Vec::new();
+        let mut mem_samples = Vec::new();
+        for container in self.cluster.healthy_containers() {
+            let cap = self
+                .cluster
+                .container_capacity(container)
+                .expect("healthy container");
+            let used = per_container
+                .get(&container)
+                .copied()
+                .unwrap_or(Resources::ZERO);
+            if cap.cpu > 0.0 {
+                cpu_samples.push((used.cpu / cap.cpu).min(1.0));
+            }
+            if cap.memory_mb > 0.0 {
+                mem_samples.push((used.memory_mb / cap.memory_mb).min(1.0));
+            }
+        }
+        if !cpu_samples.is_empty() {
+            self.metrics.host_cpu.record(now, &cpu_samples);
+            self.metrics.host_memory.record(now, &mem_samples);
+        }
+
+        // Per-job lag + SLO compliance.
+        let mut ok = 0usize;
+        let mut total = 0usize;
+        let mut total_backlog = 0.0;
+        let watched: Vec<JobId> = self.metrics.watched_job_lag.keys().copied().collect();
+        for job in self.engine.job_ids() {
+            let Some(rt) = self.engine.job(job) else {
+                continue;
+            };
+            let backlog = rt.backlog();
+            total_backlog += backlog;
+            let Ok(config) = self.jobs.expected_typed(job) else {
+                continue;
+            };
+            // Lag relative to sustained processing capability: use the
+            // arrival rate as the denominator when the job keeps up.
+            let rate = rt.traffic.arrival_rate(now).max(1.0);
+            let lag_secs = backlog / rate;
+            total += 1;
+            if lag_secs <= config.slo_lag_secs {
+                ok += 1;
+            }
+            if watched.contains(&job) {
+                self.metrics
+                    .watched_job_lag
+                    .get_mut(&job)
+                    .expect("watched")
+                    .record(now, lag_secs);
+                self.metrics
+                    .watched_job_tasks
+                    .get_mut(&job)
+                    .expect("watched")
+                    .record(now, self.engine.running_tasks_of(job) as f64);
+            }
+        }
+        if total > 0 {
+            self.metrics
+                .slo_ok_fraction
+                .record(now, ok as f64 / total as f64);
+        }
+        self.metrics.total_backlog.record(now, total_backlog);
+
+        // Reserved footprint (Fig. 10).
+        let mut reserved_cpu = 0.0;
+        let mut reserved_mem = 0.0;
+        for job in self.jobs.store().running_jobs() {
+            if let Some(c) = self.jobs.running_typed(job) {
+                reserved_cpu += c.task_resources.cpu * c.task_count as f64;
+                reserved_mem += c.task_resources.memory_mb * c.task_count as f64;
+            }
+        }
+        self.metrics.reserved_cpu.record(now, reserved_cpu);
+        self.metrics.reserved_memory_mb.record(now, reserved_mem);
+    }
+
+    fn apply_movements(&mut self, moves: &[ShardMovement]) {
+        for m in moves {
+            self.metrics.shard_moves.incr();
+            // DROP_SHARD on the source first — the shard must never run in
+            // two containers at once.
+            if let Some(from) = m.from {
+                let events = self
+                    .task_managers
+                    .get_mut(&from)
+                    .map(|tm| tm.drop_shard(m.shard))
+                    .unwrap_or_default();
+                self.handle_task_events(from, &events);
+            }
+            let events = self
+                .task_managers
+                .get_mut(&m.to)
+                .map(|tm| tm.add_shard(m.shard))
+                .unwrap_or_default();
+            self.handle_task_events(m.to, &events);
+        }
+    }
+
+    fn handle_task_events(&mut self, container: ContainerId, events: &[TaskEvent]) {
+        for event in events {
+            match event {
+                TaskEvent::Started(spec) => {
+                    self.metrics.task_starts.incr();
+                    self.engine
+                        .task_started(spec, container, self.now, self.config.restart_delay);
+                }
+                TaskEvent::Restarted(spec) => {
+                    self.metrics.task_restarts.incr();
+                    self.engine
+                        .task_started(spec, container, self.now, self.config.restart_delay);
+                }
+                TaskEvent::Stopped(id) => {
+                    self.metrics.task_stops.incr();
+                    self.engine.task_stopped(*id);
+                }
+            }
+        }
+    }
+}

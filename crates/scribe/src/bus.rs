@@ -1,0 +1,406 @@
+//! The message bus: categories, partitions, offsets.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use turbine_types::{PartitionId, SimTime};
+
+/// Error raised for operations on unknown categories/partitions or invalid
+/// offsets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScribeError {
+    /// The named category does not exist.
+    UnknownCategory(String),
+    /// The category exists but the partition index is out of range.
+    UnknownPartition(String, PartitionId),
+    /// A category with this name already exists.
+    CategoryExists(String),
+    /// A read offset beyond the partition tail was supplied.
+    OffsetBeyondTail {
+        /// Offset requested by the reader.
+        requested: u64,
+        /// Current tail of the partition.
+        tail: u64,
+    },
+}
+
+impl fmt::Display for ScribeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScribeError::UnknownCategory(c) => write!(f, "unknown scribe category '{c}'"),
+            ScribeError::UnknownPartition(c, p) => {
+                write!(f, "unknown partition {p} in category '{c}'")
+            }
+            ScribeError::CategoryExists(c) => write!(f, "scribe category '{c}' already exists"),
+            ScribeError::OffsetBeyondTail { requested, tail } => {
+                write!(f, "read offset {requested} beyond partition tail {tail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScribeError {}
+
+/// A stored message: payload plus the byte offset at which it begins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Byte offset of the first payload byte within the partition.
+    pub offset: u64,
+    /// Message payload.
+    pub payload: Vec<u8>,
+}
+
+/// One partition of a category.
+#[derive(Debug, Default)]
+struct Partition {
+    /// Total bytes ever appended — the tail offset.
+    appended: u64,
+    /// Bytes trimmed by retention; reads below this offset fail over to
+    /// the trim point (data loss is visible to the reader, as in real
+    /// Scribe when a lagging reader falls off retention).
+    trimmed: u64,
+    /// Stored payloads, only when the category retains them.
+    records: Vec<Record>,
+}
+
+/// One category (topic) with a fixed number of partitions.
+#[derive(Debug)]
+struct Category {
+    partitions: Vec<Partition>,
+    retain_payloads: bool,
+    /// Total bytes appended across partitions, for rate accounting.
+    total_appended: u64,
+    last_append_at: SimTime,
+}
+
+/// Aggregate statistics of one category.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CategoryStats {
+    /// Number of partitions.
+    pub partitions: usize,
+    /// Total bytes appended across all partitions since creation.
+    pub total_appended: u64,
+    /// Time of the most recent append.
+    pub last_append_at: SimTime,
+}
+
+/// The message bus. One instance models the Scribe deployment a Turbine
+/// cluster reads from and writes to.
+#[derive(Debug, Default)]
+pub struct Scribe {
+    categories: BTreeMap<String, Category>,
+}
+
+impl Scribe {
+    /// An empty bus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a category with `partitions` partitions that only tracks byte
+    /// offsets (the cluster-scale fast path).
+    pub fn create_category(&mut self, name: &str, partitions: u32) -> Result<(), ScribeError> {
+        self.create_category_inner(name, partitions, false)
+    }
+
+    /// Create a category that additionally retains payloads so they can be
+    /// read back with [`Scribe::read_records`].
+    pub fn create_category_with_payloads(
+        &mut self,
+        name: &str,
+        partitions: u32,
+    ) -> Result<(), ScribeError> {
+        self.create_category_inner(name, partitions, true)
+    }
+
+    fn create_category_inner(
+        &mut self,
+        name: &str,
+        partitions: u32,
+        retain_payloads: bool,
+    ) -> Result<(), ScribeError> {
+        assert!(partitions > 0, "a category needs at least one partition");
+        if self.categories.contains_key(name) {
+            return Err(ScribeError::CategoryExists(name.to_string()));
+        }
+        self.categories.insert(
+            name.to_string(),
+            Category {
+                partitions: (0..partitions).map(|_| Partition::default()).collect(),
+                retain_payloads,
+                total_appended: 0,
+                last_append_at: SimTime::ZERO,
+            },
+        );
+        Ok(())
+    }
+
+    /// True if the category exists.
+    pub fn has_category(&self, name: &str) -> bool {
+        self.categories.contains_key(name)
+    }
+
+    /// Number of partitions in a category.
+    pub fn partition_count(&self, category: &str) -> Result<u32, ScribeError> {
+        Ok(self.category(category)?.partitions.len() as u32)
+    }
+
+    fn category(&self, name: &str) -> Result<&Category, ScribeError> {
+        self.categories
+            .get(name)
+            .ok_or_else(|| ScribeError::UnknownCategory(name.to_string()))
+    }
+
+    fn partition_mut(
+        &mut self,
+        category: &str,
+        partition: PartitionId,
+    ) -> Result<(&mut Category, usize), ScribeError> {
+        let cat = self
+            .categories
+            .get_mut(category)
+            .ok_or_else(|| ScribeError::UnknownCategory(category.to_string()))?;
+        let idx = partition.raw() as usize;
+        if idx >= cat.partitions.len() {
+            return Err(ScribeError::UnknownPartition(category.to_string(), partition));
+        }
+        Ok((cat, idx))
+    }
+
+    fn partition(&self, category: &str, partition: PartitionId) -> Result<&Partition, ScribeError> {
+        let cat = self.category(category)?;
+        cat.partitions
+            .get(partition.raw() as usize)
+            .ok_or_else(|| ScribeError::UnknownPartition(category.to_string(), partition))
+    }
+
+    /// Append `bytes` of traffic to a partition without retaining payloads.
+    pub fn append_bytes(
+        &mut self,
+        category: &str,
+        partition: PartitionId,
+        bytes: u64,
+        at: SimTime,
+    ) -> Result<(), ScribeError> {
+        let (cat, idx) = self.partition_mut(category, partition)?;
+        cat.partitions[idx].appended += bytes;
+        cat.total_appended += bytes;
+        cat.last_append_at = cat.last_append_at.max(at);
+        Ok(())
+    }
+
+    /// Append a payload-carrying record; returns its starting offset.
+    pub fn append_record(
+        &mut self,
+        category: &str,
+        partition: PartitionId,
+        payload: &[u8],
+        at: SimTime,
+    ) -> Result<u64, ScribeError> {
+        let (cat, idx) = self.partition_mut(category, partition)?;
+        let retain = cat.retain_payloads;
+        let part = &mut cat.partitions[idx];
+        let offset = part.appended;
+        part.appended += payload.len() as u64;
+        if retain {
+            part.records.push(Record {
+                offset,
+                payload: payload.to_vec(),
+            });
+        }
+        cat.total_appended += payload.len() as u64;
+        cat.last_append_at = cat.last_append_at.max(at);
+        Ok(offset)
+    }
+
+    /// Tail offset (total bytes appended) of a partition.
+    pub fn tail_offset(&self, category: &str, partition: PartitionId) -> Result<u64, ScribeError> {
+        Ok(self.partition(category, partition)?.appended)
+    }
+
+    /// Bytes available for reading between `from_offset` and the tail —
+    /// per-partition `total_bytes_lagged` in the paper's Eq. 1. An offset
+    /// below the trim point reads from the trim point (the reader lost
+    /// data to retention). An offset beyond the tail is an error.
+    pub fn bytes_available(
+        &self,
+        category: &str,
+        partition: PartitionId,
+        from_offset: u64,
+    ) -> Result<u64, ScribeError> {
+        let part = self.partition(category, partition)?;
+        if from_offset > part.appended {
+            return Err(ScribeError::OffsetBeyondTail {
+                requested: from_offset,
+                tail: part.appended,
+            });
+        }
+        Ok(part.appended - from_offset.max(part.trimmed))
+    }
+
+    /// Read retained records starting at `from_offset`, at most `max`.
+    /// Categories created without payload retention always return an empty
+    /// vector.
+    pub fn read_records(
+        &self,
+        category: &str,
+        partition: PartitionId,
+        from_offset: u64,
+        max: usize,
+    ) -> Result<Vec<Record>, ScribeError> {
+        let part = self.partition(category, partition)?;
+        let start = part.records.partition_point(|r| r.offset < from_offset);
+        Ok(part.records[start..]
+            .iter()
+            .take(max)
+            .cloned()
+            .collect())
+    }
+
+    /// Trim a partition up to `offset`: readers below it lose data.
+    pub fn trim(
+        &mut self,
+        category: &str,
+        partition: PartitionId,
+        offset: u64,
+    ) -> Result<(), ScribeError> {
+        let (cat, idx) = self.partition_mut(category, partition)?;
+        let part = &mut cat.partitions[idx];
+        let offset = offset.min(part.appended);
+        part.trimmed = part.trimmed.max(offset);
+        part.records.retain(|r| r.offset >= offset);
+        Ok(())
+    }
+
+    /// Aggregate statistics of a category.
+    pub fn stats(&self, category: &str) -> Result<CategoryStats, ScribeError> {
+        let cat = self.category(category)?;
+        Ok(CategoryStats {
+            partitions: cat.partitions.len(),
+            total_appended: cat.total_appended,
+            last_append_at: cat.last_append_at,
+        })
+    }
+
+    /// Names of all categories, sorted.
+    pub fn category_names(&self) -> Vec<&str> {
+        self.categories.keys().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u64) -> PartitionId {
+        PartitionId(i)
+    }
+
+    #[test]
+    fn create_and_append_tracks_offsets() {
+        let mut bus = Scribe::new();
+        bus.create_category("events", 4).expect("create");
+        bus.append_bytes("events", p(0), 100, SimTime::ZERO).expect("append");
+        bus.append_bytes("events", p(0), 50, SimTime::ZERO).expect("append");
+        bus.append_bytes("events", p(1), 7, SimTime::ZERO).expect("append");
+        assert_eq!(bus.tail_offset("events", p(0)).expect("tail"), 150);
+        assert_eq!(bus.tail_offset("events", p(1)).expect("tail"), 7);
+        assert_eq!(bus.tail_offset("events", p(2)).expect("tail"), 0);
+        let stats = bus.stats("events").expect("stats");
+        assert_eq!(stats.total_appended, 157);
+        assert_eq!(stats.partitions, 4);
+    }
+
+    #[test]
+    fn duplicate_category_is_rejected() {
+        let mut bus = Scribe::new();
+        bus.create_category("c", 1).expect("create");
+        assert_eq!(
+            bus.create_category("c", 1),
+            Err(ScribeError::CategoryExists("c".into()))
+        );
+    }
+
+    #[test]
+    fn unknown_targets_error() {
+        let mut bus = Scribe::new();
+        bus.create_category("c", 2).expect("create");
+        assert!(matches!(
+            bus.append_bytes("nope", p(0), 1, SimTime::ZERO),
+            Err(ScribeError::UnknownCategory(_))
+        ));
+        assert!(matches!(
+            bus.append_bytes("c", p(2), 1, SimTime::ZERO),
+            Err(ScribeError::UnknownPartition(_, _))
+        ));
+    }
+
+    #[test]
+    fn bytes_available_is_backlog() {
+        let mut bus = Scribe::new();
+        bus.create_category("c", 1).expect("create");
+        bus.append_bytes("c", p(0), 1000, SimTime::ZERO).expect("append");
+        assert_eq!(bus.bytes_available("c", p(0), 0).expect("avail"), 1000);
+        assert_eq!(bus.bytes_available("c", p(0), 400).expect("avail"), 600);
+        assert_eq!(bus.bytes_available("c", p(0), 1000).expect("avail"), 0);
+        assert!(matches!(
+            bus.bytes_available("c", p(0), 1001),
+            Err(ScribeError::OffsetBeyondTail { .. })
+        ));
+    }
+
+    #[test]
+    fn records_roundtrip_when_retained() {
+        let mut bus = Scribe::new();
+        bus.create_category_with_payloads("c", 1).expect("create");
+        let o1 = bus.append_record("c", p(0), b"hello", SimTime::ZERO).expect("append");
+        let o2 = bus.append_record("c", p(0), b"world!", SimTime::ZERO).expect("append");
+        assert_eq!((o1, o2), (0, 5));
+        let recs = bus.read_records("c", p(0), 0, 10).expect("read");
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].payload, b"hello");
+        // Reading from an offset skips earlier records.
+        let recs = bus.read_records("c", p(0), 5, 10).expect("read");
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].payload, b"world!");
+        // `max` bounds the read.
+        assert_eq!(bus.read_records("c", p(0), 0, 1).expect("read").len(), 1);
+    }
+
+    #[test]
+    fn fast_path_does_not_retain_payloads() {
+        let mut bus = Scribe::new();
+        bus.create_category("c", 1).expect("create");
+        bus.append_record("c", p(0), b"hello", SimTime::ZERO).expect("append");
+        assert!(bus.read_records("c", p(0), 0, 10).expect("read").is_empty());
+        // But offsets still advance.
+        assert_eq!(bus.tail_offset("c", p(0)).expect("tail"), 5);
+    }
+
+    #[test]
+    fn trim_drops_old_data_and_clamps_reads() {
+        let mut bus = Scribe::new();
+        bus.create_category_with_payloads("c", 1).expect("create");
+        bus.append_record("c", p(0), b"aaaa", SimTime::ZERO).expect("append");
+        bus.append_record("c", p(0), b"bbbb", SimTime::ZERO).expect("append");
+        bus.trim("c", p(0), 4).expect("trim");
+        // A reader checkpointed at 0 lost the first record: available data
+        // is only what remains past the trim point.
+        assert_eq!(bus.bytes_available("c", p(0), 0).expect("avail"), 4);
+        let recs = bus.read_records("c", p(0), 0, 10).expect("read");
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].payload, b"bbbb");
+        // Trimming beyond the tail clamps.
+        bus.trim("c", p(0), 1_000_000).expect("trim");
+        assert_eq!(bus.bytes_available("c", p(0), 8).expect("avail"), 0);
+    }
+
+    #[test]
+    fn last_append_time_is_monotonic() {
+        let mut bus = Scribe::new();
+        bus.create_category("c", 1).expect("create");
+        let later = SimTime::from_millis(5000);
+        bus.append_bytes("c", p(0), 1, later).expect("append");
+        bus.append_bytes("c", p(0), 1, SimTime::ZERO).expect("append");
+        assert_eq!(bus.stats("c").expect("stats").last_append_at, later);
+    }
+}

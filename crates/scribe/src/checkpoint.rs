@@ -1,0 +1,135 @@
+//! Checkpoint storage.
+//!
+//! Each Turbine task reads one or several disjoint Scribe partitions,
+//! maintains its own state and checkpoint, and resumes from its own
+//! checkpoint on restart (paper §II). Checkpoints are keyed by
+//! `(job, partition)` — *not* by task — which is precisely what makes
+//! parallelism changes possible: when the task count changes, the State
+//! Syncer re-maps partitions to tasks, and each new task picks up the
+//! per-partition offsets it now owns. No offset is lost or duplicated as
+//! long as no two active tasks ever own the same partition (the isolation
+//! property the complex-sync protocol enforces).
+
+use std::collections::BTreeMap;
+use turbine_types::{JobId, PartitionId};
+
+/// Durable per-(job, partition) read offsets.
+#[derive(Debug, Default, Clone)]
+pub struct CheckpointStore {
+    offsets: BTreeMap<(JobId, PartitionId), u64>,
+}
+
+impl CheckpointStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Offset for `(job, partition)`; zero if never committed.
+    pub fn get(&self, job: JobId, partition: PartitionId) -> u64 {
+        self.offsets.get(&(job, partition)).copied().unwrap_or(0)
+    }
+
+    /// Commit a new offset. Offsets must not move backwards — a regression
+    /// means two tasks processed the same data, which is the corruption the
+    /// isolation property exists to prevent. Regressions panic in debug
+    /// builds and are ignored in release builds.
+    pub fn commit(&mut self, job: JobId, partition: PartitionId, offset: u64) {
+        let slot = self.offsets.entry((job, partition)).or_insert(0);
+        debug_assert!(
+            offset >= *slot,
+            "checkpoint regression for {job}/{partition}: {offset} < {slot}"
+        );
+        if offset > *slot {
+            *slot = offset;
+        }
+    }
+
+    /// All checkpoints of one job, sorted by partition.
+    pub fn job_checkpoints(&self, job: JobId) -> Vec<(PartitionId, u64)> {
+        self.offsets
+            .range((job, PartitionId(0))..=(job, PartitionId(u64::MAX)))
+            .map(|(&(_, p), &o)| (p, o))
+            .collect()
+    }
+
+    /// Sum of offsets of one job across partitions (total bytes ingested).
+    pub fn job_total_ingested(&self, job: JobId) -> u64 {
+        self.offsets
+            .range((job, PartitionId(0))..=(job, PartitionId(u64::MAX)))
+            .map(|(_, &o)| o)
+            .sum()
+    }
+
+    /// Drop all checkpoints of a job (when the job is deleted).
+    pub fn remove_job(&mut self, job: JobId) {
+        self.offsets.retain(|&(j, _), _| j != job);
+    }
+
+    /// Number of stored offsets.
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// True if no offsets are stored.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const JOB_A: JobId = JobId(1);
+    const JOB_B: JobId = JobId(2);
+
+    #[test]
+    fn unknown_checkpoints_read_zero() {
+        let store = CheckpointStore::new();
+        assert_eq!(store.get(JOB_A, PartitionId(0)), 0);
+    }
+
+    #[test]
+    fn commit_and_read_back() {
+        let mut store = CheckpointStore::new();
+        store.commit(JOB_A, PartitionId(0), 100);
+        store.commit(JOB_A, PartitionId(1), 250);
+        store.commit(JOB_B, PartitionId(0), 7);
+        assert_eq!(store.get(JOB_A, PartitionId(0)), 100);
+        assert_eq!(store.get(JOB_A, PartitionId(1)), 250);
+        assert_eq!(store.get(JOB_B, PartitionId(0)), 7);
+        assert_eq!(store.job_total_ingested(JOB_A), 350);
+    }
+
+    #[test]
+    fn job_checkpoints_are_isolated_per_job() {
+        let mut store = CheckpointStore::new();
+        store.commit(JOB_A, PartitionId(3), 30);
+        store.commit(JOB_A, PartitionId(1), 10);
+        store.commit(JOB_B, PartitionId(1), 99);
+        let cps = store.job_checkpoints(JOB_A);
+        assert_eq!(cps, vec![(PartitionId(1), 10), (PartitionId(3), 30)]);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "checkpoint regression"))]
+    fn regressions_are_rejected() {
+        let mut store = CheckpointStore::new();
+        store.commit(JOB_A, PartitionId(0), 100);
+        store.commit(JOB_A, PartitionId(0), 50);
+        // In release builds the regression is ignored:
+        assert_eq!(store.get(JOB_A, PartitionId(0)), 100);
+    }
+
+    #[test]
+    fn remove_job_drops_only_that_job() {
+        let mut store = CheckpointStore::new();
+        store.commit(JOB_A, PartitionId(0), 1);
+        store.commit(JOB_B, PartitionId(0), 2);
+        store.remove_job(JOB_A);
+        assert_eq!(store.get(JOB_A, PartitionId(0)), 0);
+        assert_eq!(store.get(JOB_B, PartitionId(0)), 2);
+        assert_eq!(store.len(), 1);
+    }
+}

@@ -1,0 +1,392 @@
+//! The Shard Manager service: membership, heartbeats, fail-over, and
+//! rebalance rounds (paper §IV-A2, §IV-B, §IV-C).
+
+use crate::movement::ShardMovement;
+use crate::placement::{compute_placement, PlacementConfig, PlacementInput, PlacementResult};
+use std::collections::{BTreeMap, HashMap};
+use turbine_types::{ContainerId, Duration, Resources, ShardId, SimTime};
+
+/// Shard Manager tunables, defaulting to the paper's production values.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardManagerConfig {
+    /// Missing heartbeats for this long ⇒ the container is declared dead
+    /// and its shards fail over (paper default: 60 s).
+    pub failover_interval: Duration,
+    /// Placement tunables.
+    pub placement: PlacementConfig,
+}
+
+impl Default for ShardManagerConfig {
+    fn default() -> Self {
+        ShardManagerConfig {
+            failover_interval: Duration::from_secs(60),
+            placement: PlacementConfig::default(),
+        }
+    }
+}
+
+/// Liveness of a registered container, as the Shard Manager sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContainerStatus {
+    /// Heart-beating normally.
+    Alive,
+    /// Declared dead after a full fail-over interval without heartbeats.
+    Dead,
+}
+
+#[derive(Debug, Clone)]
+struct ContainerEntry {
+    capacity: Resources,
+    last_heartbeat: SimTime,
+    status: ContainerStatus,
+}
+
+/// The Shard Manager.
+#[derive(Debug)]
+pub struct ShardManager {
+    config: ShardManagerConfig,
+    /// Latest aggregated load per shard (reported every ~10 min by the
+    /// Task Managers' load aggregator threads).
+    shard_loads: BTreeMap<ShardId, Resources>,
+    containers: BTreeMap<ContainerId, ContainerEntry>,
+    assignment: HashMap<ShardId, ContainerId>,
+}
+
+impl ShardManager {
+    /// A manager with no shards or containers yet.
+    pub fn new(config: ShardManagerConfig) -> Self {
+        ShardManager {
+            config,
+            shard_loads: BTreeMap::new(),
+            containers: BTreeMap::new(),
+            assignment: HashMap::new(),
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &ShardManagerConfig {
+        &self.config
+    }
+
+    /// Grow (or define) the shard space to exactly `count` shards with ids
+    /// `0..count`. Shrinking is not supported: tiers only ever grow their
+    /// shard space (the paper packs more tasks per shard instead).
+    pub fn ensure_shards(&mut self, count: u64) {
+        for i in 0..count {
+            self.shard_loads.entry(ShardId(i)).or_insert(Resources::ZERO);
+        }
+    }
+
+    /// Number of shards in the tier.
+    pub fn shard_count(&self) -> usize {
+        self.shard_loads.len()
+    }
+
+    /// Register a container (it begins heart-beating immediately).
+    pub fn register_container(&mut self, id: ContainerId, capacity: Resources, now: SimTime) {
+        self.containers.insert(
+            id,
+            ContainerEntry {
+                capacity,
+                last_heartbeat: now,
+                status: ContainerStatus::Alive,
+            },
+        );
+    }
+
+    /// Remove a container entirely (host decommission). Its shards remain
+    /// in the assignment until the next fail-over check or rebalance.
+    pub fn unregister_container(&mut self, id: ContainerId) {
+        self.containers.remove(&id);
+    }
+
+    /// Record a heartbeat. A container that was declared dead and comes
+    /// back is treated as a newly added empty container (paper §IV-C): it
+    /// is alive again but owns no shards until a rebalance hands it some.
+    pub fn heartbeat(&mut self, id: ContainerId, now: SimTime) {
+        if let Some(entry) = self.containers.get_mut(&id) {
+            entry.last_heartbeat = now;
+            entry.status = ContainerStatus::Alive;
+        }
+    }
+
+    /// Liveness of a container, if registered.
+    pub fn status(&self, id: ContainerId) -> Option<ContainerStatus> {
+        self.containers.get(&id).map(|e| e.status)
+    }
+
+    /// Update the aggregated load of one shard.
+    pub fn report_load(&mut self, shard: ShardId, load: Resources) {
+        self.shard_loads.insert(shard, load);
+    }
+
+    /// Current assignment.
+    pub fn assignment(&self) -> &HashMap<ShardId, ContainerId> {
+        &self.assignment
+    }
+
+    /// Container currently owning `shard`.
+    pub fn container_of(&self, shard: ShardId) -> Option<ContainerId> {
+        self.assignment.get(&shard).copied()
+    }
+
+    /// Shards currently owned by `container`, sorted.
+    pub fn shards_of(&self, container: ContainerId) -> Vec<ShardId> {
+        let mut shards: Vec<ShardId> = self
+            .assignment
+            .iter()
+            .filter(|&(_, &c)| c == container)
+            .map(|(&s, _)| s)
+            .collect();
+        shards.sort_unstable();
+        shards
+    }
+
+    /// Alive containers, sorted by id.
+    pub fn alive_containers(&self) -> Vec<ContainerId> {
+        self.containers
+            .iter()
+            .filter(|(_, e)| e.status == ContainerStatus::Alive)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Declare dead every container whose heartbeat is older than the
+    /// fail-over interval, and fail its shards over to survivors. Returns
+    /// the movements to execute (all with `from: None` — there is nothing
+    /// to drop on a dead container). Does nothing (and returns no moves)
+    /// when no container newly died.
+    pub fn check_failover(&mut self, now: SimTime) -> Vec<ShardMovement> {
+        let mut newly_dead = false;
+        for entry in self.containers.values_mut() {
+            if entry.status == ContainerStatus::Alive
+                && now.since(entry.last_heartbeat) >= self.config.failover_interval
+            {
+                entry.status = ContainerStatus::Dead;
+                newly_dead = true;
+            }
+        }
+        if !newly_dead {
+            return Vec::new();
+        }
+        // Strip assignments pointing at dead containers, then re-place.
+        let dead: Vec<ContainerId> = self
+            .containers
+            .iter()
+            .filter(|(_, e)| e.status == ContainerStatus::Dead)
+            .map(|(&id, _)| id)
+            .collect();
+        self.assignment.retain(|_, c| !dead.contains(c));
+        let result = self.run_placement();
+        // Fail-over moves never have a live source to drop from.
+        result
+            .moves
+            .into_iter()
+            .map(|m| ShardMovement { from: None, ..m })
+            .collect()
+    }
+
+    /// Manually relocate one shard to a specific alive container (operator
+    /// or root-causer mitigation: "moving the task to another host usually
+    /// resolves this class of problems", §V-D). Returns the movement to
+    /// execute, or `None` if the shard/container is unknown, the target is
+    /// dead, or the shard is already there.
+    pub fn move_shard(&mut self, shard: ShardId, to: ContainerId) -> Option<ShardMovement> {
+        if self.status(to) != Some(ContainerStatus::Alive) {
+            return None;
+        }
+        if !self.shard_loads.contains_key(&shard) {
+            return None;
+        }
+        let from = self.assignment.get(&shard).copied();
+        if from == Some(to) {
+            return None;
+        }
+        self.assignment.insert(shard, to);
+        Some(ShardMovement { shard, from, to })
+    }
+
+    /// Run one load-balancing round: recompute placement from the latest
+    /// shard loads and commit the new assignment. Returns the full
+    /// placement result (moves carry `from` so the movement protocol can
+    /// send `DROP_SHARD` before `ADD_SHARD`).
+    pub fn rebalance(&mut self) -> PlacementResult {
+        self.run_placement()
+    }
+
+    fn run_placement(&mut self) -> PlacementResult {
+        let shards: Vec<(ShardId, Resources)> =
+            self.shard_loads.iter().map(|(&s, &l)| (s, l)).collect();
+        let containers: Vec<(ContainerId, Resources)> = self
+            .containers
+            .iter()
+            .filter(|(_, e)| e.status == ContainerStatus::Alive)
+            .map(|(&id, e)| (id, e.capacity))
+            .collect();
+        let result = compute_placement(
+            PlacementInput {
+                shards: &shards,
+                containers: &containers,
+                current: &self.assignment,
+            },
+            self.config.placement,
+        );
+        self.assignment = result.assignment.clone();
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + Duration::from_secs(s)
+    }
+
+    fn manager_with(containers: u64, shards: u64) -> ShardManager {
+        let mut mgr = ShardManager::new(ShardManagerConfig::default());
+        mgr.ensure_shards(shards);
+        for i in 0..containers {
+            mgr.register_container(ContainerId(i), Resources::cpu_mem(32.0, 64_000.0), t(0));
+        }
+        for i in 0..shards {
+            mgr.report_load(ShardId(i), Resources::cpu_mem(0.5, 512.0));
+        }
+        mgr
+    }
+
+    #[test]
+    fn rebalance_assigns_all_shards() {
+        let mut mgr = manager_with(4, 40);
+        let result = mgr.rebalance();
+        assert_eq!(result.assignment.len(), 40);
+        assert_eq!(mgr.assignment().len(), 40);
+        // Every container owns roughly its share.
+        for i in 0..4 {
+            let owned = mgr.shards_of(ContainerId(i)).len();
+            assert!((5..=15).contains(&owned), "container {i} owns {owned}");
+        }
+    }
+
+    #[test]
+    fn heartbeat_keeps_containers_alive() {
+        let mut mgr = manager_with(2, 10);
+        mgr.rebalance();
+        mgr.heartbeat(ContainerId(0), t(30));
+        mgr.heartbeat(ContainerId(1), t(30));
+        assert!(mgr.check_failover(t(59)).is_empty());
+        assert_eq!(mgr.status(ContainerId(0)), Some(ContainerStatus::Alive));
+    }
+
+    #[test]
+    fn silent_container_fails_over_after_interval() {
+        let mut mgr = manager_with(3, 30);
+        mgr.rebalance();
+        let victim = ContainerId(0);
+        let victim_shards = mgr.shards_of(victim);
+        assert!(!victim_shards.is_empty());
+        // Only the survivors heartbeat.
+        for s in (10..70).step_by(10) {
+            mgr.heartbeat(ContainerId(1), t(s));
+            mgr.heartbeat(ContainerId(2), t(s));
+        }
+        let moves = mgr.check_failover(t(61));
+        assert_eq!(mgr.status(victim), Some(ContainerStatus::Dead));
+        // Every shard of the victim moved, none to the dead container,
+        // and fail-over moves carry no source.
+        let moved: Vec<ShardId> = moves.iter().map(|m| m.shard).collect();
+        for s in &victim_shards {
+            assert!(moved.contains(s), "{s} must fail over");
+        }
+        assert!(moves.iter().all(|m| m.from.is_none()));
+        assert!(moves.iter().all(|m| m.to != victim));
+        // All shards remain assigned.
+        assert_eq!(mgr.assignment().len(), 30);
+    }
+
+    #[test]
+    fn failover_is_idempotent_until_new_deaths() {
+        let mut mgr = manager_with(3, 12);
+        mgr.rebalance();
+        for s in [20u64, 40] {
+            mgr.heartbeat(ContainerId(1), t(s));
+            mgr.heartbeat(ContainerId(2), t(s));
+        }
+        let first = mgr.check_failover(t(65));
+        assert!(!first.is_empty());
+        // Nothing newly dead: second check is a no-op.
+        let second = mgr.check_failover(t(70));
+        assert!(second.is_empty());
+    }
+
+    #[test]
+    fn returning_container_is_treated_as_empty() {
+        let mut mgr = manager_with(2, 10);
+        mgr.rebalance();
+        // Container 0 goes silent and is failed over.
+        for s in (10..70).step_by(10) {
+            mgr.heartbeat(ContainerId(1), t(s));
+        }
+        mgr.check_failover(t(61));
+        assert!(mgr.shards_of(ContainerId(0)).is_empty());
+        // It reboots and reconnects: alive again, still empty.
+        mgr.heartbeat(ContainerId(0), t(90));
+        assert_eq!(mgr.status(ContainerId(0)), Some(ContainerStatus::Alive));
+        assert!(mgr.shards_of(ContainerId(0)).is_empty());
+        // While the survivor stays under the band threshold nothing moves
+        // ("shards will be gradually added to such containers"): an
+        // immediate rebalance at light load keeps the empty container idle.
+        mgr.rebalance();
+        // Once load grows and the survivor becomes hot, the next rebalance
+        // spills shards onto the returned container.
+        for i in 0..10 {
+            mgr.report_load(ShardId(i), Resources::cpu_mem(2.5, 2048.0));
+        }
+        mgr.rebalance();
+        assert!(!mgr.shards_of(ContainerId(0)).is_empty());
+    }
+
+    #[test]
+    fn load_reports_shift_the_balance() {
+        let mut mgr = manager_with(2, 8);
+        mgr.rebalance();
+        // Shards 0..4 become very heavy.
+        for i in 0..4 {
+            mgr.report_load(ShardId(i), Resources::cpu_mem(8.0, 8192.0));
+        }
+        let result = mgr.rebalance();
+        // The heavy shards cannot all stay together: each container should
+        // hold ~2 heavy shards.
+        let heavy_on_0 = mgr
+            .shards_of(ContainerId(0))
+            .iter()
+            .filter(|s| s.raw() < 4)
+            .count();
+        assert!(
+            (1..=3).contains(&heavy_on_0),
+            "heavy shards should spread, got {heavy_on_0} on container 0 (stats {:?})",
+            result.stats
+        );
+    }
+
+    #[test]
+    fn unregistered_container_loses_its_shards_on_rebalance() {
+        let mut mgr = manager_with(3, 12);
+        mgr.rebalance();
+        mgr.unregister_container(ContainerId(2));
+        let result = mgr.rebalance();
+        assert_eq!(result.assignment.len(), 12);
+        assert!(result.assignment.values().all(|&c| c != ContainerId(2)));
+    }
+
+    #[test]
+    fn ensure_shards_is_monotone() {
+        let mut mgr = ShardManager::new(ShardManagerConfig::default());
+        mgr.ensure_shards(5);
+        mgr.ensure_shards(3); // no shrink
+        assert_eq!(mgr.shard_count(), 5);
+        mgr.ensure_shards(8);
+        assert_eq!(mgr.shard_count(), 8);
+    }
+}

@@ -1,0 +1,49 @@
+//! Shard movement descriptions.
+
+use std::fmt;
+use turbine_types::{ContainerId, ShardId};
+
+/// One shard relocation decided by the Shard Manager. Executing it means
+/// sending `DROP_SHARD` to the Task Manager on `from` (when present),
+/// waiting for success, then `ADD_SHARD` to the Task Manager on `to`
+/// (paper §IV-A2) — in that order, so the shard never runs twice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMovement {
+    /// The shard being moved.
+    pub shard: ShardId,
+    /// Source container; `None` for a first assignment or a fail-over from
+    /// a dead container (nothing to drop).
+    pub from: Option<ContainerId>,
+    /// Destination container.
+    pub to: ContainerId,
+}
+
+impl fmt::Display for ShardMovement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.from {
+            Some(from) => write!(f, "{} : {} -> {}", self.shard, from, self.to),
+            None => write!(f, "{} : (unassigned) -> {}", self.shard, self.to),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_both_shapes() {
+        let m = ShardMovement {
+            shard: ShardId(1),
+            from: Some(ContainerId(2)),
+            to: ContainerId(3),
+        };
+        assert_eq!(m.to_string(), "shard-1 : container-2 -> container-3");
+        let first = ShardMovement {
+            shard: ShardId(1),
+            from: None,
+            to: ContainerId(3),
+        };
+        assert_eq!(first.to_string(), "shard-1 : (unassigned) -> container-3");
+    }
+}

@@ -1,0 +1,542 @@
+//! The shard placement algorithm (paper §IV-B).
+//!
+//! Generates a shard → container mapping that (a) satisfies each
+//! container's capacity constraint (minus a configurable headroom kept for
+//! absorbing spikes), (b) keeps every container's load within a utilization
+//! band of the tier average, and (c) minimizes churn by keeping shards
+//! where they already run whenever that does not violate (a) or (b).
+//!
+//! The algorithm is greedy first-fit-decreasing over a lazy min-heap of
+//! container utilizations: O((S + C) log C) for S shards and C containers.
+//! The paper reports placing 100 K shards onto thousands of containers in
+//! under two seconds; the `placement` bench in `turbine-bench` reproduces
+//! that bound (comfortably, on commodity hardware).
+
+use crate::movement::ShardMovement;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use turbine_types::{ContainerId, Resources, ShardId};
+
+/// Tunables of the placement algorithm.
+#[derive(Debug, Clone, Copy)]
+pub struct PlacementConfig {
+    /// Half-width of the utilization band around the tier mean; a
+    /// container is "hot" when its utilization exceeds `mean + band`.
+    /// The paper's example is ±10 %.
+    pub band: f64,
+    /// Fraction of each container's capacity reserved as headroom and
+    /// never packed (the paper keeps headroom to tolerate simultaneous
+    /// input spikes from many tasks).
+    pub headroom: f64,
+}
+
+impl Default for PlacementConfig {
+    fn default() -> Self {
+        PlacementConfig {
+            band: 0.10,
+            headroom: 0.15,
+        }
+    }
+}
+
+/// Inputs to one placement round.
+#[derive(Debug, Clone, Copy)]
+pub struct PlacementInput<'a> {
+    /// Every shard with its latest aggregated load.
+    pub shards: &'a [(ShardId, Resources)],
+    /// Every *alive* container with its capacity.
+    pub containers: &'a [(ContainerId, Resources)],
+    /// The current assignment (shards on dead containers should already be
+    /// absent or pointing at containers not listed above).
+    pub current: &'a HashMap<ShardId, ContainerId>,
+}
+
+/// Output of one placement round.
+#[derive(Debug, Clone)]
+pub struct PlacementResult {
+    /// The complete new assignment.
+    pub assignment: HashMap<ShardId, ContainerId>,
+    /// Movements relative to `current` (unassigned shards appear with
+    /// `from: None`).
+    pub moves: Vec<ShardMovement>,
+    /// Quality statistics of the produced assignment.
+    pub stats: PlacementStats,
+}
+
+/// Quality statistics of a placement.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlacementStats {
+    /// Mean container utilization (dominant dimension, after headroom).
+    pub mean_util: f64,
+    /// Maximum container utilization.
+    pub max_util: f64,
+    /// Minimum container utilization.
+    pub min_util: f64,
+    /// Number of shards that changed container.
+    pub moved: usize,
+    /// Shards placed on a container despite exceeding its effective
+    /// capacity (the cluster is over-committed; Capacity Manager territory).
+    pub overflowed: usize,
+}
+
+/// Total order on f64 utilizations (no NaNs by construction).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Util(f64);
+impl Eq for Util {}
+impl PartialOrd for Util {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Util {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("utilization is never NaN")
+    }
+}
+
+/// Compute a new placement. See module docs for the algorithm.
+pub fn compute_placement(input: PlacementInput<'_>, config: PlacementConfig) -> PlacementResult {
+    assert!(
+        (0.0..1.0).contains(&config.headroom),
+        "headroom must be a fraction below 1"
+    );
+    assert!(config.band > 0.0, "band must be positive");
+    if input.containers.is_empty() {
+        return PlacementResult {
+            assignment: HashMap::new(),
+            moves: Vec::new(),
+            stats: PlacementStats::default(),
+        };
+    }
+
+    let n_containers = input.containers.len();
+    let effective_cap: Vec<Resources> = input
+        .containers
+        .iter()
+        .map(|(_, cap)| cap.scale(1.0 - config.headroom))
+        .collect();
+    let container_index: HashMap<ContainerId, usize> = input
+        .containers
+        .iter()
+        .enumerate()
+        .map(|(i, (id, _))| (*id, i))
+        .collect();
+
+    let mut loads: Vec<Resources> = vec![Resources::ZERO; n_containers];
+    let mut assignment: HashMap<ShardId, ContainerId> =
+        HashMap::with_capacity(input.shards.len());
+
+    // Pass 1 — stickiness: keep each shard on its current container when
+    // that container is still alive and the shard still fits.
+    let mut pool: Vec<(ShardId, Resources)> = Vec::new();
+    for &(shard, load) in input.shards {
+        match input.current.get(&shard).and_then(|c| container_index.get(c)) {
+            Some(&idx) if (loads[idx] + load).fits_within(&effective_cap[idx]) => {
+                loads[idx] += load;
+                assignment.insert(shard, input.containers[idx].0);
+            }
+            _ => pool.push((shard, load)),
+        }
+    }
+
+    // Pass 2 — band enforcement: evict from hot containers (largest shards
+    // first: fastest load reduction with fewest movements) until every
+    // container is within `mean + band`.
+    let mean_util = mean_utilization(&loads, &effective_cap);
+    let hot_threshold = mean_util + config.band;
+    let mut by_container: Vec<Vec<(ShardId, Resources)>> = vec![Vec::new(); n_containers];
+    for (&shard, container) in &assignment {
+        let idx = container_index[container];
+        let load = lookup_load(input.shards, shard);
+        by_container[idx].push((shard, load));
+    }
+    for idx in 0..n_containers {
+        let cap = &effective_cap[idx];
+        if loads[idx].dominant_utilization(cap) <= hot_threshold {
+            continue;
+        }
+        // Largest first; deterministic tie-break on shard id.
+        by_container[idx].sort_by(|a, b| {
+            let ua = a.1.dominant_utilization(cap);
+            let ub = b.1.dominant_utilization(cap);
+            ub.partial_cmp(&ua)
+                .expect("shard loads are never NaN")
+                .then(a.0.cmp(&b.0))
+        });
+        // Drain largest-first (sorted descending, so from the front) —
+        // but only while some other container offers a *strictly better*
+        // home for the shard. Without this check, uniformly hot tiers
+        // would shuffle shards between equally-loaded containers forever
+        // (placement must be idempotent on its own output).
+        let mut drain_from = 0;
+        while loads[idx].dominant_utilization(cap) > hot_threshold
+            && drain_from < by_container[idx].len()
+        {
+            let (shard, load) = by_container[idx][drain_from];
+            drain_from += 1;
+            let source_util = loads[idx].dominant_utilization(cap);
+            let improvable = (0..n_containers).any(|other| {
+                other != idx
+                    && (loads[other] + load).fits_within(&effective_cap[other])
+                    && (loads[other] + load).dominant_utilization(&effective_cap[other])
+                        < source_util
+            });
+            if !improvable {
+                continue;
+            }
+            loads[idx] -= load;
+            assignment.remove(&shard);
+            pool.push((shard, load));
+        }
+    }
+
+    // Pass 3 — first-fit-decreasing: place pooled shards (new, evicted,
+    // displaced) on the least-utilized container that fits; fall back to
+    // the least-utilized container outright if none fits (overflow).
+    pool.sort_by(|a, b| {
+        let ua = dominant_load(&a.1);
+        let ub = dominant_load(&b.1);
+        ub.partial_cmp(&ua)
+            .expect("shard loads are never NaN")
+            .then(a.0.cmp(&b.0))
+    });
+    // Lazy min-heap of (utilization, container idx); stale entries are
+    // re-pushed with fresh values on pop.
+    // Heap key: (utilization, shard count, container idx). The shard
+    // count tie-break matters when loads are uniform or still unreported
+    // (all-zero): without it, zero-load shards would all pile onto one
+    // container because placing them never changes its utilization.
+    let mut shard_counts: Vec<usize> = vec![0; n_containers];
+    for container in assignment.values() {
+        shard_counts[container_index[container]] += 1;
+    }
+    let mut heap: BinaryHeap<Reverse<(Util, usize, usize)>> = (0..n_containers)
+        .map(|idx| {
+            Reverse((
+                Util(loads[idx].dominant_utilization(&effective_cap[idx])),
+                shard_counts[idx],
+                idx,
+            ))
+        })
+        .collect();
+    let mut overflowed = 0usize;
+    for (shard, load) in pool {
+        let mut skipped: Vec<Reverse<(Util, usize, usize)>> = Vec::new();
+        let mut placed_at: Option<usize> = None;
+        while let Some(Reverse((util, count, idx))) = heap.pop() {
+            let fresh = Util(loads[idx].dominant_utilization(&effective_cap[idx]));
+            if fresh != util || count != shard_counts[idx] {
+                heap.push(Reverse((fresh, shard_counts[idx], idx)));
+                continue;
+            }
+            if (loads[idx] + load).fits_within(&effective_cap[idx]) {
+                placed_at = Some(idx);
+                break;
+            }
+            skipped.push(Reverse((util, count, idx)));
+            // Bound the scan: after probing a quarter of the tier, accept
+            // overflow on the least utilized container seen.
+            if skipped.len() > (n_containers / 4).max(8) {
+                break;
+            }
+        }
+        let idx = placed_at.unwrap_or_else(|| {
+            overflowed += 1;
+            skipped
+                .first()
+                .map(|Reverse((_, _, idx))| *idx)
+                .unwrap_or(0)
+        });
+        loads[idx] += load;
+        shard_counts[idx] += 1;
+        assignment.insert(shard, input.containers[idx].0);
+        heap.push(Reverse((
+            Util(loads[idx].dominant_utilization(&effective_cap[idx])),
+            shard_counts[idx],
+            idx,
+        )));
+        for entry in skipped {
+            heap.push(entry);
+        }
+    }
+
+    // Movements relative to the previous assignment.
+    let mut moves: Vec<ShardMovement> = Vec::new();
+    for &(shard, _) in input.shards {
+        let to = assignment[&shard];
+        let from = input.current.get(&shard).copied();
+        if from != Some(to) {
+            moves.push(ShardMovement { shard, from, to });
+        }
+    }
+    moves.sort_by_key(|m| m.shard);
+
+    let utils: Vec<f64> = loads
+        .iter()
+        .zip(&effective_cap)
+        .map(|(l, c)| l.dominant_utilization(c))
+        .collect();
+    let stats = PlacementStats {
+        mean_util: utils.iter().sum::<f64>() / utils.len() as f64,
+        max_util: utils.iter().cloned().fold(0.0, f64::max),
+        min_util: utils.iter().cloned().fold(f64::INFINITY, f64::min),
+        moved: moves.iter().filter(|m| m.from.is_some()).count(),
+        overflowed,
+    };
+    PlacementResult {
+        assignment,
+        moves,
+        stats,
+    }
+}
+
+fn mean_utilization(loads: &[Resources], caps: &[Resources]) -> f64 {
+    if loads.is_empty() {
+        return 0.0;
+    }
+    loads
+        .iter()
+        .zip(caps)
+        .map(|(l, c)| l.dominant_utilization(c))
+        .sum::<f64>()
+        / loads.len() as f64
+}
+
+/// Scalar magnitude used to order shards by size (sum of normalized-ish
+/// dimensions; exact scale does not matter for ordering quality).
+fn dominant_load(load: &Resources) -> f64 {
+    load.cpu + load.memory_mb / 1024.0 + load.disk_mb / 10240.0 + load.network_mbps / 100.0
+}
+
+fn lookup_load(shards: &[(ShardId, Resources)], shard: ShardId) -> Resources {
+    // Shards are supplied sorted by id by the Shard Manager.
+    match shards.binary_search_by_key(&shard, |&(id, _)| id) {
+        Ok(i) => shards[i].1,
+        Err(_) => Resources::ZERO,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard(i: u64, cpu: f64) -> (ShardId, Resources) {
+        (ShardId(i), Resources::cpu_mem(cpu, cpu * 512.0))
+    }
+
+    fn containers(n: u64, cpu: f64) -> Vec<(ContainerId, Resources)> {
+        (0..n)
+            .map(|i| (ContainerId(i), Resources::cpu_mem(cpu, cpu * 1024.0)))
+            .collect()
+    }
+
+    fn cfg() -> PlacementConfig {
+        PlacementConfig::default()
+    }
+
+    #[test]
+    fn every_shard_gets_assigned() {
+        let shards: Vec<_> = (0..100).map(|i| shard(i, 0.5)).collect();
+        let conts = containers(10, 16.0);
+        let result = compute_placement(
+            PlacementInput {
+                shards: &shards,
+                containers: &conts,
+                current: &HashMap::new(),
+            },
+            cfg(),
+        );
+        assert_eq!(result.assignment.len(), 100);
+        assert_eq!(result.moves.len(), 100);
+        assert!(result.moves.iter().all(|m| m.from.is_none()));
+        assert_eq!(result.stats.overflowed, 0);
+    }
+
+    #[test]
+    fn balanced_load_stays_within_band() {
+        let shards: Vec<_> = (0..1000).map(|i| shard(i, 0.2 + (i % 7) as f64 * 0.1)).collect();
+        let conts = containers(20, 32.0);
+        let result = compute_placement(
+            PlacementInput {
+                shards: &shards,
+                containers: &conts,
+                current: &HashMap::new(),
+            },
+            cfg(),
+        );
+        let spread = result.stats.max_util - result.stats.min_util;
+        assert!(
+            spread <= 2.0 * cfg().band + 0.05,
+            "utilization spread {spread} exceeds band (stats: {:?})",
+            result.stats
+        );
+    }
+
+    #[test]
+    fn capacity_constraint_is_respected_when_feasible() {
+        let shards: Vec<_> = (0..40).map(|i| shard(i, 1.0)).collect();
+        let conts = containers(10, 8.0); // effective 6.8 cpu per container
+        let result = compute_placement(
+            PlacementInput {
+                shards: &shards,
+                containers: &conts,
+                current: &HashMap::new(),
+            },
+            cfg(),
+        );
+        assert_eq!(result.stats.overflowed, 0);
+        // Verify per-container totals against effective capacity.
+        let mut totals: HashMap<ContainerId, f64> = HashMap::new();
+        for (&s, &c) in &result.assignment {
+            *totals.entry(c).or_default() += shards[s.raw() as usize].1.cpu;
+        }
+        for (_, total) in totals {
+            assert!(total <= 8.0 * (1.0 - cfg().headroom) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn sticky_shards_do_not_move_when_balanced() {
+        let shards: Vec<_> = (0..100).map(|i| shard(i, 0.5)).collect();
+        let conts = containers(10, 16.0);
+        let first = compute_placement(
+            PlacementInput {
+                shards: &shards,
+                containers: &conts,
+                current: &HashMap::new(),
+            },
+            cfg(),
+        );
+        // Re-running with identical loads must be a no-op.
+        let second = compute_placement(
+            PlacementInput {
+                shards: &shards,
+                containers: &conts,
+                current: &first.assignment,
+            },
+            cfg(),
+        );
+        assert_eq!(second.stats.moved, 0, "stable input must not churn");
+        assert!(second.moves.is_empty());
+    }
+
+    #[test]
+    fn dead_container_shards_are_failed_over() {
+        let shards: Vec<_> = (0..20).map(|i| shard(i, 0.5)).collect();
+        let conts = containers(4, 16.0);
+        let first = compute_placement(
+            PlacementInput {
+                shards: &shards,
+                containers: &conts,
+                current: &HashMap::new(),
+            },
+            cfg(),
+        );
+        // Container 0 dies: pass only the survivors.
+        let survivors: Vec<_> = conts[1..].to_vec();
+        let second = compute_placement(
+            PlacementInput {
+                shards: &shards,
+                containers: &survivors,
+                current: &first.assignment,
+            },
+            cfg(),
+        );
+        assert_eq!(second.assignment.len(), 20);
+        assert!(second
+            .assignment
+            .values()
+            .all(|&c| c != ContainerId(0)));
+        // Shards that were on survivors stay put.
+        for (&s, &c) in &first.assignment {
+            if c != ContainerId(0) {
+                assert_eq!(second.assignment[&s], c, "{s} should be sticky");
+            }
+        }
+    }
+
+    #[test]
+    fn hot_container_is_drained_to_the_band() {
+        // Start from a deliberately imbalanced current assignment: all
+        // shards on container 0.
+        let shards: Vec<_> = (0..64).map(|i| shard(i, 0.25)).collect();
+        let conts = containers(4, 32.0);
+        let mut current = HashMap::new();
+        for &(s, _) in &shards {
+            current.insert(s, ContainerId(0));
+        }
+        let result = compute_placement(
+            PlacementInput {
+                shards: &shards,
+                containers: &conts,
+                current: &current,
+            },
+            cfg(),
+        );
+        let spread = result.stats.max_util - result.stats.min_util;
+        assert!(spread <= 2.0 * cfg().band + 0.05, "spread {spread}");
+        assert!(result.stats.moved > 0);
+    }
+
+    #[test]
+    fn overcommitted_tier_overflows_rather_than_dropping() {
+        let shards: Vec<_> = (0..100).map(|i| shard(i, 1.0)).collect();
+        let conts = containers(2, 8.0); // far too small
+        let result = compute_placement(
+            PlacementInput {
+                shards: &shards,
+                containers: &conts,
+                current: &HashMap::new(),
+            },
+            cfg(),
+        );
+        assert_eq!(result.assignment.len(), 100, "no shard loss");
+        assert!(result.stats.overflowed > 0);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let result = compute_placement(
+            PlacementInput {
+                shards: &[],
+                containers: &[],
+                current: &HashMap::new(),
+            },
+            cfg(),
+        );
+        assert!(result.assignment.is_empty());
+        let conts = containers(3, 8.0);
+        let result = compute_placement(
+            PlacementInput {
+                shards: &[],
+                containers: &conts,
+                current: &HashMap::new(),
+            },
+            cfg(),
+        );
+        assert!(result.moves.is_empty());
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let shards: Vec<_> = (0..500).map(|i| shard(i, 0.1 + (i % 13) as f64 * 0.07)).collect();
+        let conts = containers(16, 24.0);
+        let a = compute_placement(
+            PlacementInput {
+                shards: &shards,
+                containers: &conts,
+                current: &HashMap::new(),
+            },
+            cfg(),
+        );
+        let b = compute_placement(
+            PlacementInput {
+                shards: &shards,
+                containers: &conts,
+                current: &HashMap::new(),
+            },
+            cfg(),
+        );
+        assert_eq!(a.assignment, b.assignment);
+    }
+}

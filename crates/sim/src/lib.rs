@@ -1,0 +1,22 @@
+//! Deterministic discrete-event simulation kernel.
+//!
+//! Everything in the Turbine paper's evaluation is a control loop observed
+//! over time: 30-second sync rounds, 60-second heartbeats, 10-minute load
+//! reports, 30-minute rebalances, reacting to diurnal traffic, storms, and
+//! failures. This crate provides the clock, event queue, periodic
+//! schedules, and seeded randomness that let the whole platform run
+//! bit-for-bit reproducibly in simulated time — days of production behaviour
+//! in milliseconds of wall-clock.
+//!
+//! The kernel is generic over the event type: the platform crate defines an
+//! event enum and drives `while let Some((t, ev)) = queue.pop() { ... }`.
+//! No closures are stored, which keeps ownership simple and the replay
+//! deterministic.
+
+pub mod queue;
+pub mod rng;
+pub mod schedule;
+
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use schedule::Periodic;

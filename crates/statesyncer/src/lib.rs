@@ -1,0 +1,26 @@
+//! The State Syncer (paper §III-B): ACIDF job updates.
+//!
+//! Turbine separates *planned* updates (the Expected Job Configurations)
+//! from *actual* updates (the Running Job Configurations). Every 30 seconds
+//! the State Syncer merges the expected levels per precedence, compares the
+//! result with the running configuration, generates an **execution plan**
+//! — an optimal sequence of idempotent actions — and carries it out:
+//!
+//! * **Atomicity**: the running configuration is committed only after the
+//!   plan fully executed.
+//! * **Fault tolerance**: a failed plan is aborted; the expected-vs-running
+//!   difference persists, so the next round retries automatically. Jobs
+//!   failing repeatedly are quarantined with an operator alert.
+//! * **Durability**: expected and running tables live in the WAL-backed
+//!   Job Store, so synchronization resumes even if the syncer itself dies.
+//!
+//! Synchronizations are classified as **simple** (a pure config copy, e.g.
+//! package release — batched, tens of thousands per round) or **complex**
+//! (multi-phase coordination, e.g. parallelism changes that must stop all
+//! old tasks, redistribute checkpoints, then start new tasks — §III-B).
+
+pub mod plan;
+pub mod syncer;
+
+pub use plan::{classify, SyncAction, SyncKind};
+pub use syncer::{Redistribute, StateSyncer, SyncEnvironment, SyncReport, SyncerConfig};

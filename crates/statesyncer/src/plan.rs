@@ -1,0 +1,192 @@
+//! Diff classification and execution-plan actions.
+
+use turbine_config::JobConfig;
+use turbine_types::JobId;
+
+/// What kind of synchronization a job needs this round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncKind {
+    /// Running already matches expected.
+    NoChange,
+    /// First start: no running configuration exists yet.
+    Start,
+    /// A direct copy of the merged expected configuration suffices — the
+    /// change propagates to tasks through the normal Task Service / Task
+    /// Manager refresh (package release, vertical resource change, SLO or
+    /// priority change, argument change).
+    Simple,
+    /// Multi-phase coordination required: the partition-to-task mapping
+    /// changes (parallelism or input layout), or state/checkpoint locations
+    /// move. Old tasks must be fully stopped before checkpoints are
+    /// redistributed and new tasks started.
+    Complex,
+}
+
+/// Classify the difference between the running and merged-expected
+/// configurations.
+pub fn classify(running: Option<&JobConfig>, expected: &JobConfig) -> SyncKind {
+    let Some(running) = running else {
+        return SyncKind::Start;
+    };
+    if running == expected {
+        return SyncKind::NoChange;
+    }
+    let mapping_changed = running.task_count != expected.task_count
+        || running.input_partitions != expected.input_partitions
+        || running.input_category != expected.input_category
+        || running.checkpoint_dir != expected.checkpoint_dir
+        || running.stateful != expected.stateful;
+    if mapping_changed {
+        SyncKind::Complex
+    } else {
+        SyncKind::Simple
+    }
+}
+
+/// One idempotent step of an execution plan. The environment executes
+/// these; idempotence is what makes retry-after-partial-failure safe.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SyncAction {
+    /// Ask every Task Manager to stop the job's tasks (via committing a
+    /// zero-task interim running config; idempotent).
+    StopAllTasks {
+        /// Job whose tasks must stop.
+        job: JobId,
+    },
+    /// Barrier: proceed only once no task of the job runs anywhere.
+    AwaitAllStopped {
+        /// Job being awaited.
+        job: JobId,
+    },
+    /// Re-map per-partition checkpoints (and state, for stateful jobs)
+    /// from the old task layout to the new one.
+    RedistributeCheckpoints {
+        /// Job whose checkpoints move.
+        job: JobId,
+        /// Parallelism before the change.
+        old_task_count: u32,
+        /// Parallelism after the change.
+        new_task_count: u32,
+    },
+    /// Commit the merged expected configuration as the running one — the
+    /// atomic "it happened" point of the plan.
+    CommitRunning {
+        /// Job being committed.
+        job: JobId,
+    },
+    /// Remove the running entry entirely (job deletion).
+    ClearRunning {
+        /// Job being cleared.
+        job: JobId,
+    },
+}
+
+/// Build the execution plan for one job given its classification.
+pub fn build_plan(job: JobId, kind: SyncKind, running: Option<&JobConfig>, expected: &JobConfig) -> Vec<SyncAction> {
+    match kind {
+        SyncKind::NoChange => Vec::new(),
+        SyncKind::Start | SyncKind::Simple => vec![SyncAction::CommitRunning { job }],
+        SyncKind::Complex => vec![
+            SyncAction::StopAllTasks { job },
+            SyncAction::AwaitAllStopped { job },
+            SyncAction::RedistributeCheckpoints {
+                job,
+                old_task_count: running.map_or(0, |r| r.task_count),
+                new_task_count: expected.task_count,
+            },
+            SyncAction::CommitRunning { job },
+        ],
+    }
+}
+
+/// Build the wind-down plan for a deleted job.
+pub fn build_delete_plan(job: JobId) -> Vec<SyncAction> {
+    vec![
+        SyncAction::StopAllTasks { job },
+        SyncAction::AwaitAllStopped { job },
+        SyncAction::ClearRunning { job },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> JobConfig {
+        JobConfig::stateless("tailer", 4, 64)
+    }
+
+    #[test]
+    fn no_running_means_start() {
+        assert_eq!(classify(None, &base()), SyncKind::Start);
+    }
+
+    #[test]
+    fn identical_configs_mean_no_change() {
+        assert_eq!(classify(Some(&base()), &base()), SyncKind::NoChange);
+    }
+
+    #[test]
+    fn package_release_is_simple() {
+        let mut expected = base();
+        expected.package.version = 2;
+        assert_eq!(classify(Some(&base()), &expected), SyncKind::Simple);
+    }
+
+    #[test]
+    fn vertical_resource_change_is_simple() {
+        let mut expected = base();
+        expected.task_resources.memory_mb *= 2.0;
+        expected.threads_per_task = 4;
+        assert_eq!(classify(Some(&base()), &expected), SyncKind::Simple);
+    }
+
+    #[test]
+    fn parallelism_change_is_complex() {
+        let mut expected = base();
+        expected.task_count = 8;
+        assert_eq!(classify(Some(&base()), &expected), SyncKind::Complex);
+    }
+
+    #[test]
+    fn input_layout_change_is_complex() {
+        let mut expected = base();
+        expected.input_partitions = 128;
+        assert_eq!(classify(Some(&base()), &expected), SyncKind::Complex);
+
+        let mut expected = base();
+        expected.input_category = "other".into();
+        assert_eq!(classify(Some(&base()), &expected), SyncKind::Complex);
+
+        let mut expected = base();
+        expected.checkpoint_dir = "/elsewhere".into();
+        assert_eq!(classify(Some(&base()), &expected), SyncKind::Complex);
+    }
+
+    #[test]
+    fn plans_have_the_documented_shapes() {
+        let job = JobId(1);
+        assert!(build_plan(job, SyncKind::NoChange, Some(&base()), &base()).is_empty());
+        assert_eq!(
+            build_plan(job, SyncKind::Simple, Some(&base()), &base()),
+            vec![SyncAction::CommitRunning { job }]
+        );
+        let mut expected = base();
+        expected.task_count = 16;
+        let plan = build_plan(job, SyncKind::Complex, Some(&base()), &expected);
+        assert_eq!(plan.len(), 4);
+        assert!(matches!(plan[0], SyncAction::StopAllTasks { .. }));
+        assert!(matches!(plan[1], SyncAction::AwaitAllStopped { .. }));
+        assert!(matches!(
+            plan[2],
+            SyncAction::RedistributeCheckpoints {
+                old_task_count: 4,
+                new_task_count: 16,
+                ..
+            }
+        ));
+        assert!(matches!(plan[3], SyncAction::CommitRunning { .. }));
+        let del = build_delete_plan(job);
+        assert!(matches!(del.last(), Some(SyncAction::ClearRunning { .. })));
+    }
+}

@@ -1,0 +1,580 @@
+//! The State Syncer service loop.
+
+use crate::plan::{build_delete_plan, build_plan, classify, SyncAction, SyncKind};
+use std::collections::{BTreeMap, BTreeSet};
+use turbine_config::JobConfig;
+use turbine_jobstore::{JobService, WalStorage};
+use turbine_types::JobId;
+
+/// State Syncer tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct SyncerConfig {
+    /// Consecutive plan *failures* after which a job is quarantined and an
+    /// operator alert fired (paper: "if it fails for multiple times").
+    pub max_failures: u32,
+    /// Consecutive rounds a complex sync may sit waiting (e.g. for tasks
+    /// to stop) before it is treated as a failure. At the 30 s round
+    /// cadence the default of 20 rounds ≈ 10 minutes.
+    pub max_inflight_rounds: u32,
+}
+
+impl Default for SyncerConfig {
+    fn default() -> Self {
+        SyncerConfig {
+            max_failures: 3,
+            max_inflight_rounds: 20,
+        }
+    }
+}
+
+/// Progress of a (possibly long-running) redistribution step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Redistribute {
+    /// Checkpoints/state fully re-mapped; the plan may commit.
+    Done,
+    /// Still moving state (stateful jobs move real bytes — "may take a
+    /// fairly long time", §III-B); the syncer re-enters the plan next
+    /// round without counting a failure.
+    InProgress,
+}
+
+/// The world the syncer acts on. The platform implements this against the
+/// real Task Managers; tests use mocks to inject failures.
+pub trait SyncEnvironment {
+    /// Ask every Task Manager to stop the job's tasks. Must be idempotent.
+    fn request_stop(&mut self, job: JobId);
+
+    /// True once no task of the job is running anywhere in the cluster.
+    fn all_stopped(&mut self, job: JobId) -> bool;
+
+    /// Re-map checkpoints (and state for stateful jobs) from the old to
+    /// the new task layout. Must be idempotent; may fail transiently or
+    /// report [`Redistribute::InProgress`] while state is still moving.
+    fn redistribute_checkpoints(
+        &mut self,
+        job: JobId,
+        old_task_count: u32,
+        new_task_count: u32,
+    ) -> Result<Redistribute, String>;
+}
+
+/// Outcome of one synchronization round.
+#[derive(Debug, Default, Clone)]
+pub struct SyncReport {
+    /// Jobs whose first running configuration was committed.
+    pub started: Vec<JobId>,
+    /// Jobs synchronized with a simple (batched) copy.
+    pub simple: Vec<JobId>,
+    /// Jobs whose complex synchronization fully completed this round.
+    pub complex_completed: Vec<JobId>,
+    /// Jobs whose complex synchronization is mid-flight (e.g. waiting for
+    /// old tasks to stop); they will be resumed next round.
+    pub in_progress: Vec<JobId>,
+    /// Jobs fully wound down and removed from the running table.
+    pub deleted: Vec<JobId>,
+    /// Jobs whose plan failed this round, with the reason.
+    pub failed: Vec<(JobId, String)>,
+    /// Jobs quarantined this round (alerts fired).
+    pub quarantined: Vec<JobId>,
+    /// Operator alerts raised this round.
+    pub alerts: Vec<String>,
+}
+
+impl SyncReport {
+    /// Total jobs that changed state this round.
+    pub fn total_changed(&self) -> usize {
+        self.started.len() + self.simple.len() + self.complex_completed.len() + self.deleted.len()
+    }
+}
+
+/// The State Syncer.
+#[derive(Debug)]
+pub struct StateSyncer {
+    config: SyncerConfig,
+    failure_counts: BTreeMap<JobId, u32>,
+    inflight_rounds: BTreeMap<JobId, u32>,
+    quarantined: BTreeSet<JobId>,
+}
+
+impl StateSyncer {
+    /// A syncer with the given tunables.
+    pub fn new(config: SyncerConfig) -> Self {
+        StateSyncer {
+            config,
+            failure_counts: BTreeMap::new(),
+            inflight_rounds: BTreeMap::new(),
+            quarantined: BTreeSet::new(),
+        }
+    }
+
+    /// True if the job is quarantined (skipped by sync rounds).
+    pub fn is_quarantined(&self, job: JobId) -> bool {
+        self.quarantined.contains(&job)
+    }
+
+    /// Release a job from quarantine (the oncall fixed the root cause).
+    pub fn unquarantine(&mut self, job: JobId) {
+        self.quarantined.remove(&job);
+        self.failure_counts.remove(&job);
+        self.inflight_rounds.remove(&job);
+    }
+
+    /// Run one synchronization round (production cadence: every 30 s) over
+    /// every job in the union of the expected and running tables.
+    pub fn run_round<W: WalStorage>(
+        &mut self,
+        service: &mut JobService<W>,
+        env: &mut dyn SyncEnvironment,
+    ) -> SyncReport {
+        let mut report = SyncReport::default();
+        let mut jobs: BTreeSet<JobId> = service.store().expected_jobs().into_iter().collect();
+        jobs.extend(service.store().running_jobs());
+
+        for job in jobs {
+            if self.quarantined.contains(&job) {
+                continue;
+            }
+            if service.store().has_job(job) {
+                self.sync_existing(job, service, env, &mut report);
+            } else {
+                // Deleted job still running: wind it down.
+                self.run_actions(job, &build_delete_plan(job), None, service, env, &mut report);
+            }
+        }
+        report
+    }
+
+    fn sync_existing<W: WalStorage>(
+        &mut self,
+        job: JobId,
+        service: &mut JobService<W>,
+        env: &mut dyn SyncEnvironment,
+        report: &mut SyncReport,
+    ) {
+        // Compare the (cached) merged expected view to running — the hot
+        // no-op path for tens of thousands of in-sync jobs per round.
+        match service.store().expected_merged_ref(job) {
+            Ok(merged) if Some(merged) == service.store().running(job) => {
+                self.inflight_rounds.remove(&job);
+                return; // no difference detected
+            }
+            Ok(_) => {}
+            Err(e) => {
+                self.record_failure(job, format!("merge failed: {e}"), report);
+                return;
+            }
+        }
+        let merged_value = service
+            .store()
+            .expected_merged(job)
+            .expect("checked above");
+        let expected = match JobConfig::from_value(&merged_value) {
+            Ok(c) => c,
+            Err(e) => {
+                // A layer wrote a malformed value (bad user update): this
+                // never self-heals, so it counts as a plan failure.
+                self.record_failure(job, format!("expected config invalid: {e}"), report);
+                return;
+            }
+        };
+        let running = service.running_typed(job);
+        let kind = classify(running.as_ref(), &expected);
+        let plan = build_plan(job, kind, running.as_ref(), &expected);
+        let done = self.run_actions(job, &plan, Some(&merged_value), service, env, report);
+        if done {
+            match kind {
+                SyncKind::Start => report.started.push(job),
+                SyncKind::Simple => report.simple.push(job),
+                SyncKind::Complex => report.complex_completed.push(job),
+                SyncKind::NoChange => {}
+            }
+        }
+    }
+
+    /// Execute a plan's actions in order. Returns true if the plan ran to
+    /// completion this round. A waiting barrier leaves the plan
+    /// uncommitted; the diff persists, so the next round resumes it (all
+    /// actions are idempotent).
+    fn run_actions<W: WalStorage>(
+        &mut self,
+        job: JobId,
+        plan: &[SyncAction],
+        merged_value: Option<&turbine_config::ConfigValue>,
+        service: &mut JobService<W>,
+        env: &mut dyn SyncEnvironment,
+        report: &mut SyncReport,
+    ) -> bool {
+        for action in plan {
+            match action {
+                SyncAction::StopAllTasks { job } => env.request_stop(*job),
+                SyncAction::AwaitAllStopped { job } => {
+                    if !env.all_stopped(*job) {
+                        let waited = self.inflight_rounds.entry(*job).or_insert(0);
+                        *waited += 1;
+                        if *waited > self.config.max_inflight_rounds {
+                            self.inflight_rounds.remove(job);
+                            self.record_failure(
+                                *job,
+                                "tasks did not stop within the in-flight budget".to_string(),
+                                report,
+                            );
+                        } else {
+                            report.in_progress.push(*job);
+                        }
+                        return false;
+                    }
+                    self.inflight_rounds.remove(job);
+                }
+                SyncAction::RedistributeCheckpoints {
+                    job,
+                    old_task_count,
+                    new_task_count,
+                } => match env.redistribute_checkpoints(*job, *old_task_count, *new_task_count) {
+                    Ok(Redistribute::Done) => {}
+                    Ok(Redistribute::InProgress) => {
+                        // Same bookkeeping as the stop barrier: progress,
+                        // not failure — but bounded by the in-flight
+                        // budget so a wedged move still alerts.
+                        let waited = self.inflight_rounds.entry(*job).or_insert(0);
+                        *waited += 1;
+                        if *waited > self.config.max_inflight_rounds {
+                            self.inflight_rounds.remove(job);
+                            self.record_failure(
+                                *job,
+                                "state redistribution did not finish within the in-flight budget"
+                                    .to_string(),
+                                report,
+                            );
+                        } else {
+                            report.in_progress.push(*job);
+                        }
+                        return false;
+                    }
+                    Err(e) => {
+                        self.record_failure(*job, format!("redistribution failed: {e}"), report);
+                        return false;
+                    }
+                },
+                SyncAction::CommitRunning { job } => {
+                    let value = merged_value.expect("commit always follows a merge").clone();
+                    if let Err(e) = service.store_mut().commit_running(*job, value) {
+                        self.record_failure(*job, format!("commit failed: {e}"), report);
+                        return false;
+                    }
+                }
+                SyncAction::ClearRunning { job } => {
+                    if let Err(e) = service.store_mut().clear_running(*job) {
+                        self.record_failure(*job, format!("clear failed: {e}"), report);
+                        return false;
+                    }
+                    report.deleted.push(*job);
+                }
+            }
+        }
+        self.failure_counts.remove(&job);
+        true
+    }
+
+    fn record_failure(&mut self, job: JobId, reason: String, report: &mut SyncReport) {
+        let count = self.failure_counts.entry(job).or_insert(0);
+        *count += 1;
+        if *count >= self.config.max_failures {
+            self.quarantined.insert(job);
+            report.quarantined.push(job);
+            report
+                .alerts
+                .push(format!("{job} quarantined after {count} failed syncs: {reason}"));
+        }
+        report.failed.push((job, reason));
+    }
+}
+
+impl Default for StateSyncer {
+    fn default() -> Self {
+        Self::new(SyncerConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use turbine_config::ConfigLevel;
+    use turbine_jobstore::{JobStore, MemWal};
+
+    const JOB: JobId = JobId(1);
+
+    /// Scriptable environment: tasks stop after `stop_delay_rounds` calls
+    /// to `all_stopped`; redistribution fails `redistribute_failures`
+    /// times before succeeding.
+    #[derive(Default)]
+    struct MockEnv {
+        stop_requests: Vec<JobId>,
+        stop_delay_rounds: u32,
+        stopped_polls: u32,
+        redistribute_failures: u32,
+        redistribute_slow_rounds: u32,
+        redistributions: Vec<(JobId, u32, u32)>,
+        stopped_jobs: HashSet<JobId>,
+    }
+
+    impl SyncEnvironment for MockEnv {
+        fn request_stop(&mut self, job: JobId) {
+            self.stop_requests.push(job);
+        }
+        fn all_stopped(&mut self, job: JobId) -> bool {
+            if self.stopped_jobs.contains(&job) {
+                return true;
+            }
+            self.stopped_polls += 1;
+            if self.stopped_polls > self.stop_delay_rounds {
+                self.stopped_jobs.insert(job);
+                true
+            } else {
+                false
+            }
+        }
+        fn redistribute_checkpoints(
+            &mut self,
+            job: JobId,
+            old: u32,
+            new: u32,
+        ) -> Result<Redistribute, String> {
+            if self.redistribute_failures > 0 {
+                self.redistribute_failures -= 1;
+                return Err("injected storage error".into());
+            }
+            if self.redistribute_slow_rounds > 0 {
+                self.redistribute_slow_rounds -= 1;
+                return Ok(Redistribute::InProgress);
+            }
+            self.redistributions.push((job, old, new));
+            Ok(Redistribute::Done)
+        }
+    }
+
+    fn service_with_job() -> JobService<MemWal> {
+        let mut svc = JobService::new(JobStore::new(MemWal::new()));
+        svc.provision(JOB, &JobConfig::stateless("tailer", 4, 64))
+            .expect("provision");
+        svc
+    }
+
+    #[test]
+    fn first_round_starts_the_job() {
+        let mut svc = service_with_job();
+        let mut env = MockEnv::default();
+        let mut syncer = StateSyncer::default();
+        let report = syncer.run_round(&mut svc, &mut env);
+        assert_eq!(report.started, vec![JOB]);
+        assert!(svc.store().running(JOB).is_some());
+        // Second round: nothing to do.
+        let report = syncer.run_round(&mut svc, &mut env);
+        assert_eq!(report.total_changed(), 0);
+    }
+
+    #[test]
+    fn package_release_syncs_simply_without_stop() {
+        let mut svc = service_with_job();
+        let mut env = MockEnv::default();
+        let mut syncer = StateSyncer::default();
+        syncer.run_round(&mut svc, &mut env);
+        svc.set_level_field(JOB, ConfigLevel::Provisioner, "package.version", 2i64.into())
+            .expect("release");
+        let report = syncer.run_round(&mut svc, &mut env);
+        assert_eq!(report.simple, vec![JOB]);
+        assert!(env.stop_requests.is_empty(), "simple sync must not stop tasks");
+        assert_eq!(svc.running_typed(JOB).expect("running").package.version, 2);
+    }
+
+    #[test]
+    fn parallelism_change_runs_the_complex_protocol() {
+        let mut svc = service_with_job();
+        let mut env = MockEnv {
+            stop_delay_rounds: 2,
+            ..Default::default()
+        };
+        let mut syncer = StateSyncer::default();
+        syncer.run_round(&mut svc, &mut env);
+        svc.set_level_field(JOB, ConfigLevel::Scaler, "task_count", 8u32.into())
+            .expect("scale");
+
+        // Rounds 1-2: stop requested, tasks still draining.
+        let r1 = syncer.run_round(&mut svc, &mut env);
+        assert_eq!(r1.in_progress, vec![JOB]);
+        assert_eq!(env.stop_requests, vec![JOB]);
+        assert_eq!(svc.running_typed(JOB).expect("running").task_count, 4, "not committed yet");
+        let r2 = syncer.run_round(&mut svc, &mut env);
+        assert_eq!(r2.in_progress, vec![JOB]);
+
+        // Round 3: tasks stopped -> redistribute -> commit.
+        let r3 = syncer.run_round(&mut svc, &mut env);
+        assert_eq!(r3.complex_completed, vec![JOB]);
+        assert_eq!(env.redistributions, vec![(JOB, 4, 8)]);
+        assert_eq!(svc.running_typed(JOB).expect("running").task_count, 8);
+    }
+
+    #[test]
+    fn failed_redistribution_retries_next_round() {
+        let mut svc = service_with_job();
+        let mut env = MockEnv {
+            redistribute_failures: 1,
+            ..Default::default()
+        };
+        let mut syncer = StateSyncer::default();
+        syncer.run_round(&mut svc, &mut env);
+        svc.set_level_field(JOB, ConfigLevel::Scaler, "task_count", 8u32.into())
+            .expect("scale");
+        let r1 = syncer.run_round(&mut svc, &mut env);
+        assert_eq!(r1.failed.len(), 1);
+        assert_eq!(svc.running_typed(JOB).expect("running").task_count, 4, "aborted plan must not commit");
+        // Next round the injected failure is gone: completes.
+        let r2 = syncer.run_round(&mut svc, &mut env);
+        assert_eq!(r2.complex_completed, vec![JOB]);
+        assert_eq!(svc.running_typed(JOB).expect("running").task_count, 8);
+    }
+
+    #[test]
+    fn repeated_failures_quarantine_with_alert() {
+        let mut svc = service_with_job();
+        let mut env = MockEnv {
+            redistribute_failures: 99,
+            ..Default::default()
+        };
+        let mut syncer = StateSyncer::new(SyncerConfig {
+            max_failures: 3,
+            max_inflight_rounds: 20,
+        });
+        syncer.run_round(&mut svc, &mut env);
+        svc.set_level_field(JOB, ConfigLevel::Scaler, "task_count", 8u32.into())
+            .expect("scale");
+        for round in 1..=3 {
+            let r = syncer.run_round(&mut svc, &mut env);
+            if round < 3 {
+                assert!(r.quarantined.is_empty());
+            } else {
+                assert_eq!(r.quarantined, vec![JOB]);
+                assert_eq!(r.alerts.len(), 1);
+            }
+        }
+        assert!(syncer.is_quarantined(JOB));
+        // Quarantined jobs are skipped entirely.
+        let r = syncer.run_round(&mut svc, &mut env);
+        assert!(r.failed.is_empty());
+        // The oncall releases it once fixed.
+        env.redistribute_failures = 0;
+        syncer.unquarantine(JOB);
+        let r = syncer.run_round(&mut svc, &mut env);
+        assert_eq!(r.complex_completed, vec![JOB]);
+    }
+
+    #[test]
+    fn invalid_expected_config_fails_and_eventually_quarantines() {
+        let mut svc = service_with_job();
+        let mut env = MockEnv::default();
+        let mut syncer = StateSyncer::new(SyncerConfig {
+            max_failures: 2,
+            max_inflight_rounds: 20,
+        });
+        syncer.run_round(&mut svc, &mut env);
+        // A bad oncall update writes a string where an int belongs.
+        svc.set_level_field(JOB, ConfigLevel::Oncall, "task_count", "lots".into())
+            .expect("bad write");
+        let r1 = syncer.run_round(&mut svc, &mut env);
+        assert_eq!(r1.failed.len(), 1);
+        let r2 = syncer.run_round(&mut svc, &mut env);
+        assert_eq!(r2.quarantined, vec![JOB]);
+    }
+
+    #[test]
+    fn slow_state_move_counts_as_progress_not_failure() {
+        let mut svc = service_with_job();
+        let mut env = MockEnv {
+            redistribute_slow_rounds: 3,
+            ..Default::default()
+        };
+        let mut syncer = StateSyncer::new(SyncerConfig {
+            max_failures: 2, // would quarantine after 2 failures
+            max_inflight_rounds: 20,
+        });
+        syncer.run_round(&mut svc, &mut env);
+        svc.set_level_field(JOB, ConfigLevel::Scaler, "task_count", 8u32.into())
+            .expect("scale");
+        // Three slow rounds: in-progress, never failed, never quarantined.
+        for _ in 0..3 {
+            let r = syncer.run_round(&mut svc, &mut env);
+            assert_eq!(r.in_progress, vec![JOB]);
+            assert!(r.failed.is_empty());
+        }
+        let r = syncer.run_round(&mut svc, &mut env);
+        assert_eq!(r.complex_completed, vec![JOB]);
+        assert!(!syncer.is_quarantined(JOB));
+    }
+
+    #[test]
+    fn deleted_job_is_wound_down() {
+        let mut svc = service_with_job();
+        let mut env = MockEnv {
+            stop_delay_rounds: 1,
+            ..Default::default()
+        };
+        let mut syncer = StateSyncer::default();
+        syncer.run_round(&mut svc, &mut env);
+        svc.store_mut().delete_job(JOB).expect("delete");
+        let r1 = syncer.run_round(&mut svc, &mut env);
+        assert!(r1.deleted.is_empty(), "still draining");
+        assert_eq!(env.stop_requests, vec![JOB]);
+        let r2 = syncer.run_round(&mut svc, &mut env);
+        assert_eq!(r2.deleted, vec![JOB]);
+        assert!(svc.store().running(JOB).is_none());
+        // Fully gone: later rounds see nothing.
+        let r3 = syncer.run_round(&mut svc, &mut env);
+        assert_eq!(r3.total_changed(), 0);
+    }
+
+    #[test]
+    fn stuck_stop_exhausts_inflight_budget_and_fails() {
+        let mut svc = service_with_job();
+        let mut env = MockEnv {
+            stop_delay_rounds: u32::MAX,
+            ..Default::default()
+        };
+        let mut syncer = StateSyncer::new(SyncerConfig {
+            max_failures: 2,
+            max_inflight_rounds: 3,
+        });
+        syncer.run_round(&mut svc, &mut env);
+        svc.set_level_field(JOB, ConfigLevel::Scaler, "task_count", 8u32.into())
+            .expect("scale");
+        let mut quarantined = false;
+        for _ in 0..12 {
+            let r = syncer.run_round(&mut svc, &mut env);
+            if !r.quarantined.is_empty() {
+                quarantined = true;
+                break;
+            }
+        }
+        assert!(quarantined, "stuck job must eventually quarantine");
+    }
+
+    #[test]
+    fn batch_of_simple_syncs_completes_in_one_round() {
+        let mut svc = JobService::new(JobStore::new(MemWal::new()));
+        let n = 500;
+        for i in 0..n {
+            svc.provision(JobId(i), &JobConfig::stateless(&format!("job{i}"), 2, 8))
+                .expect("provision");
+        }
+        let mut env = MockEnv::default();
+        let mut syncer = StateSyncer::default();
+        let r = syncer.run_round(&mut svc, &mut env);
+        assert_eq!(r.started.len(), n as usize);
+        // Global package release: all simple, one round.
+        for i in 0..n {
+            svc.set_level_field(JobId(i), ConfigLevel::Provisioner, "package.version", 2i64.into())
+                .expect("release");
+        }
+        let r = syncer.run_round(&mut svc, &mut env);
+        assert_eq!(r.simple.len(), n as usize);
+    }
+}

@@ -1,0 +1,93 @@
+//! Task→shard and task→partition mappings (paper §IV-A1, §II).
+
+use crate::md5::md5_u64;
+use turbine_types::{PartitionId, ShardId, TaskId};
+
+/// The shard a task belongs to: MD5 of the task's stable key, reduced
+/// modulo the tier's shard count. Every Task Manager computes this locally
+/// from its full task snapshot, which is what makes the two-level
+/// scheduling decentralized — the Shard Manager never needs to know about
+/// individual tasks.
+pub fn shard_of_task(task: TaskId, shard_count: u64) -> ShardId {
+    assert!(shard_count > 0, "tier must have at least one shard");
+    let key = format!("{task}");
+    ShardId(md5_u64(key.as_bytes()) % shard_count)
+}
+
+/// The contiguous, disjoint slice of input partitions owned by task
+/// `index` of `task_count` over `partition_count` partitions. Every
+/// partition is owned by exactly one task, and ownership depends only on
+/// `(index, task_count, partition_count)` — so checkpoint redistribution on
+/// a parallelism change is a pure function of the old and new counts.
+pub fn task_partitions(index: u32, task_count: u32, partition_count: u32) -> Vec<PartitionId> {
+    assert!(task_count > 0, "task_count must be positive");
+    assert!(index < task_count, "task index out of range");
+    assert!(
+        partition_count >= task_count,
+        "each task needs at least one partition"
+    );
+    let index = index as u64;
+    let task_count = task_count as u64;
+    let partition_count = partition_count as u64;
+    let start = index * partition_count / task_count;
+    let end = (index + 1) * partition_count / task_count;
+    (start..end).map(PartitionId).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use turbine_types::JobId;
+
+    #[test]
+    fn shard_mapping_is_deterministic_and_in_range() {
+        let t = TaskId::new(JobId(7), 3);
+        let s1 = shard_of_task(t, 128);
+        let s2 = shard_of_task(t, 128);
+        assert_eq!(s1, s2);
+        assert!(s1.raw() < 128);
+    }
+
+    #[test]
+    fn shard_mapping_spreads_tasks() {
+        let mut used = HashSet::new();
+        for job in 0..100u64 {
+            for idx in 0..4u32 {
+                used.insert(shard_of_task(TaskId::new(JobId(job), idx), 64));
+            }
+        }
+        // 400 tasks over 64 shards: essentially all shards must be hit.
+        assert!(used.len() > 55, "only {} shards used", used.len());
+    }
+
+    #[test]
+    fn partitions_form_an_exact_disjoint_cover() {
+        for (task_count, partition_count) in [(1u32, 1u32), (3, 7), (4, 16), (5, 5), (7, 64)] {
+            let mut seen = Vec::new();
+            for index in 0..task_count {
+                let parts = task_partitions(index, task_count, partition_count);
+                assert!(!parts.is_empty(), "task {index} of {task_count} got none");
+                seen.extend(parts);
+            }
+            seen.sort_unstable();
+            let expected: Vec<PartitionId> = (0..partition_count as u64).map(PartitionId).collect();
+            assert_eq!(seen, expected, "cover broken for {task_count}/{partition_count}");
+        }
+    }
+
+    #[test]
+    fn partition_slices_are_contiguous_and_ordered() {
+        let parts = task_partitions(1, 3, 10);
+        let raws: Vec<u64> = parts.iter().map(|p| p.raw()).collect();
+        for w in raws.windows(2) {
+            assert_eq!(w[1], w[0] + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn too_few_partitions_panics() {
+        let _ = task_partitions(0, 5, 3);
+    }
+}

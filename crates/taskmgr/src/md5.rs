@@ -1,0 +1,154 @@
+//! MD5, implemented from scratch (RFC 1321).
+//!
+//! The paper specifies that each local Task Manager "computes an MD5 hash
+//! for each task; the result defines the shard ID associated with this
+//! task" (§IV-A1). We implement the real digest rather than substituting a
+//! different hash so that the task→shard distribution — and therefore load
+//! spread — has the same uniformity characteristics as production.
+//! (Cryptographic strength is irrelevant here; MD5 is used purely as a
+//! well-distributed deterministic hash.)
+
+/// Per-round shift amounts.
+const S: [u32; 64] = [
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, //
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, //
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, //
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+];
+
+/// Binary integer parts of sines (RFC 1321 T table).
+#[allow(clippy::unreadable_literal)] // transcribed verbatim from the RFC
+const K: [u32; 64] = [
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a, 0xa8304613, 0xfd469501,
+    0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821,
+    0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a,
+    0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70,
+    0x289b7ec6, 0xeaa127fa, 0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+    0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1, 0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391,
+];
+
+/// Compute the MD5 digest of `data`.
+pub fn md5(data: &[u8]) -> [u8; 16] {
+    let mut a0: u32 = 0x67452301;
+    let mut b0: u32 = 0xefcdab89;
+    let mut c0: u32 = 0x98badcfe;
+    let mut d0: u32 = 0x10325476;
+
+    // Padded message: data + 0x80 + zeros + 64-bit little-endian bit length.
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    let mut msg = data.to_vec();
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&bit_len.to_le_bytes());
+
+    for chunk in msg.chunks_exact(64) {
+        let mut m = [0u32; 16];
+        for (i, word) in chunk.chunks_exact(4).enumerate() {
+            m[i] = u32::from_le_bytes([word[0], word[1], word[2], word[3]]);
+        }
+        let (mut a, mut b, mut c, mut d) = (a0, b0, c0, d0);
+        for i in 0..64 {
+            let (f, g) = match i {
+                0..=15 => ((b & c) | (!b & d), i),
+                16..=31 => ((d & b) | (!d & c), (5 * i + 1) % 16),
+                32..=47 => (b ^ c ^ d, (3 * i + 5) % 16),
+                _ => (c ^ (b | !d), (7 * i) % 16),
+            };
+            let tmp = d;
+            d = c;
+            c = b;
+            b = b.wrapping_add(
+                a.wrapping_add(f)
+                    .wrapping_add(K[i])
+                    .wrapping_add(m[g])
+                    .rotate_left(S[i]),
+            );
+            a = tmp;
+        }
+        a0 = a0.wrapping_add(a);
+        b0 = b0.wrapping_add(b);
+        c0 = c0.wrapping_add(c);
+        d0 = d0.wrapping_add(d);
+    }
+
+    let mut out = [0u8; 16];
+    out[0..4].copy_from_slice(&a0.to_le_bytes());
+    out[4..8].copy_from_slice(&b0.to_le_bytes());
+    out[8..12].copy_from_slice(&c0.to_le_bytes());
+    out[12..16].copy_from_slice(&d0.to_le_bytes());
+    out
+}
+
+/// First 8 digest bytes as a little-endian u64 — the value reduced modulo
+/// the shard count for task→shard mapping.
+pub fn md5_u64(data: &[u8]) -> u64 {
+    let digest = md5(data);
+    u64::from_le_bytes(digest[0..8].try_into().expect("8 bytes"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(digest: [u8; 16]) -> String {
+        digest.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// RFC 1321 appendix A.5 test suite.
+    #[test]
+    fn rfc1321_test_vectors() {
+        assert_eq!(hex(md5(b"")), "d41d8cd98f00b204e9800998ecf8427e");
+        assert_eq!(hex(md5(b"a")), "0cc175b9c0f1b6a831c399e269772661");
+        assert_eq!(hex(md5(b"abc")), "900150983cd24fb0d6963f7d28e17f72");
+        assert_eq!(hex(md5(b"message digest")), "f96b697d7cb7938d525a2f31aaf161d0");
+        assert_eq!(
+            hex(md5(b"abcdefghijklmnopqrstuvwxyz")),
+            "c3fcd3d76192e4007dfb496cca67e13b"
+        );
+        assert_eq!(
+            hex(md5(b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789")),
+            "d174ab98d277d9f5a5611c2c9f419d9f"
+        );
+        assert_eq!(
+            hex(md5(
+                b"12345678901234567890123456789012345678901234567890123456789012345678901234567890"
+            )),
+            "57edf4a22be3c955ac49da2e2107b67a"
+        );
+    }
+
+    #[test]
+    fn padding_boundaries_are_correct() {
+        // Lengths straddling the 56-byte padding boundary exercise the
+        // two-block path.
+        let input55 = vec![b'x'; 55];
+        let input56 = vec![b'x'; 56];
+        let input64 = vec![b'x'; 64];
+        assert_ne!(md5(&input55), md5(&input56));
+        assert_ne!(md5(&input56), md5(&input64));
+        // Cross-check one with a known value (GNU md5sum):
+        assert_eq!(hex(md5(&[b'x'; 64])), "c1bb4f81d892b2d57947682aeb252456");
+    }
+
+    #[test]
+    fn u64_reduction_is_uniform_enough() {
+        // Hash 10k task names into 64 buckets; no bucket should deviate
+        // wildly from the mean (binomial tail bound, generous margin).
+        let mut buckets = [0u32; 64];
+        for i in 0..10_000 {
+            let key = format!("job-{}/task-{}", i % 500, i / 500);
+            buckets[(md5_u64(key.as_bytes()) % 64) as usize] += 1;
+        }
+        let mean = 10_000.0 / 64.0;
+        for (i, &count) in buckets.iter().enumerate() {
+            assert!(
+                (count as f64) > mean * 0.5 && (count as f64) < mean * 1.5,
+                "bucket {i} has {count} (mean {mean})"
+            );
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! The Task Service (paper §IV): expands running job configurations into
+//! task specs and serves cached, indexed snapshots of the full list.
+
+use crate::snapshot::TaskSnapshot;
+use crate::spec::TaskSpec;
+use std::collections::HashMap;
+use std::sync::Arc;
+use turbine_config::JobConfig;
+use turbine_types::{Duration, JobId, ShardId, SimTime, TaskId};
+
+/// The Task Service. Holds no job state of its own — it reads the Job
+/// Store's *running* table (supplied by the caller, keeping the dependency
+/// direction clean) and caches the generated snapshot for its TTL
+/// (production: 90 s). The cache TTL is one term of the paper's end-to-end
+/// scheduling latency: cache expiry (≤90 s) + State Syncer round (≤30 s) +
+/// Task Manager refresh (≤60 s) ⇒ 1–2 minutes on average for a cluster-wide
+/// update.
+#[derive(Debug)]
+pub struct TaskService {
+    ttl: Duration,
+    shard_count: u64,
+    cached: Arc<TaskSnapshot>,
+    cached_at: Option<SimTime>,
+    /// Permanent MD5 task→shard memo (task identity never changes).
+    shard_cache: HashMap<TaskId, ShardId>,
+}
+
+impl TaskService {
+    /// A service with the production cache TTL of 90 seconds.
+    pub fn new(shard_count: u64) -> Self {
+        Self::with_ttl(Duration::from_secs(90), shard_count)
+    }
+
+    /// A service with an explicit cache TTL.
+    pub fn with_ttl(ttl: Duration, shard_count: u64) -> Self {
+        TaskService {
+            ttl,
+            shard_count,
+            cached: Arc::new(TaskSnapshot::default()),
+            cached_at: None,
+            shard_cache: HashMap::new(),
+        }
+    }
+
+    /// The full indexed snapshot at `now`. `fetch_running_jobs` is invoked
+    /// only when the cache has expired; it should return the running (not
+    /// expected!) configuration of every job — tasks always run what the
+    /// State Syncer committed.
+    pub fn snapshot(
+        &mut self,
+        now: SimTime,
+        fetch_running_jobs: impl FnOnce() -> Vec<(JobId, JobConfig)>,
+    ) -> Arc<TaskSnapshot> {
+        let stale = match self.cached_at {
+            None => true,
+            Some(at) => now.since(at) >= self.ttl,
+        };
+        if stale {
+            let mut specs = Vec::new();
+            for (job, config) in fetch_running_jobs() {
+                specs.extend(Self::generate_specs(job, &config));
+            }
+            self.cached = Arc::new(TaskSnapshot::build(
+                specs,
+                self.shard_count,
+                &mut self.shard_cache,
+            ));
+            self.cached_at = Some(now);
+        }
+        self.cached.clone()
+    }
+
+    /// Drop the cache so the next snapshot refetches (used after State
+    /// Syncer commits and by the degraded-mode recovery path).
+    pub fn invalidate(&mut self) {
+        self.cached_at = None;
+    }
+
+    /// Expand one job into its task specs: one spec per task index, with
+    /// the partition slice and argument template substituted.
+    pub fn generate_specs(job: JobId, config: &JobConfig) -> Vec<TaskSpec> {
+        (0..config.task_count)
+            .map(|index| {
+                let args = config
+                    .args
+                    .iter()
+                    .map(|template| {
+                        template
+                            .replace("{index}", &index.to_string())
+                            .replace("{count}", &config.task_count.to_string())
+                            .replace("{category}", &config.input_category)
+                            .replace("{checkpoint_dir}", &config.checkpoint_dir)
+                    })
+                    .collect();
+                TaskSpec {
+                    id: TaskId::new(job, index),
+                    package_name: config.package.name.clone(),
+                    package_version: config.package.version,
+                    args,
+                    threads: config.threads_per_task,
+                    reserved: config.task_resources,
+                    checkpoint_dir: config.checkpoint_dir.clone(),
+                    input_category: config.input_category.clone(),
+                    partitions: crate::mapping::task_partitions(
+                        index,
+                        config.task_count,
+                        config.input_partitions,
+                    ),
+                    stateful: config.stateful,
+                    memory_enforcement: config.memory_enforcement,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + Duration::from_secs(s)
+    }
+
+    #[test]
+    fn specs_cover_every_task_with_substituted_args() {
+        let config = JobConfig::stateless("tailer", 4, 16);
+        let specs = TaskService::generate_specs(JobId(1), &config);
+        assert_eq!(specs.len(), 4);
+        assert_eq!(specs[2].args[0], "--task-index=2");
+        assert_eq!(specs[2].args[1], "--task-count=4");
+        assert_eq!(specs[2].args[2], "--category=tailer_input");
+        assert_eq!(specs[2].partitions.len(), 4);
+        // Disjoint cover across specs.
+        let all: Vec<_> = specs.iter().flat_map(|s| s.partitions.clone()).collect();
+        assert_eq!(all.len(), 16);
+    }
+
+    #[test]
+    fn snapshot_caches_until_ttl() {
+        let mut svc = TaskService::with_ttl(Duration::from_secs(90), 16);
+        let config = JobConfig::stateless("tailer", 2, 8);
+        let mut fetches = 0;
+
+        for (now, expect_fetch) in [(0u64, true), (30, false), (89, false), (90, true), (150, false)]
+        {
+            let before = fetches;
+            let snap = svc.snapshot(t(now), || {
+                fetches += 1;
+                vec![(JobId(1), config.clone())]
+            });
+            assert_eq!(snap.len(), 2);
+            assert_eq!(
+                fetches > before,
+                expect_fetch,
+                "unexpected fetch behaviour at t={now}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalidate_forces_refetch() {
+        let mut svc = TaskService::new(16);
+        let config = JobConfig::stateless("tailer", 1, 2);
+        svc.snapshot(t(0), || vec![(JobId(1), config.clone())]);
+        svc.invalidate();
+        let mut refetched = false;
+        svc.snapshot(t(1), || {
+            refetched = true;
+            vec![]
+        });
+        assert!(refetched);
+    }
+
+    #[test]
+    fn version_bump_changes_specs() {
+        let mut config = JobConfig::stateless("tailer", 1, 2);
+        let v1 = TaskService::generate_specs(JobId(1), &config);
+        config.package.version = 2;
+        let v2 = TaskService::generate_specs(JobId(1), &config);
+        assert!(v2[0].requires_restart(&v1[0]));
+    }
+}

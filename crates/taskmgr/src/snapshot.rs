@@ -1,0 +1,129 @@
+//! The indexed task-spec snapshot shared by all Task Managers.
+//!
+//! Every Task Manager keeps the *full* task list (the degraded-mode
+//! guarantee of §IV-D). At fleet scale, materializing that list per
+//! container would be quadratic, so the Task Service builds one immutable
+//! indexed snapshot — task→spec plus shard→tasks, with the MD5 task→shard
+//! mapping precomputed — and every Task Manager holds a reference-counted
+//! handle to it. Each manager still *has* the full list (its handle keeps
+//! the snapshot alive even if the Task Service dies); it just shares the
+//! bytes.
+
+use crate::mapping::shard_of_task;
+use crate::spec::TaskSpec;
+use std::collections::HashMap;
+use std::sync::Arc;
+use turbine_types::{ShardId, TaskId};
+
+/// An immutable, indexed snapshot of every task spec in the tier.
+#[derive(Debug, Default)]
+pub struct TaskSnapshot {
+    /// Number of shards the tier hashes tasks onto.
+    shard_count: u64,
+    by_task: HashMap<TaskId, Arc<TaskSpec>>,
+    by_shard: HashMap<ShardId, Vec<TaskId>>,
+}
+
+impl TaskSnapshot {
+    /// Build a snapshot from rendered specs. `shard_cache` memoizes the
+    /// MD5 task→shard mapping across snapshot rebuilds (task identity
+    /// never changes, so entries are permanent).
+    pub fn build(
+        specs: Vec<TaskSpec>,
+        shard_count: u64,
+        shard_cache: &mut HashMap<TaskId, ShardId>,
+    ) -> TaskSnapshot {
+        assert!(shard_count > 0, "tier must have at least one shard");
+        let mut by_task = HashMap::with_capacity(specs.len());
+        let mut by_shard: HashMap<ShardId, Vec<TaskId>> = HashMap::new();
+        for spec in specs {
+            let id = spec.id;
+            let shard = *shard_cache
+                .entry(id)
+                .or_insert_with(|| shard_of_task(id, shard_count));
+            by_shard.entry(shard).or_default().push(id);
+            by_task.insert(id, Arc::new(spec));
+        }
+        for tasks in by_shard.values_mut() {
+            tasks.sort_unstable();
+        }
+        TaskSnapshot {
+            shard_count,
+            by_task,
+            by_shard,
+        }
+    }
+
+    /// The tier's shard count this snapshot was hashed against.
+    pub fn shard_count(&self) -> u64 {
+        self.shard_count
+    }
+
+    /// Spec of one task.
+    pub fn spec(&self, task: TaskId) -> Option<&Arc<TaskSpec>> {
+        self.by_task.get(&task)
+    }
+
+    /// Tasks hashed onto one shard, sorted.
+    pub fn tasks_of_shard(&self, shard: ShardId) -> &[TaskId] {
+        self.by_shard.get(&shard).map_or(&[], Vec::as_slice)
+    }
+
+    /// Total number of tasks in the snapshot.
+    pub fn len(&self) -> usize {
+        self.by_task.len()
+    }
+
+    /// True if the snapshot holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.by_task.is_empty()
+    }
+
+    /// Iterate all task ids.
+    pub fn task_ids(&self) -> impl Iterator<Item = &TaskId> {
+        self.by_task.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::TaskService;
+    use turbine_config::JobConfig;
+    use turbine_types::JobId;
+
+    #[test]
+    fn build_indexes_every_task_exactly_once() {
+        let specs = TaskService::generate_specs(JobId(1), &JobConfig::stateless("t", 8, 64));
+        let mut cache = HashMap::new();
+        let snap = TaskSnapshot::build(specs, 16, &mut cache);
+        assert_eq!(snap.len(), 8);
+        let total: usize = (0..16).map(|s| snap.tasks_of_shard(ShardId(s)).len()).sum();
+        assert_eq!(total, 8, "shard index partitions the tasks");
+        assert_eq!(cache.len(), 8);
+    }
+
+    #[test]
+    fn shard_cache_is_reused_across_rebuilds() {
+        let specs = TaskService::generate_specs(JobId(1), &JobConfig::stateless("t", 4, 64));
+        let mut cache = HashMap::new();
+        let snap1 = TaskSnapshot::build(specs.clone(), 16, &mut cache);
+        let snap2 = TaskSnapshot::build(specs, 16, &mut cache);
+        for id in snap1.task_ids() {
+            let s1 = (0..16)
+                .map(ShardId)
+                .find(|&s| snap1.tasks_of_shard(s).contains(id))
+                .expect("assigned");
+            assert!(snap2.tasks_of_shard(s1).contains(id), "stable mapping");
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_is_well_behaved() {
+        let mut cache = HashMap::new();
+        let snap = TaskSnapshot::build(Vec::new(), 4, &mut cache);
+        assert!(snap.is_empty());
+        assert!(snap.tasks_of_shard(ShardId(0)).is_empty());
+        assert!(snap.spec(TaskId::new(JobId(1), 0)).is_none());
+    }
+}

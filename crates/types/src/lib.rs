@@ -1,0 +1,19 @@
+//! Shared primitive types for the Turbine platform.
+//!
+//! Every other crate in the workspace builds on the identifiers, simulated
+//! time, multi-dimensional resource vectors, and metric primitives defined
+//! here. The crate is dependency-free by design so that substrates (Scribe,
+//! the cluster manager, the shard manager) and the control plane can share
+//! vocabulary without coupling.
+
+pub mod ids;
+pub mod metrics;
+pub mod priority;
+pub mod resources;
+pub mod time;
+
+pub use ids::{ContainerId, HostId, JobId, PartitionId, ShardId, TaskId};
+pub use metrics::{Cdf, Counter, Gauge, Percentiles, TimeSeries};
+pub use priority::Priority;
+pub use resources::{ResourceKind, Resources};
+pub use time::{Duration, SimTime};

@@ -1,0 +1,314 @@
+//! Metric primitives: time series, percentile summaries, CDFs.
+//!
+//! The paper's evaluation reports p5/p50/p95 utilization bands (Fig. 6, 7),
+//! CDFs of per-task footprints (Fig. 5), and long-horizon series of traffic
+//! and task counts (Fig. 1, 8, 9). These light-weight recorders back all of
+//! those without any external dependency.
+
+use crate::time::SimTime;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Increment by one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increment by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current count.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+/// A point-in-time measured value.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Gauge(f64);
+
+impl Gauge {
+    /// Replace the current value.
+    pub fn set(&mut self, v: f64) {
+        self.0 = v;
+    }
+
+    /// Current value.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+/// An append-only series of timestamped samples.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a sample. Samples should arrive in non-decreasing time order
+    /// (the simulator guarantees this); queries assume it.
+    pub fn record(&mut self, at: SimTime, value: f64) {
+        debug_assert!(
+            self.points.last().is_none_or(|&(t, _)| t <= at),
+            "samples must be appended in time order"
+        );
+        self.points.push((at, value));
+    }
+
+    /// All samples, in time order.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Most recent sample value, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+
+    /// Mean of samples with `start <= t < end`; `None` if the window is
+    /// empty. Used e.g. for "average input rate in the last 30 minutes"
+    /// (paper §V-C).
+    pub fn mean_in_window(&self, start: SimTime, end: SimTime) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for &(t, v) in self.points.iter().rev() {
+            if t >= end {
+                continue;
+            }
+            if t < start {
+                break;
+            }
+            sum += v;
+            n += 1;
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    /// Maximum sample value in `start <= t < end`.
+    pub fn max_in_window(&self, start: SimTime, end: SimTime) -> Option<f64> {
+        let mut max: Option<f64> = None;
+        for &(t, v) in self.points.iter().rev() {
+            if t >= end {
+                continue;
+            }
+            if t < start {
+                break;
+            }
+            max = Some(max.map_or(v, |m: f64| m.max(v)));
+        }
+        max
+    }
+
+    /// Value of the latest sample at or before `at`.
+    pub fn value_at(&self, at: SimTime) -> Option<f64> {
+        match self.points.binary_search_by_key(&at, |&(t, _)| t) {
+            Ok(i) => Some(self.points[i].1),
+            Err(0) => None,
+            Err(i) => Some(self.points[i - 1].1),
+        }
+    }
+}
+
+/// Percentile summary of a set of samples.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Percentiles {
+    /// 5th percentile.
+    pub p5: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl Percentiles {
+    /// Compute p5/p50/p95/mean from `samples`. Returns the zero summary for
+    /// an empty input. Uses the nearest-rank method on a sorted copy.
+    pub fn from_samples(samples: &[f64]) -> Percentiles {
+        if samples.is_empty() {
+            return Percentiles::default();
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("metric samples must not be NaN"));
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        Percentiles {
+            p5: rank(&sorted, 0.05),
+            p50: rank(&sorted, 0.50),
+            p95: rank(&sorted, 0.95),
+            mean,
+        }
+    }
+}
+
+/// Nearest-rank percentile of an already-sorted slice.
+fn rank(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+/// An empirical cumulative distribution function.
+#[derive(Debug, Clone)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build from raw samples (NaNs are rejected with a panic since they
+    /// indicate a modelling bug upstream).
+    pub fn from_samples(samples: &[f64]) -> Cdf {
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("CDF samples must not be NaN"));
+        Cdf { sorted }
+    }
+
+    /// Fraction of samples `<= x`.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let n = self.sorted.partition_point(|&v| v <= x);
+        n as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse CDF: smallest sample value v such that a fraction `q` of
+    /// samples are `<= v`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        Some(rank(&self.sorted, q.clamp(0.0, 1.0)))
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if built from no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Evaluate the CDF at evenly spaced x positions between the min and
+    /// max sample — the series the figure-generation binaries print.
+    pub fn curve(&self, steps: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || steps == 0 {
+            return Vec::new();
+        }
+        let lo = self.sorted[0];
+        let hi = *self.sorted.last().expect("non-empty");
+        (0..=steps)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / steps as f64;
+                (x, self.fraction_at_or_below(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + Duration::from_secs(secs)
+    }
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let mut c = Counter::default();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let mut g = Gauge::default();
+        g.set(3.5);
+        assert_eq!(g.get(), 3.5);
+    }
+
+    #[test]
+    fn timeseries_window_queries() {
+        let mut ts = TimeSeries::new();
+        for (sec, v) in [(0, 1.0), (10, 2.0), (20, 3.0), (30, 4.0)] {
+            ts.record(t(sec), v);
+        }
+        assert_eq!(ts.last(), Some(4.0));
+        assert_eq!(ts.mean_in_window(t(10), t(30)), Some(2.5));
+        assert_eq!(ts.max_in_window(t(0), t(31)), Some(4.0));
+        assert_eq!(ts.mean_in_window(t(100), t(200)), None);
+    }
+
+    #[test]
+    fn timeseries_value_at_finds_latest_before() {
+        let mut ts = TimeSeries::new();
+        ts.record(t(10), 1.0);
+        ts.record(t(20), 2.0);
+        assert_eq!(ts.value_at(t(5)), None);
+        assert_eq!(ts.value_at(t(10)), Some(1.0));
+        assert_eq!(ts.value_at(t(15)), Some(1.0));
+        assert_eq!(ts.value_at(t(25)), Some(2.0));
+    }
+
+    #[test]
+    fn percentiles_of_uniform_ramp() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let p = Percentiles::from_samples(&samples);
+        assert_eq!(p.p5, 5.0);
+        assert_eq!(p.p50, 50.0);
+        assert_eq!(p.p95, 95.0);
+        assert!((p.mean - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_of_empty_and_singleton() {
+        assert_eq!(Percentiles::from_samples(&[]), Percentiles::default());
+        let p = Percentiles::from_samples(&[7.0]);
+        assert_eq!((p.p5, p.p50, p.p95), (7.0, 7.0, 7.0));
+    }
+
+    #[test]
+    fn cdf_fraction_and_quantile_agree() {
+        let samples: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let cdf = Cdf::from_samples(&samples);
+        assert_eq!(cdf.fraction_at_or_below(5.0), 0.5);
+        assert_eq!(cdf.fraction_at_or_below(0.0), 0.0);
+        assert_eq!(cdf.fraction_at_or_below(100.0), 1.0);
+        assert_eq!(cdf.quantile(0.5), Some(5.0));
+        let curve = cdf.curve(9);
+        assert_eq!(curve.len(), 10);
+        assert_eq!(curve[0].0, 1.0);
+        assert_eq!(curve[9], (10.0, 1.0));
+    }
+
+    #[test]
+    fn cdf_empty_is_well_behaved() {
+        let cdf = Cdf::from_samples(&[]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.quantile(0.5), None);
+        assert_eq!(cdf.fraction_at_or_below(1.0), 0.0);
+        assert!(cdf.curve(10).is_empty());
+    }
+}

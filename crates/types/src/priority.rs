@@ -1,0 +1,60 @@
+//! Job priority levels.
+//!
+//! The Capacity Manager (paper §V-F) prioritizes scaling up privileged jobs
+//! when cluster resources run low, and in the extreme case stops lower
+//! priority jobs to unblock higher priority ones.
+
+use std::fmt;
+
+/// Business priority of a job, ordered from least to most important.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Best-effort pipelines; first to be stopped under cluster pressure.
+    Low,
+    /// The default for production pipelines.
+    #[default]
+    Normal,
+    /// High business value applications whose availability is prioritized.
+    High,
+    /// Privileged jobs scaled up first during datacenter-wide events.
+    Privileged,
+}
+
+impl Priority {
+    /// All priorities, from lowest to highest.
+    pub const ALL: [Priority; 4] = [
+        Priority::Low,
+        Priority::Normal,
+        Priority::High,
+        Priority::Privileged,
+    ];
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Priority::Low => "low",
+            Priority::Normal => "normal",
+            Priority::High => "high",
+            Priority::Privileged => "privileged",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_business_value() {
+        assert!(Priority::Low < Priority::Normal);
+        assert!(Priority::Normal < Priority::High);
+        assert!(Priority::High < Priority::Privileged);
+    }
+
+    #[test]
+    fn default_is_normal() {
+        assert_eq!(Priority::default(), Priority::Normal);
+    }
+}

@@ -1,0 +1,287 @@
+//! Multi-dimensional resource vectors.
+//!
+//! Turbine adjusts allocation in multiple dimensions (CPU, memory, disk,
+//! network — §I, §V of the paper). [`Resources`] is the vector type used for
+//! container capacities, shard loads, task reservations, and scaler
+//! estimates. All arithmetic is element-wise.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+/// One resource dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ResourceKind {
+    /// CPU, in cores (fractional).
+    Cpu,
+    /// Memory, in megabytes.
+    MemoryMb,
+    /// Disk, in megabytes.
+    DiskMb,
+    /// Network bandwidth, in megabytes per second.
+    NetworkMbps,
+}
+
+impl ResourceKind {
+    /// All dimensions, in canonical order.
+    pub const ALL: [ResourceKind; 4] = [
+        ResourceKind::Cpu,
+        ResourceKind::MemoryMb,
+        ResourceKind::DiskMb,
+        ResourceKind::NetworkMbps,
+    ];
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ResourceKind::Cpu => "cpu",
+            ResourceKind::MemoryMb => "memory_mb",
+            ResourceKind::DiskMb => "disk_mb",
+            ResourceKind::NetworkMbps => "network_mbps",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A vector of resource quantities, one per [`ResourceKind`].
+///
+/// Quantities are non-negative `f64`s; subtraction saturates at zero so that
+/// "remaining capacity" computations never go negative.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Resources {
+    /// CPU cores.
+    pub cpu: f64,
+    /// Memory in MB.
+    pub memory_mb: f64,
+    /// Disk in MB.
+    pub disk_mb: f64,
+    /// Network bandwidth in MB/s.
+    pub network_mbps: f64,
+}
+
+impl Resources {
+    /// The zero vector.
+    pub const ZERO: Resources = Resources {
+        cpu: 0.0,
+        memory_mb: 0.0,
+        disk_mb: 0.0,
+        network_mbps: 0.0,
+    };
+
+    /// Construct with every dimension explicit.
+    pub const fn new(cpu: f64, memory_mb: f64, disk_mb: f64, network_mbps: f64) -> Self {
+        Resources {
+            cpu,
+            memory_mb,
+            disk_mb,
+            network_mbps,
+        }
+    }
+
+    /// A CPU-and-memory-only vector (the common case for streaming tasks).
+    pub const fn cpu_mem(cpu: f64, memory_mb: f64) -> Self {
+        Resources::new(cpu, memory_mb, 0.0, 0.0)
+    }
+
+    /// Quantity of one dimension.
+    pub fn get(&self, kind: ResourceKind) -> f64 {
+        match kind {
+            ResourceKind::Cpu => self.cpu,
+            ResourceKind::MemoryMb => self.memory_mb,
+            ResourceKind::DiskMb => self.disk_mb,
+            ResourceKind::NetworkMbps => self.network_mbps,
+        }
+    }
+
+    /// Set one dimension.
+    pub fn set(&mut self, kind: ResourceKind, value: f64) {
+        match kind {
+            ResourceKind::Cpu => self.cpu = value,
+            ResourceKind::MemoryMb => self.memory_mb = value,
+            ResourceKind::DiskMb => self.disk_mb = value,
+            ResourceKind::NetworkMbps => self.network_mbps = value,
+        }
+    }
+
+    /// True if every dimension of `self` fits within `capacity`.
+    pub fn fits_within(&self, capacity: &Resources) -> bool {
+        self.cpu <= capacity.cpu
+            && self.memory_mb <= capacity.memory_mb
+            && self.disk_mb <= capacity.disk_mb
+            && self.network_mbps <= capacity.network_mbps
+    }
+
+    /// Element-wise maximum.
+    pub fn max(&self, other: &Resources) -> Resources {
+        Resources {
+            cpu: self.cpu.max(other.cpu),
+            memory_mb: self.memory_mb.max(other.memory_mb),
+            disk_mb: self.disk_mb.max(other.disk_mb),
+            network_mbps: self.network_mbps.max(other.network_mbps),
+        }
+    }
+
+    /// Element-wise minimum.
+    pub fn min(&self, other: &Resources) -> Resources {
+        Resources {
+            cpu: self.cpu.min(other.cpu),
+            memory_mb: self.memory_mb.min(other.memory_mb),
+            disk_mb: self.disk_mb.min(other.disk_mb),
+            network_mbps: self.network_mbps.min(other.network_mbps),
+        }
+    }
+
+    /// Scale every dimension by `factor`.
+    pub fn scale(&self, factor: f64) -> Resources {
+        Resources {
+            cpu: self.cpu * factor,
+            memory_mb: self.memory_mb * factor,
+            disk_mb: self.disk_mb * factor,
+            network_mbps: self.network_mbps * factor,
+        }
+    }
+
+    /// The highest utilization fraction across dimensions when `self` is
+    /// the load and `capacity` the available resources. Dimensions with
+    /// zero capacity are skipped (they carry no constraint).
+    ///
+    /// This is the "dominant resource" used by the load balancer to compare
+    /// container loads of different shapes.
+    pub fn dominant_utilization(&self, capacity: &Resources) -> f64 {
+        let mut util: f64 = 0.0;
+        for kind in ResourceKind::ALL {
+            let cap = capacity.get(kind);
+            if cap > 0.0 {
+                util = util.max(self.get(kind) / cap);
+            }
+        }
+        util
+    }
+
+    /// True if every dimension is (approximately) zero.
+    pub fn is_zero(&self) -> bool {
+        self.cpu == 0.0 && self.memory_mb == 0.0 && self.disk_mb == 0.0 && self.network_mbps == 0.0
+    }
+
+    /// True if no dimension is negative. Saturating subtraction preserves
+    /// this invariant; it is asserted in debug builds.
+    pub fn is_non_negative(&self) -> bool {
+        self.cpu >= 0.0 && self.memory_mb >= 0.0 && self.disk_mb >= 0.0 && self.network_mbps >= 0.0
+    }
+}
+
+impl Add for Resources {
+    type Output = Resources;
+    fn add(self, rhs: Resources) -> Resources {
+        Resources {
+            cpu: self.cpu + rhs.cpu,
+            memory_mb: self.memory_mb + rhs.memory_mb,
+            disk_mb: self.disk_mb + rhs.disk_mb,
+            network_mbps: self.network_mbps + rhs.network_mbps,
+        }
+    }
+}
+
+impl AddAssign for Resources {
+    fn add_assign(&mut self, rhs: Resources) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Resources {
+    type Output = Resources;
+    /// Element-wise saturating subtraction: never yields negatives.
+    fn sub(self, rhs: Resources) -> Resources {
+        Resources {
+            cpu: (self.cpu - rhs.cpu).max(0.0),
+            memory_mb: (self.memory_mb - rhs.memory_mb).max(0.0),
+            disk_mb: (self.disk_mb - rhs.disk_mb).max(0.0),
+            network_mbps: (self.network_mbps - rhs.network_mbps).max(0.0),
+        }
+    }
+}
+
+impl SubAssign for Resources {
+    fn sub_assign(&mut self, rhs: Resources) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Resources {
+    type Output = Resources;
+    fn mul(self, rhs: f64) -> Resources {
+        self.scale(rhs)
+    }
+}
+
+impl std::iter::Sum for Resources {
+    fn sum<I: Iterator<Item = Resources>>(iter: I) -> Resources {
+        iter.fold(Resources::ZERO, |acc, r| acc + r)
+    }
+}
+
+impl fmt::Display for Resources {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cpu={:.2} mem={:.0}MB disk={:.0}MB net={:.1}MB/s",
+            self.cpu, self.memory_mb, self.disk_mb, self.network_mbps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_is_elementwise() {
+        let a = Resources::new(1.0, 100.0, 10.0, 5.0);
+        let b = Resources::new(0.5, 50.0, 5.0, 2.5);
+        assert_eq!(a + b, Resources::new(1.5, 150.0, 15.0, 7.5));
+        assert_eq!(a - b, b);
+        assert_eq!(a.scale(2.0), Resources::new(2.0, 200.0, 20.0, 10.0));
+    }
+
+    #[test]
+    fn subtraction_saturates() {
+        let a = Resources::cpu_mem(1.0, 100.0);
+        let b = Resources::cpu_mem(2.0, 50.0);
+        let d = a - b;
+        assert_eq!(d.cpu, 0.0);
+        assert_eq!(d.memory_mb, 50.0);
+        assert!(d.is_non_negative());
+    }
+
+    #[test]
+    fn fits_within_checks_every_dimension() {
+        let cap = Resources::new(4.0, 1000.0, 100.0, 50.0);
+        assert!(Resources::cpu_mem(4.0, 1000.0).fits_within(&cap));
+        assert!(!Resources::cpu_mem(4.1, 1.0).fits_within(&cap));
+        assert!(!Resources::new(0.0, 0.0, 101.0, 0.0).fits_within(&cap));
+    }
+
+    #[test]
+    fn dominant_utilization_picks_tightest_dimension() {
+        let cap = Resources::new(10.0, 1000.0, 0.0, 0.0);
+        let load = Resources::cpu_mem(2.0, 900.0);
+        // memory is 90% utilized, cpu only 20% — dominant is 0.9. The zero
+        // disk/network capacities are ignored.
+        assert!((load.dominant_utilization(&cap) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut r = Resources::ZERO;
+        for kind in ResourceKind::ALL {
+            r.set(kind, 42.0);
+            assert_eq!(r.get(kind), 42.0);
+        }
+    }
+
+    #[test]
+    fn sum_of_empty_iterator_is_zero() {
+        let total: Resources = std::iter::empty().sum();
+        assert!(total.is_zero());
+    }
+}

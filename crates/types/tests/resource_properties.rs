@@ -1,0 +1,90 @@
+//! Property tests for the resource-vector algebra: the laws the placement
+//! and accounting code silently rely on.
+
+use proptest::prelude::*;
+use turbine_types::{Percentiles, ResourceKind, Resources};
+
+fn arb_res() -> impl Strategy<Value = Resources> {
+    (0.0f64..100.0, 0.0f64..100_000.0, 0.0f64..1.0e6, 0.0f64..1000.0)
+        .prop_map(|(c, m, d, n)| Resources::new(c, m, d, n))
+}
+
+proptest! {
+    /// Addition is commutative and associative (up to float error).
+    #[test]
+    fn addition_laws(a in arb_res(), b in arb_res(), c in arb_res()) {
+        let ab = a + b;
+        let ba = b + a;
+        for kind in ResourceKind::ALL {
+            prop_assert!((ab.get(kind) - ba.get(kind)).abs() < 1e-9);
+        }
+        let left = (a + b) + c;
+        let right = a + (b + c);
+        for kind in ResourceKind::ALL {
+            prop_assert!((left.get(kind) - right.get(kind)).abs() < 1e-6);
+        }
+    }
+
+    /// Saturating subtraction never yields negatives and undoes addition
+    /// when nothing saturates.
+    #[test]
+    fn subtraction_laws(a in arb_res(), b in arb_res()) {
+        prop_assert!((a - b).is_non_negative());
+        let roundtrip = (a + b) - b;
+        for kind in ResourceKind::ALL {
+            prop_assert!((roundtrip.get(kind) - a.get(kind)).abs() < 1e-6);
+        }
+    }
+
+    /// `fits_within` is a partial order compatible with addition: if a and
+    /// b both fit in half of c, a+b fits in c.
+    #[test]
+    fn fits_within_is_monotone(a in arb_res(), b in arb_res(), c in arb_res()) {
+        let half = c.scale(0.5);
+        if a.fits_within(&half) && b.fits_within(&half) {
+            prop_assert!((a + b).fits_within(&c.scale(1.0 + 1e-12)));
+        }
+        // Reflexivity.
+        prop_assert!(a.fits_within(&a));
+    }
+
+    /// Dominant utilization is the max over per-dimension ratios and
+    /// scales linearly with load.
+    #[test]
+    fn dominant_utilization_laws(load in arb_res(), cap in arb_res(), k in 0.1f64..10.0) {
+        prop_assume!(cap.cpu > 0.1 && cap.memory_mb > 1.0 && cap.disk_mb > 1.0 && cap.network_mbps > 0.1);
+        let u = load.dominant_utilization(&cap);
+        for kind in ResourceKind::ALL {
+            prop_assert!(u + 1e-12 >= load.get(kind) / cap.get(kind));
+        }
+        let scaled = load.scale(k).dominant_utilization(&cap);
+        prop_assert!((scaled - u * k).abs() < 1e-6 * k.max(1.0));
+    }
+
+    /// min/max are lattice operations: min <= each input <= max per
+    /// dimension, idempotent, commutative.
+    #[test]
+    fn min_max_lattice(a in arb_res(), b in arb_res()) {
+        let lo = a.min(&b);
+        let hi = a.max(&b);
+        for kind in ResourceKind::ALL {
+            prop_assert!(lo.get(kind) <= a.get(kind) && lo.get(kind) <= b.get(kind));
+            prop_assert!(hi.get(kind) >= a.get(kind) && hi.get(kind) >= b.get(kind));
+        }
+        prop_assert_eq!(a.min(&a), a);
+        prop_assert_eq!(a.max(&a), a);
+        prop_assert_eq!(a.min(&b), b.min(&a));
+        prop_assert_eq!(a.max(&b), b.max(&a));
+    }
+
+    /// Percentile summaries are ordered and bounded by the sample range.
+    #[test]
+    fn percentiles_are_ordered(samples in prop::collection::vec(-1.0e6f64..1.0e6, 1..300)) {
+        let p = Percentiles::from_samples(&samples);
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(p.p5 <= p.p50 && p.p50 <= p.p95);
+        prop_assert!(p.p5 >= min && p.p95 <= max);
+        prop_assert!(p.mean >= min - 1e-9 && p.mean <= max + 1e-9);
+    }
+}

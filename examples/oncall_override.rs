@@ -1,0 +1,75 @@
+//! The hierarchical configuration model in action (paper §III-A):
+//! Provisioner, Scaler, and Oncall levels layering over the Base config,
+//! with oncall overrides winning regardless of what automation does, and
+//! read-modify-write version checks preventing lost updates.
+//!
+//! ```sh
+//! cargo run --release -p turbine-examples --bin oncall_override
+//! ```
+
+use turbine::{Turbine, TurbineConfig};
+use turbine_config::{ConfigLevel, ConfigValue, JobConfig};
+use turbine_types::{Duration, JobId, Resources};
+use turbine_workloads::TrafficModel;
+
+fn main() {
+    let mut turbine = Turbine::new(TurbineConfig::default());
+    turbine.add_hosts(4, Resources::new(56.0, 256.0 * 1024.0, 1.0e6, 1000.0));
+
+    let job = JobId(1);
+    turbine
+        .provision_job(
+            job,
+            JobConfig::stateless("layered", 4, 64),
+            TrafficModel::flat(2.0e6),
+            1.0e6,
+            256.0,
+        )
+        .expect("provision");
+    turbine.run_for(Duration::from_mins(3));
+
+    let show = |turbine: &mut Turbine, label: &str| {
+        let cfg = turbine
+            .job_service_mut()
+            .expected_typed(job)
+            .expect("typed config");
+        println!("{label:<46} task_count = {:>3}", cfg.task_count);
+    };
+
+    show(&mut turbine, "base only");
+
+    // The Auto Scaler writes its level (as automation would).
+    turbine
+        .job_service_mut()
+        .set_level_field(job, ConfigLevel::Scaler, "task_count", ConfigValue::Int(15))
+        .expect("scaler write");
+    show(&mut turbine, "scaler asks for 15");
+
+    // Oncall pins 30 during an incident: highest precedence wins.
+    turbine
+        .oncall_set(job, "task_count", ConfigValue::Int(30))
+        .expect("oncall write");
+    show(&mut turbine, "oncall pins 30 (beats scaler)");
+
+    // A (broken) automation keeps writing — oncall still wins.
+    turbine
+        .job_service_mut()
+        .set_level_field(job, ConfigLevel::Scaler, "task_count", ConfigValue::Int(5))
+        .expect("scaler write");
+    show(&mut turbine, "broken scaler writes 5 (oncall still wins)");
+
+    // Incident over: the override is cleared and the scaler level shows
+    // through again.
+    turbine.oncall_clear(job).expect("clear oncall");
+    show(&mut turbine, "oncall cleared (scaler value resumes)");
+
+    // Let the State Syncer converge the running state to the expected one
+    // and show the complex sync completing.
+    turbine.run_for(Duration::from_mins(8));
+    let status = turbine.job_status(job).expect("status");
+    println!();
+    println!(
+        "after sync: {} tasks running (running config = {})",
+        status.running_tasks, status.running_config_tasks
+    );
+}

@@ -1,0 +1,95 @@
+//! A disaster-recovery drill ("storm", paper §VI-B2): a datacenter is
+//! drained and its traffic redirected here, raising input ~16 % above the
+//! normal peak. The Auto Scaler absorbs it — vertically first, so the task
+//! count grows by less than the traffic does. Day 0 warms the fleet up,
+//! day 1 is the baseline, the storm hits day 2 (08:00–20:00).
+//!
+//! ```sh
+//! cargo run --release -p turbine-examples --bin storm_drill
+//! ```
+
+use turbine::{Turbine, TurbineConfig};
+use turbine_config::JobConfig;
+use turbine_types::{Duration, JobId, Resources, SimTime};
+use turbine_workloads::{TrafficEvent, TrafficEventKind, TrafficModel};
+
+fn main() {
+    let mut config = TurbineConfig::default();
+    config.scaler.downscale_stability = Duration::from_hours(4);
+    // Keep tasks fine-grained (≤2 cores) so the storm pushes some jobs
+    // past their vertical ceiling into horizontal scaling.
+    config.scaler.vertical_limit.cpu = 2.0;
+    // Preactive churn suppression: with a full-day lookahead the nightly
+    // downscale sees tomorrow's peak in the history and holds capacity,
+    // so the storm only adds the delta above the retained peak (the
+    // paper's "+16% traffic -> +8% tasks" effect). Run the fleet warm
+    // (hotter target utilization) so the storm actually crosses the
+    // pre-emptive trigger.
+    config.scaler.patterns.lookahead = Duration::from_hours(24);
+    config.scaler.patterns.min_history_days = 1;
+    config.scaler.preemptive_units = 0.95;
+    config.scaler.target_units = 0.85;
+    let mut turbine = Turbine::new(config);
+    turbine.add_hosts(30, Resources::new(56.0, 256.0 * 1024.0, 1.0e6, 1000.0));
+
+    // 40 diurnal jobs of heterogeneous sizes. Day 0 warms the fleet up
+    // (cold-start sizing would pollute the baseline); day 1 is the
+    // baseline; the storm redirect hits day 2, 08:00-20:00, ramping to
+    // +16% traffic over two hours.
+    let storm = TrafficEvent {
+        start: SimTime::ZERO + Duration::from_hours(48 + 8),
+        end: SimTime::ZERO + Duration::from_hours(48 + 20),
+        kind: TrafficEventKind::RampedMultiplier {
+            peak: 1.16,
+            ramp_mins: 120,
+        },
+    };
+    for i in 0..40u64 {
+        let base = 4.0e6 * (1.0 + (i % 7) as f64);
+        let traffic = TrafficModel::diurnal(base, 0.3, i).with_event(storm);
+        let mut jc = JobConfig::stateless(&format!("pipeline_{i}"), 4, 256);
+        jc.max_task_count = 256;
+        turbine
+            .provision_job(JobId(i + 1), jc, traffic, 1.0e6, 256.0)
+            .expect("provision");
+    }
+
+    println!("hour  traffic_mb_s  tasks  slo_ok");
+    let mut day1_peak_tasks = 0.0f64;
+    let mut day2_peak_tasks = 0.0f64;
+    let mut day1_peak_traffic = 0.0f64;
+    let mut day2_peak_traffic = 0.0f64;
+    for hour in 1..=68u64 {
+        turbine.run_for(Duration::from_hours(1));
+        let traffic = turbine.metrics.cluster_traffic.last().unwrap_or(0.0) / 1.0e6;
+        let tasks = turbine.metrics.task_count.last().unwrap_or(0.0);
+        if (34..48).contains(&hour) {
+            day1_peak_tasks = day1_peak_tasks.max(tasks);
+            day1_peak_traffic = day1_peak_traffic.max(traffic);
+        }
+        if (56..68).contains(&hour) {
+            day2_peak_tasks = day2_peak_tasks.max(tasks);
+            day2_peak_traffic = day2_peak_traffic.max(traffic);
+        }
+        if hour > 24 {
+            println!(
+                "{hour:>4}  {traffic:>12.1}  {tasks:>5.0}  {:>6.3}",
+                turbine.metrics.slo_ok_fraction.last().unwrap_or(0.0)
+            );
+        }
+    }
+
+    println!();
+    println!(
+        "day-1 peak: {day1_peak_traffic:.1} MB/s with {day1_peak_tasks:.0} tasks"
+    );
+    println!(
+        "day-2 (storm) peak: {day2_peak_traffic:.1} MB/s with {day2_peak_tasks:.0} tasks"
+    );
+    println!(
+        "traffic grew {:.1}% at peak; task count grew {:.1}% — vertical-first \
+         scaling and headroom absorb most of the storm (paper: +16% traffic, +8% tasks)",
+        (day2_peak_traffic / day1_peak_traffic - 1.0) * 100.0,
+        (day2_peak_tasks / day1_peak_tasks.max(1.0) - 1.0) * 100.0,
+    );
+}

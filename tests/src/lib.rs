@@ -1,0 +1,5 @@
+//! Cross-crate integration tests for the Turbine workspace live in
+//! `tests/` next to this stub library target. They exercise whole-platform
+//! behaviour: ACIDF updates against real Task Managers, the two-level
+//! scheduling protocol under failures, degraded modes, and property-based
+//! invariants of placement and partition assignment.

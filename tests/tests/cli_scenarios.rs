@@ -1,0 +1,36 @@
+//! The curated scenario files under `scenarios/` stay runnable: they parse,
+//! execute end to end, and leave the fleet healthy.
+
+use turbine_cli::{run_scenario, Scenario};
+
+fn run_file(name: &str) -> turbine_cli::RunSummary {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/..").to_string() + "/scenarios/" + name;
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let scenario = Scenario::parse(&text).expect("scenario parses");
+    run_scenario(&scenario)
+}
+
+#[test]
+fn maintenance_window_scenario_stays_healthy() {
+    let summary = run_file("maintenance_window.json");
+    // Every job running at the end; the final report row shows full SLO.
+    for (name, tasks, _) in &summary.jobs {
+        assert!(*tasks > 0, "{name} lost its tasks");
+    }
+    let &(_, _, _, slo, _) = summary.rows.last().expect("rows");
+    assert!(slo > 0.99, "final slo {slo}");
+    assert!(summary.counters[4] >= 1, "host failures must trigger fail-over");
+}
+
+#[test]
+fn storm_and_rollback_scenario_stays_healthy() {
+    let summary = run_file("storm_and_rollback.json");
+    let &(_, _, _, slo, backlog) = summary.rows.last().expect("rows");
+    assert!(slo > 0.99, "final slo {slo}");
+    assert!(backlog < 8.0 * 2.0 * 90.0, "final backlog {backlog} MB");
+    // The oncall 24-task pin was applied and then cleared: the job ends
+    // with the scaler's own sizing, still running.
+    for (name, tasks, _) in &summary.jobs {
+        assert!(*tasks > 0, "{name} lost its tasks");
+    }
+}

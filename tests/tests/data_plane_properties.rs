@@ -1,0 +1,136 @@
+//! Property tests on the data-plane model and the sync loop: byte
+//! conservation under arbitrary traffic, and convergence of expected vs
+//! running state under arbitrary update sequences.
+
+use proptest::prelude::*;
+use turbine::{Turbine, TurbineConfig};
+use turbine_config::{ConfigLevel, ConfigValue, JobConfig};
+use turbine_jobstore::{JobService, JobStore, MemWal};
+use turbine_statesyncer::{Redistribute, StateSyncer, SyncEnvironment};
+use turbine_types::{Duration, JobId, Resources};
+use turbine_workloads::TrafficModel;
+
+struct InstantEnv;
+impl SyncEnvironment for InstantEnv {
+    fn request_stop(&mut self, _job: JobId) {}
+    fn all_stopped(&mut self, _job: JobId) -> bool {
+        true
+    }
+    fn redistribute_checkpoints(&mut self, _j: JobId, _o: u32, _n: u32) -> Result<Redistribute, String> {
+        Ok(Redistribute::Done)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Conservation: for any (rate, capacity, parallelism) combination,
+    /// bytes arrived == bytes processed + backlog (up to float rounding),
+    /// and the job tracks the correct steady state.
+    #[test]
+    fn bytes_are_conserved(
+        rate_mb in 0.5f64..20.0,
+        task_count in 1u32..8,
+        minutes in 10u64..40,
+    ) {
+        let job = JobId(1);
+        let mut config = TurbineConfig::default();
+        config.scaler_enabled = false;
+        let mut t = Turbine::new(config);
+        t.add_hosts(4, Resources::new(56.0, 256.0 * 1024.0, 1.0e6, 1000.0));
+        t.provision_job(
+            job,
+            JobConfig::stateless("conserve", task_count, 64),
+            TrafficModel::flat(rate_mb * 1.0e6),
+            1.0e6,
+            256.0,
+        ).expect("provision");
+        t.run_for(Duration::from_mins(minutes));
+        let status = t.job_status(job).expect("status");
+        let arrived = rate_mb * 1.0e6 * t.now().as_secs_f64();
+        // Backlog can never exceed what arrived, and if capacity exceeds
+        // the rate, the backlog stays bounded by the startup transient.
+        prop_assert!(status.backlog_bytes <= arrived * (1.0 + 1e-9));
+        if (task_count as f64) * 1.0e6 > rate_mb * 1.0e6 * 1.3 {
+            prop_assert!(
+                status.backlog_bytes < rate_mb * 1.0e6 * 240.0,
+                "overscaled job must drain its startup backlog: {status:?}"
+            );
+        }
+    }
+
+    /// Convergence: after any sequence of writes to any levels, enough
+    /// sync rounds make the running configuration equal the merged
+    /// expected configuration — and further rounds change nothing.
+    #[test]
+    fn syncer_converges_for_any_update_sequence(
+        writes in prop::collection::vec(
+            (0u8..4, prop::sample::select(vec!["task_count", "package.version", "threads_per_task", "max_task_count"]), 1i64..64),
+            0..12,
+        ),
+    ) {
+        let job = JobId(1);
+        let mut svc = JobService::new(JobStore::new(MemWal::new()));
+        svc.provision(job, &JobConfig::stateless("converge", 4, 64)).expect("provision");
+        let mut syncer = StateSyncer::default();
+        syncer.run_round(&mut svc, &mut InstantEnv);
+
+        for (level, field, value) in writes {
+            let level = match level {
+                0 => ConfigLevel::Base,
+                1 => ConfigLevel::Provisioner,
+                2 => ConfigLevel::Scaler,
+                _ => ConfigLevel::Oncall,
+            };
+            // Keep task_count within the partition bound so the config
+            // stays structurally valid.
+            let value = if field == "task_count" { value.min(64) } else { value };
+            svc.set_level_field(job, level, field, ConfigValue::Int(value)).expect("write");
+        }
+
+        for _ in 0..4 {
+            syncer.run_round(&mut svc, &mut InstantEnv);
+        }
+        let expected = svc.store().expected_merged(job).expect("merged");
+        prop_assert_eq!(Some(&expected), svc.store().running(job));
+        let quiet = syncer.run_round(&mut svc, &mut InstantEnv);
+        prop_assert_eq!(quiet.total_changed(), 0);
+    }
+}
+
+/// Deterministic OOM-recovery loop: a cgroup-enforced job with an
+/// undersized memory reservation OOMs, the scaler grows the reservation,
+/// and the OOMs stop.
+#[test]
+fn oom_loop_settles_after_memory_growth() {
+    let mut config = TurbineConfig::default();
+    config.scaler.min_action_gap = Duration::from_mins(2);
+    let mut t = Turbine::new(config);
+    t.add_hosts(4, Resources::new(56.0, 256.0 * 1024.0, 1.0e6, 1000.0));
+    let job = JobId(1);
+    let mut jc = JobConfig::stateless("oomer", 2, 16);
+    jc.memory_enforcement = turbine_config::MemoryEnforcement::Cgroup;
+    // Large messages → memory well above the 430 MB reservation.
+    jc.task_resources = Resources::cpu_mem(4.0, 430.0);
+    t.provision_job(job, jc, TrafficModel::flat(3.0e6), 1.0e6, 4096.0)
+        .expect("provision");
+
+    t.run_for(Duration::from_mins(30));
+    let ooms_after_settle = t.metrics.oom_kills.get();
+    assert!(ooms_after_settle > 0, "undersized reservation must OOM first");
+    let grown = t.job_service_mut().expected_typed(job).expect("config");
+    assert!(
+        grown.task_resources.memory_mb > 430.0,
+        "scaler must grow the reservation: {:?}",
+        grown.task_resources
+    );
+    // Once grown, the OOMs stop.
+    t.run_for(Duration::from_mins(20));
+    assert_eq!(
+        t.metrics.oom_kills.get(),
+        ooms_after_settle,
+        "no further OOM kills after the reservation grew"
+    );
+    let status = t.job_status(job).expect("status");
+    assert!(status.backlog_bytes < 3.0e6 * 90.0, "{status:?}");
+}
