@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Repo CI gate: build, tests, lints, and a chaos smoke run.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== cargo clippy -- -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== chaos_soak smoke (30 simulated minutes) =="
+./target/release/chaos_soak --mins 30
+
+echo "CI OK"

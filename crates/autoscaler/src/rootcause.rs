@@ -181,13 +181,18 @@ impl RootCauser {
         }
 
         // Rule 3 — dependency failure: everyone is slow relative to the
-        // known max throughput, and nothing changed.
+        // known max throughput, and nothing changed. A *complete* stall
+        // (zero processing while input keeps arriving — e.g. the input
+        // Scribe category stops serving reads) is the extreme of the same
+        // shape; zero throughput with zero input is just an idle job.
         let n = input.metrics.task_count.max(1) as f64;
         let k = input.metrics.threads_per_task.max(1) as f64;
         let observed_per_thread = input.metrics.processing_rate / (n * k);
+        let total_stall =
+            input.metrics.processing_rate <= 0.0 && input.metrics.input_rate > 0.0;
         if input.expected_per_thread > 0.0
             && observed_per_thread < input.expected_per_thread * self.config.collapse_ratio
-            && input.metrics.processing_rate > 0.0
+            && (input.metrics.processing_rate > 0.0 || total_stall)
         {
             return Diagnosis {
                 cause: RootCause::DependencyFailure,
@@ -311,6 +316,25 @@ mod tests {
             now: t(60),
         });
         assert_eq!(d.cause, RootCause::DependencyFailure);
+    }
+
+    #[test]
+    fn total_stall_with_arrivals_is_a_dependency_failure() {
+        // Reads from the input category stalled entirely: arrivals
+        // continue, processing is zero across the board.
+        let mut metrics = base_metrics(4);
+        metrics.processing_rate = 0.0;
+        let rates: Vec<(TaskId, f64)> = (0..4).map(|i| (task(i), 0.0)).collect();
+        let d = RootCauser::default().diagnose(&DiagnosisInput {
+            metrics: &metrics,
+            per_task_rates: &rates,
+            expected_per_thread: 1.0e6,
+            last_release: None,
+            lag_since: Some(t(50)),
+            now: t(60),
+        });
+        assert_eq!(d.cause, RootCause::DependencyFailure);
+        assert_eq!(d.mitigation, Mitigation::AlertAndWait);
     }
 
     #[test]

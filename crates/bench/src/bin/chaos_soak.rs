@@ -1,0 +1,275 @@
+//! Chaos soak — a seeded multi-fault timeline against the whole platform
+//! with the invariant checker on every tick.
+//!
+//! The run schedules host flaps plus every chaos-engine fault class
+//! (Task Service outage, Job Store outage, transient and sustained
+//! heartbeat loss, a State Syncer crash, a Scribe read stall) across the
+//! soak window, leaving at least the final 10 % of the run fault-free so
+//! convergence can be asserted. The whole timeline is then executed a
+//! second time from the same seed: the fault logs (and their FNV digest)
+//! must match bit-for-bit, or the exit code is non-zero — as it is for
+//! any invariant violation.
+//!
+//! ```sh
+//! cargo run --release -p turbine-bench --bin chaos_soak            # 48 h soak
+//! cargo run --release -p turbine-bench --bin chaos_soak -- --mins 30
+//! cargo run --release -p turbine-bench --bin chaos_soak -- --hours 72 --seed 7
+//! ```
+
+use turbine::{Fault, FaultPlan, InvariantConfig, Turbine, TurbineConfig};
+use turbine_bench::scuba_host;
+use turbine_config::JobConfig;
+use turbine_sim::SimRng;
+use turbine_types::{Duration, HostId, JobId, SimTime};
+use turbine_workloads::TrafficModel;
+
+/// One host flap derived from the seed: fail at `fail_at`, recover at
+/// `recover_at`.
+struct HostFlap {
+    host: usize,
+    fail_at: SimTime,
+    recover_at: SimTime,
+}
+
+struct SoakOutcome {
+    fault_log: Vec<(SimTime, String)>,
+    digest: u64,
+    violations: Vec<String>,
+    total_violations: u64,
+    ticks_checked: u64,
+    fingerprint: Vec<f64>,
+}
+
+fn build_platform() -> (Turbine, Vec<HostId>) {
+    let mut config = TurbineConfig::default();
+    config.scaler.downscale_stability = Duration::from_hours(4);
+    let mut turbine = Turbine::new(config);
+    let hosts = turbine.add_hosts(8, scuba_host());
+    // Three stateless pipelines plus one stateful job with a modest key
+    // space (~1 GB of state, a few seconds per state move) so complex
+    // syncs complete well inside the convergence window.
+    for (i, &(name, tasks, rate, swing, seed)) in [
+        ("soak_events", 8u32, 6.0e6, 0.3, 101u64),
+        ("soak_metrics", 4, 3.0e6, 0.25, 102),
+        ("soak_counters", 4, 2.0e6, 0.2, 103),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let mut jc = JobConfig::stateless(name, tasks, 64);
+        jc.max_task_count = 64;
+        turbine
+            .provision_job(
+                JobId(i as u64 + 1),
+                jc,
+                TrafficModel::diurnal(rate, swing, seed),
+                1.0e6,
+                256.0,
+            )
+            .expect("provision");
+    }
+    let mut jc = JobConfig::stateless("soak_sessions", 4, 64);
+    jc.max_task_count = 64;
+    turbine
+        .provision_stateful_job(
+            JobId(4),
+            jc,
+            TrafficModel::diurnal(2.0e6, 0.2, 104),
+            1.0e6,
+            256.0,
+            1.0e6,
+        )
+        .expect("provision");
+    (turbine, hosts)
+}
+
+/// Schedule the fault timeline. Positions are fractions of the total run
+/// so the same shape works for a 30-minute smoke run and a 72-hour soak;
+/// every window ends by 88 % of the run.
+fn schedule_faults(turbine: &mut Turbine, total: Duration) {
+    let frac = |f: f64| SimTime::ZERO + Duration::from_secs_f64(total.as_secs_f64() * f);
+    let span = |f: f64| Duration::from_secs_f64(total.as_secs_f64() * f);
+    let plan = |fault: Fault, from: SimTime, len: Duration| FaultPlan {
+        fault,
+        from,
+        until: Some(from + len),
+    };
+
+    turbine.schedule_fault(plan(Fault::TaskServiceDown, frac(0.10), span(0.05)));
+    turbine.schedule_fault(plan(Fault::JobStoreDown, frac(0.25), span(0.05)));
+
+    // Heartbeat loss: one transient single-beat drop (must not trigger
+    // fail-over) and one sustained loss (must). Victims come from the
+    // first two hosts; host flaps only touch the rest.
+    let transient = turbine.cluster.containers_on(turbine.cluster.hosts()[0]).expect("containers")[0];
+    turbine.schedule_fault(plan(
+        Fault::HeartbeatLoss(transient),
+        frac(0.40),
+        Duration::from_secs(15),
+    ));
+    let sustained = turbine.cluster.containers_on(turbine.cluster.hosts()[1]).expect("containers")[0];
+    turbine.schedule_fault(plan(Fault::HeartbeatLoss(sustained), frac(0.50), span(0.04)));
+
+    turbine.schedule_fault(plan(Fault::SyncerCrash, frac(0.65), span(0.04)));
+
+    let category = turbine.job_category(JobId(3)).expect("category").to_string();
+    turbine.schedule_fault(plan(Fault::ScribeStall(category), frac(0.78), span(0.05)));
+}
+
+/// Derive the host-flap schedule from the seed: one flap roughly every
+/// 6 hours (at least one per run), each 10–30 minutes, all on hosts 2+,
+/// all recovered by 85 % of the run.
+fn flap_schedule(total: Duration, hosts: usize, rng: &mut SimRng) -> Vec<HostFlap> {
+    let flaps = ((total.as_secs_f64() / 21_600.0).ceil() as usize).max(1);
+    (0..flaps)
+        .map(|i| {
+            let slot = total.as_secs_f64() * 0.80 * (i as f64 + rng.uniform(0.2, 0.8)) / flaps as f64;
+            let fail_at = SimTime::ZERO + Duration::from_secs_f64(slot);
+            let len = rng.uniform(600.0, 1800.0).min(total.as_secs_f64() * 0.05);
+            HostFlap {
+                host: 2 + rng.uniform_usize(0, hosts - 2),
+                fail_at,
+                recover_at: fail_at + Duration::from_secs_f64(len),
+            }
+        })
+        .collect()
+}
+
+fn soak(total: Duration, seed: u64) -> SoakOutcome {
+    let mut rng = SimRng::seeded(seed);
+    let (mut turbine, hosts) = build_platform();
+    turbine.enable_invariant_checks(InvariantConfig::default());
+    turbine.run_for(Duration::from_mins(5).min(total)); // settle before chaos
+    schedule_faults(&mut turbine, total);
+    let flaps = flap_schedule(total, hosts.len(), &mut rng);
+
+    let end = SimTime::ZERO + total;
+    let mut fail_queue: Vec<(SimTime, usize)> =
+        flaps.iter().map(|f| (f.fail_at, f.host)).collect();
+    let mut recover_queue: Vec<(SimTime, usize)> =
+        flaps.iter().map(|f| (f.recover_at, f.host)).collect();
+    while turbine.now() < end {
+        let now = turbine.now();
+        // Recoveries first so a host is never failed while already down.
+        recover_queue.retain(|&(at, h)| {
+            if at <= now {
+                turbine.recover_host(hosts[h]).expect("recover host");
+                false
+            } else {
+                true
+            }
+        });
+        fail_queue.retain(|&(at, h)| {
+            if at <= now {
+                turbine.fail_host(hosts[h]).expect("fail host");
+                false
+            } else {
+                true
+            }
+        });
+        turbine.run_for(Duration::from_mins(1).min(end.since(now)));
+    }
+
+    let checker = turbine.invariant_checker().expect("checker enabled");
+    let mut fingerprint = vec![
+        turbine.metrics.task_starts.get() as f64,
+        turbine.metrics.task_stops.get() as f64,
+        turbine.metrics.task_restarts.get() as f64,
+        turbine.metrics.shard_moves.get() as f64,
+        turbine.metrics.failovers.get() as f64,
+        turbine.metrics.scaling_actions.get() as f64,
+    ];
+    for i in 1..=4u64 {
+        let status = turbine.job_status(JobId(i)).expect("status");
+        fingerprint.push(status.running_tasks as f64);
+        fingerprint.push(status.backlog_bytes);
+    }
+    SoakOutcome {
+        fault_log: turbine.fault_injector().log().to_vec(),
+        digest: turbine.fault_injector().log_digest(),
+        violations: turbine
+            .invariant_violations()
+            .iter()
+            .map(|v| format!("[{:>9.2} h] {}: {}", v.at.as_hours_f64(), v.invariant, v.detail))
+            .collect(),
+        total_violations: checker.total_violations(),
+        ticks_checked: checker.ticks_checked(),
+        fingerprint,
+    }
+}
+
+fn main() {
+    let mut hours = 48u64;
+    let mut mins: Option<u64> = None;
+    let mut seed = 0xC4A05u64;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = args.get(i + 1).and_then(|v| v.parse::<u64>().ok());
+        match (args[i].as_str(), value) {
+            ("--hours", Some(v)) => hours = v,
+            ("--mins", Some(v)) => mins = Some(v),
+            ("--seed", Some(v)) => seed = v,
+            _ => {
+                eprintln!("usage: chaos_soak [--hours H] [--mins M] [--seed S]");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+    let total = mins.map_or_else(|| Duration::from_hours(hours), Duration::from_mins);
+
+    eprintln!(
+        "chaos soak: {:.1} simulated hours, seed {seed:#x}, run 1 of 2...",
+        total.as_hours_f64()
+    );
+    let first = soak(total, seed);
+    eprintln!("run 2 of 2 (same seed, must reproduce bit-for-bit)...");
+    let second = soak(total, seed);
+
+    println!("## chaos soak fault timeline ({:.1} h, seed {seed:#x})", total.as_hours_f64());
+    for (at, entry) in &first.fault_log {
+        println!("  [{:>9.2} h] {entry}", at.as_hours_f64());
+    }
+    println!(
+        "## {} fault transitions, {} ticks checked, digest {:#018x}",
+        first.fault_log.len(),
+        first.ticks_checked,
+        first.digest
+    );
+
+    let mut failed = false;
+    if first.total_violations > 0 {
+        failed = true;
+        eprintln!("INVARIANT VIOLATIONS ({}):", first.total_violations);
+        for v in &first.violations {
+            eprintln!("  {v}");
+        }
+    } else {
+        println!("[OK] zero invariant violations across {} ticks", first.ticks_checked);
+    }
+    if first.fault_log == second.fault_log && first.digest == second.digest {
+        println!("[OK] identical fault log on replay (digest {:#018x})", second.digest);
+    } else {
+        failed = true;
+        eprintln!(
+            "NON-DETERMINISTIC REPLAY: digest {:#018x} vs {:#018x}, {} vs {} entries",
+            first.digest,
+            second.digest,
+            first.fault_log.len(),
+            second.fault_log.len()
+        );
+    }
+    if first.fingerprint == second.fingerprint {
+        println!("[OK] identical platform fingerprint on replay");
+    } else {
+        failed = true;
+        eprintln!(
+            "NON-DETERMINISTIC REPLAY: fingerprint {:?} vs {:?}",
+            first.fingerprint, second.fingerprint
+        );
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

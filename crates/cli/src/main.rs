@@ -4,13 +4,41 @@
 //! turbinesim demo                 # run the built-in demo scenario
 //! turbinesim run scenario.json    # run a scenario file
 //! turbinesim schema               # print the demo scenario JSON as a format reference
+//! turbinesim faults               # list chaos fault events for scenario timelines
 //! ```
+//!
+//! Scenario timelines support chaos-engine events alongside host and job
+//! events: `{"action": "inject_fault", "at_mins": N, "fault": <name>, ...}`
+//! activates a fault (optionally auto-clearing after `duration_mins`) and
+//! `clear_fault` ends it. See `turbinesim faults` for the fault names and
+//! their addressing fields.
 
 use turbine_cli::{run_scenario, Scenario};
 
+const FAULT_HELP: &str = "\
+chaos fault events for scenario timelines:
+
+  {\"action\": \"inject_fault\", \"at_mins\": N, \"fault\": <name>, ...}
+  {\"action\": \"clear_fault\",  \"at_mins\": N, \"fault\": <name>, ...}
+
+fault names:
+  task_service_down   Task Service unreachable; Task Managers keep serving
+                      their cached snapshot (new/changed jobs wait)
+  job_store_down      Job Store unavailable; sync + scaling pause, oncall
+                      writes fail until it returns
+  heartbeat_loss      container on host <host> stops heart-beating; needs
+                      \"host\": <index>. Sustained loss triggers fail-over
+  syncer_crash        State Syncer process down; on clear it restarts and
+                      resumes from the persisted expected-vs-running diff
+  scribe_stall        reads from job <job>'s input category stall; needs
+                      \"job\": <name>. Backlog grows until cleared
+
+optional: \"duration_mins\": M auto-clears the fault M minutes later;
+without it the fault stays active until a matching clear_fault event.";
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let usage = "usage: turbinesim <demo | run <scenario.json> | schema>";
+    let usage = "usage: turbinesim <demo | run <scenario.json> | schema | faults>";
     match args.get(1).map(String::as_str) {
         Some("demo") => {
             let scenario = Scenario::demo();
@@ -46,6 +74,9 @@ fn main() {
         }
         Some("schema") => {
             println!("{}", turbine_cli::scenario::DEMO_SCENARIO);
+        }
+        Some("faults") => {
+            println!("{FAULT_HELP}");
         }
         _ => {
             eprintln!("{usage}");

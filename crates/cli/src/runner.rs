@@ -2,9 +2,9 @@
 
 use crate::scenario::{Scenario, ScenarioEvent};
 use std::collections::BTreeMap;
-use turbine::{Turbine, TurbineConfig};
+use turbine::{Fault, Turbine, TurbineConfig};
 use turbine_config::{ConfigValue, JobConfig};
-use turbine_types::{Duration, JobId, Resources, SimTime};
+use turbine_types::{Duration, HostId, JobId, Resources, SimTime};
 use turbine_workloads::{TrafficEvent, TrafficEventKind, TrafficModel};
 
 /// Outcome of a scenario run: the report rows plus final aggregates.
@@ -20,6 +20,8 @@ pub struct RunSummary {
     pub counters: [u64; 7],
     /// The rendered fleet-health dashboard at the end of the run (§VII).
     pub dashboard: String,
+    /// Chaos-engine fault timeline: (hours, "inject/clear <fault>").
+    pub fault_log: Vec<(f64, String)>,
 }
 
 impl RunSummary {
@@ -43,6 +45,12 @@ impl RunSummary {
         }
         out.push('\n');
         out.push_str(&self.dashboard);
+        if !self.fault_log.is_empty() {
+            out.push_str("\nfault timeline:\n");
+            for (hours, entry) in &self.fault_log {
+                out.push_str(&format!("  {hours:>6.2} h  {entry}\n"));
+            }
+        }
         let [starts, stops, restarts, moves, failovers, scalings, alerts] = self.counters;
         out.push_str(&format!(
             "\nlifecycle: {starts} starts, {stops} stops, {restarts} restarts, \
@@ -141,6 +149,22 @@ pub fn run_scenario(scenario: &Scenario) -> RunSummary {
                 ScenarioEvent::DeleteJob { job, .. } => {
                     turbine.delete_job(ids[job]).expect("valid job");
                 }
+                ScenarioEvent::InjectFault {
+                    fault,
+                    host,
+                    job,
+                    duration_mins,
+                    ..
+                } => {
+                    let fault = resolve_fault(fault, *host, job.as_deref(), &hosts, &ids, &turbine);
+                    turbine.inject_fault(fault, duration_mins.map(Duration::from_mins));
+                }
+                ScenarioEvent::ClearFault {
+                    fault, host, job, ..
+                } => {
+                    let fault = resolve_fault(fault, *host, job.as_deref(), &hosts, &ids, &turbine);
+                    turbine.clear_fault(&fault);
+                }
                 ScenarioEvent::Storm { .. } => unreachable!("pre-registered"),
             }
             pending.remove(0);
@@ -173,11 +197,53 @@ pub fn run_scenario(scenario: &Scenario) -> RunSummary {
         turbine.metrics.scaling_actions.get(),
         turbine.metrics.alerts.get(),
     ];
+    let fault_log = turbine
+        .fault_injector()
+        .log()
+        .iter()
+        .map(|(at, entry)| (at.as_hours_f64(), entry.clone()))
+        .collect();
     RunSummary {
         rows,
         jobs,
         counters,
         dashboard,
+        fault_log,
+    }
+}
+
+/// Map a validated scenario fault name (plus its addressing fields) to the
+/// platform's fault type. `heartbeat_loss` targets the Turbine container on
+/// the indexed host; `scribe_stall` targets the job's input category.
+fn resolve_fault(
+    fault: &str,
+    host: Option<usize>,
+    job: Option<&str>,
+    hosts: &[HostId],
+    ids: &BTreeMap<String, JobId>,
+    turbine: &Turbine,
+) -> Fault {
+    match fault {
+        "task_service_down" => Fault::TaskServiceDown,
+        "job_store_down" => Fault::JobStoreDown,
+        "syncer_crash" => Fault::SyncerCrash,
+        "heartbeat_loss" => {
+            let host = hosts[host.expect("validated: heartbeat_loss has a host")];
+            let container = turbine
+                .cluster
+                .containers_on(host)
+                .expect("scenario host exists")[0];
+            Fault::HeartbeatLoss(container)
+        }
+        "scribe_stall" => {
+            let id = ids[job.expect("validated: scribe_stall has a job")];
+            let category = turbine
+                .job_category(id)
+                .expect("scenario job is provisioned")
+                .to_string();
+            Fault::ScribeStall(category)
+        }
+        other => unreachable!("validated fault name '{other}'"),
     }
 }
 
@@ -236,6 +302,32 @@ mod tests {
         let summary = run_scenario(&scenario);
         assert!(summary.jobs[0].0.contains("deleted"));
         assert_eq!(summary.jobs[0].1, 0);
+    }
+
+    #[test]
+    fn fault_events_drive_the_chaos_engine() {
+        let scenario = Scenario::parse(
+            r#"{
+              "hosts": 3, "duration_hours": 1.0, "report_every_mins": 30,
+              "jobs": [{"name": "a", "tasks": 2, "partitions": 16, "rate_mbps": 1.0, "seed": 1}],
+              "events": [
+                {"action": "inject_fault", "at_mins": 10, "fault": "task_service_down", "duration_mins": 5},
+                {"action": "inject_fault", "at_mins": 20, "fault": "heartbeat_loss", "host": 1},
+                {"action": "clear_fault", "at_mins": 25, "fault": "heartbeat_loss", "host": 1},
+                {"action": "inject_fault", "at_mins": 30, "fault": "scribe_stall", "job": "a", "duration_mins": 10}
+              ]
+            }"#,
+        )
+        .expect("parse");
+        let summary = run_scenario(&scenario);
+        // Every inject and every clear (explicit or by expiry) is logged.
+        assert_eq!(summary.fault_log.len(), 6, "log: {:?}", summary.fault_log);
+        assert!(summary.render().contains("fault timeline:"));
+        // The job survives the whole gauntlet.
+        assert!(summary.jobs[0].1 > 0);
+        // Same scenario, same fault timeline.
+        let again = run_scenario(&scenario);
+        assert_eq!(summary.fault_log, again.fault_log);
     }
 
     #[test]

@@ -79,6 +79,33 @@ pub enum ScenarioEvent {
         /// Target job name.
         job: String,
     },
+    /// Activate a chaos-engine fault (see `turbine::Fault`).
+    InjectFault {
+        /// Firing time, minutes from start.
+        at_mins: u64,
+        /// Fault name: `task_service_down`, `job_store_down`,
+        /// `heartbeat_loss` (needs `host`), `syncer_crash`, or
+        /// `scribe_stall` (needs `job`).
+        fault: String,
+        /// Host index for `heartbeat_loss`.
+        host: Option<usize>,
+        /// Job name for `scribe_stall`.
+        job: Option<String>,
+        /// Auto-clear after this many minutes; omitted = until an
+        /// explicit `clear_fault`.
+        duration_mins: Option<u64>,
+    },
+    /// Clear a previously injected fault (same addressing fields).
+    ClearFault {
+        /// Firing time, minutes from start.
+        at_mins: u64,
+        /// Fault name (as for `inject_fault`).
+        fault: String,
+        /// Host index for `heartbeat_loss`.
+        host: Option<usize>,
+        /// Job name for `scribe_stall`.
+        job: Option<String>,
+    },
 }
 
 impl ScenarioEvent {
@@ -90,10 +117,21 @@ impl ScenarioEvent {
             | ScenarioEvent::Storm { at_mins, .. }
             | ScenarioEvent::OncallSet { at_mins, .. }
             | ScenarioEvent::OncallClear { at_mins, .. }
-            | ScenarioEvent::DeleteJob { at_mins, .. } => *at_mins,
+            | ScenarioEvent::DeleteJob { at_mins, .. }
+            | ScenarioEvent::InjectFault { at_mins, .. }
+            | ScenarioEvent::ClearFault { at_mins, .. } => *at_mins,
         }
     }
 }
+
+/// Fault names scenarios may use with `inject_fault`/`clear_fault`.
+pub const FAULT_NAMES: [&str; 5] = [
+    "task_service_down",
+    "job_store_down",
+    "heartbeat_loss",
+    "syncer_crash",
+    "scribe_stall",
+];
 
 /// A complete scenario.
 #[derive(Debug, Clone, PartialEq)]
@@ -230,6 +268,34 @@ impl Scenario {
                         at_mins,
                         job: get_str(ev, "job")?,
                     },
+                    "inject_fault" => ScenarioEvent::InjectFault {
+                        at_mins,
+                        fault: get_str(ev, "fault")?,
+                        host: ev
+                            .get_path("host")
+                            .and_then(|x| x.as_int())
+                            .map(|h| h as usize),
+                        job: ev
+                            .get_path("job")
+                            .and_then(|x| x.as_str())
+                            .map(str::to_string),
+                        duration_mins: ev
+                            .get_path("duration_mins")
+                            .and_then(|x| x.as_int())
+                            .map(|d| d as u64),
+                    },
+                    "clear_fault" => ScenarioEvent::ClearFault {
+                        at_mins,
+                        fault: get_str(ev, "fault")?,
+                        host: ev
+                            .get_path("host")
+                            .and_then(|x| x.as_int())
+                            .map(|h| h as usize),
+                        job: ev
+                            .get_path("job")
+                            .and_then(|x| x.as_str())
+                            .map(str::to_string),
+                    },
                     other => return Err(err(format!("unknown action '{other}'"))),
                 };
                 events.push(event);
@@ -275,6 +341,40 @@ impl Scenario {
                 ScenarioEvent::Storm { multiplier, .. } => {
                     if *multiplier <= 0.0 {
                         return Err(err("storm multiplier must be positive"));
+                    }
+                }
+                ScenarioEvent::InjectFault {
+                    fault, host, job, ..
+                }
+                | ScenarioEvent::ClearFault {
+                    fault, host, job, ..
+                } => {
+                    if !FAULT_NAMES.contains(&fault.as_str()) {
+                        return Err(err(format!(
+                            "unknown fault '{fault}' (one of: {})",
+                            FAULT_NAMES.join(", ")
+                        )));
+                    }
+                    if fault == "heartbeat_loss" {
+                        match host {
+                            Some(h) if *h < scenario.hosts => {}
+                            Some(h) => {
+                                return Err(err(format!(
+                                    "fault event references host {h} of {}",
+                                    scenario.hosts
+                                )))
+                            }
+                            None => return Err(err("heartbeat_loss needs a 'host' index")),
+                        }
+                    }
+                    if fault == "scribe_stall" {
+                        match job {
+                            Some(j) if known(j) => {}
+                            Some(j) => {
+                                return Err(err(format!("fault event references unknown job '{j}'")))
+                            }
+                            None => return Err(err("scribe_stall needs a 'job' name")),
+                        }
                     }
                 }
             }
@@ -379,5 +479,76 @@ mod tests {
             "unknown action"
         );
         assert!(Scenario::parse("not json").is_err());
+    }
+
+    #[test]
+    fn fault_events_parse_with_addressing_fields() {
+        let s = Scenario::parse(
+            r#"{"jobs": [{"name": "j"}],
+                "events": [
+                  {"action": "inject_fault", "at_mins": 10, "fault": "task_service_down", "duration_mins": 5},
+                  {"action": "inject_fault", "at_mins": 20, "fault": "heartbeat_loss", "host": 1},
+                  {"action": "inject_fault", "at_mins": 30, "fault": "scribe_stall", "job": "j"},
+                  {"action": "clear_fault", "at_mins": 40, "fault": "heartbeat_loss", "host": 1}
+                ]}"#,
+        )
+        .expect("parse");
+        assert_eq!(s.events.len(), 4);
+        assert!(matches!(
+            &s.events[0],
+            ScenarioEvent::InjectFault { fault, duration_mins: Some(5), .. } if fault == "task_service_down"
+        ));
+        assert!(matches!(
+            &s.events[1],
+            ScenarioEvent::InjectFault { host: Some(1), .. }
+        ));
+        assert!(matches!(
+            &s.events[3],
+            ScenarioEvent::ClearFault { host: Some(1), .. }
+        ));
+    }
+
+    #[test]
+    fn invalid_fault_events_are_rejected() {
+        assert!(
+            Scenario::parse(
+                r#"{"jobs": [{"name": "j"}],
+                    "events": [{"action": "inject_fault", "at_mins": 1, "fault": "gremlins"}]}"#
+            )
+            .is_err(),
+            "unknown fault name"
+        );
+        assert!(
+            Scenario::parse(
+                r#"{"jobs": [{"name": "j"}],
+                    "events": [{"action": "inject_fault", "at_mins": 1, "fault": "heartbeat_loss"}]}"#
+            )
+            .is_err(),
+            "heartbeat_loss without host"
+        );
+        assert!(
+            Scenario::parse(
+                r#"{"jobs": [{"name": "j"}],
+                    "events": [{"action": "inject_fault", "at_mins": 1, "fault": "heartbeat_loss", "host": 9}]}"#
+            )
+            .is_err(),
+            "host out of range"
+        );
+        assert!(
+            Scenario::parse(
+                r#"{"jobs": [{"name": "j"}],
+                    "events": [{"action": "inject_fault", "at_mins": 1, "fault": "scribe_stall"}]}"#
+            )
+            .is_err(),
+            "scribe_stall without job"
+        );
+        assert!(
+            Scenario::parse(
+                r#"{"jobs": [{"name": "j"}],
+                    "events": [{"action": "inject_fault", "at_mins": 1, "fault": "scribe_stall", "job": "ghost"}]}"#
+            )
+            .is_err(),
+            "scribe_stall with unknown job"
+        );
     }
 }

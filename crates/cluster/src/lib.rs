@@ -182,6 +182,14 @@ impl Cluster {
             .ok_or(ClusterError::UnknownContainer(container))
     }
 
+    /// Capacity of a host.
+    pub fn host_capacity(&self, host: HostId) -> Result<Resources, ClusterError> {
+        self.hosts
+            .get(&host)
+            .map(|h| h.capacity)
+            .ok_or(ClusterError::UnknownHost(host))
+    }
+
     /// Capacity of a container.
     pub fn container_capacity(&self, container: ContainerId) -> Result<Resources, ClusterError> {
         self.containers

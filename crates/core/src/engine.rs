@@ -211,9 +211,14 @@ impl Engine {
         }
     }
 
-    /// A task stopped.
-    pub fn task_stopped(&mut self, task: TaskId) {
-        self.tasks.remove(&task);
+    /// A task stopped on `container`. The container must match the entry:
+    /// a stale stop acknowledgement from a previous owner (e.g. a
+    /// recovering container whose shards were already failed over) must
+    /// not remove the task now running elsewhere.
+    pub fn task_stopped(&mut self, task: TaskId, container: ContainerId) {
+        if self.tasks.get(&task).is_some_and(|t| t.container == container) {
+            self.tasks.remove(&task);
+        }
     }
 
     /// Number of active tasks of a job.

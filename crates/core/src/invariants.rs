@@ -1,0 +1,391 @@
+//! Continuous invariant checking for chaos runs.
+//!
+//! During fault injection the platform's safety properties must hold at
+//! *every* tick, not just at the end of a scenario — a checkpoint partition
+//! briefly owned by two tasks corrupts state even if the system later
+//! converges. The [`InvariantChecker`] evaluates a fixed set of
+//! cross-component invariants against a read-only [`InvariantView`] the
+//! platform assembles each tick:
+//!
+//! 1. **Single partition ownership** — no input partition of a job is
+//!    claimed by two active tasks (checkpoint safety, §III-B).
+//! 2. **Single task ownership** — no task runs in two live Task Managers
+//!    at once (two-level scheduling safety, §IV).
+//! 3. **Single shard ownership** — no shard is owned by two live Task
+//!    Managers at once.
+//! 4. **No host overcommit** — the containers allocated on a host never
+//!    exceed its capacity.
+//! 5. **Convergence** — once the last fault has cleared, every job's
+//!    running configuration catches up with its expected configuration
+//!    (and its tasks actually run) within a bounded window (ACIDF's
+//!    fault-tolerance property, §III).
+//! 6. **Justified quarantine** — a job is quarantined only after the
+//!    configured number of consecutive sync failures.
+//!
+//! Safety violations (1–4, 6) are recorded on their rising edge; the
+//! convergence liveness check (5) tracks per-job divergence episodes so
+//! legitimate in-flight syncs (scaler updates, complex syncs moving state)
+//! never count against the window.
+
+use crate::engine::Engine;
+use std::collections::{BTreeMap, BTreeSet};
+use turbine_cluster::Cluster;
+use turbine_jobstore::{JobService, MemWal};
+use turbine_shardmgr::ShardManager;
+use turbine_statesyncer::StateSyncer;
+use turbine_taskmgr::LocalTaskManager;
+use turbine_types::{ContainerId, Duration, JobId, PartitionId, ShardId, SimTime, TaskId};
+
+/// Invariant-checker tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct InvariantConfig {
+    /// How long a job may stay diverged (expected ≠ running, or configured
+    /// tasks not all running) after the later of: the last fault clearing
+    /// and the divergence starting. Must comfortably exceed the sync
+    /// cadence times the syncer's in-flight budget.
+    pub convergence_window: Duration,
+    /// Cap on stored violations (a counter keeps the true total).
+    pub max_recorded: usize,
+}
+
+impl Default for InvariantConfig {
+    fn default() -> Self {
+        InvariantConfig {
+            convergence_window: Duration::from_mins(30),
+            max_recorded: 64,
+        }
+    }
+}
+
+/// One recorded invariant violation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// When the violation was detected.
+    pub at: SimTime,
+    /// Which invariant failed.
+    pub invariant: &'static str,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+/// The read-only world the checker evaluates, assembled by the platform.
+pub struct InvariantView<'a> {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// The cluster substrate.
+    pub cluster: &'a Cluster,
+    /// The data-plane engine.
+    pub engine: &'a Engine,
+    /// Every local Task Manager.
+    pub task_managers: &'a BTreeMap<ContainerId, LocalTaskManager>,
+    /// The Shard Manager.
+    pub shard_manager: &'a ShardManager,
+    /// The Job Service (expected/running tables).
+    pub jobs: &'a JobService<MemWal>,
+    /// The State Syncer (quarantine state).
+    pub syncer: &'a StateSyncer,
+    /// Jobs paused for a complex synchronization.
+    pub paused: &'a BTreeSet<JobId>,
+    /// Jobs stopped by the Capacity Manager.
+    pub capacity_stopped: &'a BTreeSet<JobId>,
+    /// Containers whose local state is authoritative: healthy host, not
+    /// severed from the Shard Manager, not declared dead. Distributed-state
+    /// invariants (2, 3) only consider these — a crashed host's Task
+    /// Manager legitimately holds stale state until it rejoins.
+    pub live_containers: &'a BTreeSet<ContainerId>,
+    /// When the system last became fault-free (`None` while any fault is
+    /// active). `Some(SimTime::ZERO)` if no fault was ever injected.
+    pub quiet_since: Option<SimTime>,
+}
+
+/// Continuous invariant checker.
+#[derive(Debug, Default)]
+pub struct InvariantChecker {
+    config: InvariantConfig,
+    violations: Vec<Violation>,
+    total: u64,
+    /// Rising-edge tracking for safety invariants: keys currently in
+    /// violation (so a persisting condition records once, not per tick).
+    active_keys: BTreeSet<String>,
+    /// Start of each job's current divergence episode.
+    diverged_since: BTreeMap<JobId, SimTime>,
+    /// Jobs already reported for their current divergence episode.
+    convergence_flagged: BTreeSet<JobId>,
+    ticks_checked: u64,
+}
+
+impl InvariantChecker {
+    /// A checker with the given tunables.
+    pub fn new(config: InvariantConfig) -> Self {
+        InvariantChecker {
+            config,
+            ..Default::default()
+        }
+    }
+
+    /// Recorded violations (capped at `max_recorded`).
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Total violations detected, including any beyond the recording cap.
+    pub fn total_violations(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of ticks evaluated.
+    pub fn ticks_checked(&self) -> u64 {
+        self.ticks_checked
+    }
+
+    /// Evaluate every invariant against one tick's state.
+    pub fn check(&mut self, view: &InvariantView<'_>) {
+        self.ticks_checked += 1;
+        let mut fresh: Vec<(String, &'static str, String)> = Vec::new();
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+
+        self.check_partition_ownership(view, &mut fresh, &mut seen);
+        self.check_task_and_shard_ownership(view, &mut fresh, &mut seen);
+        self.check_host_overcommit(view, &mut fresh, &mut seen);
+        self.check_quarantine_justified(view, &mut fresh, &mut seen);
+
+        // Rising-edge bookkeeping: record only newly-violated keys, forget
+        // keys whose condition cleared.
+        self.active_keys.retain(|k| seen.contains(k));
+        for (key, invariant, detail) in fresh {
+            if self.active_keys.insert(key) {
+                self.record(view.now, invariant, detail);
+            }
+        }
+
+        self.check_convergence(view);
+    }
+
+    /// Invariant 1: each input partition of a job is owned by at most one
+    /// active task.
+    fn check_partition_ownership(
+        &mut self,
+        view: &InvariantView<'_>,
+        fresh: &mut Vec<(String, &'static str, String)>,
+        seen: &mut BTreeSet<String>,
+    ) {
+        for job in view.engine.job_ids() {
+            let mut owner: BTreeMap<PartitionId, TaskId> = BTreeMap::new();
+            for (&task, active) in view.engine.tasks_of_job(job) {
+                for &p in &active.partitions {
+                    if let Some(&other) = owner.get(&p) {
+                        let key = format!("partition:{job:?}:{p:?}");
+                        seen.insert(key.clone());
+                        fresh.push((
+                            key,
+                            "single-partition-ownership",
+                            format!("{job} partition {p:?} owned by both {other:?} and {task:?}"),
+                        ));
+                    } else {
+                        owner.insert(p, task);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Invariants 2 + 3: across live Task Managers, every task and every
+    /// shard has at most one owner.
+    fn check_task_and_shard_ownership(
+        &mut self,
+        view: &InvariantView<'_>,
+        fresh: &mut Vec<(String, &'static str, String)>,
+        seen: &mut BTreeSet<String>,
+    ) {
+        let mut task_owner: BTreeMap<TaskId, ContainerId> = BTreeMap::new();
+        let mut shard_owner: BTreeMap<ShardId, ContainerId> = BTreeMap::new();
+        for (&container, tm) in view.task_managers {
+            if !view.live_containers.contains(&container) {
+                continue;
+            }
+            for (&task, _) in tm.running_tasks() {
+                if let Some(&other) = task_owner.get(&task) {
+                    let key = format!("task:{task:?}");
+                    seen.insert(key.clone());
+                    fresh.push((
+                        key,
+                        "single-task-ownership",
+                        format!("{task:?} running in both {other} and {container}"),
+                    ));
+                } else {
+                    task_owner.insert(task, container);
+                }
+            }
+            for shard in tm.owned_shards() {
+                if let Some(&other) = shard_owner.get(&shard) {
+                    let key = format!("shard:{shard:?}");
+                    seen.insert(key.clone());
+                    fresh.push((
+                        key,
+                        "single-shard-ownership",
+                        format!("{shard} owned by both {other} and {container}"),
+                    ));
+                } else {
+                    shard_owner.insert(shard, container);
+                }
+            }
+        }
+    }
+
+    /// Invariant 4: per host, allocated container capacity never exceeds
+    /// the host's capacity.
+    fn check_host_overcommit(
+        &mut self,
+        view: &InvariantView<'_>,
+        fresh: &mut Vec<(String, &'static str, String)>,
+        seen: &mut BTreeSet<String>,
+    ) {
+        for host in view.cluster.hosts() {
+            let (Ok(capacity), Ok(containers)) = (
+                view.cluster.host_capacity(host),
+                view.cluster.containers_on(host),
+            ) else {
+                continue;
+            };
+            let allocated: turbine_types::Resources = containers
+                .iter()
+                .filter_map(|&c| view.cluster.container_capacity(c).ok())
+                .sum();
+            // Tiny epsilon: the capacities are f64 sums.
+            let over = allocated.cpu > capacity.cpu * (1.0 + 1e-9)
+                || allocated.memory_mb > capacity.memory_mb * (1.0 + 1e-9)
+                || allocated.disk_mb > capacity.disk_mb * (1.0 + 1e-9)
+                || allocated.network_mbps > capacity.network_mbps * (1.0 + 1e-9);
+            if over {
+                let key = format!("overcommit:{host:?}");
+                seen.insert(key.clone());
+                fresh.push((
+                    key,
+                    "no-host-overcommit",
+                    format!(
+                        "{host} allocated {allocated:?} exceeds capacity {capacity:?}"
+                    ),
+                ));
+            }
+        }
+    }
+
+    /// Invariant 6: quarantine only after `max_failures` sync failures.
+    fn check_quarantine_justified(
+        &mut self,
+        view: &InvariantView<'_>,
+        fresh: &mut Vec<(String, &'static str, String)>,
+        seen: &mut BTreeSet<String>,
+    ) {
+        let max = view.syncer.config().max_failures;
+        for job in view.syncer.quarantined_jobs() {
+            let count = view.syncer.failure_count(job);
+            if count < max {
+                let key = format!("quarantine:{job:?}");
+                seen.insert(key.clone());
+                fresh.push((
+                    key,
+                    "quarantine-after-max-failures",
+                    format!("{job} quarantined after only {count}/{max} failures"),
+                ));
+            }
+        }
+    }
+
+    /// Invariant 5: bounded post-fault convergence. A job is *diverged*
+    /// when its merged expected configuration differs from its running
+    /// configuration, when it is paused mid-sync, or when fewer tasks run
+    /// than the running configuration calls for. Divergence is fine while
+    /// faults are active or a sync is under way — it violates the
+    /// invariant only when it outlives the convergence window after both
+    /// the divergence started and the last fault cleared.
+    fn check_convergence(&mut self, view: &InvariantView<'_>) {
+        let now = view.now;
+        let store = view.jobs.store();
+        let mut jobs: BTreeSet<JobId> = store.expected_jobs().into_iter().collect();
+        jobs.extend(store.running_jobs());
+        let current: BTreeSet<JobId> = jobs
+            .iter()
+            .copied()
+            .filter(|&job| {
+                !view.syncer.is_quarantined(job) && !view.capacity_stopped.contains(&job)
+            })
+            .filter(|&job| self.is_diverged(view, job))
+            .collect();
+        self.diverged_since.retain(|job, _| current.contains(job));
+        self.convergence_flagged
+            .retain(|job| current.contains(job));
+        for &job in &current {
+            self.diverged_since.entry(job).or_insert(now);
+        }
+        let Some(quiet_since) = view.quiet_since else {
+            return; // faults active: liveness clock not running
+        };
+        let flagged: Vec<JobId> = current
+            .iter()
+            .copied()
+            .filter(|job| !self.convergence_flagged.contains(job))
+            .filter(|job| {
+                let start = self.diverged_since[job].max(quiet_since);
+                now.since(start) > self.config.convergence_window
+            })
+            .collect();
+        for job in flagged {
+            self.convergence_flagged.insert(job);
+            let detail = self.describe_divergence(view, job);
+            self.record(now, "post-fault-convergence", detail);
+        }
+    }
+
+    fn is_diverged(&self, view: &InvariantView<'_>, job: JobId) -> bool {
+        if view.paused.contains(&job) {
+            return true;
+        }
+        let store = view.jobs.store();
+        match (store.expected_merged_ref(job).ok(), store.running(job)) {
+            (Some(expected), Some(running)) if expected != running => return true,
+            (Some(_), None) | (None, Some(_)) => return true,
+            (None, None) => return false,
+            _ => {}
+        }
+        // Config tables agree: do the tasks actually run?
+        let configured = view
+            .jobs
+            .running_typed(job)
+            .map(|c| c.task_count as usize)
+            .unwrap_or(0);
+        view.engine.running_tasks_of(job) < configured
+    }
+
+    fn describe_divergence(&self, view: &InvariantView<'_>, job: JobId) -> String {
+        let store = view.jobs.store();
+        if view.paused.contains(&job) {
+            return format!("{job} still paused mid-sync after the convergence window");
+        }
+        if store.expected_merged_ref(job).ok() != store.running(job) {
+            return format!(
+                "{job} expected/running configs still differ after the convergence window"
+            );
+        }
+        let configured = view
+            .jobs
+            .running_typed(job)
+            .map(|c| c.task_count as usize)
+            .unwrap_or(0);
+        format!(
+            "{job} running {}/{configured} configured tasks after the convergence window",
+            view.engine.running_tasks_of(job)
+        )
+    }
+
+    fn record(&mut self, at: SimTime, invariant: &'static str, detail: String) {
+        self.total += 1;
+        if self.violations.len() < self.config.max_recorded {
+            self.violations.push(Violation {
+                at,
+                invariant,
+                detail,
+            });
+        }
+    }
+}

@@ -40,9 +40,14 @@
 
 pub mod dashboard;
 pub mod engine;
+pub mod invariants;
 pub mod metrics;
 pub mod platform;
 
 pub use dashboard::{fleet_health, FleetHealth, HealthIssue};
+pub use invariants::{InvariantChecker, InvariantConfig, InvariantView, Violation};
 pub use metrics::PlatformMetrics;
 pub use platform::{JobStatus, Turbine, TurbineConfig};
+// Re-exported so downstream crates (CLI, benches, tests) can schedule
+// faults without depending on the sim crate directly.
+pub use turbine_sim::{Fault, FaultPlan, FaultTransition};

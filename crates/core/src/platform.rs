@@ -7,6 +7,7 @@
 //! load reports every 10 min, cluster-wide rebalance every 30 min.
 
 use crate::engine::Engine;
+use crate::invariants::{InvariantChecker, InvariantConfig, InvariantView, Violation};
 use crate::metrics::PlatformMetrics;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use turbine_autoscaler::{
@@ -18,7 +19,7 @@ use turbine_config::{ConfigLevel, ConfigValue, JobConfig};
 use turbine_jobstore::{JobService, JobStore, MemWal};
 use turbine_scribe::{CheckpointStore, Scribe};
 use turbine_shardmgr::{ShardManager, ShardManagerConfig, ShardMovement};
-use turbine_sim::{Periodic, SimRng};
+use turbine_sim::{Fault, FaultInjector, FaultPlan, FaultTransition, Periodic, SimRng};
 use turbine_statesyncer::{Redistribute, StateSyncer, SyncEnvironment, SyncerConfig};
 use turbine_taskmgr::{LocalTaskManager, TaskEvent, TaskService};
 use turbine_types::{ContainerId, Duration, HostId, JobId, Resources, SimTime};
@@ -166,6 +167,10 @@ pub struct Turbine {
     last_diagnosis: HashMap<JobId, SimTime>,
     severed: HashMap<ContainerId, SeveredState>,
     categories: BTreeMap<JobId, String>,
+    /// The chaos engine: scheduled/active cross-component faults.
+    faults: FaultInjector,
+    /// Continuous invariant checking (enabled for chaos runs).
+    invariants: Option<InvariantChecker>,
     // Schedules.
     sched_sync: Periodic,
     sched_tm_refresh: Periodic,
@@ -221,6 +226,8 @@ impl Turbine {
             last_diagnosis: HashMap::new(),
             severed: HashMap::new(),
             categories: BTreeMap::new(),
+            faults: FaultInjector::new(),
+            invariants: None,
             sched_sync: Periodic::every(config.sync_interval),
             sched_tm_refresh: Periodic::every(config.tm_refresh_interval),
             sched_heartbeat: Periodic::with_phase(config.heartbeat_interval, Duration::ZERO),
@@ -243,6 +250,31 @@ impl Turbine {
     /// The configuration in effect.
     pub fn config(&self) -> &TurbineConfig {
         &self.config
+    }
+
+    /// Read access to the Shard Manager (tests, invariant checks).
+    pub fn shard_manager(&self) -> &ShardManager {
+        &self.shard_manager
+    }
+
+    /// Read access to the per-container local Task Managers.
+    pub fn task_managers(&self) -> &BTreeMap<ContainerId, LocalTaskManager> {
+        &self.task_managers
+    }
+
+    /// Read access to the State Syncer.
+    pub fn state_syncer(&self) -> &StateSyncer {
+        &self.syncer
+    }
+
+    /// Read access to the data-plane engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Jobs currently paused for a complex synchronization.
+    pub fn paused_jobs(&self) -> &BTreeSet<JobId> {
+        &self.paused
     }
 
     /// Add `n` hosts, allocate one Turbine container on each, register the
@@ -318,6 +350,9 @@ impl Turbine {
         avg_message_bytes: f64,
         key_cardinality: f64,
     ) -> Result<(), String> {
+        if self.job_store_down() {
+            return Err("job store unavailable".to_string());
+        }
         self.scribe
             .create_category(&config.input_category, config.input_partitions)
             .map_err(|e| e.to_string())?;
@@ -340,6 +375,9 @@ impl Turbine {
 
     /// Request deletion of a job; the State Syncer winds it down.
     pub fn delete_job(&mut self, job: JobId) -> Result<(), String> {
+        if self.job_store_down() {
+            return Err("job store unavailable".to_string());
+        }
         self.jobs
             .store_mut()
             .delete_job(job)
@@ -432,6 +470,9 @@ impl Turbine {
 
     /// Oncall intervention: pin a field at the Oncall level.
     pub fn oncall_set(&mut self, job: JobId, path: &str, value: ConfigValue) -> Result<(), String> {
+        if self.job_store_down() {
+            return Err("job store unavailable".to_string());
+        }
         self.jobs
             .set_level_field(job, ConfigLevel::Oncall, path, value)
             .map_err(|e| e.to_string())
@@ -439,6 +480,9 @@ impl Turbine {
 
     /// Oncall intervention: clear all Oncall overrides for a job.
     pub fn oncall_clear(&mut self, job: JobId) -> Result<(), String> {
+        if self.job_store_down() {
+            return Err("job store unavailable".to_string());
+        }
         self.jobs
             .clear_level(job, ConfigLevel::Oncall)
             .map_err(|e| e.to_string())
@@ -498,6 +542,93 @@ impl Turbine {
         }
     }
 
+    /// Activate a fault now, optionally auto-clearing after `duration`.
+    /// Side effects (severed connections, syncer restarts) are applied
+    /// immediately.
+    pub fn inject_fault(&mut self, fault: Fault, duration: Option<Duration>) {
+        let until = duration.map(|d| self.now + d);
+        let transitions = self.faults.inject(self.now, fault, until);
+        for t in transitions {
+            self.apply_fault_transition(t);
+        }
+    }
+
+    /// Clear an active fault now (no-op if it is not active).
+    pub fn clear_fault(&mut self, fault: &Fault) {
+        let transitions = self.faults.clear(self.now, fault);
+        for t in transitions {
+            self.apply_fault_transition(t);
+        }
+    }
+
+    /// Schedule a fault window for future simulated time; the injector
+    /// activates and expires it as the clock passes the window edges.
+    pub fn schedule_fault(&mut self, plan: FaultPlan) {
+        self.faults.schedule(plan);
+    }
+
+    /// Read access to the chaos engine (active faults, event log, digest).
+    pub fn fault_injector(&self) -> &FaultInjector {
+        &self.faults
+    }
+
+    /// The Scribe input category a job consumes, if provisioned.
+    pub fn job_category(&self, job: JobId) -> Option<&str> {
+        self.categories.get(&job).map(String::as_str)
+    }
+
+    /// Turn on continuous invariant checking: every tick from now on is
+    /// evaluated against the platform's safety and convergence invariants.
+    pub fn enable_invariant_checks(&mut self, config: InvariantConfig) {
+        self.invariants = Some(InvariantChecker::new(config));
+    }
+
+    /// Violations recorded so far (empty when checking is disabled).
+    pub fn invariant_violations(&self) -> &[Violation] {
+        self.invariants
+            .as_ref()
+            .map(|c| c.violations())
+            .unwrap_or(&[])
+    }
+
+    /// The invariant checker, when enabled.
+    pub fn invariant_checker(&self) -> Option<&InvariantChecker> {
+        self.invariants.as_ref()
+    }
+
+    /// Apply the side effects of a fault edge. Activation side effects
+    /// model the outage starting; clearance side effects model the
+    /// component coming back (reconnect, restart, cache invalidation).
+    fn apply_fault_transition(&mut self, transition: FaultTransition) {
+        match transition {
+            FaultTransition::Activated(Fault::HeartbeatLoss(container)) => {
+                self.sever_connection(container);
+            }
+            FaultTransition::Cleared(Fault::HeartbeatLoss(container)) => {
+                self.restore_connection(container);
+            }
+            FaultTransition::Cleared(Fault::SyncerCrash) => {
+                // Restart: a fresh syncer with empty in-memory state. The
+                // expected-vs-running difference persisted in the Job Store
+                // is the recovery log — the next round resumes exactly the
+                // syncs that were in flight (§III-B fault tolerance).
+                self.syncer = StateSyncer::new(self.config.syncer);
+            }
+            FaultTransition::Cleared(Fault::TaskServiceDown)
+            | FaultTransition::Cleared(Fault::JobStoreDown) => {
+                // Force the next refresh to rebuild a fresh snapshot
+                // instead of serving the stale cached one.
+                self.task_service.invalidate();
+            }
+            _ => {}
+        }
+    }
+
+    /// True while the Job Store is unavailable to writers.
+    fn job_store_down(&self) -> bool {
+        self.faults.is_active(&Fault::JobStoreDown)
+    }
+
     /// Fail a host (crash / maintenance). Tasks on it stop processing
     /// immediately; the Shard Manager fails its shards over after the
     /// fail-over interval.
@@ -505,13 +636,24 @@ impl Turbine {
         self.cluster.fail_host(host).map_err(|e| e.to_string())
     }
 
-    /// Recover a failed host. Its containers rejoin empty (their previous
-    /// shards were failed over) and receive shards at the next rebalance.
+    /// Recover a failed host. Containers the Shard Manager already failed
+    /// over rejoin empty (stale local state is discarded) and receive
+    /// shards at the next rebalance; containers that recovered before the
+    /// fail-over interval elapsed keep their shards and their tasks simply
+    /// resume (§IV-C).
     pub fn recover_host(&mut self, host: HostId) -> Result<(), String> {
+        use turbine_shardmgr::ContainerStatus;
         let containers = self.cluster.containers_on(host).map_err(|e| e.to_string())?;
         self.cluster.recover_host(host).map_err(|e| e.to_string())?;
         for container in containers {
-            // Clear stale local state: anything it ran was failed over.
+            if self.shard_manager.status(container) == Some(ContainerStatus::Alive) {
+                // Recovered before fail-over: ownership is unchanged and
+                // the local state is still valid.
+                continue;
+            }
+            // Failed over while down: clear stale local state. The stop
+            // events only affect tasks the engine still places here —
+            // tasks that already moved belong to their new containers.
             let mut all_events = Vec::new();
             if let Some(tm) = self.task_managers.get_mut(&container) {
                 let owned: Vec<_> = tm.owned_shards().collect();
@@ -543,7 +685,23 @@ impl Turbine {
     fn step(&mut self) {
         let now = self.now;
 
-        // Data plane.
+        // Chaos engine first: cross the edges of any scheduled fault
+        // windows and apply their side effects before the control loops
+        // observe the world.
+        let transitions = self.faults.advance(now);
+        for t in transitions {
+            self.apply_fault_transition(t);
+        }
+
+        // Data plane. Jobs whose input category is stalled receive
+        // arrivals but process nothing — the dependency-failure shape the
+        // root-causer must recognize.
+        let stalled: BTreeSet<JobId> = self
+            .categories
+            .iter()
+            .filter(|(_, cat)| self.faults.is_active(&Fault::ScribeStall((*cat).clone())))
+            .map(|(&job, _)| job)
+            .collect();
         let container_cpu: HashMap<ContainerId, f64> = self
             .cluster
             .healthy_containers()
@@ -558,7 +716,7 @@ impl Turbine {
         let paused = &self.paused;
         let stopped = &self.capacity_stopped;
         let outcome = self.engine.tick(now, self.config.tick, &container_cpu, &|job| {
-            paused.contains(&job) || stopped.contains(&job)
+            paused.contains(&job) || stopped.contains(&job) || stalled.contains(&job)
         });
         for task in outcome.oom_kills {
             self.metrics.oom_kills.incr();
@@ -606,18 +764,30 @@ impl Turbine {
             self.apply_movements(&failover_moves);
         }
 
-        // Task Manager refresh.
-        if self.sched_tm_refresh.fire_if_due(now) {
+        // Task Manager refresh. While the Task Service (or the Job Store
+        // behind it) is down, refreshes fail and the Task Managers keep
+        // serving from their cached snapshot: existing tasks are
+        // unaffected, new configurations simply wait (§II degraded mode).
+        if self.sched_tm_refresh.fire_if_due(now)
+            && !self.faults.is_active(&Fault::TaskServiceDown)
+            && !self.faults.is_active(&Fault::JobStoreDown)
+        {
             self.tm_refresh_round();
         }
 
-        // State Syncer round.
-        if self.sched_sync.fire_if_due(now) {
+        // State Syncer round: skipped while the syncer process is crashed
+        // or its backing Job Store is unreachable. The expected-vs-running
+        // diff persists in the store, so skipped rounds lose nothing.
+        if self.sched_sync.fire_if_due(now)
+            && !self.faults.is_active(&Fault::SyncerCrash)
+            && !self.faults.is_active(&Fault::JobStoreDown)
+        {
             self.syncer_round();
         }
 
-        // Auto Scaler round.
-        if self.sched_scaler.fire_if_due(now) {
+        // Auto Scaler round: its decisions are writes to the Job Store's
+        // scaler level, so an unavailable store pauses scaling.
+        if self.sched_scaler.fire_if_due(now) && !self.faults.is_active(&Fault::JobStoreDown) {
             self.scaler_round();
         }
 
@@ -651,6 +821,37 @@ impl Turbine {
         // Metrics.
         if self.sched_metrics.fire_if_due(now) {
             self.metrics_round();
+        }
+
+        // Invariants last, over the post-tick state.
+        if let Some(mut checker) = self.invariants.take() {
+            // Containers whose local state is authoritative: healthy host
+            // and an intact Shard Manager connection. A dead or partitioned
+            // container legitimately holds stale state until it rejoins.
+            let healthy: BTreeSet<ContainerId> =
+                self.cluster.healthy_containers().into_iter().collect();
+            let live_containers: BTreeSet<ContainerId> = self
+                .task_managers
+                .keys()
+                .copied()
+                .filter(|c| healthy.contains(c) && !self.severed.contains_key(c))
+                .collect();
+            let quiet_since = (!self.faults.any_active())
+                .then(|| self.faults.last_transition().unwrap_or(SimTime::ZERO));
+            checker.check(&InvariantView {
+                now,
+                cluster: &self.cluster,
+                engine: &self.engine,
+                task_managers: &self.task_managers,
+                shard_manager: &self.shard_manager,
+                jobs: &self.jobs,
+                syncer: &self.syncer,
+                paused: &self.paused,
+                capacity_stopped: &self.capacity_stopped,
+                live_containers: &live_containers,
+                quiet_since,
+            });
+            self.invariants = Some(checker);
         }
     }
 
@@ -1209,7 +1410,7 @@ impl Turbine {
                 }
                 TaskEvent::Stopped(id) => {
                     self.metrics.task_stops.incr();
-                    self.engine.task_stopped(*id);
+                    self.engine.task_stopped(*id, container);
                 }
             }
         }

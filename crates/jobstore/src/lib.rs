@@ -19,5 +19,5 @@ pub mod store;
 pub mod wal;
 
 pub use service::JobService;
-pub use store::{JobStore, JobStoreError};
+pub use store::{JobStore, JobStoreError, WalSalvage};
 pub use wal::{FileWal, MemWal, WalError, WalStorage};

@@ -79,6 +79,21 @@ impl ExpectedRow {
     }
 }
 
+/// Report of a torn-write salvage performed during [`JobStore::recover`]:
+/// the valid record prefix was kept, the first corrupt record and
+/// everything after it were discarded, and the WAL was truncated to match.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalSalvage {
+    /// Records kept (the valid prefix).
+    pub kept: usize,
+    /// Records discarded (the corrupt record and its tail).
+    pub discarded: usize,
+    /// 0-based index of the first corrupt record.
+    pub first_bad: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
 /// The Job Store: Expected Job Table + Running Job Table over a WAL.
 #[derive(Debug)]
 pub struct JobStore<W: WalStorage> {
@@ -88,6 +103,8 @@ pub struct JobStore<W: WalStorage> {
     /// callers cache derived views of the running config.
     running_tokens: BTreeMap<JobId, u64>,
     wal: W,
+    /// Set when the last recovery had to discard a corrupt tail.
+    salvage: Option<WalSalvage>,
 }
 
 impl<W: WalStorage> JobStore<W> {
@@ -100,10 +117,17 @@ impl<W: WalStorage> JobStore<W> {
             running: BTreeMap::new(),
             running_tokens: BTreeMap::new(),
             wal,
+            salvage: None,
         }
     }
 
     /// Rebuild the tables by replaying `wal`.
+    ///
+    /// A torn write (truncated final record) or corrupt record does not
+    /// abort recovery: the valid record prefix is replayed, the corrupt
+    /// record and everything after it are discarded, the WAL file is
+    /// truncated back to the valid prefix, and the damage is reported via
+    /// [`JobStore::salvage_report`]. Only I/O failures are errors.
     pub fn recover(wal: W) -> Result<Self, WalError> {
         let records = wal.read_all()?;
         let mut store = JobStore {
@@ -111,13 +135,29 @@ impl<W: WalStorage> JobStore<W> {
             running: BTreeMap::new(),
             running_tokens: BTreeMap::new(),
             wal,
+            salvage: None,
         };
         for (i, record) in records.iter().enumerate() {
-            store
-                .replay(record)
-                .map_err(|message| WalError::Corrupt { record: i, message })?;
+            if let Err(message) = store.replay(record) {
+                // Records after a corrupt one cannot be trusted to apply in
+                // a consistent order; keep the prefix, drop the tail.
+                store.wal.replace_all(&records[..i])?;
+                store.salvage = Some(WalSalvage {
+                    kept: i,
+                    discarded: records.len() - i,
+                    first_bad: i,
+                    message,
+                });
+                break;
+            }
         }
         Ok(store)
+    }
+
+    /// The salvage performed by the last [`JobStore::recover`], if any
+    /// corrupt tail had to be discarded.
+    pub fn salvage_report(&self) -> Option<&WalSalvage> {
+        self.salvage.as_ref()
     }
 
     fn replay(&mut self, record: &str) -> Result<(), String> {
@@ -557,15 +597,79 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_wal_is_reported_with_record_index() {
+    fn corrupt_record_is_salvaged_with_record_index() {
         let mut wal = MemWal::new();
         wal.append("create\t1\t{}").expect("append");
         wal.append("garbage record").expect("append");
-        let err = JobStore::recover(wal).expect_err("corrupt");
-        match err {
-            WalError::Corrupt { record, .. } => assert_eq!(record, 1),
-            other => panic!("expected corrupt, got {other:?}"),
-        }
+        let store = JobStore::recover(wal).expect("salvage, not error");
+        let salvage = store.salvage_report().expect("salvage reported");
+        assert_eq!(salvage.first_bad, 1);
+        assert_eq!(salvage.kept, 1);
+        assert_eq!(salvage.discarded, 1);
+        // The valid prefix was applied and the WAL truncated to it.
+        assert!(store.has_job(JobId(1)));
+        assert_eq!(store.wal_len().expect("len"), 1);
+    }
+
+    #[test]
+    fn truncated_final_record_is_salvaged_and_store_serves() {
+        let mut store = store_with_job();
+        let mut scaler = ConfigValue::empty_map();
+        scaler.insert("task_count", 8u32.into());
+        store
+            .write_level(JOB, ConfigLevel::Scaler, Some(scaler), 0)
+            .expect("write");
+        store
+            .commit_running(JOB, store.expected_merged(JOB).expect("merge"))
+            .expect("commit");
+        let expected_merged = store.expected_merged(JOB).expect("merge");
+
+        // A crash mid-append leaves a torn final record: the op and job id
+        // made it to disk but the payload did not.
+        let mut wal = store.wal.clone();
+        let intact = wal.len().expect("len");
+        wal.append("running\t1\t{\"truncat").expect("append");
+
+        let recovered = JobStore::recover(wal).expect("salvage, not error");
+        let salvage = recovered.salvage_report().expect("salvage reported");
+        assert_eq!(salvage.first_bad, intact);
+        assert_eq!(salvage.kept, intact);
+        assert_eq!(salvage.discarded, 1);
+        // Everything before the torn record survived...
+        assert_eq!(recovered.expected_merged(JOB).expect("merge"), expected_merged);
+        assert_eq!(recovered.running(JOB), store.running(JOB));
+        // ...the WAL was truncated back to the valid prefix...
+        assert_eq!(recovered.wal_len().expect("len"), intact);
+        // ...and the store still serves reads and writes.
+        let mut recovered = recovered;
+        recovered
+            .create_job(JobId(2), JobConfig::stateless("new", 1, 4).to_value())
+            .expect("store accepts writes after salvage");
+    }
+
+    #[test]
+    fn corrupt_mid_file_record_drops_the_tail() {
+        let mut wal = MemWal::new();
+        wal.append("create\t1\t{}").expect("append");
+        wal.append("level\t1\tscaler\tnot-a-version\t{}").expect("append");
+        // Valid-looking records after the corruption are untrustworthy and
+        // must be discarded with it.
+        wal.append("create\t2\t{}").expect("append");
+        let store = JobStore::recover(wal).expect("salvage, not error");
+        let salvage = store.salvage_report().expect("salvage reported");
+        assert_eq!(salvage.first_bad, 1);
+        assert_eq!(salvage.kept, 1);
+        assert_eq!(salvage.discarded, 2);
+        assert!(store.has_job(JobId(1)));
+        assert!(!store.has_job(JobId(2)), "tail after corruption must be dropped");
+        assert_eq!(store.wal_len().expect("len"), 1);
+    }
+
+    #[test]
+    fn clean_recovery_reports_no_salvage() {
+        let store = store_with_job();
+        let recovered = JobStore::recover(store.wal.clone()).expect("recover");
+        assert!(recovered.salvage_report().is_none());
     }
 
     #[test]

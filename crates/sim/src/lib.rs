@@ -13,10 +13,12 @@
 //! No closures are stored, which keeps ownership simple and the replay
 //! deterministic.
 
+pub mod fault;
 pub mod queue;
 pub mod rng;
 pub mod schedule;
 
+pub use fault::{Fault, FaultInjector, FaultPlan, FaultTransition};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use schedule::Periodic;

@@ -5,14 +5,68 @@
 //! heavy-tailed task footprints like Fig. 5's), and exponential (for
 //! failure inter-arrival times). Every simulation takes an explicit seed so
 //! experiments are exactly reproducible.
+//!
+//! The generator is a self-contained xoshiro256++ (Blackman & Vigna),
+//! seeded through SplitMix64 so that small/correlated seeds still yield
+//! well-mixed initial state. Keeping the PRNG in-tree (rather than pulling
+//! in an external crate) guarantees the byte-for-byte reproducibility the
+//! chaos harness asserts is stable across toolchain updates.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+/// Core xoshiro256++ state.
+#[derive(Debug, Clone)]
+struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+/// SplitMix64 step — used only to expand the seed into initial state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Xoshiro256 {
+    fn seeded(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // All-zero state is the one degenerate fixed point; SplitMix64
+        // cannot produce four zeros from any seed, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Xoshiro256 { s }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform f64 in [0, 1): top 53 bits scaled by 2^-53.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
 
 /// Deterministic random source for one simulation run.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    inner: Xoshiro256,
     /// Cached second output of the Box–Muller transform.
     gauss_spare: Option<f64>,
 }
@@ -21,7 +75,7 @@ impl SimRng {
     /// Create from an explicit seed.
     pub fn seeded(seed: u64) -> Self {
         SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+            inner: Xoshiro256::seeded(seed),
             gauss_spare: None,
         }
     }
@@ -29,7 +83,7 @@ impl SimRng {
     /// Derive an independent child generator; used to give each job its own
     /// stream so adding a job does not perturb the others' draws.
     pub fn fork(&mut self, salt: u64) -> SimRng {
-        let seed = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let seed = self.inner.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         SimRng::seeded(seed)
     }
 
@@ -38,13 +92,23 @@ impl SimRng {
         if hi <= lo {
             return lo;
         }
-        self.inner.gen_range(lo..hi)
+        lo + (hi - lo) * self.inner.next_f64()
     }
 
     /// Uniform integer in `[lo, hi)`. Panics if the range is empty.
     pub fn uniform_usize(&mut self, lo: usize, hi: usize) -> usize {
         assert!(lo < hi, "empty integer range");
-        self.inner.gen_range(lo..hi)
+        let span = (hi - lo) as u64;
+        // Multiply-shift bounded draw (Lemire) with rejection of the biased
+        // low zone, so every value in [0, span) is exactly equally likely.
+        let zone = span.wrapping_neg() % span;
+        loop {
+            let x = self.inner.next_u64();
+            let m = (x as u128) * (span as u128);
+            if (m as u64) >= zone {
+                return lo + (m >> 64) as usize;
+            }
+        }
     }
 
     /// Bernoulli trial with probability `p` (clamped to [0, 1]).
@@ -55,7 +119,7 @@ impl SimRng {
         if p >= 1.0 {
             return true;
         }
-        self.inner.gen::<f64>() < p
+        self.inner.next_f64() < p
     }
 
     /// Standard normal deviate via Box–Muller.
@@ -64,8 +128,8 @@ impl SimRng {
             return z;
         }
         // Avoid ln(0) by sampling u1 from (0, 1].
-        let u1: f64 = 1.0 - self.inner.gen::<f64>();
-        let u2: f64 = self.inner.gen::<f64>();
+        let u1: f64 = 1.0 - self.inner.next_f64();
+        let u2: f64 = self.inner.next_f64();
         let r = (-2.0 * u1.ln()).sqrt();
         let theta = 2.0 * std::f64::consts::PI * u2;
         self.gauss_spare = Some(r * theta.sin());
@@ -87,13 +151,13 @@ impl SimRng {
     /// Exponential deviate with the given mean (inter-arrival times of
     /// failures and spikes).
     pub fn exponential(&mut self, mean: f64) -> f64 {
-        let u: f64 = 1.0 - self.inner.gen::<f64>();
+        let u: f64 = 1.0 - self.inner.next_f64();
         -mean * u.ln()
     }
 
     /// Raw 64-bit draw (hash salts, shuffles).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        self.inner.next_u64()
     }
 
     /// Fisher–Yates shuffle.
@@ -134,6 +198,18 @@ mod tests {
             assert!((2.0..3.0).contains(&x));
         }
         assert_eq!(rng.uniform(5.0, 5.0), 5.0);
+    }
+
+    #[test]
+    fn uniform_usize_covers_range_uniformly() {
+        let mut rng = SimRng::seeded(23);
+        let mut counts = [0u32; 5];
+        for _ in 0..10_000 {
+            counts[rng.uniform_usize(0, 5)] += 1;
+        }
+        for &c in &counts {
+            assert!((1_600..2_400).contains(&c), "counts {counts:?}");
+        }
     }
 
     #[test]

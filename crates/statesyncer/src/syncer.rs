@@ -4,6 +4,7 @@ use crate::plan::{build_delete_plan, build_plan, classify, SyncAction, SyncKind}
 use std::collections::{BTreeMap, BTreeSet};
 use turbine_config::JobConfig;
 use turbine_jobstore::{JobService, WalStorage};
+use turbine_sim::SimRng;
 use turbine_types::JobId;
 
 /// State Syncer tunables.
@@ -11,11 +12,26 @@ use turbine_types::JobId;
 pub struct SyncerConfig {
     /// Consecutive plan *failures* after which a job is quarantined and an
     /// operator alert fired (paper: "if it fails for multiple times").
+    /// Must be at least 1 — see [`SyncerConfig::validate`].
     pub max_failures: u32,
     /// Consecutive rounds a complex sync may sit waiting (e.g. for tasks
     /// to stop) before it is treated as a failure. At the 30 s round
     /// cadence the default of 20 rounds ≈ 10 minutes.
     pub max_inflight_rounds: u32,
+    /// Seed for the backoff jitter, so retry spacing is deterministic per
+    /// syncer instance yet decorrelated across failing jobs.
+    pub backoff_seed: u64,
+}
+
+impl SyncerConfig {
+    /// Validate the configuration. `max_failures == 0` would quarantine a
+    /// job before its first sync ever ran.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_failures < 1 {
+            return Err("syncer max_failures must be >= 1".to_string());
+        }
+        Ok(())
+    }
 }
 
 impl Default for SyncerConfig {
@@ -23,6 +39,7 @@ impl Default for SyncerConfig {
         SyncerConfig {
             max_failures: 3,
             max_inflight_rounds: 20,
+            backoff_seed: 0x5EED_BACC,
         }
     }
 }
@@ -74,6 +91,9 @@ pub struct SyncReport {
     pub deleted: Vec<JobId>,
     /// Jobs whose plan failed this round, with the reason.
     pub failed: Vec<(JobId, String)>,
+    /// Jobs skipped this round because they are backing off after a
+    /// failure (retry spacing grows 1/2/4 rounds, plus seeded jitter).
+    pub backed_off: Vec<JobId>,
     /// Jobs quarantined this round (alerts fired).
     pub quarantined: Vec<JobId>,
     /// Operator alerts raised this round.
@@ -94,17 +114,36 @@ pub struct StateSyncer {
     failure_counts: BTreeMap<JobId, u32>,
     inflight_rounds: BTreeMap<JobId, u32>,
     quarantined: BTreeSet<JobId>,
+    /// Monotone round counter driving the retry backoff.
+    round: u64,
+    /// Earliest round at which a previously-failed job may retry.
+    resume_round: BTreeMap<JobId, u64>,
+    /// Jitter source for backoff spacing, seeded from the config so two
+    /// syncers with the same seed produce the same retry schedule.
+    rng: SimRng,
 }
 
 impl StateSyncer {
-    /// A syncer with the given tunables.
+    /// A syncer with the given tunables. Panics on an invalid
+    /// configuration — see [`SyncerConfig::validate`].
     pub fn new(config: SyncerConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid syncer config: {e}");
+        }
         StateSyncer {
             config,
             failure_counts: BTreeMap::new(),
             inflight_rounds: BTreeMap::new(),
             quarantined: BTreeSet::new(),
+            round: 0,
+            resume_round: BTreeMap::new(),
+            rng: SimRng::seeded(config.backoff_seed),
         }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &SyncerConfig {
+        &self.config
     }
 
     /// True if the job is quarantined (skipped by sync rounds).
@@ -112,11 +151,22 @@ impl StateSyncer {
         self.quarantined.contains(&job)
     }
 
+    /// Jobs currently quarantined, in id order.
+    pub fn quarantined_jobs(&self) -> impl Iterator<Item = JobId> + '_ {
+        self.quarantined.iter().copied()
+    }
+
+    /// Consecutive sync failures recorded for a job.
+    pub fn failure_count(&self, job: JobId) -> u32 {
+        self.failure_counts.get(&job).copied().unwrap_or(0)
+    }
+
     /// Release a job from quarantine (the oncall fixed the root cause).
     pub fn unquarantine(&mut self, job: JobId) {
         self.quarantined.remove(&job);
         self.failure_counts.remove(&job);
         self.inflight_rounds.remove(&job);
+        self.resume_round.remove(&job);
     }
 
     /// Run one synchronization round (production cadence: every 30 s) over
@@ -127,12 +177,24 @@ impl StateSyncer {
         env: &mut dyn SyncEnvironment,
     ) -> SyncReport {
         let mut report = SyncReport::default();
+        self.round += 1;
         let mut jobs: BTreeSet<JobId> = service.store().expected_jobs().into_iter().collect();
         jobs.extend(service.store().running_jobs());
 
         for job in jobs {
             if self.quarantined.contains(&job) {
                 continue;
+            }
+            // Repeatedly-failing jobs back off (1/2/4 rounds plus jitter)
+            // so a flapping dependency isn't hammered every 30 s, and the
+            // failure counter climbs toward quarantine more slowly than
+            // the round cadence.
+            if let Some(&resume) = self.resume_round.get(&job) {
+                if self.round < resume {
+                    report.backed_off.push(job);
+                    continue;
+                }
+                self.resume_round.remove(&job);
             }
             if service.store().has_job(job) {
                 self.sync_existing(job, service, env, &mut report);
@@ -284,6 +346,13 @@ impl StateSyncer {
             report
                 .alerts
                 .push(format!("{job} quarantined after {count} failed syncs: {reason}"));
+        } else {
+            // Exponential backoff before the next attempt: skip 1, 2, then
+            // 4 rounds (capped), plus 0-1 rounds of seeded jitter so
+            // simultaneous failures don't retry in lockstep.
+            let skip = 1u64 << (*count - 1).min(2);
+            let jitter = self.rng.next_u64() % 2;
+            self.resume_round.insert(job, self.round + skip + jitter + 1);
         }
         report.failed.push((job, reason));
     }
@@ -415,7 +484,7 @@ mod tests {
     }
 
     #[test]
-    fn failed_redistribution_retries_next_round() {
+    fn failed_redistribution_backs_off_then_retries() {
         let mut svc = service_with_job();
         let mut env = MockEnv {
             redistribute_failures: 1,
@@ -428,9 +497,20 @@ mod tests {
         let r1 = syncer.run_round(&mut svc, &mut env);
         assert_eq!(r1.failed.len(), 1);
         assert_eq!(svc.running_typed(JOB).expect("running").task_count, 4, "aborted plan must not commit");
-        // Next round the injected failure is gone: completes.
-        let r2 = syncer.run_round(&mut svc, &mut env);
-        assert_eq!(r2.complex_completed, vec![JOB]);
+        // After one failure the job backs off 1 round plus up to 1 round
+        // of jitter, then retries; the injected failure is gone so the
+        // retry completes.
+        let mut backed_off = 0;
+        loop {
+            let r = syncer.run_round(&mut svc, &mut env);
+            if r.complex_completed == vec![JOB] {
+                break;
+            }
+            assert_eq!(r.backed_off, vec![JOB]);
+            backed_off += 1;
+            assert!(backed_off <= 2, "first backoff must be at most 2 rounds");
+        }
+        assert!(backed_off >= 1, "a failed job must not retry immediately");
         assert_eq!(svc.running_typed(JOB).expect("running").task_count, 8);
     }
 
@@ -443,20 +523,24 @@ mod tests {
         };
         let mut syncer = StateSyncer::new(SyncerConfig {
             max_failures: 3,
-            max_inflight_rounds: 20,
+            ..Default::default()
         });
         syncer.run_round(&mut svc, &mut env);
         svc.set_level_field(JOB, ConfigLevel::Scaler, "task_count", 8u32.into())
             .expect("scale");
-        for round in 1..=3 {
+        // Three failures quarantine the job; backoff stretches them over
+        // several rounds (1 + ≤2 + ≤3 skipped rounds between attempts).
+        let mut failures = 0;
+        for _ in 0..12 {
             let r = syncer.run_round(&mut svc, &mut env);
-            if round < 3 {
-                assert!(r.quarantined.is_empty());
-            } else {
+            failures += r.failed.len();
+            if !r.quarantined.is_empty() {
                 assert_eq!(r.quarantined, vec![JOB]);
                 assert_eq!(r.alerts.len(), 1);
+                break;
             }
         }
+        assert_eq!(failures, 3, "exactly max_failures attempts before quarantine");
         assert!(syncer.is_quarantined(JOB));
         // Quarantined jobs are skipped entirely.
         let r = syncer.run_round(&mut svc, &mut env);
@@ -474,7 +558,7 @@ mod tests {
         let mut env = MockEnv::default();
         let mut syncer = StateSyncer::new(SyncerConfig {
             max_failures: 2,
-            max_inflight_rounds: 20,
+            ..Default::default()
         });
         syncer.run_round(&mut svc, &mut env);
         // A bad oncall update writes a string where an int belongs.
@@ -482,8 +566,16 @@ mod tests {
             .expect("bad write");
         let r1 = syncer.run_round(&mut svc, &mut env);
         assert_eq!(r1.failed.len(), 1);
-        let r2 = syncer.run_round(&mut svc, &mut env);
-        assert_eq!(r2.quarantined, vec![JOB]);
+        let mut quarantined = false;
+        for _ in 0..4 {
+            let r = syncer.run_round(&mut svc, &mut env);
+            if r.quarantined == vec![JOB] {
+                quarantined = true;
+                break;
+            }
+            assert_eq!(r.backed_off, vec![JOB], "failed job must back off before retrying");
+        }
+        assert!(quarantined, "second failure must quarantine");
     }
 
     #[test]
@@ -495,7 +587,7 @@ mod tests {
         };
         let mut syncer = StateSyncer::new(SyncerConfig {
             max_failures: 2, // would quarantine after 2 failures
-            max_inflight_rounds: 20,
+            ..Default::default()
         });
         syncer.run_round(&mut svc, &mut env);
         svc.set_level_field(JOB, ConfigLevel::Scaler, "task_count", 8u32.into())
@@ -542,12 +634,13 @@ mod tests {
         let mut syncer = StateSyncer::new(SyncerConfig {
             max_failures: 2,
             max_inflight_rounds: 3,
+            ..Default::default()
         });
         syncer.run_round(&mut svc, &mut env);
         svc.set_level_field(JOB, ConfigLevel::Scaler, "task_count", 8u32.into())
             .expect("scale");
         let mut quarantined = false;
-        for _ in 0..12 {
+        for _ in 0..40 {
             let r = syncer.run_round(&mut svc, &mut env);
             if !r.quarantined.is_empty() {
                 quarantined = true;
@@ -555,6 +648,88 @@ mod tests {
             }
         }
         assert!(quarantined, "stuck job must eventually quarantine");
+    }
+
+    #[test]
+    fn backoff_spacing_grows_exponentially_with_jitter() {
+        let mut svc = service_with_job();
+        let mut env = MockEnv {
+            redistribute_failures: 99,
+            ..Default::default()
+        };
+        let mut syncer = StateSyncer::new(SyncerConfig {
+            max_failures: 4,
+            ..Default::default()
+        });
+        syncer.run_round(&mut svc, &mut env);
+        svc.set_level_field(JOB, ConfigLevel::Scaler, "task_count", 8u32.into())
+            .expect("scale");
+        // Record the round index of every failed attempt until quarantine.
+        let mut attempt_rounds = Vec::new();
+        for round in 1..=30u64 {
+            let r = syncer.run_round(&mut svc, &mut env);
+            if !r.failed.is_empty() {
+                attempt_rounds.push(round);
+            }
+            if !r.quarantined.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(attempt_rounds.len(), 4);
+        // Gap after failure N is skip(N) + jitter + 1 rounds, where
+        // skip = 2^(N-1) capped at 4 and jitter ∈ {0, 1}.
+        let gaps: Vec<u64> = attempt_rounds.windows(2).map(|w| w[1] - w[0]).collect();
+        assert!((2..=3).contains(&gaps[0]), "gaps {gaps:?}");
+        assert!((3..=4).contains(&gaps[1]), "gaps {gaps:?}");
+        assert!((5..=6).contains(&gaps[2]), "gaps {gaps:?}");
+        // Non-decreasing: later retries always wait at least as long.
+        assert!(gaps[0] <= gaps[1] && gaps[1] <= gaps[2], "gaps {gaps:?}");
+    }
+
+    #[test]
+    fn same_backoff_seed_reproduces_the_retry_schedule() {
+        let run = || {
+            let mut svc = service_with_job();
+            let mut env = MockEnv {
+                redistribute_failures: 99,
+                ..Default::default()
+            };
+            let mut syncer = StateSyncer::new(SyncerConfig {
+                max_failures: 4,
+                ..Default::default()
+            });
+            syncer.run_round(&mut svc, &mut env);
+            svc.set_level_field(JOB, ConfigLevel::Scaler, "task_count", 8u32.into())
+                .expect("scale");
+            let mut schedule = Vec::new();
+            for round in 1..=30u64 {
+                let r = syncer.run_round(&mut svc, &mut env);
+                if !r.failed.is_empty() {
+                    schedule.push(round);
+                }
+            }
+            schedule
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn config_validation_rejects_zero_max_failures() {
+        let config = SyncerConfig {
+            max_failures: 0,
+            ..Default::default()
+        };
+        assert!(config.validate().is_err());
+        assert!(SyncerConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "max_failures must be >= 1")]
+    fn syncer_refuses_zero_max_failures() {
+        let _ = StateSyncer::new(SyncerConfig {
+            max_failures: 0,
+            ..Default::default()
+        });
     }
 
     #[test]

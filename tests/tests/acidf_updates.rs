@@ -55,15 +55,27 @@ fn failed_plan_leaves_running_config_untouched() {
 
     svc.set_level_field(job, ConfigLevel::Scaler, "task_count", ConfigValue::Int(16))
         .expect("scale");
-    // Two failing rounds: running config must still read 4.
-    for _ in 0..2 {
+    // Two failed attempts (spaced by the syncer's exponential backoff):
+    // running config must still read 4 after every round.
+    let mut failures_seen = 0;
+    for round in 0.. {
+        assert!(round < 12, "failures never surfaced");
         let report = syncer.run_round(&mut svc, &mut env);
-        assert_eq!(report.failed.len(), 1);
+        failures_seen += report.failed.len();
         assert_eq!(svc.running_typed(job).expect("running").task_count, 4);
+        if failures_seen == 2 {
+            break;
+        }
     }
-    // Third round succeeds and commits.
-    let report = syncer.run_round(&mut svc, &mut env);
-    assert_eq!(report.complex_completed, vec![job]);
+    // The next attempt succeeds and commits exactly once.
+    for round in 0.. {
+        assert!(round < 12, "retry never committed");
+        let report = syncer.run_round(&mut svc, &mut env);
+        if report.complex_completed == vec![job] {
+            break;
+        }
+        assert!(report.backed_off.contains(&job), "{report:?}");
+    }
     assert_eq!(svc.running_typed(job).expect("running").task_count, 16);
 }
 
@@ -212,13 +224,19 @@ fn quarantine_is_per_job_not_global() {
     let mut syncer = StateSyncer::new(SyncerConfig {
         max_failures: 2,
         max_inflight_rounds: 5,
+        ..Default::default()
     });
     syncer.run_round(&mut svc, &mut InstantEnv);
     // Poison: a type-broken oncall write that can never decode.
     svc.set_level_field(poisoned, ConfigLevel::Oncall, "task_count", "many".into())
         .expect("poison");
-    for _ in 0..2 {
+    // Failures back off exponentially between retries, so allow a few
+    // rounds for the second failure to land and trip the quarantine.
+    for _ in 0..8 {
         syncer.run_round(&mut svc, &mut InstantEnv);
+        if syncer.is_quarantined(poisoned) {
+            break;
+        }
     }
     assert!(syncer.is_quarantined(poisoned));
     // The healthy job still syncs normally.
