@@ -3,6 +3,9 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+echo "== cargo fmt --check =="
+cargo fmt --check
+
 echo "== cargo build --release =="
 cargo build --release
 
@@ -12,7 +15,10 @@ cargo test -q
 echo "== cargo clippy -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== chaos_soak smoke (30 simulated minutes) =="
+echo "== chaos_soak smoke (30 simulated minutes, dense vs event-driven) =="
 ./target/release/chaos_soak --mins 30
+
+echo "== sched_soak (event-driven scheduler speedup) =="
+./target/release/sched_soak
 
 echo "CI OK"

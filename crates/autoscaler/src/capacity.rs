@@ -192,7 +192,11 @@ mod tests {
     fn critical_pressure_stops_low_priority_jobs_first() {
         let m = manager();
         let jobs = vec![
-            (JobId(1), Priority::Privileged, Resources::cpu_mem(400.0, 1.0e5)),
+            (
+                JobId(1),
+                Priority::Privileged,
+                Resources::cpu_mem(400.0, 1.0e5),
+            ),
             (JobId(2), Priority::Low, Resources::cpu_mem(100.0, 1.0e5)),
             (JobId(3), Priority::Normal, Resources::cpu_mem(300.0, 1.0e5)),
             (JobId(4), Priority::Low, Resources::cpu_mem(160.0, 1.0e5)),
@@ -210,7 +214,11 @@ mod tests {
     fn critical_pressure_escalates_to_normal_jobs_if_needed() {
         let m = manager();
         let jobs = vec![
-            (JobId(1), Priority::Privileged, Resources::cpu_mem(800.0, 1.0e5)),
+            (
+                JobId(1),
+                Priority::Privileged,
+                Resources::cpu_mem(800.0, 1.0e5),
+            ),
             (JobId(2), Priority::Low, Resources::cpu_mem(50.0, 1.0e5)),
             (JobId(3), Priority::Normal, Resources::cpu_mem(130.0, 1.0e5)),
         ];
@@ -224,19 +232,14 @@ mod tests {
         let mut m = manager();
         m.transfer("west", "east", Resources::cpu_mem(200.0, 2.0e5))
             .expect("transfer");
-        assert_eq!(
-            m.cluster_capacity("west").expect("west").cpu,
-            800.0
-        );
+        assert_eq!(m.cluster_capacity("west").expect("west").cpu, 800.0);
         assert_eq!(m.cluster_capacity("east").expect("east").cpu, 1200.0);
         // Over-transfer is rejected.
         assert!(m
             .transfer("west", "east", Resources::cpu_mem(900.0, 0.0))
             .is_err());
         assert!(m.transfer("nowhere", "east", Resources::ZERO).is_err());
-        assert!(m
-            .transfer("west", "nowhere", Resources::ZERO)
-            .is_err());
+        assert!(m.transfer("west", "nowhere", Resources::ZERO).is_err());
     }
 
     #[test]

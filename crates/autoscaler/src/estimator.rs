@@ -143,14 +143,7 @@ mod tests {
     #[test]
     fn eq3_adds_backlog_recovery() {
         // B=60000 bytes over t=60s adds 1000 B/s of effective rate.
-        let units = cpu_units_needed(
-            1000.0,
-            100.0,
-            2,
-            5,
-            60_000.0,
-            Some(Duration::from_secs(60)),
-        );
+        let units = cpu_units_needed(1000.0, 100.0, 2, 5, 60_000.0, Some(Duration::from_secs(60)));
         assert!((units - 2.0).abs() < 1e-12);
         // No recovery target: backlog ignored.
         assert!((cpu_units_needed(1000.0, 100.0, 2, 5, 60_000.0, None) - 1.0).abs() < 1e-12);

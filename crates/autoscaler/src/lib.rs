@@ -31,6 +31,8 @@ pub mod symptoms;
 pub use capacity::{CapacityDirective, CapacityManager, CapacityManagerConfig};
 pub use estimator::{cpu_units_needed, required_task_count, ResourceEstimate, ResourceEstimator};
 pub use patterns::{PatternAnalyzer, PatternConfig, PatternVerdict, ThroughputModel};
-pub use rootcause::{Diagnosis, DiagnosisInput, Mitigation, RootCause, RootCauser, RootCauserConfig};
+pub use rootcause::{
+    Diagnosis, DiagnosisInput, Mitigation, RootCause, RootCauser, RootCauserConfig,
+};
 pub use scaler::{AutoScaler, ScalerConfig, ScalerMode, ScalingAction, ScalingDecision};
 pub use symptoms::{detect, JobMetrics, Symptom, SymptomConfig};

@@ -184,8 +184,7 @@ impl PatternAnalyzer {
             None => 0,
             Some(h) => {
                 let written = h.slot_bucket.iter().filter(|&&b| b != u64::MAX).count() as u64;
-                ((written / self.buckets_per_day.max(1)) as usize)
-                    .min(now.as_days_f64() as usize)
+                ((written / self.buckets_per_day.max(1)) as usize).min(now.as_days_f64() as usize)
             }
         }
     }
@@ -299,7 +298,10 @@ impl PatternAnalyzer {
             return Some(recent > 0.0);
         }
         let ratio = recent / historical;
-        Some(ratio > 1.0 + self.config.anomaly_threshold || ratio < 1.0 / (1.0 + self.config.anomaly_threshold))
+        Some(
+            ratio > 1.0 + self.config.anomaly_threshold
+                || ratio < 1.0 / (1.0 + self.config.anomaly_threshold),
+        )
     }
 }
 

@@ -163,8 +163,7 @@ impl RootCauser {
         if let (Some((version, previous, released_at)), Some(lag_since)) =
             (input.last_release, input.lag_since)
         {
-            if lag_since >= released_at
-                && lag_since.since(released_at) <= self.config.update_window
+            if lag_since >= released_at && lag_since.since(released_at) <= self.config.update_window
             {
                 return Diagnosis {
                     cause: RootCause::BadUserUpdate {
@@ -188,8 +187,7 @@ impl RootCauser {
         let n = input.metrics.task_count.max(1) as f64;
         let k = input.metrics.threads_per_task.max(1) as f64;
         let observed_per_thread = input.metrics.processing_rate / (n * k);
-        let total_stall =
-            input.metrics.processing_rate <= 0.0 && input.metrics.input_rate > 0.0;
+        let total_stall = input.metrics.processing_rate <= 0.0 && input.metrics.input_rate > 0.0;
         if input.expected_per_thread > 0.0
             && observed_per_thread < input.expected_per_thread * self.config.collapse_ratio
             && (input.metrics.processing_rate > 0.0 || total_stall)
@@ -265,8 +263,7 @@ mod tests {
     #[test]
     fn lag_after_release_blames_the_update() {
         let metrics = base_metrics(4);
-        let rates: Vec<(TaskId, f64)> =
-            (0..4).map(|i| (task(i), 0.75e6)).collect();
+        let rates: Vec<(TaskId, f64)> = (0..4).map(|i| (task(i), 0.75e6)).collect();
         let d = RootCauser::default().diagnose(&DiagnosisInput {
             metrics: &metrics,
             per_task_rates: &rates,
@@ -372,10 +369,7 @@ mod tests {
             lag_since: Some(t(10)),
             now: t(20),
         });
-        assert!(
-            !matches!(d.cause, RootCause::HardwareIssue { .. }),
-            "{d:?}"
-        );
+        assert!(!matches!(d.cause, RootCause::HardwareIssue { .. }), "{d:?}");
     }
 
     #[test]

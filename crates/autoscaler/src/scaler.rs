@@ -213,12 +213,17 @@ impl AutoScaler {
         }
 
         let symptoms = detect(metrics, config.slo_lag_secs, &self.config.symptoms);
-        let lagging = symptoms.iter().any(|s| matches!(s, Symptom::Lagging { .. }));
+        let lagging = symptoms
+            .iter()
+            .any(|s| matches!(s, Symptom::Lagging { .. }));
         let imbalanced = symptoms
             .iter()
             .any(|s| matches!(s, Symptom::ImbalancedInput { .. }));
         let oom = symptoms.iter().any(|s| {
-            matches!(s, Symptom::OutOfMemory { .. } | Symptom::MemoryPressure { .. })
+            matches!(
+                s,
+                Symptom::OutOfMemory { .. } | Symptom::MemoryPressure { .. }
+            )
         });
 
         // Health bookkeeping for the downscale stability window and the
@@ -249,12 +254,12 @@ impl AutoScaler {
         }
 
         let decision = match self.config.mode {
-            ScalerMode::Reactive => {
-                self.evaluate_reactive(job, metrics, config, now, lagging, imbalanced, oom, symptoms)
-            }
-            ScalerMode::Full => {
-                self.evaluate_full(job, metrics, config, now, lagging, imbalanced, oom, symptoms)
-            }
+            ScalerMode::Reactive => self.evaluate_reactive(
+                job, metrics, config, now, lagging, imbalanced, oom, symptoms,
+            ),
+            ScalerMode::Full => self.evaluate_full(
+                job, metrics, config, now, lagging, imbalanced, oom, symptoms,
+            ),
         };
         if decision.action.is_some() {
             let state = self.states.get_mut(&job).expect("state created above");
@@ -372,10 +377,7 @@ impl AutoScaler {
         let p = state.throughput.p();
         let k = config.threads_per_task.max(1);
         let n = config.task_count.max(1);
-        let estimate = self
-            .config
-            .estimator
-            .estimate(metrics, p, config.stateful);
+        let estimate = self.config.estimator.estimate(metrics, p, config.stateful);
 
         if lagging {
             // An SLO violation shortly after a downscale indicts the P
@@ -435,7 +437,9 @@ impl AutoScaler {
                     action: None,
                     untriaged: None,
                     symptoms,
-                    reason: "recovery in progress: backlog drains within target at current capacity".into(),
+                    reason:
+                        "recovery in progress: backlog drains within target at current capacity"
+                            .into(),
                 };
             }
             if needed <= n {
@@ -491,8 +495,8 @@ impl AutoScaler {
         if oom {
             let peak = metrics.peak_task_memory_mb();
             let mut per_task = config.task_resources;
-            per_task.memory_mb = (per_task.memory_mb * self.config.oom_memory_factor)
-                .max(peak * 1.2);
+            per_task.memory_mb =
+                (per_task.memory_mb * self.config.oom_memory_factor).max(peak * 1.2);
             if per_task.memory_mb <= self.config.vertical_limit.memory_mb {
                 return ScalingDecision {
                     job,
@@ -519,8 +523,8 @@ impl AutoScaler {
             let target = (n * 2).min(config.max_task_count);
             if target > n {
                 let mut per_task = config.task_resources;
-                per_task.memory_mb =
-                    (per_task.memory_mb * n as f64 / target as f64).max(self.config.estimator.base_memory_mb);
+                per_task.memory_mb = (per_task.memory_mb * n as f64 / target as f64)
+                    .max(self.config.estimator.base_memory_mb);
                 return ScalingDecision {
                     job,
                     action: Some(ScalingAction::Horizontal {
@@ -610,8 +614,9 @@ impl AutoScaler {
                                 action: None,
                                 untriaged: None,
                                 symptoms,
-                                reason: "downscale pruned: history shows upcoming load needs capacity"
-                                    .into(),
+                                reason:
+                                    "downscale pruned: history shows upcoming load needs capacity"
+                                        .into(),
                             };
                         }
                         PatternVerdict::Anomalous => {
@@ -633,8 +638,8 @@ impl AutoScaler {
                     // thread: most tailer tasks use well under one core
                     // (Fig. 5a), and fractional reservations are exactly
                     // how consolidation saves CPU (Fig. 10).
-                    per_task.cpu = (estimate.per_task.cpu * 1.3)
-                        .clamp(0.1, self.config.vertical_limit.cpu);
+                    per_task.cpu =
+                        (estimate.per_task.cpu * 1.3).clamp(0.1, self.config.vertical_limit.cpu);
                     return ScalingDecision {
                         job,
                         action: Some(ScalingAction::Horizontal {
@@ -723,9 +728,12 @@ fn plan_scale_up(
     let target = needed.min(config.max_task_count);
     if target > n {
         let mut per_task = estimate.per_task.min(&scaler.vertical_limit);
-        per_task.memory_mb = per_task
-            .memory_mb
-            .max(config.task_resources.memory_mb.min(scaler.vertical_limit.memory_mb));
+        per_task.memory_mb = per_task.memory_mb.max(
+            config
+                .task_resources
+                .memory_mb
+                .min(scaler.vertical_limit.memory_mb),
+        );
         return Some((
             ScalingAction::Horizontal {
                 task_count: target,
@@ -793,7 +801,9 @@ mod tests {
         m.total_bytes_lagged = 4.0e6 * 200.0; // 200 s of lag
         let d = s.evaluate(JOB, &m, &job_config(4), t(0));
         match d.action {
-            Some(ScalingAction::Vertical { threads_per_task, .. }) => {
+            Some(ScalingAction::Vertical {
+                threads_per_task, ..
+            }) => {
                 assert!(threads_per_task > 1, "{d:?}")
             }
             Some(ScalingAction::Horizontal { task_count, .. }) => {
@@ -980,7 +990,10 @@ mod tests {
         m.total_bytes_lagged = 1.0e6 * 200.0;
         let d = s.evaluate(JOB, &m, &job_config(4), t(0));
         assert!(
-            matches!(d.action, Some(ScalingAction::Horizontal { task_count: 8, .. })),
+            matches!(
+                d.action,
+                Some(ScalingAction::Horizontal { task_count: 8, .. })
+            ),
             "{d:?}"
         );
         // Untriaged-style lag *also* triggers blind scaling in gen-1 —
@@ -989,6 +1002,9 @@ mod tests {
         m2.processing_rate = 0.05e6;
         m2.total_bytes_lagged = 0.05e6 * 500.0;
         let d = s.evaluate(JobId(3), &m2, &job_config(4), t(0));
-        assert!(matches!(d.action, Some(ScalingAction::Horizontal { .. })), "{d:?}");
+        assert!(
+            matches!(d.action, Some(ScalingAction::Horizontal { .. })),
+            "{d:?}"
+        );
     }
 }

@@ -213,7 +213,9 @@ mod tests {
         m.per_task_rates = vec![97.0, 1.0, 1.0, 1.0];
         assert!(m.imbalance_cv() > 1.0);
         let symptoms = detect(&m, 90.0, &SymptomConfig::default());
-        assert!(symptoms.iter().any(|s| matches!(s, Symptom::ImbalancedInput { .. })));
+        assert!(symptoms
+            .iter()
+            .any(|s| matches!(s, Symptom::ImbalancedInput { .. })));
         // Single-task jobs cannot be imbalanced.
         m.per_task_rates = vec![97.0];
         assert_eq!(m.imbalance_cv(), 0.0);

@@ -19,9 +19,7 @@ fn bench_merge(c: &mut Criterion) {
     oncall.insert("task_count", ConfigValue::Int(32));
 
     c.bench_function("layer_all/4_levels", |b| {
-        b.iter(|| {
-            layer_all(black_box(&[&base, &provisioner, &scaler, &oncall]))
-        })
+        b.iter(|| layer_all(black_box(&[&base, &provisioner, &scaler, &oncall])))
     });
     c.bench_function("typed_decode", |b| {
         let merged = layer_all(&[&base, &provisioner, &scaler, &oncall]);

@@ -33,22 +33,18 @@ fn bench_placement(c: &mut Criterion) {
     for (n_shards, n_containers) in [(1_000u64, 30u64), (10_000, 300), (100_000, 3_000)] {
         let shards = shards(n_shards);
         let conts = containers(n_containers);
-        group.bench_with_input(
-            BenchmarkId::new("cold", n_shards),
-            &n_shards,
-            |b, _| {
-                b.iter(|| {
-                    compute_placement(
-                        PlacementInput {
-                            shards: black_box(&shards),
-                            containers: black_box(&conts),
-                            current: &HashMap::new(),
-                        },
-                        PlacementConfig::default(),
-                    )
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("cold", n_shards), &n_shards, |b, _| {
+            b.iter(|| {
+                compute_placement(
+                    PlacementInput {
+                        shards: black_box(&shards),
+                        containers: black_box(&conts),
+                        current: &HashMap::new(),
+                    },
+                    PlacementConfig::default(),
+                )
+            })
+        });
         let warm = compute_placement(
             PlacementInput {
                 shards: &shards,
@@ -57,22 +53,18 @@ fn bench_placement(c: &mut Criterion) {
             },
             PlacementConfig::default(),
         );
-        group.bench_with_input(
-            BenchmarkId::new("warm", n_shards),
-            &n_shards,
-            |b, _| {
-                b.iter(|| {
-                    compute_placement(
-                        PlacementInput {
-                            shards: black_box(&shards),
-                            containers: black_box(&conts),
-                            current: black_box(&warm.assignment),
-                        },
-                        PlacementConfig::default(),
-                    )
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("warm", n_shards), &n_shards, |b, _| {
+            b.iter(|| {
+                compute_placement(
+                    PlacementInput {
+                        shards: black_box(&shards),
+                        containers: black_box(&conts),
+                        current: black_box(&warm.assignment),
+                    },
+                    PlacementConfig::default(),
+                )
+            })
+        });
     }
     group.finish();
 }

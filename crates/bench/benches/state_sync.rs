@@ -15,7 +15,12 @@ impl SyncEnvironment for NoopEnv {
     fn all_stopped(&mut self, _job: JobId) -> bool {
         true
     }
-    fn redistribute_checkpoints(&mut self, _j: JobId, _o: u32, _n: u32) -> Result<Redistribute, String> {
+    fn redistribute_checkpoints(
+        &mut self,
+        _j: JobId,
+        _o: u32,
+        _n: u32,
+    ) -> Result<Redistribute, String> {
         Ok(Redistribute::Done)
     }
 }

@@ -19,9 +19,7 @@ fn bench_specs(c: &mut Criterion) {
     group.sample_size(10);
     for jobs in [1_000u64, 10_000] {
         let specs: Vec<_> = (0..jobs)
-            .flat_map(|i| {
-                TaskService::generate_specs(JobId(i), &JobConfig::stateless("t", 2, 8))
-            })
+            .flat_map(|i| TaskService::generate_specs(JobId(i), &JobConfig::stateless("t", 2, 8)))
             .collect();
         group.bench_with_input(
             BenchmarkId::new("snapshot_build", jobs * 2),

@@ -5,10 +5,12 @@
 //! (Task Service outage, Job Store outage, transient and sustained
 //! heartbeat loss, a State Syncer crash, a Scribe read stall) across the
 //! soak window, leaving at least the final 10 % of the run fault-free so
-//! convergence can be asserted. The whole timeline is then executed a
-//! second time from the same seed: the fault logs (and their FNV digest)
-//! must match bit-for-bit, or the exit code is non-zero — as it is for
-//! any invariant violation.
+//! convergence can be asserted. The timeline is executed three times:
+//! once under the dense-tick reference stepper, then twice under the
+//! event-driven scheduler from the same seed. The event-driven platform
+//! fingerprint must match the dense reference bit-for-bit, the replay
+//! must reproduce itself bit-for-bit, and zero invariants may fire — any
+//! miss is a non-zero exit.
 //!
 //! ```sh
 //! cargo run --release -p turbine-bench --bin chaos_soak            # 48 h soak
@@ -16,7 +18,9 @@
 //! cargo run --release -p turbine-bench --bin chaos_soak -- --hours 72 --seed 7
 //! ```
 
-use turbine::{Fault, FaultPlan, InvariantConfig, Turbine, TurbineConfig};
+use turbine::{
+    DriveMode, Fault, FaultPlan, InvariantConfig, PlatformFingerprint, Turbine, TurbineConfig,
+};
 use turbine_bench::scuba_host;
 use turbine_config::JobConfig;
 use turbine_sim::SimRng;
@@ -37,7 +41,7 @@ struct SoakOutcome {
     violations: Vec<String>,
     total_violations: u64,
     ticks_checked: u64,
-    fingerprint: Vec<f64>,
+    fingerprint: PlatformFingerprint,
 }
 
 fn build_platform() -> (Turbine, Vec<HostId>) {
@@ -101,18 +105,31 @@ fn schedule_faults(turbine: &mut Turbine, total: Duration) {
     // Heartbeat loss: one transient single-beat drop (must not trigger
     // fail-over) and one sustained loss (must). Victims come from the
     // first two hosts; host flaps only touch the rest.
-    let transient = turbine.cluster.containers_on(turbine.cluster.hosts()[0]).expect("containers")[0];
+    let transient = turbine
+        .cluster
+        .containers_on(turbine.cluster.hosts()[0])
+        .expect("containers")[0];
     turbine.schedule_fault(plan(
         Fault::HeartbeatLoss(transient),
         frac(0.40),
         Duration::from_secs(15),
     ));
-    let sustained = turbine.cluster.containers_on(turbine.cluster.hosts()[1]).expect("containers")[0];
-    turbine.schedule_fault(plan(Fault::HeartbeatLoss(sustained), frac(0.50), span(0.04)));
+    let sustained = turbine
+        .cluster
+        .containers_on(turbine.cluster.hosts()[1])
+        .expect("containers")[0];
+    turbine.schedule_fault(plan(
+        Fault::HeartbeatLoss(sustained),
+        frac(0.50),
+        span(0.04),
+    ));
 
     turbine.schedule_fault(plan(Fault::SyncerCrash, frac(0.65), span(0.04)));
 
-    let category = turbine.job_category(JobId(3)).expect("category").to_string();
+    let category = turbine
+        .job_category(JobId(3))
+        .expect("category")
+        .to_string();
     turbine.schedule_fault(plan(Fault::ScribeStall(category), frac(0.78), span(0.05)));
 }
 
@@ -123,7 +140,8 @@ fn flap_schedule(total: Duration, hosts: usize, rng: &mut SimRng) -> Vec<HostFla
     let flaps = ((total.as_secs_f64() / 21_600.0).ceil() as usize).max(1);
     (0..flaps)
         .map(|i| {
-            let slot = total.as_secs_f64() * 0.80 * (i as f64 + rng.uniform(0.2, 0.8)) / flaps as f64;
+            let slot =
+                total.as_secs_f64() * 0.80 * (i as f64 + rng.uniform(0.2, 0.8)) / flaps as f64;
             let fail_at = SimTime::ZERO + Duration::from_secs_f64(slot);
             let len = rng.uniform(600.0, 1800.0).min(total.as_secs_f64() * 0.05);
             HostFlap {
@@ -135,17 +153,16 @@ fn flap_schedule(total: Duration, hosts: usize, rng: &mut SimRng) -> Vec<HostFla
         .collect()
 }
 
-fn soak(total: Duration, seed: u64) -> SoakOutcome {
+fn soak(total: Duration, seed: u64, mode: DriveMode) -> SoakOutcome {
     let mut rng = SimRng::seeded(seed);
     let (mut turbine, hosts) = build_platform();
     turbine.enable_invariant_checks(InvariantConfig::default());
-    turbine.run_for(Duration::from_mins(5).min(total)); // settle before chaos
+    turbine.drive_for(Duration::from_mins(5).min(total), mode); // settle before chaos
     schedule_faults(&mut turbine, total);
     let flaps = flap_schedule(total, hosts.len(), &mut rng);
 
     let end = SimTime::ZERO + total;
-    let mut fail_queue: Vec<(SimTime, usize)> =
-        flaps.iter().map(|f| (f.fail_at, f.host)).collect();
+    let mut fail_queue: Vec<(SimTime, usize)> = flaps.iter().map(|f| (f.fail_at, f.host)).collect();
     let mut recover_queue: Vec<(SimTime, usize)> =
         flaps.iter().map(|f| (f.recover_at, f.host)).collect();
     while turbine.now() < end {
@@ -167,30 +184,25 @@ fn soak(total: Duration, seed: u64) -> SoakOutcome {
                 true
             }
         });
-        turbine.run_for(Duration::from_mins(1).min(end.since(now)));
+        turbine.drive_for(Duration::from_mins(1).min(end.since(now)), mode);
     }
 
     let checker = turbine.invariant_checker().expect("checker enabled");
-    let mut fingerprint = vec![
-        turbine.metrics.task_starts.get() as f64,
-        turbine.metrics.task_stops.get() as f64,
-        turbine.metrics.task_restarts.get() as f64,
-        turbine.metrics.shard_moves.get() as f64,
-        turbine.metrics.failovers.get() as f64,
-        turbine.metrics.scaling_actions.get() as f64,
-    ];
-    for i in 1..=4u64 {
-        let status = turbine.job_status(JobId(i)).expect("status");
-        fingerprint.push(status.running_tasks as f64);
-        fingerprint.push(status.backlog_bytes);
-    }
+    let fingerprint = turbine.fingerprint();
     SoakOutcome {
         fault_log: turbine.fault_injector().log().to_vec(),
         digest: turbine.fault_injector().log_digest(),
         violations: turbine
             .invariant_violations()
             .iter()
-            .map(|v| format!("[{:>9.2} h] {}: {}", v.at.as_hours_f64(), v.invariant, v.detail))
+            .map(|v| {
+                format!(
+                    "[{:>9.2} h] {}: {}",
+                    v.at.as_hours_f64(),
+                    v.invariant,
+                    v.detail
+                )
+            })
             .collect(),
         total_violations: checker.total_violations(),
         ticks_checked: checker.ticks_checked(),
@@ -220,14 +232,19 @@ fn main() {
     let total = mins.map_or_else(|| Duration::from_hours(hours), Duration::from_mins);
 
     eprintln!(
-        "chaos soak: {:.1} simulated hours, seed {seed:#x}, run 1 of 2...",
+        "chaos soak: {:.1} simulated hours, seed {seed:#x}, run 1 of 3 (dense reference)...",
         total.as_hours_f64()
     );
-    let first = soak(total, seed);
-    eprintln!("run 2 of 2 (same seed, must reproduce bit-for-bit)...");
-    let second = soak(total, seed);
+    let dense = soak(total, seed, DriveMode::DenseTick);
+    eprintln!("run 2 of 3 (event-driven, must match the dense reference bit-for-bit)...");
+    let first = soak(total, seed, DriveMode::EventDriven);
+    eprintln!("run 3 of 3 (event-driven replay, must reproduce bit-for-bit)...");
+    let second = soak(total, seed, DriveMode::EventDriven);
 
-    println!("## chaos soak fault timeline ({:.1} h, seed {seed:#x})", total.as_hours_f64());
+    println!(
+        "## chaos soak fault timeline ({:.1} h, seed {seed:#x})",
+        total.as_hours_f64()
+    );
     for (at, entry) in &first.fault_log {
         println!("  [{:>9.2} h] {entry}", at.as_hours_f64());
     }
@@ -237,6 +254,7 @@ fn main() {
         first.ticks_checked,
         first.digest
     );
+    println!("## fingerprint {:?}", first.fingerprint);
 
     let mut failed = false;
     if first.total_violations > 0 {
@@ -246,10 +264,25 @@ fn main() {
             eprintln!("  {v}");
         }
     } else {
-        println!("[OK] zero invariant violations across {} ticks", first.ticks_checked);
+        println!(
+            "[OK] zero invariant violations across {} ticks",
+            first.ticks_checked
+        );
+    }
+    if dense.fingerprint == first.fingerprint && dense.fault_log == first.fault_log {
+        println!("[OK] event-driven run matches the dense-tick reference bit-for-bit");
+    } else {
+        failed = true;
+        eprintln!(
+            "SCHEDULER DIVERGENCE: dense fingerprint {:?} vs event {:?}",
+            dense.fingerprint, first.fingerprint
+        );
     }
     if first.fault_log == second.fault_log && first.digest == second.digest {
-        println!("[OK] identical fault log on replay (digest {:#018x})", second.digest);
+        println!(
+            "[OK] identical fault log on replay (digest {:#018x})",
+            second.digest
+        );
     } else {
         failed = true;
         eprintln!(

@@ -14,7 +14,9 @@
 //! ```
 
 use turbine::Turbine;
-use turbine_bench::{downsample, experiment_config, print_table, provision_fleet, scuba_host, verdict};
+use turbine_bench::{
+    downsample, experiment_config, print_table, provision_fleet, scuba_host, verdict,
+};
 use turbine_types::Duration;
 use turbine_workloads::{synthesize_fleet, FleetConfig};
 
@@ -82,7 +84,10 @@ fn main() {
                     .map(|(h, v)| (h, v / 1024.0))
                     .collect(),
             ),
-            ("slo_ok", downsample(&turbine.metrics.slo_ok_fraction, every)),
+            (
+                "slo_ok",
+                downsample(&turbine.metrics.slo_ok_fraction, every),
+            ),
         ],
     );
 

@@ -26,7 +26,11 @@ fn main() {
             mem.push(job.expected_task_usage.memory_mb);
         }
     }
-    println!("synthesized {} tasks across {} jobs\n", cpu.len(), fleet.len());
+    println!(
+        "synthesized {} tasks across {} jobs\n",
+        cpu.len(),
+        fleet.len()
+    );
 
     let cpu_cdf = Cdf::from_samples(&cpu);
     let mem_cdf = Cdf::from_samples(&mem);
@@ -40,7 +44,10 @@ fn main() {
     println!("## Fig 5(b): CDF of per-task memory usage (GB)");
     println!("{:>8}  {:>8}", "gb", "cdf");
     for x in [0.25, 0.4, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0, 8.0, 10.0] {
-        println!("{x:>8.2}  {:>8.4}", mem_cdf.fraction_at_or_below(x * 1024.0));
+        println!(
+            "{x:>8.2}  {:>8.4}",
+            mem_cdf.fraction_at_or_below(x * 1024.0)
+        );
     }
     println!();
 

@@ -16,7 +16,9 @@
 
 use std::collections::HashMap;
 use turbine::Turbine;
-use turbine_bench::{downsample, experiment_config, print_table, provision_fleet, scuba_host, verdict};
+use turbine_bench::{
+    downsample, experiment_config, print_table, provision_fleet, scuba_host, verdict,
+};
 use turbine_types::{ContainerId, Duration};
 use turbine_workloads::{synthesize_fleet, FleetConfig};
 
@@ -62,8 +64,14 @@ fn main() {
         "Fig 6(b): host memory utilization band (fraction)",
         &[
             ("mem_p5", downsample(&turbine.metrics.host_memory.p5, every)),
-            ("mem_p50", downsample(&turbine.metrics.host_memory.p50, every)),
-            ("mem_p95", downsample(&turbine.metrics.host_memory.p95, every)),
+            (
+                "mem_p50",
+                downsample(&turbine.metrics.host_memory.p50, every),
+            ),
+            (
+                "mem_p95",
+                downsample(&turbine.metrics.host_memory.p95, every),
+            ),
         ],
     );
 
@@ -117,8 +125,5 @@ fn main() {
 
 /// Task → container pairs from the platform's public surface.
 fn turbine_tasks(turbine: &Turbine) -> Vec<(turbine_types::TaskId, ContainerId)> {
-    turbine
-        .task_placements()
-        .into_iter()
-        .collect()
+    turbine.task_placements().into_iter().collect()
 }

@@ -12,7 +12,9 @@
 //! ```
 
 use turbine::Turbine;
-use turbine_bench::{downsample, experiment_config, print_table, provision_fleet, scuba_host, verdict};
+use turbine_bench::{
+    downsample, experiment_config, print_table, provision_fleet, scuba_host, verdict,
+};
 use turbine_types::{Duration, SimTime};
 use turbine_workloads::{synthesize_fleet, FleetConfig, TrafficEvent, TrafficEventKind};
 

@@ -100,7 +100,10 @@ fn main() {
                     .collect(),
             ),
             ("task_count", downsample(&turbine.metrics.task_count, every)),
-            ("slo_ok", downsample(&turbine.metrics.slo_ok_fraction, every)),
+            (
+                "slo_ok",
+                downsample(&turbine.metrics.slo_ok_fraction, every),
+            ),
         ],
     );
 

@@ -85,9 +85,7 @@ fn main() {
     let hosts_turbine =
         (turbine_footprint.cpu / host.cpu).max(turbine_footprint.memory_mb / host.memory_mb);
     let reduction = (1.0 - hosts_turbine / hosts_standalone) * 100.0;
-    println!(
-        "hosts needed: {hosts_standalone:.0} standalone vs {hosts_turbine:.0} under Turbine"
-    );
+    println!("hosts needed: {hosts_standalone:.0} standalone vs {hosts_turbine:.0} under Turbine");
     verdict(
         "footprint reduction from the Turbine migration",
         "~33%",

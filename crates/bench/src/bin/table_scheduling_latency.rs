@@ -31,7 +31,12 @@ impl SyncEnvironment for NoopEnv {
     fn all_stopped(&mut self, _job: JobId) -> bool {
         true
     }
-    fn redistribute_checkpoints(&mut self, _job: JobId, _o: u32, _n: u32) -> Result<Redistribute, String> {
+    fn redistribute_checkpoints(
+        &mut self,
+        _job: JobId,
+        _o: u32,
+        _n: u32,
+    ) -> Result<Redistribute, String> {
         Ok(Redistribute::Done)
     }
 }
@@ -205,7 +210,10 @@ fn main() {
     let victim = turbine.cluster.hosts()[0];
     let tasks_before_fail = healthy_tasks(&turbine);
     turbine.fail_host(victim).expect("fail");
-    assert!(healthy_tasks(&turbine) < tasks_before_fail, "victim hosted tasks");
+    assert!(
+        healthy_tasks(&turbine) < tasks_before_fail,
+        "victim hosted tasks"
+    );
     let t0 = turbine.now();
     let mut recovered_in = None;
     for _ in 0..60 {

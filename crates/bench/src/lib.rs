@@ -35,7 +35,13 @@ pub fn provision_fleet(
             config.task_resources.cpu = config.task_resources.cpu.max(0.25);
             configure(job, &mut config);
             turbine
-                .provision_job(id, config, job.traffic.clone(), 1.0e6, job.avg_message_bytes)
+                .provision_job(
+                    id,
+                    config,
+                    job.traffic.clone(),
+                    1.0e6,
+                    job.avg_message_bytes,
+                )
                 .expect("fleet job provisions");
             id
         })
@@ -107,10 +113,7 @@ mod tests {
     fn downsample_keeps_one_row_per_slot() {
         let mut ts = TimeSeries::new();
         for m in 0..180 {
-            ts.record(
-                SimTime::ZERO + Duration::from_mins(m),
-                m as f64,
-            );
+            ts.record(SimTime::ZERO + Duration::from_mins(m), m as f64);
         }
         let rows = downsample(&ts, Duration::from_hours(1));
         assert_eq!(rows.len(), 3);

@@ -120,7 +120,9 @@ pub fn run_scenario(scenario: &Scenario) -> RunSummary {
     }
 
     // Drive time, firing non-storm events at their minutes and sampling a
-    // report row every interval.
+    // report row every interval. `run_for` rides the event-driven control
+    // scheduler, so quiet minutes cost a handful of control events rather
+    // than a dense tick grid.
     let total_mins = (scenario.duration_hours * 60.0).ceil() as u64;
     let mut pending: Vec<&ScenarioEvent> = scenario
         .events
@@ -138,7 +140,9 @@ pub fn run_scenario(scenario: &Scenario) -> RunSummary {
                 ScenarioEvent::RecoverHost { host, .. } => {
                     turbine.recover_host(hosts[*host]).expect("valid host");
                 }
-                ScenarioEvent::OncallSet { job, path, value, .. } => {
+                ScenarioEvent::OncallSet {
+                    job, path, value, ..
+                } => {
                     turbine
                         .oncall_set(ids[job], path, ConfigValue::Int(*value))
                         .expect("valid job");
@@ -183,7 +187,11 @@ pub fn run_scenario(scenario: &Scenario) -> RunSummary {
     let jobs = ids
         .iter()
         .map(|(name, &id)| match turbine.job_status(id) {
-            Some(status) => (name.clone(), status.running_tasks, status.backlog_bytes / 1.0e6),
+            Some(status) => (
+                name.clone(),
+                status.running_tasks,
+                status.backlog_bytes / 1.0e6,
+            ),
             None => (format!("{name} (deleted)"), 0, 0.0),
         })
         .collect();

@@ -328,7 +328,10 @@ impl Scenario {
             match e {
                 ScenarioEvent::FailHost { host, .. } | ScenarioEvent::RecoverHost { host, .. } => {
                     if *host >= scenario.hosts {
-                        return Err(err(format!("event references host {host} of {}", scenario.hosts)));
+                        return Err(err(format!(
+                            "event references host {host} of {}",
+                            scenario.hosts
+                        )));
                     }
                 }
                 ScenarioEvent::OncallSet { job, .. }
@@ -371,7 +374,9 @@ impl Scenario {
                         match job {
                             Some(j) if known(j) => {}
                             Some(j) => {
-                                return Err(err(format!("fault event references unknown job '{j}'")))
+                                return Err(err(format!(
+                                    "fault event references unknown job '{j}'"
+                                )))
                             }
                             None => return Err(err("scribe_stall needs a 'job' name")),
                         }

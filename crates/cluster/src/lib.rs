@@ -167,7 +167,10 @@ impl Cluster {
     /// Permanently remove a host and all containers on it. Returns the
     /// removed container ids.
     pub fn remove_host(&mut self, host: HostId) -> Result<Vec<ContainerId>, ClusterError> {
-        let h = self.hosts.remove(&host).ok_or(ClusterError::UnknownHost(host))?;
+        let h = self
+            .hosts
+            .remove(&host)
+            .ok_or(ClusterError::UnknownHost(host))?;
         for c in &h.containers {
             self.containers.remove(c);
         }

@@ -156,7 +156,10 @@ impl JobConfig {
     pub fn to_value(&self) -> ConfigValue {
         let mut v = ConfigValue::empty_map();
         v.insert_path("package.name", self.package.name.as_str().into());
-        v.insert_path("package.version", ConfigValue::Int(self.package.version as i64));
+        v.insert_path(
+            "package.version",
+            ConfigValue::Int(self.package.version as i64),
+        );
         v.insert(
             "args",
             ConfigValue::Array(self.args.iter().map(|a| a.as_str().into()).collect()),
@@ -166,14 +169,20 @@ impl JobConfig {
         v.insert_path("resources.cpu", self.task_resources.cpu.into());
         v.insert_path("resources.memory_mb", self.task_resources.memory_mb.into());
         v.insert_path("resources.disk_mb", self.task_resources.disk_mb.into());
-        v.insert_path("resources.network_mbps", self.task_resources.network_mbps.into());
+        v.insert_path(
+            "resources.network_mbps",
+            self.task_resources.network_mbps.into(),
+        );
         v.insert("checkpoint_dir", self.checkpoint_dir.as_str().into());
         v.insert_path("input.category", self.input_category.as_str().into());
         v.insert_path("input.partitions", self.input_partitions.into());
         v.insert("stateful", self.stateful.into());
         v.insert("priority", priority_to_str(self.priority).into());
         v.insert("slo_lag_secs", self.slo_lag_secs.into());
-        v.insert("memory_enforcement", self.memory_enforcement.as_str().into());
+        v.insert(
+            "memory_enforcement",
+            self.memory_enforcement.as_str().into(),
+        );
         v.insert("max_task_count", self.max_task_count.into());
         v
     }
@@ -186,7 +195,9 @@ impl JobConfig {
             v.get_path(path)
                 .and_then(|x| x.as_str())
                 .map(str::to_string)
-                .ok_or_else(|| ValidationError::new(&format!("missing or non-string field '{path}'")))
+                .ok_or_else(|| {
+                    ValidationError::new(&format!("missing or non-string field '{path}'"))
+                })
         };
         let get_u32 = |path: &str| -> Result<u32, ValidationError> {
             v.get_path(path)
@@ -197,18 +208,19 @@ impl JobConfig {
                 })
         };
         let get_f64 = |path: &str| -> Result<f64, ValidationError> {
-            v.get_path(path)
-                .and_then(|x| x.as_float())
-                .ok_or_else(|| ValidationError::new(&format!("missing or non-numeric field '{path}'")))
+            v.get_path(path).and_then(|x| x.as_float()).ok_or_else(|| {
+                ValidationError::new(&format!("missing or non-numeric field '{path}'"))
+            })
         };
 
         let priority_str = get_str("priority")?;
         let priority = priority_from_str(&priority_str)
             .ok_or_else(|| ValidationError::new(&format!("unknown priority '{priority_str}'")))?;
         let enforcement_str = get_str("memory_enforcement")?;
-        let memory_enforcement = MemoryEnforcement::from_str(&enforcement_str).ok_or_else(|| {
-            ValidationError::new(&format!("unknown memory_enforcement '{enforcement_str}'"))
-        })?;
+        let memory_enforcement =
+            MemoryEnforcement::from_str(&enforcement_str).ok_or_else(|| {
+                ValidationError::new(&format!("unknown memory_enforcement '{enforcement_str}'"))
+            })?;
 
         let config = JobConfig {
             package: PackageSpec {

@@ -126,7 +126,10 @@ mod tests {
         let scaler = v(r#"{"task_count": 15}"#);
         let oncall = v(r#"{"task_count": 30}"#);
         let merged = layer_all(&[&base, &scaler, &oncall]);
-        assert_eq!(merged.get_path("task_count").and_then(|x| x.as_int()), Some(30));
+        assert_eq!(
+            merged.get_path("task_count").and_then(|x| x.as_int()),
+            Some(30)
+        );
         assert_eq!(
             merged.get_path("package.name").and_then(|x| x.as_str()),
             Some("tailer")

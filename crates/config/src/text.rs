@@ -21,7 +21,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "config parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "config parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -245,8 +249,7 @@ impl<'a> Parser<'a> {
                             if !(0xDC00..0xE000).contains(&low) {
                                 return Err(self.err("invalid low surrogate"));
                             }
-                            let combined =
-                                0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                            let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
                             char::from_u32(combined)
                         } else {
                             char::from_u32(code)
@@ -277,7 +280,9 @@ impl<'a> Parser<'a> {
     fn parse_hex4(&mut self) -> Result<u32, ParseError> {
         let mut code: u32 = 0;
         for _ in 0..4 {
-            let b = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             let digit = (b as char)
                 .to_digit(16)
                 .ok_or_else(|| self.err("invalid hex digit in \\u escape"))?;
@@ -312,8 +317,8 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number bytes are ASCII");
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
         if is_float {
             text.parse::<f64>()
                 .map(ConfigValue::Float)
@@ -345,7 +350,9 @@ mod tests {
 
     #[test]
     fn scalars_roundtrip() {
-        for s in ["null", "true", "false", "0", "-17", "3.5", "-0.25", "1e3", r#""hi""#] {
+        for s in [
+            "null", "true", "false", "0", "-17", "3.5", "-0.25", "1e3", r#""hi""#,
+        ] {
             roundtrip(s);
         }
     }

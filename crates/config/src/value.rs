@@ -228,7 +228,10 @@ mod tests {
         let mut v = ConfigValue::empty_map();
         v.insert_path("package.version", ConfigValue::Int(7));
         v.insert_path("package.name", "scuba_tailer".into());
-        assert_eq!(v.get_path("package.version").and_then(|x| x.as_int()), Some(7));
+        assert_eq!(
+            v.get_path("package.version").and_then(|x| x.as_int()),
+            Some(7)
+        );
         assert_eq!(
             v.get_path("package.name").and_then(|x| x.as_str()),
             Some("scuba_tailer")

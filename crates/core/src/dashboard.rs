@@ -218,7 +218,9 @@ mod tests {
         assert!(!health.all_green());
         let (_, issues) = &health.unhealthy[0];
         assert!(
-            issues.iter().any(|i| matches!(i, HealthIssue::Lagging { .. })),
+            issues
+                .iter()
+                .any(|i| matches!(i, HealthIssue::Lagging { .. })),
             "{issues:?}"
         );
         let rendered = health.render();

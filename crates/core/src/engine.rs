@@ -183,7 +183,13 @@ impl Engine {
     }
 
     /// A task started (or restarted) on a container.
-    pub fn task_started(&mut self, spec: &TaskSpec, container: ContainerId, now: SimTime, restart_delay: Duration) {
+    pub fn task_started(
+        &mut self,
+        spec: &TaskSpec,
+        container: ContainerId,
+        now: SimTime,
+        restart_delay: Duration,
+    ) {
         self.tasks.insert(
             spec.id,
             ActiveTask {
@@ -216,7 +222,11 @@ impl Engine {
     /// recovering container whose shards were already failed over) must
     /// not remove the task now running elsewhere.
     pub fn task_stopped(&mut self, task: TaskId, container: ContainerId) {
-        if self.tasks.get(&task).is_some_and(|t| t.container == container) {
+        if self
+            .tasks
+            .get(&task)
+            .is_some_and(|t| t.container == container)
+        {
             self.tasks.remove(&task);
         }
     }
@@ -243,17 +253,40 @@ impl Engine {
             .range(TaskId::new(job, 0)..=TaskId::new(job, u32::MAX))
     }
 
+    /// Direct lookup of one active task by id.
+    pub fn task(&self, id: TaskId) -> Option<&ActiveTask> {
+        self.tasks.get(&id)
+    }
+
+    /// The `k`-th active task in deterministic (ordered-map) iteration
+    /// order, with its container — a single lookup for uniform victim
+    /// selection during crash injection.
+    pub fn nth_task(&self, k: usize) -> Option<(TaskId, ContainerId)> {
+        self.tasks.iter().nth(k).map(|(&id, t)| (id, t.container))
+    }
+
+    /// True when the data plane would be a no-op at every instant in
+    /// `(after, through]`: no task is mid-restart, every partition is
+    /// fully drained (a full drain takes the exact `share == 1.0` path in
+    /// [`Engine::tick`], so a drained partition has `appended ==
+    /// consumed` bit-for-bit), and no job's traffic model delivers
+    /// arrivals anywhere in the window. The event-driven scheduler uses
+    /// this quiescence signal to jump the clock to the next due control
+    /// event instead of dense-ticking through idle time.
+    pub fn is_quiescent_through(&self, after: SimTime, through: SimTime) -> bool {
+        self.tasks.values().all(|t| t.down_until.is_none())
+            && self.jobs.values().all(|rt| {
+                rt.traffic.idle_through(after, through)
+                    && rt.partitions.iter().all(|p| p.appended == p.consumed)
+            })
+    }
+
     /// Last-tick resource usage of every task (for load aggregation and
     /// utilization metrics).
     pub fn task_usage_map(&self) -> HashMap<TaskId, Resources> {
         self.tasks
             .iter()
-            .map(|(&id, t)| {
-                (
-                    id,
-                    Resources::cpu_mem(t.cpu_usage, t.memory_usage_mb),
-                )
-            })
+            .map(|(&id, t)| (id, Resources::cpu_mem(t.cpu_usage, t.memory_usage_mb)))
             .collect()
     }
 
@@ -375,8 +408,8 @@ impl Engine {
             let mut usage =
                 task_usage(rate, rt.avg_message_bytes, rt.true_per_thread_rate).memory_mb;
             if rt.stateful {
-                let tasks_of_job = task.partitions.len().max(1) as f64
-                    / rt.partitions.len().max(1) as f64;
+                let tasks_of_job =
+                    task.partitions.len().max(1) as f64 / rt.partitions.len().max(1) as f64;
                 usage += rt.key_cardinality * tasks_of_job * 1.0e-3;
             }
             task.memory_usage_mb = usage;
@@ -425,12 +458,8 @@ impl Engine {
             for (i, p) in rt.partitions.iter_mut().enumerate() {
                 let delta = p.appended - p.scribe_synced;
                 if delta >= 1.0 {
-                    let _ = scribe.append_bytes(
-                        &category,
-                        PartitionId(i as u64),
-                        delta as u64,
-                        now,
-                    );
+                    let _ =
+                        scribe.append_bytes(&category, PartitionId(i as u64), delta as u64, now);
                     p.scribe_synced += delta.floor();
                 }
                 checkpoints.commit(job, PartitionId(i as u64), p.consumed as u64);
@@ -611,6 +640,54 @@ mod tests {
         assert!((total as f64 - 6.0e7).abs() < 1.0e6, "total {total}");
         assert!(checkpoints.job_total_ingested(JOB) > 0);
         let _ = specs;
+    }
+
+    #[test]
+    fn quiescence_requires_drained_partitions_and_idle_traffic() {
+        let (mut engine, specs) = engine_with_job(0.0, 2);
+        let t0 = SimTime::ZERO;
+        let later = t0 + Duration::from_mins(10);
+        // Fresh tasks are mid-restart (down_until set): not quiescent.
+        assert!(!engine.is_quiescent_through(t0, later));
+        let dt = Duration::from_secs(10);
+        engine.tick(t0 + dt, dt, &caps(64.0), &|_| false);
+        // Zero-rate traffic, nothing appended, restarts cleared: quiescent.
+        assert!(engine.is_quiescent_through(t0 + dt, later));
+        // Direct lookups agree with iteration order.
+        assert_eq!(engine.task(specs[0].id).map(|t| t.container), Some(C0));
+        assert_eq!(engine.nth_task(0).map(|(id, _)| id), Some(specs[0].id));
+        assert_eq!(engine.nth_task(2), None);
+    }
+
+    #[test]
+    fn backlog_blocks_quiescence_until_fully_drained() {
+        // 4 MB/s into 2 × 1 MB/s tasks: backlog builds every tick.
+        let (mut engine, _) = engine_with_job(4.0e6, 2);
+        let dt = Duration::from_secs(10);
+        let mut now = SimTime::ZERO;
+        // Build backlog, then cut arrivals via an input outage and drain.
+        now += dt;
+        engine.tick(now, dt, &caps(64.0), &|_| false);
+        engine.job_mut(JOB).expect("job").traffic =
+            TrafficModel::flat(4.0e6).with_event(turbine_workloads::TrafficEvent {
+                start: now,
+                end: SimTime::ZERO + Duration::from_hours(2),
+                kind: turbine_workloads::TrafficEventKind::InputOutage,
+            });
+        let horizon = now + Duration::from_mins(5);
+        assert!(
+            !engine.is_quiescent_through(now, horizon),
+            "undrained backlog must block quiescence"
+        );
+        for _ in 0..6 {
+            now += dt;
+            engine.tick(now, dt, &caps(64.0), &|_| false);
+        }
+        assert!(
+            engine.job(JOB).expect("job").backlog() == 0.0,
+            "full drain must hit the exact share == 1.0 path"
+        );
+        assert!(engine.is_quiescent_through(now, now + Duration::from_mins(5)));
     }
 
     #[test]

@@ -262,9 +262,7 @@ impl InvariantChecker {
                 fresh.push((
                     key,
                     "no-host-overcommit",
-                    format!(
-                        "{host} allocated {allocated:?} exceeds capacity {capacity:?}"
-                    ),
+                    format!("{host} allocated {allocated:?} exceeds capacity {capacity:?}"),
                 ));
             }
         }
@@ -313,8 +311,7 @@ impl InvariantChecker {
             .filter(|&job| self.is_diverged(view, job))
             .collect();
         self.diverged_since.retain(|job, _| current.contains(job));
-        self.convergence_flagged
-            .retain(|job| current.contains(job));
+        self.convergence_flagged.retain(|job| current.contains(job));
         for &job in &current {
             self.diverged_since.entry(job).or_insert(now);
         }

@@ -47,7 +47,9 @@ pub mod platform;
 pub use dashboard::{fleet_health, FleetHealth, HealthIssue};
 pub use invariants::{InvariantChecker, InvariantConfig, InvariantView, Violation};
 pub use metrics::PlatformMetrics;
-pub use platform::{JobStatus, Turbine, TurbineConfig};
+pub use platform::{
+    ControlEvent, DriveMode, JobStatus, PlatformFingerprint, Turbine, TurbineConfig,
+};
 // Re-exported so downstream crates (CLI, benches, tests) can schedule
 // faults without depending on the sim crate directly.
 pub use turbine_sim::{Fault, FaultPlan, FaultTransition};

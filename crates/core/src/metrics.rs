@@ -72,6 +72,10 @@ pub struct PlatformMetrics {
     pub scaling_actions: Counter,
     /// Operator alerts raised (untriaged problems, quarantines).
     pub alerts: Counter,
+    /// Data-plane ticks actually executed by the drive loop (the
+    /// event-driven scheduler skips quiescent grid instants, so this is
+    /// the direct measure of sparse-jump savings vs the dense stepper).
+    pub ticks_executed: Counter,
     /// Root-cause diagnoses produced for untriaged problems:
     /// (time, job, rationale).
     pub diagnoses: Vec<(SimTime, JobId, String)>,

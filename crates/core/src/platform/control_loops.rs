@@ -1,0 +1,617 @@
+//! The per-event control-loop handlers: one method per
+//! [`ControlEvent`](super::ControlEvent) round, plus the shared plumbing
+//! (shard-movement application, task-event bookkeeping) they all feed
+//! into. Cadences, gates, and dispatch order live in the scheduler's
+//! component table — these bodies only do the round's work at the instant
+//! they are invoked.
+
+use super::Turbine;
+use crate::engine::Engine;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use turbine_autoscaler::{DiagnosisInput, JobMetrics, Mitigation, ScalingAction};
+use turbine_config::{ConfigLevel, JobConfig};
+use turbine_shardmgr::ShardMovement;
+use turbine_statesyncer::{Redistribute, SyncEnvironment};
+use turbine_taskmgr::{LocalTaskManager, TaskEvent, TaskService};
+use turbine_types::{ContainerId, Duration, JobId, Resources, SimTime};
+
+impl Turbine {
+    /// Heartbeats + proactive reboot of disconnected containers.
+    pub(crate) fn heartbeat_round(&mut self) {
+        let now = self.now;
+        let healthy: BTreeSet<ContainerId> =
+            self.cluster.healthy_containers().into_iter().collect();
+        // Proactive reboots first.
+        let due_reboot: Vec<ContainerId> = self
+            .severed
+            .iter()
+            .filter(|(_, s)| !s.rebooted && now.since(s.at) >= self.config.connection_timeout)
+            .map(|(&c, _)| c)
+            .collect();
+        for container in due_reboot {
+            self.severed.get_mut(&container).expect("present").rebooted = true;
+            let mut all_events = Vec::new();
+            if let Some(tm) = self.task_managers.get_mut(&container) {
+                let owned: Vec<_> = tm.owned_shards().collect();
+                for shard in owned {
+                    all_events.extend(tm.drop_shard(shard));
+                }
+            }
+            self.handle_task_events(container, &all_events);
+        }
+        for &container in self.task_managers.keys() {
+            if healthy.contains(&container) && !self.severed.contains_key(&container) {
+                self.shard_manager.heartbeat(container, now);
+            }
+        }
+    }
+
+    /// Shard Manager fail-over check (piggybacks the heartbeat cadence).
+    pub(crate) fn failover_check(&mut self) {
+        let failover_moves = self.shard_manager.check_failover(self.now);
+        if !failover_moves.is_empty() {
+            self.metrics.failovers.incr();
+            self.apply_movements(&failover_moves);
+        }
+    }
+
+    /// Task Manager snapshot refresh from the Task Service.
+    pub(crate) fn tm_refresh_round(&mut self) {
+        let now = self.now;
+        // Snapshot (cached and indexed inside the Task Service for its
+        // TTL; Task Managers share it by reference).
+        let jobs = &self.jobs;
+        let paused = &self.paused;
+        let stopped = &self.capacity_stopped;
+        let snapshot = self.task_service.snapshot(now, || {
+            jobs.store()
+                .running_jobs()
+                .into_iter()
+                .filter(|j| !paused.contains(j) && !stopped.contains(j))
+                .filter_map(|j| jobs.running_typed(j).map(|c| (j, c)))
+                .collect()
+        });
+        let healthy: BTreeSet<ContainerId> =
+            self.cluster.healthy_containers().into_iter().collect();
+        let containers: Vec<ContainerId> = self.task_managers.keys().copied().collect();
+        for container in containers {
+            if !healthy.contains(&container) {
+                continue;
+            }
+            let events = self
+                .task_managers
+                .get_mut(&container)
+                .expect("iterating keys")
+                .refresh(snapshot.clone());
+            self.handle_task_events(container, &events);
+        }
+    }
+
+    /// One State Syncer reconciliation round.
+    pub(crate) fn syncer_round(&mut self) {
+        struct Env<'a> {
+            paused: &'a mut BTreeSet<JobId>,
+            task_service: &'a mut TaskService,
+            task_managers: &'a BTreeMap<ContainerId, LocalTaskManager>,
+            engine: &'a Engine,
+            state_moves: &'a mut HashMap<JobId, SimTime>,
+            now: SimTime,
+            state_move_bandwidth: f64,
+        }
+        impl SyncEnvironment for Env<'_> {
+            fn request_stop(&mut self, job: JobId) {
+                if self.paused.insert(job) {
+                    self.task_service.invalidate();
+                }
+            }
+            fn all_stopped(&mut self, job: JobId) -> bool {
+                self.task_managers.values().all(|tm| !tm.runs_job(job))
+            }
+            fn redistribute_checkpoints(
+                &mut self,
+                job: JobId,
+                _old: u32,
+                _new: u32,
+            ) -> Result<Redistribute, String> {
+                // Checkpoints are keyed by (job, partition), so a
+                // parallelism change re-maps ownership without moving
+                // offsets; the barrier above guarantees no two tasks ever
+                // own a partition concurrently. Stateful jobs additionally
+                // move their state (≈1 KB per key) at the configured
+                // bandwidth — real time during which the job stays paused.
+                let stateful_bytes = self
+                    .engine
+                    .job(job)
+                    .filter(|rt| rt.stateful)
+                    .map(|rt| rt.key_cardinality * 1.0e3)
+                    .unwrap_or(0.0);
+                if stateful_bytes <= 0.0 {
+                    return Ok(Redistribute::Done);
+                }
+                let done_at = *self.state_moves.entry(job).or_insert_with(|| {
+                    self.now + Duration::from_secs_f64(stateful_bytes / self.state_move_bandwidth)
+                });
+                if self.now >= done_at {
+                    self.state_moves.remove(&job);
+                    Ok(Redistribute::Done)
+                } else {
+                    Ok(Redistribute::InProgress)
+                }
+            }
+        }
+        let mut env = Env {
+            paused: &mut self.paused,
+            task_service: &mut self.task_service,
+            task_managers: &self.task_managers,
+            engine: &self.engine,
+            state_moves: &mut self.state_moves,
+            now: self.now,
+            state_move_bandwidth: self.config.state_move_bandwidth,
+        };
+        let report = self.syncer.run_round(&mut self.jobs, &mut env);
+        let mut invalidate = report.total_changed() > 0;
+        for &job in report
+            .started
+            .iter()
+            .chain(&report.simple)
+            .chain(&report.complex_completed)
+        {
+            self.paused.remove(&job);
+            invalidate = true;
+        }
+        for &job in &report.deleted {
+            self.paused.remove(&job);
+            self.capacity_stopped.remove(&job);
+            self.engine.remove_job(job);
+            self.checkpoints.remove_job(job);
+            self.categories.remove(&job);
+            invalidate = true;
+        }
+        if invalidate {
+            self.task_service.invalidate();
+        }
+        self.metrics.alerts.add(report.alerts.len() as u64);
+    }
+
+    /// One Auto Scaler evaluation round.
+    pub(crate) fn scaler_round(&mut self) {
+        let now = self.now;
+        let window = now.since(self.last_scaler_drain).as_secs_f64().max(1.0);
+        self.last_scaler_drain = now;
+        if !self.config.scaler_enabled {
+            // Still drain windows so a later enable starts fresh.
+            for job in self.engine.job_ids() {
+                let _ = self.engine.drain_window(job);
+            }
+            return;
+        }
+        let usage = self.engine.task_usage_map();
+        for job in self.engine.job_ids() {
+            if self.paused.contains(&job)
+                || self.capacity_stopped.contains(&job)
+                || self.syncer.is_quarantined(job)
+            {
+                let _ = self.engine.drain_window(job);
+                continue;
+            }
+            let Ok(config) = self.jobs.expected_typed(job) else {
+                continue;
+            };
+            if self.jobs.running_typed(job).is_none() {
+                let _ = self.engine.drain_window(job);
+                continue; // not started yet
+            }
+            let stats = self.engine.drain_window(job);
+            let runtime = self.engine.job(job).expect("registered");
+            let backlog = runtime.backlog();
+            let mut per_task_rates = Vec::new();
+            let mut per_task_memory = Vec::new();
+            for (id, task) in self.engine.tasks_of_job(job) {
+                let processed = stats
+                    .per_task
+                    .iter()
+                    .find(|(t, _)| t == id)
+                    .map(|(_, v)| *v)
+                    .unwrap_or(0.0);
+                per_task_rates.push(processed / window);
+                per_task_memory.push(task.memory_usage_mb);
+            }
+            let metrics = JobMetrics {
+                input_rate: stats.arrived / window,
+                processing_rate: stats.processed / window,
+                total_bytes_lagged: backlog,
+                per_task_rates,
+                per_task_memory_mb: per_task_memory,
+                oom_events: stats.ooms,
+                task_count: config.task_count,
+                threads_per_task: config.threads_per_task,
+                reserved: config.task_resources,
+                key_cardinality: runtime.stateful.then_some(runtime.key_cardinality),
+            };
+            // Track releases (for the root-causer's bad-update rule).
+            match self.releases.get(&job) {
+                Some(&(current, _, _)) if current != config.package.version => {
+                    self.releases
+                        .insert(job, (config.package.version, current, now));
+                }
+                None => {
+                    self.releases
+                        .insert(job, (config.package.version, config.package.version, now));
+                }
+                _ => {}
+            }
+            let decision = self.scaler.evaluate(job, &metrics, &config, now);
+            // Track lag episodes.
+            let lagging = decision
+                .symptoms
+                .iter()
+                .any(|s| matches!(s, turbine_autoscaler::Symptom::Lagging { .. }));
+            if lagging {
+                self.lag_since.entry(job).or_insert(now);
+            } else {
+                self.lag_since.remove(&job);
+            }
+            // The root-causer watches every lagging job independently of
+            // the scaler: a single-task hardware anomaly must be moved,
+            // not scaled around — scaling would both waste capacity and
+            // accidentally mask the sick host.
+            let mut action = decision.action;
+            if lagging {
+                let window = now.since(self.last_scaler_drain).as_secs_f64().max(1.0);
+                let _ = window;
+                // Hardware diagnosis needs a *stable* measurement window:
+                // a task (re)started mid-window shows a near-zero rate and
+                // would be misdiagnosed as a sick host.
+                let window_start = now - self.config.scaler_interval;
+                let stable_window = self
+                    .engine
+                    .tasks_of_job(job)
+                    .all(|(_, t)| t.started_at <= window_start);
+                let hardware = if stable_window {
+                    let per_task_rates = self.per_task_rates(job, &stats.per_task);
+                    self.root_causer.hardware_anomaly(&metrics, &per_task_rates)
+                } else {
+                    None
+                };
+                let recently_diagnosed = self
+                    .last_diagnosis
+                    .get(&job)
+                    .is_some_and(|&at| now.since(at) < Duration::from_mins(10));
+                if (hardware.is_some() || decision.untriaged.is_some()) && !recently_diagnosed {
+                    self.last_diagnosis.insert(job, now);
+                    self.diagnose_untriaged(job, &metrics, &stats.per_task, now);
+                    if hardware.is_some() {
+                        // The move is the mitigation; do not also scale.
+                        action = None;
+                    }
+                }
+            }
+            if decision.untriaged.is_some() {
+                self.metrics.alerts.incr();
+            }
+            if let Some(action) = action {
+                self.apply_scaling_action(job, &config, action);
+            }
+        }
+        let _ = usage;
+    }
+
+    /// Per-task processing rates over the last scaler window.
+    fn per_task_rates(
+        &self,
+        job: JobId,
+        per_task_window: &[(turbine_types::TaskId, f64)],
+    ) -> Vec<(turbine_types::TaskId, f64)> {
+        let window = self.config.scaler_interval.as_secs_f64();
+        self.engine
+            .tasks_of_job(job)
+            .map(|(&id, _)| {
+                let processed = per_task_window
+                    .iter()
+                    .find(|(t, _)| *t == id)
+                    .map(|(_, v)| *v)
+                    .unwrap_or(0.0);
+                (id, processed / window)
+            })
+            .collect()
+    }
+
+    /// Run the auto root-causer on an untriaged problem, record the
+    /// diagnosis, and apply the safe automated mitigation (task moves for
+    /// hardware issues; everything else stays a recommendation).
+    fn diagnose_untriaged(
+        &mut self,
+        job: JobId,
+        metrics: &JobMetrics,
+        per_task_window: &[(turbine_types::TaskId, f64)],
+        now: SimTime,
+    ) {
+        let per_task_rates = self.per_task_rates(job, per_task_window);
+        let diagnosis = self.root_causer.diagnose(&DiagnosisInput {
+            metrics,
+            per_task_rates: &per_task_rates,
+            expected_per_thread: self.scaler.throughput_estimate(job).unwrap_or(0.0),
+            last_release: self.releases.get(&job).copied(),
+            lag_since: self.lag_since.get(&job).copied(),
+            now,
+        });
+        if let Mitigation::MoveTask(task) = diagnosis.mitigation {
+            self.move_task_shard(task);
+        }
+        self.metrics.diagnoses.push((now, job, diagnosis.rationale));
+    }
+
+    /// Move one task's shard to a different alive container (root-causer
+    /// mitigation for hardware issues).
+    fn move_task_shard(&mut self, task: turbine_types::TaskId) {
+        let shard = turbine_taskmgr::shard_of_task(task, self.config.shard_count);
+        let from = self.shard_manager.container_of(shard);
+        let target = self
+            .shard_manager
+            .alive_containers()
+            .into_iter()
+            .find(|&c| Some(c) != from);
+        if let Some(to) = target {
+            if let Some(movement) = self.shard_manager.move_shard(shard, to) {
+                self.apply_movements(&[movement]);
+            }
+        }
+    }
+
+    /// Write one scaler decision to the Job Store's scaler config level.
+    fn apply_scaling_action(&mut self, job: JobId, config: &JobConfig, action: ScalingAction) {
+        self.metrics.scaling_actions.incr();
+        match action {
+            ScalingAction::RebalanceInput => {
+                if let Some(rt) = self.engine.job_mut(job) {
+                    let n = rt.partition_weights.len();
+                    rt.partition_weights = vec![1.0 / n as f64; n];
+                }
+            }
+            ScalingAction::Vertical {
+                threads_per_task,
+                per_task,
+            } => {
+                let result = self
+                    .jobs
+                    .update_level(job, ConfigLevel::Scaler, move |cfg| {
+                        cfg.insert("threads_per_task", threads_per_task.into());
+                        cfg.insert_path("resources.cpu", per_task.cpu.into());
+                        cfg.insert_path("resources.memory_mb", per_task.memory_mb.into());
+                        cfg.insert_path("resources.disk_mb", per_task.disk_mb.into());
+                        cfg.insert_path("resources.network_mbps", per_task.network_mbps.into());
+                    });
+                debug_assert!(result.is_ok());
+            }
+            ScalingAction::Horizontal {
+                task_count,
+                per_task,
+            } => {
+                // Parallelism can never exceed the input partition count.
+                let count = task_count.clamp(1, config.input_partitions);
+                let result = self
+                    .jobs
+                    .update_level(job, ConfigLevel::Scaler, move |cfg| {
+                        cfg.insert("task_count", count.into());
+                        cfg.insert_path("resources.cpu", per_task.cpu.into());
+                        cfg.insert_path("resources.memory_mb", per_task.memory_mb.into());
+                        cfg.insert_path("resources.disk_mb", per_task.disk_mb.into());
+                        cfg.insert_path("resources.network_mbps", per_task.network_mbps.into());
+                    });
+                debug_assert!(result.is_ok());
+            }
+        }
+    }
+
+    /// Task Manager load reports to the Shard Manager.
+    pub(crate) fn load_report_round(&mut self) {
+        let usage = self.engine.task_usage_map();
+        for tm in self.task_managers.values() {
+            for (shard, load) in tm.aggregate_shard_loads(&usage) {
+                self.shard_manager.report_load(shard, load);
+            }
+        }
+    }
+
+    /// Cluster-wide load-balancing rebalance.
+    pub(crate) fn rebalance_round(&mut self) {
+        let result = self.shard_manager.rebalance();
+        self.apply_movements(&result.moves);
+    }
+
+    /// One Capacity Manager evaluation round.
+    pub(crate) fn capacity_round(&mut self) {
+        let total_reserved: Resources = self
+            .jobs
+            .store()
+            .running_jobs()
+            .into_iter()
+            .filter_map(|j| self.jobs.running_typed(j))
+            .map(|c| c.task_resources.scale(c.task_count as f64))
+            .sum();
+        let job_list: Vec<(JobId, turbine_types::Priority, Resources)> = self
+            .jobs
+            .store()
+            .running_jobs()
+            .into_iter()
+            .filter_map(|j| {
+                self.jobs
+                    .running_typed(j)
+                    .map(|c| (j, c.priority, c.task_resources.scale(c.task_count as f64)))
+            })
+            .collect();
+        self.capacity
+            .register_cluster("primary", self.cluster.total_healthy_capacity());
+        let directive = self.capacity.evaluate("primary", total_reserved, &job_list);
+        self.scaler.set_priority_floor(directive.priority_floor);
+        if !directive.jobs_to_stop.is_empty() {
+            for job in directive.jobs_to_stop {
+                if self.capacity_stopped.insert(job) {
+                    self.metrics.alerts.incr();
+                }
+            }
+            self.task_service.invalidate();
+        } else if directive.priority_floor.is_none() && !self.capacity_stopped.is_empty() {
+            // Pressure cleared: resume capacity-stopped jobs.
+            self.capacity_stopped.clear();
+            self.task_service.invalidate();
+        }
+    }
+
+    /// Durability sync: flush processed offsets to the checkpoint store.
+    pub(crate) fn checkpoint_round(&mut self) {
+        let categories = self.categories.clone();
+        self.engine.sync_durable(
+            self.now,
+            &mut self.scribe,
+            &mut self.checkpoints,
+            &move |job| categories.get(&job).cloned().unwrap_or_default(),
+        );
+    }
+
+    /// One metric-sampling round.
+    pub(crate) fn metrics_round(&mut self) {
+        let now = self.now;
+        // Cluster traffic (pure function of the models: cheap).
+        let traffic: f64 = self
+            .engine
+            .job_ids()
+            .iter()
+            .filter_map(|&j| self.engine.job(j))
+            .map(|rt| rt.traffic.arrival_rate(now))
+            .sum();
+        self.metrics.cluster_traffic.record(now, traffic);
+        self.metrics
+            .task_count
+            .record(now, self.engine.total_tasks() as f64);
+
+        // Host utilization bands.
+        let usage = self.engine.task_usage_map();
+        let mut per_container: HashMap<ContainerId, Resources> = HashMap::new();
+        for (id, task) in self.engine.tasks() {
+            let u = usage.get(id).copied().unwrap_or(Resources::ZERO);
+            *per_container.entry(task.container).or_default() += u;
+        }
+        let mut cpu_samples = Vec::new();
+        let mut mem_samples = Vec::new();
+        for container in self.cluster.healthy_containers() {
+            let cap = self
+                .cluster
+                .container_capacity(container)
+                .expect("healthy container");
+            let used = per_container
+                .get(&container)
+                .copied()
+                .unwrap_or(Resources::ZERO);
+            if cap.cpu > 0.0 {
+                cpu_samples.push((used.cpu / cap.cpu).min(1.0));
+            }
+            if cap.memory_mb > 0.0 {
+                mem_samples.push((used.memory_mb / cap.memory_mb).min(1.0));
+            }
+        }
+        if !cpu_samples.is_empty() {
+            self.metrics.host_cpu.record(now, &cpu_samples);
+            self.metrics.host_memory.record(now, &mem_samples);
+        }
+
+        // Per-job lag + SLO compliance.
+        let mut ok = 0usize;
+        let mut total = 0usize;
+        let mut total_backlog = 0.0;
+        let watched: Vec<JobId> = self.metrics.watched_job_lag.keys().copied().collect();
+        for job in self.engine.job_ids() {
+            let Some(rt) = self.engine.job(job) else {
+                continue;
+            };
+            let backlog = rt.backlog();
+            total_backlog += backlog;
+            let Ok(config) = self.jobs.expected_typed(job) else {
+                continue;
+            };
+            // Lag relative to sustained processing capability: use the
+            // arrival rate as the denominator when the job keeps up.
+            let rate = rt.traffic.arrival_rate(now).max(1.0);
+            let lag_secs = backlog / rate;
+            total += 1;
+            if lag_secs <= config.slo_lag_secs {
+                ok += 1;
+            }
+            if watched.contains(&job) {
+                self.metrics
+                    .watched_job_lag
+                    .get_mut(&job)
+                    .expect("watched")
+                    .record(now, lag_secs);
+                self.metrics
+                    .watched_job_tasks
+                    .get_mut(&job)
+                    .expect("watched")
+                    .record(now, self.engine.running_tasks_of(job) as f64);
+            }
+        }
+        if total > 0 {
+            self.metrics
+                .slo_ok_fraction
+                .record(now, ok as f64 / total as f64);
+        }
+        self.metrics.total_backlog.record(now, total_backlog);
+
+        // Reserved footprint (Fig. 10).
+        let mut reserved_cpu = 0.0;
+        let mut reserved_mem = 0.0;
+        for job in self.jobs.store().running_jobs() {
+            if let Some(c) = self.jobs.running_typed(job) {
+                reserved_cpu += c.task_resources.cpu * c.task_count as f64;
+                reserved_mem += c.task_resources.memory_mb * c.task_count as f64;
+            }
+        }
+        self.metrics.reserved_cpu.record(now, reserved_cpu);
+        self.metrics.reserved_memory_mb.record(now, reserved_mem);
+    }
+
+    /// Apply shard movements: DROP_SHARD on the source before ADD_SHARD on
+    /// the destination — a shard must never run in two containers at once.
+    pub(crate) fn apply_movements(&mut self, moves: &[ShardMovement]) {
+        for m in moves {
+            self.metrics.shard_moves.incr();
+            if let Some(from) = m.from {
+                let events = self
+                    .task_managers
+                    .get_mut(&from)
+                    .map(|tm| tm.drop_shard(m.shard))
+                    .unwrap_or_default();
+                self.handle_task_events(from, &events);
+            }
+            let events = self
+                .task_managers
+                .get_mut(&m.to)
+                .map(|tm| tm.add_shard(m.shard))
+                .unwrap_or_default();
+            self.handle_task_events(m.to, &events);
+        }
+    }
+
+    /// Record task lifecycle events from a Task Manager into the engine
+    /// and the platform counters.
+    pub(crate) fn handle_task_events(&mut self, container: ContainerId, events: &[TaskEvent]) {
+        for event in events {
+            match event {
+                TaskEvent::Started(spec) => {
+                    self.metrics.task_starts.incr();
+                    self.engine
+                        .task_started(spec, container, self.now, self.config.restart_delay);
+                }
+                TaskEvent::Restarted(spec) => {
+                    self.metrics.task_restarts.incr();
+                    self.engine
+                        .task_started(spec, container, self.now, self.config.restart_delay);
+                }
+                TaskEvent::Stopped(id) => {
+                    self.metrics.task_stops.incr();
+                    self.engine.task_stopped(*id, container);
+                }
+            }
+        }
+    }
+}

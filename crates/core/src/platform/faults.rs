@@ -1,0 +1,156 @@
+//! Fault-injection entry points and fault-edge side effects: severed
+//! Shard Manager connections, chaos-engine windows, and whole-host
+//! failures. Scheduled windows additionally enqueue
+//! [`FaultEdge`](super::ControlEvent::FaultEdge) wake events so the
+//! event-driven loop executes the grid instants where the edges land.
+
+use super::{SeveredState, Turbine};
+use turbine_sim::{Fault, FaultInjector, FaultPlan, FaultTransition};
+use turbine_statesyncer::StateSyncer;
+use turbine_types::{ContainerId, Duration, HostId};
+
+impl Turbine {
+    /// Sever a container's connection to the Shard Manager (network
+    /// failure injection). Heartbeats stop; after the proactive timeout
+    /// the container reboots itself (§IV-C).
+    pub fn sever_connection(&mut self, container: ContainerId) {
+        self.severed.entry(container).or_insert(SeveredState {
+            at: self.now,
+            rebooted: false,
+        });
+    }
+
+    /// Restore a severed connection. If the Shard Manager already failed
+    /// the container over, it rejoins as an empty container; otherwise its
+    /// shards resume where they were.
+    pub fn restore_connection(&mut self, container: ContainerId) {
+        let Some(state) = self.severed.remove(&container) else {
+            return;
+        };
+        if state.rebooted {
+            use turbine_shardmgr::ContainerStatus;
+            let status = self.shard_manager.status(container);
+            if status == Some(ContainerStatus::Alive) {
+                // Re-connected before fail-over: re-own assigned shards.
+                let shards = self.shard_manager.shards_of(container);
+                let mut all_events = Vec::new();
+                if let Some(tm) = self.task_managers.get_mut(&container) {
+                    for shard in shards {
+                        all_events.extend(tm.add_shard(shard));
+                    }
+                }
+                self.handle_task_events(container, &all_events);
+            }
+            // If failed over: stays empty until the next rebalance.
+        }
+    }
+
+    /// Activate a fault now, optionally auto-clearing after `duration`.
+    /// Side effects (severed connections, syncer restarts) are applied
+    /// immediately; the expiry edge gets a wake event so the event loop
+    /// lands on it.
+    pub fn inject_fault(&mut self, fault: Fault, duration: Option<Duration>) {
+        let until = duration.map(|d| self.now + d);
+        let transitions = self.faults.inject(self.now, fault, until);
+        for t in transitions {
+            self.apply_fault_transition(t);
+        }
+        if let Some(until) = until {
+            self.schedule_fault_edges(until, None);
+        }
+    }
+
+    /// Clear an active fault now (no-op if it is not active).
+    pub fn clear_fault(&mut self, fault: &Fault) {
+        let transitions = self.faults.clear(self.now, fault);
+        for t in transitions {
+            self.apply_fault_transition(t);
+        }
+    }
+
+    /// Schedule a fault window for future simulated time; the injector
+    /// activates and expires it as the clock passes the window edges (each
+    /// edge gets a wake event pinning it to the execution grid).
+    pub fn schedule_fault(&mut self, plan: FaultPlan) {
+        self.schedule_fault_edges(plan.from, plan.until);
+        self.faults.schedule(plan);
+    }
+
+    /// Read access to the chaos engine (active faults, event log, digest).
+    pub fn fault_injector(&self) -> &FaultInjector {
+        &self.faults
+    }
+
+    /// Apply the side effects of a fault edge. Activation side effects
+    /// model the outage starting; clearance side effects model the
+    /// component coming back (reconnect, restart, cache invalidation).
+    pub(crate) fn apply_fault_transition(&mut self, transition: FaultTransition) {
+        match transition {
+            FaultTransition::Activated(Fault::HeartbeatLoss(container)) => {
+                self.sever_connection(container);
+            }
+            FaultTransition::Cleared(Fault::HeartbeatLoss(container)) => {
+                self.restore_connection(container);
+            }
+            FaultTransition::Cleared(Fault::SyncerCrash) => {
+                // Restart: a fresh syncer with empty in-memory state. The
+                // expected-vs-running difference persisted in the Job Store
+                // is the recovery log — the next round resumes exactly the
+                // syncs that were in flight (§III-B fault tolerance).
+                self.syncer = StateSyncer::new(self.config.syncer);
+            }
+            FaultTransition::Cleared(Fault::TaskServiceDown)
+            | FaultTransition::Cleared(Fault::JobStoreDown) => {
+                // Force the next refresh to rebuild a fresh snapshot
+                // instead of serving the stale cached one.
+                self.task_service.invalidate();
+            }
+            _ => {}
+        }
+    }
+
+    /// True while the Job Store is unavailable to writers.
+    pub(crate) fn job_store_down(&self) -> bool {
+        self.faults.is_active(&Fault::JobStoreDown)
+    }
+
+    /// Fail a host (crash / maintenance). Tasks on it stop processing
+    /// immediately; the Shard Manager fails its shards over after the
+    /// fail-over interval.
+    pub fn fail_host(&mut self, host: HostId) -> Result<(), String> {
+        self.cluster.fail_host(host).map_err(|e| e.to_string())
+    }
+
+    /// Recover a failed host. Containers the Shard Manager already failed
+    /// over rejoin empty (stale local state is discarded) and receive
+    /// shards at the next rebalance; containers that recovered before the
+    /// fail-over interval elapsed keep their shards and their tasks simply
+    /// resume (§IV-C).
+    pub fn recover_host(&mut self, host: HostId) -> Result<(), String> {
+        use turbine_shardmgr::ContainerStatus;
+        let containers = self
+            .cluster
+            .containers_on(host)
+            .map_err(|e| e.to_string())?;
+        self.cluster.recover_host(host).map_err(|e| e.to_string())?;
+        for container in containers {
+            if self.shard_manager.status(container) == Some(ContainerStatus::Alive) {
+                // Recovered before fail-over: ownership is unchanged and
+                // the local state is still valid.
+                continue;
+            }
+            // Failed over while down: clear stale local state. The stop
+            // events only affect tasks the engine still places here —
+            // tasks that already moved belong to their new containers.
+            let mut all_events = Vec::new();
+            if let Some(tm) = self.task_managers.get_mut(&container) {
+                let owned: Vec<_> = tm.owned_shards().collect();
+                for shard in owned {
+                    all_events.extend(tm.drop_shard(shard));
+                }
+            }
+            self.handle_task_events(container, &all_events);
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,647 @@
+//! The Turbine platform: all control-plane components wired together and
+//! driven in simulated time.
+//!
+//! Production cadences (paper values) are the defaults: State Syncer every
+//! 30 s, Task Manager refresh every 60 s with a 90 s Task Service cache,
+//! heartbeats with a 40 s proactive connection timeout and 60 s fail-over,
+//! load reports every 10 min, cluster-wide rebalance every 30 min.
+//!
+//! The platform is organised as focused submodules:
+//!
+//! * [`mod@self`] — configuration, construction, and the public API
+//!   surface (provisioning, status, interventions);
+//! * [`scheduler`] — the event-driven control plane: the [`ControlEvent`]
+//!   taxonomy, the component handler table, and the two drive loops
+//!   (event-driven, and the dense-tick reference stepper);
+//! * `control_loops` — the per-event component handlers (heartbeats, TM
+//!   refresh, sync rounds, scaling, metrics, ...);
+//! * `faults` — chaos-engine fault scheduling and transition side effects.
+
+mod control_loops;
+mod faults;
+mod scheduler;
+
+pub use scheduler::{ControlEvent, DriveMode};
+
+use crate::engine::Engine;
+use crate::invariants::{InvariantChecker, InvariantConfig, Violation};
+use crate::metrics::PlatformMetrics;
+use scheduler::ControlSchedule;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use turbine_autoscaler::{
+    AutoScaler, CapacityManager, CapacityManagerConfig, RootCauser, ScalerConfig,
+};
+use turbine_cluster::Cluster;
+use turbine_config::{ConfigLevel, ConfigValue, JobConfig};
+use turbine_jobstore::{JobService, JobStore, MemWal};
+use turbine_scribe::{CheckpointStore, Scribe};
+use turbine_shardmgr::{ShardManager, ShardManagerConfig};
+use turbine_sim::{FaultInjector, SimRng};
+use turbine_statesyncer::{StateSyncer, SyncerConfig};
+use turbine_taskmgr::{LocalTaskManager, TaskService};
+use turbine_types::{ContainerId, Duration, HostId, JobId, Resources, SimTime};
+use turbine_workloads::TrafficModel;
+
+/// Platform configuration. Defaults are the paper's production values.
+#[derive(Debug, Clone)]
+pub struct TurbineConfig {
+    /// Simulation tick: the data-plane integration step, and the grid on
+    /// which control events execute. Must not exceed any control cadence
+    /// below — validated at construction.
+    pub tick: Duration,
+    /// Shards in the tier.
+    pub shard_count: u64,
+    /// Fraction of each host handed to its Turbine container.
+    pub container_fraction: f64,
+    /// State Syncer round interval (paper: 30 s).
+    pub sync_interval: Duration,
+    /// Task Manager snapshot refresh interval (paper: 60 s).
+    pub tm_refresh_interval: Duration,
+    /// Task Service snapshot cache TTL (paper: 90 s).
+    pub task_service_ttl: Duration,
+    /// Heartbeat interval from Task Managers to the Shard Manager.
+    pub heartbeat_interval: Duration,
+    /// Proactive connection timeout after which a disconnected container
+    /// reboots itself (paper: 40 s — before the 60 s fail-over).
+    pub connection_timeout: Duration,
+    /// Load-report interval from Task Managers (paper: every 10 min).
+    pub load_report_interval: Duration,
+    /// Shard Manager rebalance interval (paper: 30 min for most tiers).
+    pub rebalance_interval: Duration,
+    /// Auto Scaler evaluation interval.
+    pub scaler_interval: Duration,
+    /// Capacity Manager evaluation interval.
+    pub capacity_interval: Duration,
+    /// Metric sampling interval.
+    pub metrics_interval: Duration,
+    /// Checkpoint/Scribe durability sync interval.
+    pub checkpoint_interval: Duration,
+    /// Downtime a task suffers when (re)started.
+    pub restart_delay: Duration,
+    /// Bandwidth at which stateful jobs' state is moved during complex
+    /// synchronizations, bytes/sec. Stateless jobs redistribute instantly
+    /// (checkpoints are per-partition; nothing moves).
+    pub state_move_bandwidth: f64,
+    /// State Syncer tunables.
+    pub syncer: SyncerConfig,
+    /// Auto Scaler tunables.
+    pub scaler: ScalerConfig,
+    /// Shard Manager tunables.
+    pub shardmgr: ShardManagerConfig,
+    /// Capacity Manager tunables.
+    pub capacity: CapacityManagerConfig,
+    /// Master switch for the Auto Scaler (ablations).
+    pub scaler_enabled: bool,
+    /// Master switch for load-balancing rebalances (ablations; fail-over
+    /// stays on).
+    pub load_balancing_enabled: bool,
+}
+
+impl Default for TurbineConfig {
+    fn default() -> Self {
+        TurbineConfig {
+            tick: Duration::from_secs(10),
+            shard_count: 1024,
+            container_fraction: 0.8,
+            sync_interval: Duration::from_secs(30),
+            tm_refresh_interval: Duration::from_secs(60),
+            task_service_ttl: Duration::from_secs(90),
+            heartbeat_interval: Duration::from_secs(10),
+            connection_timeout: Duration::from_secs(40),
+            load_report_interval: Duration::from_mins(10),
+            rebalance_interval: Duration::from_mins(30),
+            scaler_interval: Duration::from_mins(2),
+            capacity_interval: Duration::from_mins(5),
+            metrics_interval: Duration::from_mins(1),
+            checkpoint_interval: Duration::from_secs(60),
+            restart_delay: Duration::from_secs(10),
+            state_move_bandwidth: 256.0e6,
+            syncer: SyncerConfig::default(),
+            scaler: ScalerConfig::default(),
+            shardmgr: ShardManagerConfig::default(),
+            capacity: CapacityManagerConfig::default(),
+            scaler_enabled: true,
+            load_balancing_enabled: true,
+        }
+    }
+}
+
+impl TurbineConfig {
+    /// Validate the configuration. The tick is the grid on which control
+    /// events execute: a tick longer than a component's cadence would
+    /// silently skip rounds (the `Periodic` scheduler collapses missed
+    /// slots into a single firing), so every cadence must be at least one
+    /// tick long.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tick.is_zero() {
+            return Err("tick must be positive".to_string());
+        }
+        for component in scheduler::components() {
+            let cadence = (component.cadence)(self);
+            if cadence < self.tick {
+                return Err(format!(
+                    "tick ({}) must not exceed {} ({}): {} rounds would be \
+                     silently skipped",
+                    self.tick, component.cadence_name, cadence, component.name,
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Point-in-time status of one job, for experiments and assertions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobStatus {
+    /// Task count in the merged expected configuration.
+    pub expected_tasks: u32,
+    /// Task count in the running configuration (0 if not yet started).
+    pub running_config_tasks: u32,
+    /// Tasks actually executing in containers.
+    pub running_tasks: usize,
+    /// Current backlog in bytes.
+    pub backlog_bytes: f64,
+    /// Whether the job is paused for a complex synchronization.
+    pub paused: bool,
+    /// Whether the State Syncer quarantined the job.
+    pub quarantined: bool,
+}
+
+/// A bit-exact summary of observable platform state, for cross-run and
+/// cross-scheduler comparisons (backlogs are captured as raw `f64` bits,
+/// so two fingerprints are equal iff the runs match bit-for-bit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlatformFingerprint {
+    /// Simulated time of the snapshot, milliseconds.
+    pub now_ms: u64,
+    /// Lifecycle counters: task starts, stops, restarts, shard moves,
+    /// fail-overs, OOM kills, scaling actions, alerts.
+    pub counters: [u64; 8],
+    /// Per job: (raw id, running tasks, backlog-bytes `f64` bits).
+    pub jobs: Vec<(u64, usize, u64)>,
+    /// FNV digest of the chaos-engine fault timeline.
+    pub fault_digest: u64,
+    /// Number of fault transitions logged.
+    pub fault_transitions: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SeveredState {
+    pub(crate) at: SimTime,
+    pub(crate) rebooted: bool,
+}
+
+/// The Turbine platform.
+pub struct Turbine {
+    pub(crate) config: TurbineConfig,
+    pub(crate) now: SimTime,
+    /// The cluster substrate (public for experiment scripting).
+    pub cluster: Cluster,
+    /// The Scribe substrate (public for inspection).
+    pub scribe: Scribe,
+    /// Recorded metrics (public for experiment output).
+    pub metrics: PlatformMetrics,
+    pub(crate) jobs: JobService<MemWal>,
+    pub(crate) syncer: StateSyncer,
+    pub(crate) task_service: TaskService,
+    pub(crate) shard_manager: ShardManager,
+    pub(crate) task_managers: BTreeMap<ContainerId, LocalTaskManager>,
+    pub(crate) scaler: AutoScaler,
+    pub(crate) capacity: CapacityManager,
+    pub(crate) checkpoints: CheckpointStore,
+    pub(crate) engine: Engine,
+    pub(crate) paused: BTreeSet<JobId>,
+    pub(crate) capacity_stopped: BTreeSet<JobId>,
+    /// In-flight state moves for stateful complex syncs: job → completion
+    /// time.
+    pub(crate) state_moves: HashMap<JobId, SimTime>,
+    /// Mean time between random task crashes; `None` disables injection.
+    pub(crate) crash_mtbf: Option<Duration>,
+    pub(crate) rng: SimRng,
+    pub(crate) root_causer: RootCauser,
+    /// Per-job release tracking for the root-causer:
+    /// (current version, previous version, changed at).
+    pub(crate) releases: HashMap<JobId, (u64, u64, SimTime)>,
+    /// Start of the ongoing lag episode per job.
+    pub(crate) lag_since: HashMap<JobId, SimTime>,
+    /// Last diagnosis time per job (debounce).
+    pub(crate) last_diagnosis: HashMap<JobId, SimTime>,
+    pub(crate) severed: HashMap<ContainerId, SeveredState>,
+    pub(crate) categories: BTreeMap<JobId, String>,
+    /// The chaos engine: scheduled/active cross-component faults.
+    pub(crate) faults: FaultInjector,
+    /// Continuous invariant checking (enabled for chaos runs).
+    pub(crate) invariants: Option<InvariantChecker>,
+    /// The control-plane schedule: per-component cadences plus the event
+    /// queue the event-driven drive loop runs on.
+    pub(crate) sched: ControlSchedule,
+    pub(crate) last_scaler_drain: SimTime,
+}
+
+impl Turbine {
+    /// A platform with no hosts or jobs yet. Panics on an invalid
+    /// configuration — use [`Turbine::try_new`] to handle the error.
+    pub fn new(config: TurbineConfig) -> Self {
+        Self::try_new(config).unwrap_or_else(|e| panic!("invalid TurbineConfig: {e}"))
+    }
+
+    /// A platform with no hosts or jobs yet, or a descriptive error if
+    /// the configuration is invalid (e.g. a tick longer than a control
+    /// cadence, which would silently skip rounds).
+    pub fn try_new(config: TurbineConfig) -> Result<Self, String> {
+        config.validate()?;
+        let mut task_service = TaskService::with_ttl(config.task_service_ttl, config.shard_count);
+        task_service.invalidate();
+        let mut shard_manager = ShardManager::new(config.shardmgr);
+        shard_manager.ensure_shards(config.shard_count);
+        let mut capacity = CapacityManager::new(config.capacity);
+        capacity.register_cluster("primary", Resources::ZERO);
+        Ok(Turbine {
+            now: SimTime::ZERO,
+            cluster: Cluster::new(),
+            scribe: Scribe::new(),
+            metrics: PlatformMetrics::default(),
+            jobs: JobService::new(JobStore::new(MemWal::new())),
+            syncer: StateSyncer::new(config.syncer),
+            task_service,
+            shard_manager,
+            task_managers: BTreeMap::new(),
+            scaler: AutoScaler::new(config.scaler),
+            capacity,
+            checkpoints: CheckpointStore::new(),
+            engine: Engine::new(),
+            paused: BTreeSet::new(),
+            capacity_stopped: BTreeSet::new(),
+            state_moves: HashMap::new(),
+            crash_mtbf: None,
+            rng: SimRng::seeded(0x0C2A_54E5),
+            root_causer: RootCauser::default(),
+            releases: HashMap::new(),
+            lag_since: HashMap::new(),
+            last_diagnosis: HashMap::new(),
+            severed: HashMap::new(),
+            categories: BTreeMap::new(),
+            faults: FaultInjector::new(),
+            invariants: None,
+            sched: ControlSchedule::new(&config),
+            last_scaler_drain: SimTime::ZERO,
+            config,
+        })
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &TurbineConfig {
+        &self.config
+    }
+
+    /// Read access to the Shard Manager (tests, invariant checks).
+    pub fn shard_manager(&self) -> &ShardManager {
+        &self.shard_manager
+    }
+
+    /// Read access to the per-container local Task Managers.
+    pub fn task_managers(&self) -> &BTreeMap<ContainerId, LocalTaskManager> {
+        &self.task_managers
+    }
+
+    /// Read access to the State Syncer.
+    pub fn state_syncer(&self) -> &StateSyncer {
+        &self.syncer
+    }
+
+    /// Read access to the data-plane engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Jobs currently paused for a complex synchronization.
+    pub fn paused_jobs(&self) -> &BTreeSet<JobId> {
+        &self.paused
+    }
+
+    /// Add `n` hosts, allocate one Turbine container on each, register the
+    /// containers with the Shard Manager, and start a local Task Manager
+    /// in each. Returns the host ids.
+    pub fn add_hosts(&mut self, n: usize, capacity: Resources) -> Vec<HostId> {
+        let hosts = self.cluster.add_hosts(n, capacity);
+        for &host in &hosts {
+            let cap = capacity.scale(self.config.container_fraction);
+            let container = self
+                .cluster
+                .allocate_container(host, cap)
+                .expect("fresh host has capacity");
+            self.shard_manager
+                .register_container(container, cap, self.now);
+            self.task_managers.insert(
+                container,
+                LocalTaskManager::new(container, self.config.shard_count),
+            );
+        }
+        self.capacity
+            .register_cluster("primary", self.cluster.total_healthy_capacity());
+        // Fast initial scheduling: place shards on the new containers now
+        // rather than waiting for the next periodic rebalance.
+        let result = self.shard_manager.rebalance();
+        self.apply_movements(&result.moves);
+        hosts
+    }
+
+    /// Provision a stateless job with its data-plane model. Creates the
+    /// input Scribe category, registers the job with the Job Service, and
+    /// hands its runtime to the engine. Tasks start once the State Syncer
+    /// commits the first running configuration and Task Managers pick up
+    /// the specs (1–2 minutes of simulated time).
+    pub fn provision_job(
+        &mut self,
+        job: JobId,
+        config: JobConfig,
+        traffic: TrafficModel,
+        true_per_thread_rate: f64,
+        avg_message_bytes: f64,
+    ) -> Result<(), String> {
+        self.provision_job_inner(
+            job,
+            config,
+            traffic,
+            true_per_thread_rate,
+            avg_message_bytes,
+            0.0,
+        )
+    }
+
+    /// Provision a stateful job (aggregation/join) with a state key
+    /// cardinality driving its memory model.
+    pub fn provision_stateful_job(
+        &mut self,
+        job: JobId,
+        mut config: JobConfig,
+        traffic: TrafficModel,
+        true_per_thread_rate: f64,
+        avg_message_bytes: f64,
+        key_cardinality: f64,
+    ) -> Result<(), String> {
+        config.stateful = true;
+        self.provision_job_inner(
+            job,
+            config,
+            traffic,
+            true_per_thread_rate,
+            avg_message_bytes,
+            key_cardinality,
+        )
+    }
+
+    fn provision_job_inner(
+        &mut self,
+        job: JobId,
+        config: JobConfig,
+        traffic: TrafficModel,
+        true_per_thread_rate: f64,
+        avg_message_bytes: f64,
+        key_cardinality: f64,
+    ) -> Result<(), String> {
+        if self.job_store_down() {
+            return Err("job store unavailable".to_string());
+        }
+        self.scribe
+            .create_category(&config.input_category, config.input_partitions)
+            .map_err(|e| e.to_string())?;
+        self.categories.insert(job, config.input_category.clone());
+        let stateful = config.stateful;
+        let partitions = config.input_partitions;
+        self.jobs
+            .provision(job, &config)
+            .map_err(|e| e.to_string())?;
+        self.engine.add_job(
+            job,
+            traffic,
+            true_per_thread_rate,
+            avg_message_bytes,
+            partitions,
+            stateful,
+            key_cardinality,
+        );
+        self.task_service.invalidate();
+        Ok(())
+    }
+
+    /// Request deletion of a job; the State Syncer winds it down.
+    pub fn delete_job(&mut self, job: JobId) -> Result<(), String> {
+        if self.job_store_down() {
+            return Err("job store unavailable".to_string());
+        }
+        self.jobs
+            .store_mut()
+            .delete_job(job)
+            .map_err(|e| e.to_string())
+    }
+
+    /// Status snapshot of one job.
+    pub fn job_status(&self, job: JobId) -> Option<JobStatus> {
+        let expected_tasks = self
+            .jobs
+            .expected_typed(job)
+            .map(|c| c.task_count)
+            .unwrap_or(0);
+        let running_config_tasks = self
+            .jobs
+            .running_typed(job)
+            .map(|c| c.task_count)
+            .unwrap_or(0);
+        let runtime = self.engine.job(job)?;
+        Some(JobStatus {
+            expected_tasks,
+            running_config_tasks,
+            running_tasks: self.engine.running_tasks_of(job),
+            backlog_bytes: runtime.backlog(),
+            paused: self.paused.contains(&job),
+            quarantined: self.syncer.is_quarantined(job),
+        })
+    }
+
+    /// The Job Service (operator interventions write Oncall-level configs
+    /// through it).
+    pub fn job_service_mut(&mut self) -> &mut JobService<MemWal> {
+        &mut self.jobs
+    }
+
+    /// Where every active task currently runs — for placement-quality
+    /// analyses (Fig. 6c's tasks-per-host spread).
+    pub fn task_placements(&self) -> Vec<(turbine_types::TaskId, ContainerId)> {
+        self.engine
+            .tasks()
+            .map(|(&id, task)| (id, task.container))
+            .collect()
+    }
+
+    /// All jobs known to the data plane.
+    pub fn job_ids(&self) -> Vec<JobId> {
+        self.engine.job_ids()
+    }
+
+    /// A job's configured lag SLO in seconds, if its config decodes.
+    pub fn job_slo_secs(&self, job: JobId) -> Option<f64> {
+        self.jobs.expected_typed(job).ok().map(|c| c.slo_lag_secs)
+    }
+
+    /// Current arrival rate of a job's input, bytes/sec.
+    pub fn job_arrival_rate(&self, job: JobId) -> Option<f64> {
+        self.engine
+            .job(job)
+            .map(|rt| rt.traffic.arrival_rate(self.now))
+    }
+
+    /// Mutate a job's traffic model mid-experiment (storms, spikes).
+    pub fn with_job_traffic(&mut self, job: JobId, f: impl FnOnce(&mut TrafficModel)) {
+        if let Some(rt) = self.engine.job_mut(job) {
+            f(&mut rt.traffic);
+        }
+    }
+
+    /// Degrade (or restore) a job's true per-thread processing rate —
+    /// models dependency failures and slow sinks, where adding capacity
+    /// does not help (the paper's "untriaged problems", §V-D).
+    pub fn with_job_true_rate(&mut self, job: JobId, rate: f64) {
+        assert!(rate > 0.0);
+        if let Some(rt) = self.engine.job_mut(job) {
+            rt.true_per_thread_rate = rate;
+        }
+    }
+
+    /// Skew a job's partition arrival weights (imbalance injection).
+    pub fn skew_job_input(&mut self, job: JobId, weights: Vec<f64>) {
+        if let Some(rt) = self.engine.job_mut(job) {
+            assert_eq!(weights.len(), rt.partition_weights.len());
+            rt.partition_weights = weights;
+        }
+    }
+
+    /// Enable/disable the load balancer (fail-over stays active).
+    pub fn set_load_balancing(&mut self, enabled: bool) {
+        self.config.load_balancing_enabled = enabled;
+    }
+
+    /// Enable/disable the Auto Scaler.
+    pub fn set_scaler_enabled(&mut self, enabled: bool) {
+        self.config.scaler_enabled = enabled;
+    }
+
+    /// Oncall intervention: pin a field at the Oncall level.
+    pub fn oncall_set(&mut self, job: JobId, path: &str, value: ConfigValue) -> Result<(), String> {
+        if self.job_store_down() {
+            return Err("job store unavailable".to_string());
+        }
+        self.jobs
+            .set_level_field(job, ConfigLevel::Oncall, path, value)
+            .map_err(|e| e.to_string())
+    }
+
+    /// Oncall intervention: clear all Oncall overrides for a job.
+    pub fn oncall_clear(&mut self, job: JobId) -> Result<(), String> {
+        if self.job_store_down() {
+            return Err("job store unavailable".to_string());
+        }
+        self.jobs
+            .clear_level(job, ConfigLevel::Oncall)
+            .map_err(|e| e.to_string())
+    }
+
+    /// Inject host-level degradation on one task (it processes at
+    /// `factor` of its normal throughput until it is restarted on another
+    /// container) — the hardware-issue class of §V-D, for experiments.
+    pub fn degrade_task(&mut self, task: turbine_types::TaskId, factor: f64) {
+        self.engine.degrade_task(task, factor);
+    }
+
+    /// Root-cause diagnoses recorded so far (time, job, rationale).
+    pub fn diagnoses(&self) -> &[(SimTime, JobId, String)] {
+        &self.metrics.diagnoses
+    }
+
+    /// Enable random task crashes with the given fleet-wide mean time
+    /// between crashes (chaos testing; `None` disables). Crashed tasks are
+    /// restarted by their local Task Manager — the paper's §IV goal 3.
+    pub fn set_crash_mtbf(&mut self, mtbf: Option<Duration>) {
+        self.crash_mtbf = mtbf;
+    }
+
+    /// The Scribe input category a job consumes, if provisioned.
+    pub fn job_category(&self, job: JobId) -> Option<&str> {
+        self.categories.get(&job).map(String::as_str)
+    }
+
+    /// Turn on continuous invariant checking: every executed instant from
+    /// now on is evaluated against the platform's safety and convergence
+    /// invariants.
+    pub fn enable_invariant_checks(&mut self, config: InvariantConfig) {
+        self.invariants = Some(InvariantChecker::new(config));
+    }
+
+    /// Violations recorded so far (empty when checking is disabled).
+    pub fn invariant_violations(&self) -> &[Violation] {
+        self.invariants
+            .as_ref()
+            .map(|c| c.violations())
+            .unwrap_or(&[])
+    }
+
+    /// The invariant checker, when enabled.
+    pub fn invariant_checker(&self) -> Option<&InvariantChecker> {
+        self.invariants.as_ref()
+    }
+
+    /// Advance the simulation by `span` on the event-driven scheduler.
+    pub fn run_for(&mut self, span: Duration) {
+        self.drive_for(span, DriveMode::EventDriven);
+    }
+
+    /// Advance the simulation to absolute time `end` on the event-driven
+    /// scheduler.
+    pub fn run_until(&mut self, end: SimTime) {
+        self.drive_until(end, DriveMode::EventDriven);
+    }
+
+    /// Advance the simulation by `span` under an explicit drive mode
+    /// (equivalence tests and scheduler benchmarks). A platform instance
+    /// should be driven in one mode for its whole lifetime.
+    pub fn drive_for(&mut self, span: Duration, mode: DriveMode) {
+        let end = self.now + span;
+        self.drive_until(end, mode);
+    }
+
+    /// A bit-exact summary of observable platform state — counters, per-
+    /// job running tasks and backlog bits, and the fault-timeline digest.
+    /// Two runs of the same scenario match iff their fingerprints do.
+    pub fn fingerprint(&self) -> PlatformFingerprint {
+        PlatformFingerprint {
+            now_ms: self.now.as_millis(),
+            counters: [
+                self.metrics.task_starts.get(),
+                self.metrics.task_stops.get(),
+                self.metrics.task_restarts.get(),
+                self.metrics.shard_moves.get(),
+                self.metrics.failovers.get(),
+                self.metrics.oom_kills.get(),
+                self.metrics.scaling_actions.get(),
+                self.metrics.alerts.get(),
+            ],
+            jobs: self
+                .engine
+                .job_ids()
+                .into_iter()
+                .filter_map(|j| {
+                    self.engine
+                        .job(j)
+                        .map(|rt| (j.0, self.engine.running_tasks_of(j), rt.backlog().to_bits()))
+                })
+                .collect(),
+            fault_digest: self.faults.log_digest(),
+            fault_transitions: self.faults.log().len(),
+        }
+    }
+}

@@ -444,7 +444,10 @@ fn random_crashes_are_absorbed_by_task_restarts() {
     let restarts_before = t.metrics.task_restarts.get();
     t.run_for(Duration::from_hours(1));
     let crashes = t.metrics.task_restarts.get() - restarts_before;
-    assert!(crashes >= 10, "injection must actually crash tasks: {crashes}");
+    assert!(
+        crashes >= 10,
+        "injection must actually crash tasks: {crashes}"
+    );
     // Every crash was absorbed: full task set running, SLO kept.
     let status = t.job_status(job).expect("status");
     assert_eq!(status.running_tasks, 8, "{status:?}");

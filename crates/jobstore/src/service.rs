@@ -241,9 +241,14 @@ mod tests {
             .expect("update");
         assert_eq!(svc.expected_typed(JOB).expect("typed").task_count, 12);
         // Base is untouched.
-        let (base, _) = svc.store().read_level(JOB, ConfigLevel::Base).expect("read");
+        let (base, _) = svc
+            .store()
+            .read_level(JOB, ConfigLevel::Base)
+            .expect("read");
         assert_eq!(
-            base.expect("base").get_path("task_count").and_then(|v| v.as_int()),
+            base.expect("base")
+                .get_path("task_count")
+                .and_then(|v| v.as_int()),
             Some(4)
         );
     }
@@ -259,7 +264,8 @@ mod tests {
         svc.clear_level(JOB, ConfigLevel::Oncall).expect("clear");
         assert_eq!(svc.expected_typed(JOB).expect("typed").task_count, 12);
         // Clearing an already-empty level is a no-op.
-        svc.clear_level(JOB, ConfigLevel::Oncall).expect("clear again");
+        svc.clear_level(JOB, ConfigLevel::Oncall)
+            .expect("clear again");
     }
 
     #[test]
@@ -270,7 +276,10 @@ mod tests {
         })
         .expect("first");
         svc.update_level(JOB, ConfigLevel::Scaler, |cfg| {
-            let prev = cfg.get("task_count").and_then(|v| v.as_int()).expect("prev");
+            let prev = cfg
+                .get("task_count")
+                .and_then(|v| v.as_int())
+                .expect("prev");
             cfg.insert("task_count", ConfigValue::Int(prev * 2));
         })
         .expect("second");

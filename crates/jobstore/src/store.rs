@@ -111,7 +111,10 @@ impl<W: WalStorage> JobStore<W> {
     /// Create an empty store over `wal` (which must be empty; use
     /// [`JobStore::recover`] for a non-empty log).
     pub fn new(wal: W) -> Self {
-        debug_assert!(wal.is_empty().unwrap_or(true), "use recover() for a non-empty WAL");
+        debug_assert!(
+            wal.is_empty().unwrap_or(true),
+            "use recover() for a non-empty WAL"
+        );
         JobStore {
             expected: BTreeMap::new(),
             running: BTreeMap::new(),
@@ -251,8 +254,14 @@ impl<W: WalStorage> JobStore<W> {
         job: JobId,
         level: ConfigLevel,
     ) -> Result<(Option<&ConfigValue>, u64), JobStoreError> {
-        let row = self.expected.get(&job).ok_or(JobStoreError::UnknownJob(job))?;
-        Ok((row.levels[level.index()].as_ref(), row.versions[level.index()]))
+        let row = self
+            .expected
+            .get(&job)
+            .ok_or(JobStoreError::UnknownJob(job))?;
+        Ok((
+            row.levels[level.index()].as_ref(),
+            row.versions[level.index()],
+        ))
     }
 
     /// Write (or clear, with `None`) one level, conditioned on the version
@@ -269,7 +278,10 @@ impl<W: WalStorage> JobStore<W> {
         config: Option<ConfigValue>,
         based_on_version: u64,
     ) -> Result<u64, JobStoreError> {
-        let row = self.expected.get(&job).ok_or(JobStoreError::UnknownJob(job))?;
+        let row = self
+            .expected
+            .get(&job)
+            .ok_or(JobStoreError::UnknownJob(job))?;
         let actual = row.versions[level.index()];
         if actual != based_on_version {
             return Err(JobStoreError::VersionConflict {
@@ -304,7 +316,10 @@ impl<W: WalStorage> JobStore<W> {
     /// Borrowed view of the cached merged configuration — the hot path for
     /// the per-round expected-vs-running comparison.
     pub fn expected_merged_ref(&self, job: JobId) -> Result<&ConfigValue, JobStoreError> {
-        let row = self.expected.get(&job).ok_or(JobStoreError::UnknownJob(job))?;
+        let row = self
+            .expected
+            .get(&job)
+            .ok_or(JobStoreError::UnknownJob(job))?;
         Ok(&row.merged)
     }
 
@@ -312,7 +327,10 @@ impl<W: WalStorage> JobStore<W> {
     /// every level write. Lets callers cache derived values (e.g. typed
     /// decodes) without re-merging each read.
     pub fn expected_token(&self, job: JobId) -> Result<u64, JobStoreError> {
-        let row = self.expected.get(&job).ok_or(JobStoreError::UnknownJob(job))?;
+        let row = self
+            .expected
+            .get(&job)
+            .ok_or(JobStoreError::UnknownJob(job))?;
         Ok(row.token)
     }
 
@@ -390,7 +408,9 @@ impl<W: WalStorage> JobStore<W> {
                     row.levels[idx].is_some() || row.versions[idx] != 0
                 };
                 if needs_record {
-                    let payload = row.levels[idx].as_ref().map_or_else(|| "-".to_string(), to_text);
+                    let payload = row.levels[idx]
+                        .as_ref()
+                        .map_or_else(|| "-".to_string(), to_text);
                     records.push(format!(
                         "level\t{}\t{}\t{}\t{}",
                         job.raw(),
@@ -482,7 +502,10 @@ mod tests {
         let err = store
             .write_level(JOB, ConfigLevel::Oncall, Some(cfg2.clone()), v)
             .expect_err("stale");
-        assert!(matches!(err, JobStoreError::VersionConflict { actual: 1, .. }));
+        assert!(matches!(
+            err,
+            JobStoreError::VersionConflict { actual: 1, .. }
+        ));
         // After re-reading, the write succeeds.
         let (_, v2) = store.read_level(JOB, ConfigLevel::Oncall).expect("read");
         store
@@ -504,13 +527,19 @@ mod tests {
             .write_level(JOB, ConfigLevel::Oncall, Some(oncall), 0)
             .expect("oncall write");
         let merged = store.expected_merged(JOB).expect("merge");
-        assert_eq!(merged.get_path("task_count").and_then(|v| v.as_int()), Some(30));
+        assert_eq!(
+            merged.get_path("task_count").and_then(|v| v.as_int()),
+            Some(30)
+        );
         // Clearing the oncall override exposes the scaler value again.
         store
             .write_level(JOB, ConfigLevel::Oncall, None, 1)
             .expect("clear oncall");
         let merged = store.expected_merged(JOB).expect("merge");
-        assert_eq!(merged.get_path("task_count").and_then(|v| v.as_int()), Some(15));
+        assert_eq!(
+            merged.get_path("task_count").and_then(|v| v.as_int()),
+            Some(15)
+        );
     }
 
     #[test]
@@ -563,7 +592,9 @@ mod tests {
             store.expected_merged(JOB).expect("merge")
         );
         assert_eq!(recovered.running(JOB), store.running(JOB));
-        let (_, v) = recovered.read_level(JOB, ConfigLevel::Scaler).expect("read");
+        let (_, v) = recovered
+            .read_level(JOB, ConfigLevel::Scaler)
+            .expect("read");
         assert_eq!(v, 1);
     }
 
@@ -584,7 +615,10 @@ mod tests {
         let before = store.wal_len().expect("len");
         store.compact().expect("compact");
         let after = store.wal_len().expect("len");
-        assert!(after < before, "compaction must shrink the log ({before} -> {after})");
+        assert!(
+            after < before,
+            "compaction must shrink the log ({before} -> {after})"
+        );
 
         let recovered = JobStore::recover(store.wal.clone()).expect("recover");
         assert_eq!(
@@ -592,7 +626,9 @@ mod tests {
             store.expected_merged(JOB).expect("merge")
         );
         // Versions survive compaction, so OCC keeps working across it.
-        let (_, v) = recovered.read_level(JOB, ConfigLevel::Scaler).expect("read");
+        let (_, v) = recovered
+            .read_level(JOB, ConfigLevel::Scaler)
+            .expect("read");
         assert_eq!(v, 10);
     }
 
@@ -636,7 +672,10 @@ mod tests {
         assert_eq!(salvage.kept, intact);
         assert_eq!(salvage.discarded, 1);
         // Everything before the torn record survived...
-        assert_eq!(recovered.expected_merged(JOB).expect("merge"), expected_merged);
+        assert_eq!(
+            recovered.expected_merged(JOB).expect("merge"),
+            expected_merged
+        );
         assert_eq!(recovered.running(JOB), store.running(JOB));
         // ...the WAL was truncated back to the valid prefix...
         assert_eq!(recovered.wal_len().expect("len"), intact);
@@ -651,7 +690,8 @@ mod tests {
     fn corrupt_mid_file_record_drops_the_tail() {
         let mut wal = MemWal::new();
         wal.append("create\t1\t{}").expect("append");
-        wal.append("level\t1\tscaler\tnot-a-version\t{}").expect("append");
+        wal.append("level\t1\tscaler\tnot-a-version\t{}")
+            .expect("append");
         // Valid-looking records after the corruption are untrustworthy and
         // must be discarded with it.
         wal.append("create\t2\t{}").expect("append");
@@ -661,7 +701,10 @@ mod tests {
         assert_eq!(salvage.kept, 1);
         assert_eq!(salvage.discarded, 2);
         assert!(store.has_job(JobId(1)));
-        assert!(!store.has_job(JobId(2)), "tail after corruption must be dropped");
+        assert!(
+            !store.has_job(JobId(2)),
+            "tail after corruption must be dropped"
+        );
         assert_eq!(store.wal_len().expect("len"), 1);
     }
 

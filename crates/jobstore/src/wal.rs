@@ -161,7 +161,10 @@ impl WalStorage for FileWal {
             f.sync_data()?;
         }
         std::fs::rename(&tmp, &self.path)?;
-        self.file = OpenOptions::new().append(true).read(true).open(&self.path)?;
+        self.file = OpenOptions::new()
+            .append(true)
+            .read(true)
+            .open(&self.path)?;
         Ok(())
     }
 }

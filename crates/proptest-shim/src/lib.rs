@@ -188,7 +188,10 @@ where
                 return v;
             }
         }
-        panic!("prop_filter({:?}) rejected 10000 consecutive values", self.whence);
+        panic!(
+            "prop_filter({:?}) rejected 10000 consecutive values",
+            self.whence
+        );
     }
 }
 
@@ -303,7 +306,9 @@ impl Strategy for &'static str {
 }
 
 fn parse_char_class(pattern: &str) -> (Vec<char>, usize, usize) {
-    let err = || panic!("unsupported string strategy pattern {pattern:?} (expected \"[class]{{lo,hi}}\")");
+    let err = || {
+        panic!("unsupported string strategy pattern {pattern:?} (expected \"[class]{{lo,hi}}\")")
+    };
     let Some(rest) = pattern.strip_prefix('[') else {
         err()
     };

@@ -161,7 +161,10 @@ impl Scribe {
             .ok_or_else(|| ScribeError::UnknownCategory(category.to_string()))?;
         let idx = partition.raw() as usize;
         if idx >= cat.partitions.len() {
-            return Err(ScribeError::UnknownPartition(category.to_string(), partition));
+            return Err(ScribeError::UnknownPartition(
+                category.to_string(),
+                partition,
+            ));
         }
         Ok((cat, idx))
     }
@@ -249,11 +252,7 @@ impl Scribe {
     ) -> Result<Vec<Record>, ScribeError> {
         let part = self.partition(category, partition)?;
         let start = part.records.partition_point(|r| r.offset < from_offset);
-        Ok(part.records[start..]
-            .iter()
-            .take(max)
-            .cloned()
-            .collect())
+        Ok(part.records[start..].iter().take(max).cloned().collect())
     }
 
     /// Trim a partition up to `offset`: readers below it lose data.
@@ -299,9 +298,12 @@ mod tests {
     fn create_and_append_tracks_offsets() {
         let mut bus = Scribe::new();
         bus.create_category("events", 4).expect("create");
-        bus.append_bytes("events", p(0), 100, SimTime::ZERO).expect("append");
-        bus.append_bytes("events", p(0), 50, SimTime::ZERO).expect("append");
-        bus.append_bytes("events", p(1), 7, SimTime::ZERO).expect("append");
+        bus.append_bytes("events", p(0), 100, SimTime::ZERO)
+            .expect("append");
+        bus.append_bytes("events", p(0), 50, SimTime::ZERO)
+            .expect("append");
+        bus.append_bytes("events", p(1), 7, SimTime::ZERO)
+            .expect("append");
         assert_eq!(bus.tail_offset("events", p(0)).expect("tail"), 150);
         assert_eq!(bus.tail_offset("events", p(1)).expect("tail"), 7);
         assert_eq!(bus.tail_offset("events", p(2)).expect("tail"), 0);
@@ -338,7 +340,8 @@ mod tests {
     fn bytes_available_is_backlog() {
         let mut bus = Scribe::new();
         bus.create_category("c", 1).expect("create");
-        bus.append_bytes("c", p(0), 1000, SimTime::ZERO).expect("append");
+        bus.append_bytes("c", p(0), 1000, SimTime::ZERO)
+            .expect("append");
         assert_eq!(bus.bytes_available("c", p(0), 0).expect("avail"), 1000);
         assert_eq!(bus.bytes_available("c", p(0), 400).expect("avail"), 600);
         assert_eq!(bus.bytes_available("c", p(0), 1000).expect("avail"), 0);
@@ -352,8 +355,12 @@ mod tests {
     fn records_roundtrip_when_retained() {
         let mut bus = Scribe::new();
         bus.create_category_with_payloads("c", 1).expect("create");
-        let o1 = bus.append_record("c", p(0), b"hello", SimTime::ZERO).expect("append");
-        let o2 = bus.append_record("c", p(0), b"world!", SimTime::ZERO).expect("append");
+        let o1 = bus
+            .append_record("c", p(0), b"hello", SimTime::ZERO)
+            .expect("append");
+        let o2 = bus
+            .append_record("c", p(0), b"world!", SimTime::ZERO)
+            .expect("append");
         assert_eq!((o1, o2), (0, 5));
         let recs = bus.read_records("c", p(0), 0, 10).expect("read");
         assert_eq!(recs.len(), 2);
@@ -370,7 +377,8 @@ mod tests {
     fn fast_path_does_not_retain_payloads() {
         let mut bus = Scribe::new();
         bus.create_category("c", 1).expect("create");
-        bus.append_record("c", p(0), b"hello", SimTime::ZERO).expect("append");
+        bus.append_record("c", p(0), b"hello", SimTime::ZERO)
+            .expect("append");
         assert!(bus.read_records("c", p(0), 0, 10).expect("read").is_empty());
         // But offsets still advance.
         assert_eq!(bus.tail_offset("c", p(0)).expect("tail"), 5);
@@ -380,8 +388,10 @@ mod tests {
     fn trim_drops_old_data_and_clamps_reads() {
         let mut bus = Scribe::new();
         bus.create_category_with_payloads("c", 1).expect("create");
-        bus.append_record("c", p(0), b"aaaa", SimTime::ZERO).expect("append");
-        bus.append_record("c", p(0), b"bbbb", SimTime::ZERO).expect("append");
+        bus.append_record("c", p(0), b"aaaa", SimTime::ZERO)
+            .expect("append");
+        bus.append_record("c", p(0), b"bbbb", SimTime::ZERO)
+            .expect("append");
         bus.trim("c", p(0), 4).expect("trim");
         // A reader checkpointed at 0 lost the first record: available data
         // is only what remains past the trim point.
@@ -400,7 +410,8 @@ mod tests {
         bus.create_category("c", 1).expect("create");
         let later = SimTime::from_millis(5000);
         bus.append_bytes("c", p(0), 1, later).expect("append");
-        bus.append_bytes("c", p(0), 1, SimTime::ZERO).expect("append");
+        bus.append_bytes("c", p(0), 1, SimTime::ZERO)
+            .expect("append");
         assert_eq!(bus.stats("c").expect("stats").last_append_at, later);
     }
 }

@@ -73,7 +73,9 @@ impl ShardManager {
     /// shard space (the paper packs more tasks per shard instead).
     pub fn ensure_shards(&mut self, count: u64) {
         for i in 0..count {
-            self.shard_loads.entry(ShardId(i)).or_insert(Resources::ZERO);
+            self.shard_loads
+                .entry(ShardId(i))
+                .or_insert(Resources::ZERO);
         }
     }
 

@@ -90,7 +90,9 @@ impl PartialOrd for Util {
 }
 impl Ord for Util {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("utilization is never NaN")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("utilization is never NaN")
     }
 }
 
@@ -123,14 +125,17 @@ pub fn compute_placement(input: PlacementInput<'_>, config: PlacementConfig) -> 
         .collect();
 
     let mut loads: Vec<Resources> = vec![Resources::ZERO; n_containers];
-    let mut assignment: HashMap<ShardId, ContainerId> =
-        HashMap::with_capacity(input.shards.len());
+    let mut assignment: HashMap<ShardId, ContainerId> = HashMap::with_capacity(input.shards.len());
 
     // Pass 1 — stickiness: keep each shard on its current container when
     // that container is still alive and the shard still fits.
     let mut pool: Vec<(ShardId, Resources)> = Vec::new();
     for &(shard, load) in input.shards {
-        match input.current.get(&shard).and_then(|c| container_index.get(c)) {
+        match input
+            .current
+            .get(&shard)
+            .and_then(|c| container_index.get(c))
+        {
             Some(&idx) if (loads[idx] + load).fits_within(&effective_cap[idx]) => {
                 loads[idx] += load;
                 assignment.insert(shard, input.containers[idx].0);
@@ -354,7 +359,9 @@ mod tests {
 
     #[test]
     fn balanced_load_stays_within_band() {
-        let shards: Vec<_> = (0..1000).map(|i| shard(i, 0.2 + (i % 7) as f64 * 0.1)).collect();
+        let shards: Vec<_> = (0..1000)
+            .map(|i| shard(i, 0.2 + (i % 7) as f64 * 0.1))
+            .collect();
         let conts = containers(20, 32.0);
         let result = compute_placement(
             PlacementInput {
@@ -443,10 +450,7 @@ mod tests {
             cfg(),
         );
         assert_eq!(second.assignment.len(), 20);
-        assert!(second
-            .assignment
-            .values()
-            .all(|&c| c != ContainerId(0)));
+        assert!(second.assignment.values().all(|&c| c != ContainerId(0)));
         // Shards that were on survivors stay put.
         for (&s, &c) in &first.assignment {
             if c != ContainerId(0) {
@@ -519,7 +523,9 @@ mod tests {
 
     #[test]
     fn placement_is_deterministic() {
-        let shards: Vec<_> = (0..500).map(|i| shard(i, 0.1 + (i % 13) as f64 * 0.07)).collect();
+        let shards: Vec<_> = (0..500)
+            .map(|i| shard(i, 0.1 + (i % 13) as f64 * 0.07))
+            .collect();
         let conts = containers(16, 24.0);
         let a = compute_placement(
             PlacementInput {

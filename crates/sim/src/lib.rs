@@ -8,10 +8,12 @@
 //! bit-for-bit reproducibly in simulated time — days of production behaviour
 //! in milliseconds of wall-clock.
 //!
-//! The kernel is generic over the event type: the platform crate defines an
-//! event enum and drives `while let Some((t, ev)) = queue.pop() { ... }`.
-//! No closures are stored, which keeps ownership simple and the replay
-//! deterministic.
+//! The kernel is generic over the event type: the platform crate defines
+//! its `ControlEvent` enum (one variant per control loop, plus fault-edge
+//! and restart wake events) and drives `while let Some((t, ev)) =
+//! queue.pop() { ... }`, with [`Periodic`] as the cadence arithmetic that
+//! decides each component's next due time. No closures are stored, which
+//! keeps ownership simple and the replay deterministic.
 
 pub mod fault;
 pub mod queue;

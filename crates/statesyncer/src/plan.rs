@@ -82,7 +82,12 @@ pub enum SyncAction {
 }
 
 /// Build the execution plan for one job given its classification.
-pub fn build_plan(job: JobId, kind: SyncKind, running: Option<&JobConfig>, expected: &JobConfig) -> Vec<SyncAction> {
+pub fn build_plan(
+    job: JobId,
+    kind: SyncKind,
+    running: Option<&JobConfig>,
+    expected: &JobConfig,
+) -> Vec<SyncAction> {
     match kind {
         SyncKind::NoChange => Vec::new(),
         SyncKind::Start | SyncKind::Simple => vec![SyncAction::CommitRunning { job }],

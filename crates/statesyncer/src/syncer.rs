@@ -200,7 +200,14 @@ impl StateSyncer {
                 self.sync_existing(job, service, env, &mut report);
             } else {
                 // Deleted job still running: wind it down.
-                self.run_actions(job, &build_delete_plan(job), None, service, env, &mut report);
+                self.run_actions(
+                    job,
+                    &build_delete_plan(job),
+                    None,
+                    service,
+                    env,
+                    &mut report,
+                );
             }
         }
         report
@@ -226,10 +233,7 @@ impl StateSyncer {
                 return;
             }
         }
-        let merged_value = service
-            .store()
-            .expected_merged(job)
-            .expect("checked above");
+        let merged_value = service.store().expected_merged(job).expect("checked above");
         let expected = match JobConfig::from_value(&merged_value) {
             Ok(c) => c,
             Err(e) => {
@@ -343,16 +347,17 @@ impl StateSyncer {
         if *count >= self.config.max_failures {
             self.quarantined.insert(job);
             report.quarantined.push(job);
-            report
-                .alerts
-                .push(format!("{job} quarantined after {count} failed syncs: {reason}"));
+            report.alerts.push(format!(
+                "{job} quarantined after {count} failed syncs: {reason}"
+            ));
         } else {
             // Exponential backoff before the next attempt: skip 1, 2, then
             // 4 rounds (capped), plus 0-1 rounds of seeded jitter so
             // simultaneous failures don't retry in lockstep.
             let skip = 1u64 << (*count - 1).min(2);
             let jitter = self.rng.next_u64() % 2;
-            self.resume_round.insert(job, self.round + skip + jitter + 1);
+            self.resume_round
+                .insert(job, self.round + skip + jitter + 1);
         }
         report.failed.push((job, reason));
     }
@@ -448,11 +453,19 @@ mod tests {
         let mut env = MockEnv::default();
         let mut syncer = StateSyncer::default();
         syncer.run_round(&mut svc, &mut env);
-        svc.set_level_field(JOB, ConfigLevel::Provisioner, "package.version", 2i64.into())
-            .expect("release");
+        svc.set_level_field(
+            JOB,
+            ConfigLevel::Provisioner,
+            "package.version",
+            2i64.into(),
+        )
+        .expect("release");
         let report = syncer.run_round(&mut svc, &mut env);
         assert_eq!(report.simple, vec![JOB]);
-        assert!(env.stop_requests.is_empty(), "simple sync must not stop tasks");
+        assert!(
+            env.stop_requests.is_empty(),
+            "simple sync must not stop tasks"
+        );
         assert_eq!(svc.running_typed(JOB).expect("running").package.version, 2);
     }
 
@@ -472,7 +485,11 @@ mod tests {
         let r1 = syncer.run_round(&mut svc, &mut env);
         assert_eq!(r1.in_progress, vec![JOB]);
         assert_eq!(env.stop_requests, vec![JOB]);
-        assert_eq!(svc.running_typed(JOB).expect("running").task_count, 4, "not committed yet");
+        assert_eq!(
+            svc.running_typed(JOB).expect("running").task_count,
+            4,
+            "not committed yet"
+        );
         let r2 = syncer.run_round(&mut svc, &mut env);
         assert_eq!(r2.in_progress, vec![JOB]);
 
@@ -496,7 +513,11 @@ mod tests {
             .expect("scale");
         let r1 = syncer.run_round(&mut svc, &mut env);
         assert_eq!(r1.failed.len(), 1);
-        assert_eq!(svc.running_typed(JOB).expect("running").task_count, 4, "aborted plan must not commit");
+        assert_eq!(
+            svc.running_typed(JOB).expect("running").task_count,
+            4,
+            "aborted plan must not commit"
+        );
         // After one failure the job backs off 1 round plus up to 1 round
         // of jitter, then retries; the injected failure is gone so the
         // retry completes.
@@ -540,7 +561,10 @@ mod tests {
                 break;
             }
         }
-        assert_eq!(failures, 3, "exactly max_failures attempts before quarantine");
+        assert_eq!(
+            failures, 3,
+            "exactly max_failures attempts before quarantine"
+        );
         assert!(syncer.is_quarantined(JOB));
         // Quarantined jobs are skipped entirely.
         let r = syncer.run_round(&mut svc, &mut env);
@@ -573,7 +597,11 @@ mod tests {
                 quarantined = true;
                 break;
             }
-            assert_eq!(r.backed_off, vec![JOB], "failed job must back off before retrying");
+            assert_eq!(
+                r.backed_off,
+                vec![JOB],
+                "failed job must back off before retrying"
+            );
         }
         assert!(quarantined, "second failure must quarantine");
     }
@@ -746,8 +774,13 @@ mod tests {
         assert_eq!(r.started.len(), n as usize);
         // Global package release: all simple, one round.
         for i in 0..n {
-            svc.set_level_field(JobId(i), ConfigLevel::Provisioner, "package.version", 2i64.into())
-                .expect("release");
+            svc.set_level_field(
+                JobId(i),
+                ConfigLevel::Provisioner,
+                "package.version",
+                2i64.into(),
+            )
+            .expect("release");
         }
         let r = syncer.run_round(&mut svc, &mut env);
         assert_eq!(r.simple.len(), n as usize);

@@ -223,7 +223,10 @@ mod tests {
         let events = tm.refresh(snapshot_for(&[(1, 4)]));
         assert_eq!(tm.task_count(), 4);
         assert_eq!(
-            events.iter().filter(|e| matches!(e, TaskEvent::Started(_))).count(),
+            events
+                .iter()
+                .filter(|e| matches!(e, TaskEvent::Started(_)))
+                .count(),
             4
         );
     }
@@ -304,7 +307,10 @@ mod tests {
         ));
         let events = tm.refresh(snap);
         assert_eq!(
-            events.iter().filter(|e| matches!(e, TaskEvent::Restarted(_))).count(),
+            events
+                .iter()
+                .filter(|e| matches!(e, TaskEvent::Restarted(_)))
+                .count(),
             4
         );
         assert_eq!(tm.task_count(), 4);
@@ -340,8 +346,14 @@ mod tests {
         let events = tm.refresh(snapshot_for(&[(1, 2)]));
         // Tasks 2..8 stop; tasks 0..2 restart (their partition slices and
         // args changed with the new count).
-        let stopped = events.iter().filter(|e| matches!(e, TaskEvent::Stopped(_))).count();
-        let restarted = events.iter().filter(|e| matches!(e, TaskEvent::Restarted(_))).count();
+        let stopped = events
+            .iter()
+            .filter(|e| matches!(e, TaskEvent::Stopped(_)))
+            .count();
+        let restarted = events
+            .iter()
+            .filter(|e| matches!(e, TaskEvent::Restarted(_)))
+            .count();
         assert_eq!(stopped, 6);
         assert_eq!(restarted, 2);
         assert_eq!(tm.task_count(), 2);

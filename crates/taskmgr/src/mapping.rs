@@ -72,7 +72,10 @@ mod tests {
             }
             seen.sort_unstable();
             let expected: Vec<PartitionId> = (0..partition_count as u64).map(PartitionId).collect();
-            assert_eq!(seen, expected, "cover broken for {task_count}/{partition_count}");
+            assert_eq!(
+                seen, expected,
+                "cover broken for {task_count}/{partition_count}"
+            );
         }
     }
 

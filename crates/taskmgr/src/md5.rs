@@ -104,13 +104,18 @@ mod tests {
         assert_eq!(hex(md5(b"")), "d41d8cd98f00b204e9800998ecf8427e");
         assert_eq!(hex(md5(b"a")), "0cc175b9c0f1b6a831c399e269772661");
         assert_eq!(hex(md5(b"abc")), "900150983cd24fb0d6963f7d28e17f72");
-        assert_eq!(hex(md5(b"message digest")), "f96b697d7cb7938d525a2f31aaf161d0");
+        assert_eq!(
+            hex(md5(b"message digest")),
+            "f96b697d7cb7938d525a2f31aaf161d0"
+        );
         assert_eq!(
             hex(md5(b"abcdefghijklmnopqrstuvwxyz")),
             "c3fcd3d76192e4007dfb496cca67e13b"
         );
         assert_eq!(
-            hex(md5(b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789")),
+            hex(md5(
+                b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+            )),
             "d174ab98d277d9f5a5611c2c9f419d9f"
         );
         assert_eq!(

@@ -142,8 +142,13 @@ mod tests {
         let config = JobConfig::stateless("tailer", 2, 8);
         let mut fetches = 0;
 
-        for (now, expect_fetch) in [(0u64, true), (30, false), (89, false), (90, true), (150, false)]
-        {
+        for (now, expect_fetch) in [
+            (0u64, true),
+            (30, false),
+            (89, false),
+            (90, true),
+            (150, false),
+        ] {
             let before = fetches;
             let snap = svc.snapshot(t(now), || {
                 fetches += 1;

@@ -220,6 +220,9 @@ mod tests {
         assert_eq!(Duration::from_millis(5).to_string(), "5ms");
         assert_eq!(Duration::from_secs(30).to_string(), "30.00s");
         assert_eq!(Duration::from_mins(90).to_string(), "1.50h");
-        assert_eq!((SimTime::ZERO + Duration::from_secs(2)).to_string(), "t+2.00s");
+        assert_eq!(
+            (SimTime::ZERO + Duration::from_secs(2)).to_string(),
+            "t+2.00s"
+        );
     }
 }

@@ -5,7 +5,12 @@ use proptest::prelude::*;
 use turbine_types::{Percentiles, ResourceKind, Resources};
 
 fn arb_res() -> impl Strategy<Value = Resources> {
-    (0.0f64..100.0, 0.0f64..100_000.0, 0.0f64..1.0e6, 0.0f64..1000.0)
+    (
+        0.0f64..100.0,
+        0.0f64..100_000.0,
+        0.0f64..1.0e6,
+        0.0f64..1000.0,
+    )
         .prop_map(|(c, m, d, n)| Resources::new(c, m, d, n))
 }
 

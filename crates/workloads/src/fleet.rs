@@ -73,7 +73,8 @@ pub fn task_usage(rate_per_task: f64, avg_message_bytes: f64, per_thread_rate: f
     // Buffered seconds grow slightly with message size (larger messages
     // batch better but hold more bytes in flight).
     let buffer_secs = 3.0 + (avg_message_bytes / 512.0).min(8.0);
-    let memory_mb = 400.0 + rate_per_task * buffer_secs / 1.0e6 * (avg_message_bytes / 256.0).clamp(0.5, 16.0);
+    let memory_mb =
+        400.0 + rate_per_task * buffer_secs / 1.0e6 * (avg_message_bytes / 256.0).clamp(0.5, 16.0);
     Resources::cpu_mem(cpu, memory_mb)
 }
 
@@ -85,14 +86,13 @@ pub fn synthesize_fleet(config: &FleetConfig) -> Vec<SyntheticJob> {
             let mut job_rng = rng.fork(i as u64);
             let base_rate = job_rng.log_normal(config.traffic_mu, config.traffic_sigma);
             let avg_message_bytes = job_rng.log_normal(5.5, 0.8); // ≈245 B median
-            // Jobs split into more tasks only once a task would exceed a
-            // per-job vertical threshold (2-8 cores) — mirroring Turbine's
-            // vertical-first policy, and giving Fig. 5(a)'s tail of tasks
-            // above four cores.
+                                                                  // Jobs split into more tasks only once a task would exceed a
+                                                                  // per-job vertical threshold (2-8 cores) — mirroring Turbine's
+                                                                  // vertical-first policy, and giving Fig. 5(a)'s tail of tasks
+                                                                  // above four cores.
             let split_cpu = job_rng.uniform(2.0, 8.0);
-            let initial_task_count = ((base_rate / (split_cpu * config.per_thread_rate)).ceil()
-                as u32)
-                .clamp(1, 32);
+            let initial_task_count =
+                ((base_rate / (split_cpu * config.per_thread_rate)).ceil() as u32).clamp(1, 32);
             let input_partitions = (initial_task_count * 8).max(16);
             let rate_per_task = base_rate / initial_task_count as f64;
             SyntheticJob {

@@ -155,6 +155,27 @@ impl TrafficModel {
         rate.max(0.0)
     }
 
+    /// True if the model provably delivers zero arrivals at *every*
+    /// instant in `(after, through]` — either the base rate is zero (all
+    /// modifiers are multiplicative, so nothing can resurrect it) or a
+    /// single [`TrafficEventKind::InputOutage`] window covers the whole
+    /// interval. Conservative: windows that only jointly cover the
+    /// interval report `false`. The platform's event-driven scheduler
+    /// uses this to decide whether the clock may jump over the interval.
+    pub fn idle_through(&self, after: SimTime, through: SimTime) -> bool {
+        if self.base_rate == 0.0 {
+            return true;
+        }
+        // The earliest instant that must be covered is `after + 1 ms`
+        // (SimTime has millisecond resolution and the window is open at
+        // `after`); the latest is `through`, which needs `through < end`
+        // because outage windows are end-exclusive.
+        let first = after + Duration::from_millis(1);
+        self.events
+            .iter()
+            .any(|e| e.kind == TrafficEventKind::InputOutage && e.start <= first && through < e.end)
+    }
+
     /// True if the job's consumer is disabled at `at` (the application
     /// outage of Fig. 8: input accrues, nothing processes).
     pub fn consumer_disabled(&self, at: SimTime) -> bool {
@@ -237,6 +258,36 @@ mod tests {
         assert_eq!(m.arrival_rate(t(3)), 1000.0, "input keeps flowing");
         assert!(m.consumer_disabled(t(3)));
         assert!(!m.consumer_disabled(t(4)));
+    }
+
+    #[test]
+    fn idle_through_tracks_outage_coverage() {
+        // Zero base rate is idle over any window, even with storm events
+        // layered on top (multipliers cannot resurrect a zero rate).
+        let silent = TrafficModel::flat(0.0).with_event(TrafficEvent {
+            start: t(1),
+            end: t(2),
+            kind: TrafficEventKind::Multiplier(5.0),
+        });
+        assert!(silent.idle_through(t(0), t(100)));
+
+        let m = TrafficModel::flat(1000.0).with_event(TrafficEvent {
+            start: t(10),
+            end: t(20),
+            kind: TrafficEventKind::InputOutage,
+        });
+        // Fully inside the outage: idle.
+        assert!(m.idle_through(t(11), t(19)));
+        // Window open at `after`: an outage starting exactly at `after`
+        // still covers every later instant.
+        assert!(m.idle_through(t(10), t(19)));
+        // Ends exactly at the (exclusive) outage end: instant t(20) has
+        // traffic again.
+        assert!(!m.idle_through(t(11), t(20)));
+        // Starts before the outage: not covered.
+        assert!(!m.idle_through(t(9), t(19)));
+        // No outage at all.
+        assert!(!m.idle_through(t(0), t(5)));
     }
 
     #[test]

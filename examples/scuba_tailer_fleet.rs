@@ -23,11 +23,8 @@ fn main() {
         ..FleetConfig::default()
     });
     for (i, job) in fleet.iter().enumerate() {
-        let mut config = JobConfig::stateless(
-            &job.name,
-            job.initial_task_count,
-            job.input_partitions,
-        );
+        let mut config =
+            JobConfig::stateless(&job.name, job.initial_task_count, job.input_partitions);
         config.task_resources = job.expected_task_usage.scale(1.3); // headroom
         config.task_resources.cpu = config.task_resources.cpu.max(0.25);
         turbine

@@ -43,10 +43,7 @@ fn main() {
         let status = t.job_status(job).expect("status");
         println!(
             "{label:<42} tasks = {:>2}  mem/task = {:>6.0} MB  running = {:>2}  paused = {}",
-            cfg.task_count,
-            cfg.task_resources.memory_mb,
-            status.running_tasks,
-            status.paused
+            cfg.task_count, cfg.task_resources.memory_mb, status.running_tasks, status.paused
         );
     };
     show(&mut turbine, "steady state (4 tasks hold all 20M keys)");

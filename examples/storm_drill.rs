@@ -80,12 +80,8 @@ fn main() {
     }
 
     println!();
-    println!(
-        "day-1 peak: {day1_peak_traffic:.1} MB/s with {day1_peak_tasks:.0} tasks"
-    );
-    println!(
-        "day-2 (storm) peak: {day2_peak_traffic:.1} MB/s with {day2_peak_tasks:.0} tasks"
-    );
+    println!("day-1 peak: {day1_peak_traffic:.1} MB/s with {day1_peak_tasks:.0} tasks");
+    println!("day-2 (storm) peak: {day2_peak_traffic:.1} MB/s with {day2_peak_tasks:.0} tasks");
     println!(
         "traffic grew {:.1}% at peak; task count grew {:.1}% — vertical-first \
          scaling and headroom absorb most of the storm (paper: +16% traffic, +8% tasks)",

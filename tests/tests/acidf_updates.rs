@@ -13,7 +13,12 @@ impl SyncEnvironment for InstantEnv {
     fn all_stopped(&mut self, _job: JobId) -> bool {
         true
     }
-    fn redistribute_checkpoints(&mut self, _j: JobId, _o: u32, _n: u32) -> Result<Redistribute, String> {
+    fn redistribute_checkpoints(
+        &mut self,
+        _j: JobId,
+        _o: u32,
+        _n: u32,
+    ) -> Result<Redistribute, String> {
         Ok(Redistribute::Done)
     }
 }
@@ -47,7 +52,8 @@ fn failed_plan_leaves_running_config_untouched() {
 
     let job = JobId(1);
     let mut svc = JobService::new(JobStore::new(MemWal::new()));
-    svc.provision(job, &JobConfig::stateless("t", 4, 64)).expect("provision");
+    svc.provision(job, &JobConfig::stateless("t", 4, 64))
+        .expect("provision");
     let mut syncer = StateSyncer::default();
     let mut env = FlakyEnv { failures_left: 2 };
     syncer.run_round(&mut svc, &mut env);
@@ -124,13 +130,15 @@ fn state_survives_restart_via_file_wal() {
 fn concurrent_writers_resolve_by_precedence_not_timing() {
     let job = JobId(1);
     let mut svc = JobService::new(JobStore::new(MemWal::new()));
-    svc.provision(job, &JobConfig::stateless("t", 10, 64)).expect("provision");
+    svc.provision(job, &JobConfig::stateless("t", 10, 64))
+        .expect("provision");
 
     // The auto scaler and two oncalls race. Apply in two different orders
     // and observe identical outcomes.
     let apply = |order: &[(&str, ConfigLevel, i64)]| {
         let mut svc = JobService::new(JobStore::new(MemWal::new()));
-        svc.provision(job, &JobConfig::stateless("t", 10, 64)).expect("provision");
+        svc.provision(job, &JobConfig::stateless("t", 10, 64))
+            .expect("provision");
         for (_, level, count) in order {
             svc.set_level_field(job, *level, "task_count", ConfigValue::Int(*count))
                 .expect("write");
@@ -162,7 +170,8 @@ fn concurrent_writers_resolve_by_precedence_not_timing() {
 fn stale_same_level_write_is_rejected() {
     let job = JobId(1);
     let mut svc = JobService::new(JobStore::new(MemWal::new()));
-    svc.provision(job, &JobConfig::stateless("t", 4, 64)).expect("provision");
+    svc.provision(job, &JobConfig::stateless("t", 4, 64))
+        .expect("provision");
     let store = svc.store_mut();
     let (_, v) = store.read_level(job, ConfigLevel::Oncall).expect("read");
     let mut cfg1 = ConfigValue::empty_map();
@@ -208,7 +217,9 @@ fn compaction_preserves_recovery_semantics() {
     assert_eq!(recovered.running(job), store.running(job));
     // OCC versions survive: a write based on the pre-compaction version
     // still succeeds exactly once.
-    let (_, v) = recovered.read_level(job, ConfigLevel::Scaler).expect("read");
+    let (_, v) = recovered
+        .read_level(job, ConfigLevel::Scaler)
+        .expect("read");
     assert_eq!(v, 50);
 }
 
@@ -219,8 +230,10 @@ fn quarantine_is_per_job_not_global() {
     let mut svc = JobService::new(JobStore::new(MemWal::new()));
     let poisoned = JobId(1);
     let healthy = JobId(2);
-    svc.provision(poisoned, &JobConfig::stateless("bad", 2, 8)).expect("provision");
-    svc.provision(healthy, &JobConfig::stateless("good", 2, 8)).expect("provision");
+    svc.provision(poisoned, &JobConfig::stateless("bad", 2, 8))
+        .expect("provision");
+    svc.provision(healthy, &JobConfig::stateless("good", 2, 8))
+        .expect("provision");
     let mut syncer = StateSyncer::new(SyncerConfig {
         max_failures: 2,
         max_inflight_rounds: 5,
@@ -240,8 +253,13 @@ fn quarantine_is_per_job_not_global() {
     }
     assert!(syncer.is_quarantined(poisoned));
     // The healthy job still syncs normally.
-    svc.set_level_field(healthy, ConfigLevel::Provisioner, "package.version", ConfigValue::Int(2))
-        .expect("release");
+    svc.set_level_field(
+        healthy,
+        ConfigLevel::Provisioner,
+        "package.version",
+        ConfigValue::Int(2),
+    )
+    .expect("release");
     let report = syncer.run_round(&mut svc, &mut InstantEnv);
     assert_eq!(report.simple, vec![healthy]);
     assert!(report.failed.is_empty(), "quarantined job must be skipped");

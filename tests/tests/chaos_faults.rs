@@ -59,10 +59,16 @@ fn task_service_outage_serves_cached_snapshots_and_defers_new_jobs() {
     t.run_for(Duration::from_mins(10));
     for (i, &was) in before.iter().enumerate() {
         let status = t.job_status(JobId(i as u64 + 1)).expect("status");
-        assert_eq!(status.running_tasks, was, "degraded mode lost tasks: {status:?}");
+        assert_eq!(
+            status.running_tasks, was,
+            "degraded mode lost tasks: {status:?}"
+        );
     }
     let newcomer = t.job_status(JobId(3)).expect("status");
-    assert_eq!(newcomer.running_tasks, 0, "started during outage: {newcomer:?}");
+    assert_eq!(
+        newcomer.running_tasks, 0,
+        "started during outage: {newcomer:?}"
+    );
     assert!(newcomer.expected_tasks > 0);
 
     // Clearance invalidates the stale snapshot; the deferred job starts.
@@ -125,14 +131,19 @@ fn transient_heartbeat_drop_does_not_trigger_failover() {
     // One missed heartbeat (15 s < the 40 s connection timeout and the
     // 60 s fail-over interval): the Shard Manager must not react.
     let victim = t.cluster.containers_on(hosts[0]).expect("containers")[0];
-    t.inject_fault(
-        Fault::HeartbeatLoss(victim),
-        Some(Duration::from_secs(15)),
-    );
+    t.inject_fault(Fault::HeartbeatLoss(victim), Some(Duration::from_secs(15)));
     t.run_for(Duration::from_mins(5));
 
-    assert_eq!(t.metrics.failovers.get(), 0, "fail-over flapped on a transient drop");
-    assert_eq!(t.task_placements(), placements_before, "shards moved needlessly");
+    assert_eq!(
+        t.metrics.failovers.get(),
+        0,
+        "fail-over flapped on a transient drop"
+    );
+    assert_eq!(
+        t.task_placements(),
+        placements_before,
+        "shards moved needlessly"
+    );
     assert_eq!(t.job_status(JobId(1)).expect("status").running_tasks, 8);
     assert_clean(&t);
 }
@@ -154,11 +165,21 @@ fn sustained_heartbeat_loss_fails_over_without_duplicating_shards() {
     // Manager reassigns its shards. The job must keep running elsewhere.
     t.inject_fault(Fault::HeartbeatLoss(victim), Some(Duration::from_mins(3)));
     t.run_for(Duration::from_mins(2) + Duration::from_secs(30));
-    assert!(t.metrics.failovers.get() >= 1, "proactive fail-over never fired");
+    assert!(
+        t.metrics.failovers.get() >= 1,
+        "proactive fail-over never fired"
+    );
     let during = t.job_status(JobId(1)).expect("status");
-    assert_eq!(during.running_tasks, 8, "tasks lost during fail-over: {during:?}");
+    assert_eq!(
+        during.running_tasks, 8,
+        "tasks lost during fail-over: {during:?}"
+    );
     let tm = &t.task_managers()[&victim];
-    assert_eq!(tm.owned_shards().count(), 0, "rebooted container kept shards");
+    assert_eq!(
+        tm.owned_shards().count(),
+        0,
+        "rebooted container kept shards"
+    );
 
     // The fault clears (container reconnects empty) and the cluster
     // settles with every shard owned exactly once.
@@ -187,15 +208,8 @@ fn syncer_crash_mid_complex_sync_resumes_after_restart() {
     // crash we inject into the middle of it.
     let mut jc = JobConfig::stateless("stateful", 4, 32);
     jc.max_task_count = 16;
-    t.provision_stateful_job(
-        JobId(1),
-        jc,
-        TrafficModel::flat(2.0e6),
-        1.0e6,
-        256.0,
-        1.0e8,
-    )
-    .expect("provision");
+    t.provision_stateful_job(JobId(1), jc, TrafficModel::flat(2.0e6), 1.0e6, 256.0, 1.0e8)
+        .expect("provision");
     t.run_for(Duration::from_mins(30));
     assert_eq!(t.job_status(JobId(1)).expect("status").running_tasks, 4);
 
@@ -213,7 +227,10 @@ fn syncer_crash_mid_complex_sync_resumes_after_restart() {
     t.inject_fault(Fault::SyncerCrash, Some(Duration::from_mins(5)));
     t.run_for(Duration::from_mins(4));
     let down = t.job_status(JobId(1)).expect("status");
-    assert!(down.paused, "nothing should progress while crashed: {down:?}");
+    assert!(
+        down.paused,
+        "nothing should progress while crashed: {down:?}"
+    );
 
     // The restarted syncer re-derives the in-flight sync and completes it.
     t.run_for(Duration::from_mins(15));
@@ -241,10 +258,7 @@ fn scribe_stall_is_diagnosed_as_dependency_failure_and_drains_after() {
 
     // Reads from the input category stall: arrivals continue, processing
     // drops to zero — the dependency-failure shape.
-    t.inject_fault(
-        Fault::ScribeStall(category),
-        Some(Duration::from_mins(30)),
-    );
+    t.inject_fault(Fault::ScribeStall(category), Some(Duration::from_mins(30)));
     t.run_for(Duration::from_mins(40));
     let diagnosed = t
         .diagnoses()
@@ -293,7 +307,8 @@ fn maintenance_window_host_recovery_restores_every_task() {
             t.provision_stateful_job(id, jc, traffic, 1.0e6, 256.0, keys)
                 .expect("provision");
         } else {
-            t.provision_job(id, jc, traffic, 1.0e6, 256.0).expect("provision");
+            t.provision_job(id, jc, traffic, 1.0e6, 256.0)
+                .expect("provision");
         }
     }
 
@@ -311,7 +326,8 @@ fn maintenance_window_host_recovery_restores_every_task() {
         let status = t.job_status(JobId(i + 1)).expect("status");
         assert!(!status.quarantined, "{status:?}");
         assert_eq!(
-            status.running_tasks, status.running_config_tasks as usize,
+            status.running_tasks,
+            status.running_config_tasks as usize,
             "job {} did not converge: {status:?}",
             i + 1
         );

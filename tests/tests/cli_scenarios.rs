@@ -19,7 +19,10 @@ fn maintenance_window_scenario_stays_healthy() {
     }
     let &(_, _, _, slo, _) = summary.rows.last().expect("rows");
     assert!(slo > 0.99, "final slo {slo}");
-    assert!(summary.counters[4] >= 1, "host failures must trigger fail-over");
+    assert!(
+        summary.counters[4] >= 1,
+        "host failures must trigger fail-over"
+    );
 }
 
 #[test]

@@ -16,7 +16,12 @@ impl SyncEnvironment for InstantEnv {
     fn all_stopped(&mut self, _job: JobId) -> bool {
         true
     }
-    fn redistribute_checkpoints(&mut self, _j: JobId, _o: u32, _n: u32) -> Result<Redistribute, String> {
+    fn redistribute_checkpoints(
+        &mut self,
+        _j: JobId,
+        _o: u32,
+        _n: u32,
+    ) -> Result<Redistribute, String> {
         Ok(Redistribute::Done)
     }
 }
@@ -117,7 +122,10 @@ fn oom_loop_settles_after_memory_growth() {
 
     t.run_for(Duration::from_mins(30));
     let ooms_after_settle = t.metrics.oom_kills.get();
-    assert!(ooms_after_settle > 0, "undersized reservation must OOM first");
+    assert!(
+        ooms_after_settle > 0,
+        "undersized reservation must OOM first"
+    );
     let grown = t.job_service_mut().expected_typed(job).expect("config");
     assert!(
         grown.task_resources.memory_mb > 430.0,

@@ -79,8 +79,14 @@ fn capacity_pressure_protects_privileged_jobs() {
     let mut privileged = JobConfig::stateless("vip", 4, 64);
     privileged.priority = Priority::Privileged;
     privileged.task_resources = Resources::cpu_mem(2.0, 2048.0);
-    t.provision_job(JobId(1), privileged, TrafficModel::flat(4.0e6), 1.0e6, 256.0)
-        .expect("provision");
+    t.provision_job(
+        JobId(1),
+        privileged,
+        TrafficModel::flat(4.0e6),
+        1.0e6,
+        256.0,
+    )
+    .expect("provision");
     for i in 0..5u64 {
         let mut hog = JobConfig::stateless(&format!("hog_{i}"), 8, 64);
         hog.priority = Priority::Low;

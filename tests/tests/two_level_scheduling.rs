@@ -105,7 +105,8 @@ fn rebalance_never_duplicates_or_loses_tasks() {
     for round in 0..5 {
         for s in 0..SHARDS {
             let load = if s % 2 == round % 2 { 8.0 } else { 0.5 };
-            tier.sm.report_load(ShardId(s), Resources::cpu_mem(load, load * 512.0));
+            tier.sm
+                .report_load(ShardId(s), Resources::cpu_mem(load, load * 512.0));
         }
         let result = tier.sm.rebalance();
         tier.apply(&result.moves);
@@ -127,10 +128,7 @@ fn failover_moves_every_shard_of_the_dead_container() {
     tier.refresh_all(&snapshot);
 
     let dead = ContainerId(0);
-    let dead_tasks: HashSet<TaskId> = tier.tms[&dead]
-        .running_tasks()
-        .map(|(id, _)| *id)
-        .collect();
+    let dead_tasks: HashSet<TaskId> = tier.tms[&dead].running_tasks().map(|(id, _)| *id).collect();
     assert!(!dead_tasks.is_empty());
 
     // Survivors heartbeat; the dead one goes silent. The platform also
@@ -143,7 +141,10 @@ fn failover_moves_every_shard_of_the_dead_container() {
     }
     let moves = tier.sm.check_failover(t(70));
     assert!(!moves.is_empty());
-    assert!(moves.iter().all(|m| m.from.is_none()), "nothing to drop on a dead box");
+    assert!(
+        moves.iter().all(|m| m.from.is_none()),
+        "nothing to drop on a dead box"
+    );
     tier.apply(&moves);
 
     let owners = tier.running_owners();
@@ -231,7 +232,8 @@ fn load_reports_converge_utilization_band() {
     // Heavy-tailed shard loads.
     for s in 0..SHARDS {
         let load = if s % 13 == 0 { 6.0 } else { 0.3 };
-        tier.sm.report_load(ShardId(s), Resources::cpu_mem(load, load * 800.0));
+        tier.sm
+            .report_load(ShardId(s), Resources::cpu_mem(load, load * 800.0));
     }
     let result = tier.sm.rebalance();
     tier.apply(&result.moves);
