@@ -15,10 +15,16 @@ cargo test -q
 echo "== cargo clippy -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo doc --no-deps (warnings denied) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
+
 echo "== chaos_soak smoke (30 simulated minutes, dense vs event-driven) =="
 ./target/release/chaos_soak --mins 30
 
 echo "== sched_soak (event-driven scheduler speedup) =="
 ./target/release/sched_soak
+
+echo "== trace_soak (decision-trace overhead + determinism gate) =="
+./target/release/trace_soak --hours 2 --repeats 7
 
 echo "CI OK"

@@ -39,6 +39,18 @@ pub enum RootCause {
     Unknown,
 }
 
+impl RootCause {
+    /// Stable snake_case label (trace records, alert routing).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RootCause::HardwareIssue { .. } => "hardware_issue",
+            RootCause::BadUserUpdate { .. } => "bad_user_update",
+            RootCause::DependencyFailure => "dependency_failure",
+            RootCause::Unknown => "unknown",
+        }
+    }
+}
+
 /// The safe mitigation for a diagnosis.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Mitigation {
@@ -49,6 +61,17 @@ pub enum Mitigation {
     RecommendRollback(u64),
     /// Alert and wait; adding resources would not help.
     AlertAndWait,
+}
+
+impl Mitigation {
+    /// Short stable description (trace records, runbooks).
+    pub fn describe(&self) -> String {
+        match self {
+            Mitigation::MoveTask(task) => format!("move_task({task})"),
+            Mitigation::RecommendRollback(v) => format!("recommend_rollback(v{v})"),
+            Mitigation::AlertAndWait => "alert_and_wait".to_string(),
+        }
+    }
 }
 
 /// Root-causer thresholds.

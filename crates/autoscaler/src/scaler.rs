@@ -114,6 +114,29 @@ pub enum ScalingAction {
     },
 }
 
+impl ScalingAction {
+    /// Short stable description (trace records, runbooks).
+    pub fn describe(&self) -> String {
+        match self {
+            ScalingAction::RebalanceInput => "rebalance_input".to_string(),
+            ScalingAction::Vertical {
+                threads_per_task,
+                per_task,
+            } => format!(
+                "vertical(threads={threads_per_task}, mem={:.0}MB)",
+                per_task.memory_mb
+            ),
+            ScalingAction::Horizontal {
+                task_count,
+                per_task,
+            } => format!(
+                "horizontal(tasks={task_count}, mem={:.0}MB)",
+                per_task.memory_mb
+            ),
+        }
+    }
+}
+
 /// The outcome of evaluating one job.
 #[derive(Debug, Clone)]
 pub struct ScalingDecision {

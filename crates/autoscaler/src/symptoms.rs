@@ -129,6 +129,26 @@ pub enum Symptom {
     },
 }
 
+impl Symptom {
+    /// Short human description (trace records, dashboards).
+    pub fn describe(&self) -> String {
+        match self {
+            Symptom::Lagging {
+                time_lagged_secs,
+                slo_secs,
+            } => format!("lagging {time_lagged_secs:.0}s (SLO {slo_secs:.0}s)"),
+            Symptom::ImbalancedInput { cv } => format!("imbalanced input (cv {cv:.2})"),
+            Symptom::OutOfMemory { events } => format!("{events} OOM event(s)"),
+            Symptom::MemoryPressure {
+                peak_mb,
+                soft_limit_mb,
+            } => {
+                format!("memory pressure: peak {peak_mb:.0} MB of {soft_limit_mb:.0} MB soft limit")
+            }
+        }
+    }
+}
+
 /// Run all detectors over one job's metrics. `slo_secs` is the job's
 /// configured `time_lagged` SLO.
 pub fn detect(metrics: &JobMetrics, slo_secs: f64, config: &SymptomConfig) -> Vec<Symptom> {

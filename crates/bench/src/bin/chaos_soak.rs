@@ -8,9 +8,12 @@
 //! convergence can be asserted. The timeline is executed three times:
 //! once under the dense-tick reference stepper, then twice under the
 //! event-driven scheduler from the same seed. The event-driven platform
-//! fingerprint must match the dense reference bit-for-bit, the replay
-//! must reproduce itself bit-for-bit, and zero invariants may fire — any
-//! miss is a non-zero exit.
+//! fingerprint AND decision-trace digest must match the dense reference
+//! bit-for-bit, the replay must reproduce itself bit-for-bit, and zero
+//! invariants may fire — any miss is a non-zero exit.
+//!
+//! The scenario itself lives in [`turbine_bench::soak`], shared with the
+//! `trace_soak` overhead benchmark.
 //!
 //! ```sh
 //! cargo run --release -p turbine-bench --bin chaos_soak            # 48 h soak
@@ -18,180 +21,35 @@
 //! cargo run --release -p turbine-bench --bin chaos_soak -- --hours 72 --seed 7
 //! ```
 
-use turbine::{
-    DriveMode, Fault, FaultPlan, InvariantConfig, PlatformFingerprint, Turbine, TurbineConfig,
-};
-use turbine_bench::scuba_host;
-use turbine_config::JobConfig;
-use turbine_sim::SimRng;
-use turbine_types::{Duration, HostId, JobId, SimTime};
-use turbine_workloads::TrafficModel;
-
-/// One host flap derived from the seed: fail at `fail_at`, recover at
-/// `recover_at`.
-struct HostFlap {
-    host: usize,
-    fail_at: SimTime,
-    recover_at: SimTime,
-}
+use turbine::{DriveMode, PlatformFingerprint};
+use turbine_bench::soak::{run_soak, SoakParams};
+use turbine_types::{Duration, SimTime};
 
 struct SoakOutcome {
     fault_log: Vec<(SimTime, String)>,
     digest: u64,
+    trace_digest: u64,
+    trace_records: u64,
     violations: Vec<String>,
     total_violations: u64,
     ticks_checked: u64,
     fingerprint: PlatformFingerprint,
 }
 
-fn build_platform() -> (Turbine, Vec<HostId>) {
-    let mut config = TurbineConfig::default();
-    config.scaler.downscale_stability = Duration::from_hours(4);
-    let mut turbine = Turbine::new(config);
-    let hosts = turbine.add_hosts(8, scuba_host());
-    // Three stateless pipelines plus one stateful job with a modest key
-    // space (~1 GB of state, a few seconds per state move) so complex
-    // syncs complete well inside the convergence window.
-    for (i, &(name, tasks, rate, swing, seed)) in [
-        ("soak_events", 8u32, 6.0e6, 0.3, 101u64),
-        ("soak_metrics", 4, 3.0e6, 0.25, 102),
-        ("soak_counters", 4, 2.0e6, 0.2, 103),
-    ]
-    .iter()
-    .enumerate()
-    {
-        let mut jc = JobConfig::stateless(name, tasks, 64);
-        jc.max_task_count = 64;
-        turbine
-            .provision_job(
-                JobId(i as u64 + 1),
-                jc,
-                TrafficModel::diurnal(rate, swing, seed),
-                1.0e6,
-                256.0,
-            )
-            .expect("provision");
-    }
-    let mut jc = JobConfig::stateless("soak_sessions", 4, 64);
-    jc.max_task_count = 64;
-    turbine
-        .provision_stateful_job(
-            JobId(4),
-            jc,
-            TrafficModel::diurnal(2.0e6, 0.2, 104),
-            1.0e6,
-            256.0,
-            1.0e6,
-        )
-        .expect("provision");
-    (turbine, hosts)
-}
-
-/// Schedule the fault timeline. Positions are fractions of the total run
-/// so the same shape works for a 30-minute smoke run and a 72-hour soak;
-/// every window ends by 88 % of the run.
-fn schedule_faults(turbine: &mut Turbine, total: Duration) {
-    let frac = |f: f64| SimTime::ZERO + Duration::from_secs_f64(total.as_secs_f64() * f);
-    let span = |f: f64| Duration::from_secs_f64(total.as_secs_f64() * f);
-    let plan = |fault: Fault, from: SimTime, len: Duration| FaultPlan {
-        fault,
-        from,
-        until: Some(from + len),
-    };
-
-    turbine.schedule_fault(plan(Fault::TaskServiceDown, frac(0.10), span(0.05)));
-    turbine.schedule_fault(plan(Fault::JobStoreDown, frac(0.25), span(0.05)));
-
-    // Heartbeat loss: one transient single-beat drop (must not trigger
-    // fail-over) and one sustained loss (must). Victims come from the
-    // first two hosts; host flaps only touch the rest.
-    let transient = turbine
-        .cluster
-        .containers_on(turbine.cluster.hosts()[0])
-        .expect("containers")[0];
-    turbine.schedule_fault(plan(
-        Fault::HeartbeatLoss(transient),
-        frac(0.40),
-        Duration::from_secs(15),
-    ));
-    let sustained = turbine
-        .cluster
-        .containers_on(turbine.cluster.hosts()[1])
-        .expect("containers")[0];
-    turbine.schedule_fault(plan(
-        Fault::HeartbeatLoss(sustained),
-        frac(0.50),
-        span(0.04),
-    ));
-
-    turbine.schedule_fault(plan(Fault::SyncerCrash, frac(0.65), span(0.04)));
-
-    let category = turbine
-        .job_category(JobId(3))
-        .expect("category")
-        .to_string();
-    turbine.schedule_fault(plan(Fault::ScribeStall(category), frac(0.78), span(0.05)));
-}
-
-/// Derive the host-flap schedule from the seed: one flap roughly every
-/// 6 hours (at least one per run), each 10–30 minutes, all on hosts 2+,
-/// all recovered by 85 % of the run.
-fn flap_schedule(total: Duration, hosts: usize, rng: &mut SimRng) -> Vec<HostFlap> {
-    let flaps = ((total.as_secs_f64() / 21_600.0).ceil() as usize).max(1);
-    (0..flaps)
-        .map(|i| {
-            let slot =
-                total.as_secs_f64() * 0.80 * (i as f64 + rng.uniform(0.2, 0.8)) / flaps as f64;
-            let fail_at = SimTime::ZERO + Duration::from_secs_f64(slot);
-            let len = rng.uniform(600.0, 1800.0).min(total.as_secs_f64() * 0.05);
-            HostFlap {
-                host: 2 + rng.uniform_usize(0, hosts - 2),
-                fail_at,
-                recover_at: fail_at + Duration::from_secs_f64(len),
-            }
-        })
-        .collect()
-}
-
 fn soak(total: Duration, seed: u64, mode: DriveMode) -> SoakOutcome {
-    let mut rng = SimRng::seeded(seed);
-    let (mut turbine, hosts) = build_platform();
-    turbine.enable_invariant_checks(InvariantConfig::default());
-    turbine.drive_for(Duration::from_mins(5).min(total), mode); // settle before chaos
-    schedule_faults(&mut turbine, total);
-    let flaps = flap_schedule(total, hosts.len(), &mut rng);
-
-    let end = SimTime::ZERO + total;
-    let mut fail_queue: Vec<(SimTime, usize)> = flaps.iter().map(|f| (f.fail_at, f.host)).collect();
-    let mut recover_queue: Vec<(SimTime, usize)> =
-        flaps.iter().map(|f| (f.recover_at, f.host)).collect();
-    while turbine.now() < end {
-        let now = turbine.now();
-        // Recoveries first so a host is never failed while already down.
-        recover_queue.retain(|&(at, h)| {
-            if at <= now {
-                turbine.recover_host(hosts[h]).expect("recover host");
-                false
-            } else {
-                true
-            }
-        });
-        fail_queue.retain(|&(at, h)| {
-            if at <= now {
-                turbine.fail_host(hosts[h]).expect("fail host");
-                false
-            } else {
-                true
-            }
-        });
-        turbine.drive_for(Duration::from_mins(1).min(end.since(now)), mode);
-    }
-
+    let turbine = run_soak(&SoakParams {
+        total,
+        seed,
+        mode,
+        trace_enabled: true,
+        invariants: true,
+    });
     let checker = turbine.invariant_checker().expect("checker enabled");
-    let fingerprint = turbine.fingerprint();
     SoakOutcome {
         fault_log: turbine.fault_injector().log().to_vec(),
         digest: turbine.fault_injector().log_digest(),
+        trace_digest: turbine.trace().digest(),
+        trace_records: turbine.trace().total_recorded(),
         violations: turbine
             .invariant_violations()
             .iter()
@@ -206,7 +64,7 @@ fn soak(total: Duration, seed: u64, mode: DriveMode) -> SoakOutcome {
             .collect(),
         total_violations: checker.total_violations(),
         ticks_checked: checker.ticks_checked(),
-        fingerprint,
+        fingerprint: turbine.fingerprint(),
     }
 }
 
@@ -254,6 +112,10 @@ fn main() {
         first.ticks_checked,
         first.digest
     );
+    println!(
+        "## {} trace records, trace digest {:#018x}",
+        first.trace_records, first.trace_digest
+    );
     println!("## fingerprint {:?}", first.fingerprint);
 
     let mut failed = false;
@@ -278,6 +140,19 @@ fn main() {
             dense.fingerprint, first.fingerprint
         );
     }
+    if dense.trace_digest == first.trace_digest {
+        println!(
+            "[OK] event-driven decision trace matches the dense reference \
+             (digest {:#018x})",
+            first.trace_digest
+        );
+    } else {
+        failed = true;
+        eprintln!(
+            "TRACE DIVERGENCE: dense trace digest {:#018x} vs event {:#018x}",
+            dense.trace_digest, first.trace_digest
+        );
+    }
     if first.fault_log == second.fault_log && first.digest == second.digest {
         println!(
             "[OK] identical fault log on replay (digest {:#018x})",
@@ -293,13 +168,13 @@ fn main() {
             second.fault_log.len()
         );
     }
-    if first.fingerprint == second.fingerprint {
-        println!("[OK] identical platform fingerprint on replay");
+    if first.fingerprint == second.fingerprint && first.trace_digest == second.trace_digest {
+        println!("[OK] identical platform fingerprint and trace digest on replay");
     } else {
         failed = true;
         eprintln!(
-            "NON-DETERMINISTIC REPLAY: fingerprint {:?} vs {:?}",
-            first.fingerprint, second.fingerprint
+            "NON-DETERMINISTIC REPLAY: fingerprint {:?} (trace {:#018x}) vs {:?} (trace {:#018x})",
+            first.fingerprint, first.trace_digest, second.fingerprint, second.trace_digest
         );
     }
     if failed {

@@ -7,6 +7,8 @@
 //! the same rows/series the paper reports, plus a `paper vs measured`
 //! summary line per headline claim.
 
+pub mod soak;
+
 use turbine::{Turbine, TurbineConfig};
 use turbine_config::JobConfig;
 use turbine_types::{Duration, JobId, Resources, TimeSeries};

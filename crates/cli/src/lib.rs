@@ -14,6 +14,8 @@
 
 pub mod runner;
 pub mod scenario;
+pub mod trace_cmd;
 
-pub use runner::{run_scenario, RunSummary};
+pub use runner::{run_scenario, run_scenario_traced, RunSummary, TracedRun};
 pub use scenario::{Scenario, ScenarioError, ScenarioEvent};
+pub use trace_cmd::{trace_report, TraceQuery};

@@ -3,6 +3,7 @@
 //! ```text
 //! turbinesim demo                 # run the built-in demo scenario
 //! turbinesim run scenario.json    # run a scenario file
+//! turbinesim trace <scenario>     # run, then query the causal decision trace
 //! turbinesim schema               # print the demo scenario JSON as a format reference
 //! turbinesim faults               # list chaos fault events for scenario timelines
 //! ```
@@ -13,7 +14,24 @@
 //! `clear_fault` ends it. See `turbinesim faults` for the fault names and
 //! their addressing fields.
 
-use turbine_cli::{run_scenario, Scenario};
+use turbine_cli::{run_scenario, run_scenario_traced, trace_report, Scenario, TraceQuery};
+
+const TRACE_HELP: &str = "\
+usage: turbinesim trace <demo | scenario.json> [flags]
+
+runs the scenario, then queries the control plane's causal decision trace.
+
+flags:
+  --job <name>          only records about this scenario job
+  --component <name>    only records from this control component's rounds
+                        (heartbeat, tm_refresh, state_syncer, auto_scaler,
+                        load_report, rebalance, capacity_manager, checkpoint,
+                        metrics, data_plane, chaos_engine)
+  --from-mins <N>       drop records before minute N of simulated time
+  --to-mins <N>         drop records after minute N
+  --explain <job>       print the causal chain (fault -> symptom -> decision)
+                        behind the most recent decision about the job
+  --jsonl               dump retained records as JSONL for offline tools";
 
 const FAULT_HELP: &str = "\
 chaos fault events for scenario timelines:
@@ -38,7 +56,8 @@ without it the fault stays active until a matching clear_fault event.";
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let usage = "usage: turbinesim <demo | run <scenario.json> | schema | faults>";
+    let usage =
+        "usage: turbinesim <demo | run <scenario.json> | trace <scenario> [flags] | schema | faults>";
     match args.get(1).map(String::as_str) {
         Some("demo") => {
             let scenario = Scenario::demo();
@@ -71,6 +90,49 @@ fn main() {
                 }
             };
             print!("{}", run_scenario(&scenario).render());
+        }
+        Some("trace") => {
+            let Some(target) = args.get(2) else {
+                eprintln!("{TRACE_HELP}");
+                std::process::exit(2);
+            };
+            if target == "--help" {
+                println!("{TRACE_HELP}");
+                return;
+            }
+            let scenario = if target == "demo" {
+                Scenario::demo()
+            } else {
+                let text = match std::fs::read_to_string(target) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("cannot read {target}: {e}");
+                        std::process::exit(1);
+                    }
+                };
+                match Scenario::parse(&text) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        std::process::exit(1);
+                    }
+                }
+            };
+            let query = match TraceQuery::parse(&args[3..]) {
+                Ok(q) => q,
+                Err(e) => {
+                    eprintln!("{e}\n\n{TRACE_HELP}");
+                    std::process::exit(2);
+                }
+            };
+            let run = run_scenario_traced(&scenario);
+            match trace_report(&run, &query) {
+                Ok(report) => print!("{report}"),
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+            }
         }
         Some("schema") => {
             println!("{}", turbine_cli::scenario::DEMO_SCENARIO);

@@ -20,7 +20,7 @@ pub struct RunSummary {
     pub counters: [u64; 7],
     /// The rendered fleet-health dashboard at the end of the run (§VII).
     pub dashboard: String,
-    /// Chaos-engine fault timeline: (hours, "inject/clear <fault>").
+    /// Chaos-engine fault timeline: (hours, `inject/clear <fault>`).
     pub fault_log: Vec<(f64, String)>,
 }
 
@@ -60,9 +60,28 @@ impl RunSummary {
     }
 }
 
+/// A scenario run with its observability artifacts: the rendered summary,
+/// the control-plane causal trace, and the name → id map scenario job
+/// names resolve through.
+#[derive(Debug, Clone)]
+pub struct TracedRun {
+    /// The ordinary run summary ([`run_scenario`] returns just this).
+    pub summary: RunSummary,
+    /// The platform's causal decision trace at the end of the run.
+    pub trace: turbine::TraceBuffer,
+    /// Scenario job name → platform job id.
+    pub jobs: BTreeMap<String, JobId>,
+}
+
 /// Execute a scenario and collect the summary. Deterministic: the same
 /// scenario always produces the same summary.
 pub fn run_scenario(scenario: &Scenario) -> RunSummary {
+    run_scenario_traced(scenario).summary
+}
+
+/// Execute a scenario and keep the causal trace alongside the summary
+/// (the `turbinesim trace` subcommand's entry point).
+pub fn run_scenario_traced(scenario: &Scenario) -> TracedRun {
     let mut config = TurbineConfig::default();
     config.scaler_enabled = scenario.scaler_enabled;
     config.load_balancing_enabled = scenario.load_balancing;
@@ -211,12 +230,16 @@ pub fn run_scenario(scenario: &Scenario) -> RunSummary {
         .iter()
         .map(|(at, entry)| (at.as_hours_f64(), entry.clone()))
         .collect();
-    RunSummary {
-        rows,
-        jobs,
-        counters,
-        dashboard,
-        fault_log,
+    TracedRun {
+        summary: RunSummary {
+            rows,
+            jobs,
+            counters,
+            dashboard,
+            fault_log,
+        },
+        trace: turbine.trace().clone(),
+        jobs: ids,
     }
 }
 

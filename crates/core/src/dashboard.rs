@@ -65,6 +65,10 @@ pub struct FleetHealth {
     pub jobs_within_slo_fraction: f64,
     /// Jobs with issues, with every issue listed (a job may have several).
     pub unhealthy: Vec<(JobId, Vec<HealthIssue>)>,
+    /// Per unhealthy job: the most recent decisions the control plane took
+    /// about it, newest first, rendered from the causal trace ("what has
+    /// the platform already tried?"). Empty when tracing is disabled.
+    pub recent_decisions: Vec<(JobId, Vec<String>)>,
 }
 
 impl FleetHealth {
@@ -92,11 +96,22 @@ impl FleetHealth {
             for (job, issues) in &self.unhealthy {
                 let descriptions: Vec<String> = issues.iter().map(|i| i.to_string()).collect();
                 let _ = writeln!(out, "  {job}: {}", descriptions.join("; "));
+                if let Some((_, decisions)) = self.recent_decisions.iter().find(|(j, _)| j == job) {
+                    if !decisions.is_empty() {
+                        let _ = writeln!(out, "    recent decisions:");
+                        for line in decisions {
+                            let _ = writeln!(out, "      {line}");
+                        }
+                    }
+                }
             }
         }
         out
     }
 }
+
+/// Decisions shown per unhealthy job in the dashboard drill-down.
+const RECENT_DECISIONS_PER_JOB: usize = 3;
 
 /// Build the fleet-health snapshot from a platform.
 pub fn fleet_health(turbine: &Turbine) -> FleetHealth {
@@ -142,6 +157,20 @@ pub fn fleet_health(turbine: &Turbine) -> FleetHealth {
         }
     }
 
+    let recent_decisions: Vec<(JobId, Vec<String>)> = unhealthy
+        .iter()
+        .map(|(job, _)| {
+            let lines: Vec<String> = turbine
+                .trace()
+                .decisions_for(*job, RECENT_DECISIONS_PER_JOB)
+                .iter()
+                .map(|e| format!("[{}] {}", e.at, e.data.summary()))
+                .collect();
+            (*job, lines)
+        })
+        .filter(|(_, lines)| !lines.is_empty())
+        .collect();
+
     FleetHealth {
         total_jobs,
         expected_tasks,
@@ -157,6 +186,7 @@ pub fn fleet_health(turbine: &Turbine) -> FleetHealth {
             jobs_in_slo as f64 / total_jobs as f64
         },
         unhealthy,
+        recent_decisions,
     }
 }
 
@@ -234,5 +264,93 @@ mod tests {
         assert!(health.all_green());
         assert_eq!(health.total_jobs, 0);
         assert_eq!(health.tasks_running_fraction, 1.0);
+    }
+
+    /// Every [`HealthIssue`] variant renders its drill-down text, and the
+    /// recent-decisions panel prints under the job it belongs to.
+    #[test]
+    fn render_shows_every_issue_variant_and_recent_decisions() {
+        let health = FleetHealth {
+            total_jobs: 4,
+            expected_tasks: 32,
+            running_tasks: 20,
+            tasks_running_fraction: 20.0 / 32.0,
+            jobs_within_slo_fraction: 0.75,
+            unhealthy: vec![
+                (
+                    JobId(1),
+                    vec![HealthIssue::TasksNotRunning {
+                        expected: 8,
+                        running: 5,
+                    }],
+                ),
+                (
+                    JobId(2),
+                    vec![HealthIssue::Lagging {
+                        lag_secs: 240.0,
+                        slo_secs: 90.0,
+                    }],
+                ),
+                (JobId(3), vec![HealthIssue::Quarantined]),
+                (JobId(4), vec![HealthIssue::Paused]),
+            ],
+            recent_decisions: vec![(
+                JobId(2),
+                vec![
+                    "[t+1.00h] scaled job 2: horizontal(tasks=12, mem=600MB)".to_string(),
+                    "[t+30.00m] diagnosed job 2: unknown -> alert_and_wait".to_string(),
+                ],
+            )],
+        };
+        let rendered = health.render();
+        assert!(rendered.contains("unhealthy jobs (4):"), "{rendered}");
+        assert!(rendered.contains("5/8 tasks running"), "{rendered}");
+        assert!(rendered.contains("lagging 240s (SLO 90s)"), "{rendered}");
+        assert!(
+            rendered.contains("quarantined by the state syncer"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("paused for a complex sync"), "{rendered}");
+        // The decisions panel appears once, under job 2 only.
+        assert_eq!(rendered.matches("recent decisions:").count(), 1);
+        assert!(
+            rendered.contains("[t+1.00h] scaled job 2: horizontal(tasks=12, mem=600MB)"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("[t+30.00m] diagnosed job 2: unknown -> alert_and_wait"),
+            "{rendered}"
+        );
+    }
+
+    /// An end-to-end snapshot of a struggling platform carries trace-derived
+    /// decision lines for the unhealthy job.
+    #[test]
+    fn fleet_health_populates_decisions_from_the_trace() {
+        let mut config = TurbineConfig::default();
+        config.scaler_enabled = false;
+        let mut t = Turbine::new(config);
+        t.add_hosts(2, Resources::new(56.0, 256.0 * 1024.0, 1.0e6, 1000.0));
+        t.provision_job(
+            JobId(1),
+            JobConfig::stateless("hurt", 8, 32),
+            TrafficModel::flat(4.0e6),
+            1.0e6,
+            256.0,
+        )
+        .expect("provision");
+        t.run_for(Duration::from_mins(5));
+        for host in t.cluster.hosts() {
+            t.fail_host(host).expect("fail");
+        }
+        t.run_for(Duration::from_mins(10));
+        let health = fleet_health(&t);
+        assert!(!health.all_green());
+        // With tracing on (default), decision lines either exist for the
+        // unhealthy job or the job genuinely saw no decision yet — but the
+        // panel must never list a job with zero lines.
+        for (_, lines) in &health.recent_decisions {
+            assert!(!lines.is_empty());
+        }
     }
 }

@@ -46,10 +46,13 @@ pub mod platform;
 
 pub use dashboard::{fleet_health, FleetHealth, HealthIssue};
 pub use invariants::{InvariantChecker, InvariantConfig, InvariantView, Violation};
-pub use metrics::PlatformMetrics;
+pub use metrics::{DiagnosisRecord, PlatformMetrics};
 pub use platform::{
     ControlEvent, DriveMode, JobStatus, PlatformFingerprint, Turbine, TurbineConfig,
 };
 // Re-exported so downstream crates (CLI, benches, tests) can schedule
 // faults without depending on the sim crate directly.
 pub use turbine_sim::{Fault, FaultPlan, FaultTransition};
+// Re-exported so downstream crates can query the decision trace without
+// depending on the trace crate directly.
+pub use turbine_trace::{Component as TraceComponent, TraceBuffer, TraceData, TraceEvent, TraceId};

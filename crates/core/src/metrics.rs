@@ -6,6 +6,8 @@
 //! [`PlatformMetrics`] records all of them on a fixed sampling cadence.
 
 use std::collections::BTreeMap;
+use turbine_autoscaler::{Mitigation, RootCause};
+use turbine_trace::TraceId;
 use turbine_types::{Counter, JobId, Percentiles, SimTime, TimeSeries};
 
 /// One percentile band series (p5/p50/p95 + mean over hosts).
@@ -22,14 +24,40 @@ pub struct BandSeries {
 }
 
 impl BandSeries {
-    /// Record one snapshot of per-host samples.
+    /// Record one snapshot of per-host samples. An empty snapshot (no
+    /// healthy hosts this instant) records nothing: there is no meaningful
+    /// percentile of zero samples, and a placeholder would fabricate a
+    /// zero-utilization dip in the band.
     pub fn record(&mut self, at: SimTime, samples: &[f64]) {
+        if samples.is_empty() {
+            return;
+        }
         let p = Percentiles::from_samples(samples);
         self.p5.record(at, p.p5);
         self.p50.record(at, p.p50);
         self.p95.record(at, p.p95);
         self.mean.record(at, p.mean);
     }
+}
+
+/// One root-cause diagnosis, as recorded by the platform: the typed
+/// cause and mitigation from the root-causer, plus the link into the
+/// decision trace (when tracing is enabled) so the rationale joins the
+/// causal chain behind the mitigation it triggered.
+#[derive(Debug, Clone)]
+pub struct DiagnosisRecord {
+    /// When the diagnosis was made.
+    pub at: SimTime,
+    /// The diagnosed job.
+    pub job: JobId,
+    /// The classified root cause.
+    pub cause: RootCause,
+    /// The recommended (or automated) mitigation.
+    pub mitigation: Mitigation,
+    /// One-line rationale for the runbook.
+    pub rationale: String,
+    /// The diagnosis record in the decision trace, when tracing is on.
+    pub trace: Option<TraceId>,
 }
 
 /// All platform metrics captured during a run.
@@ -76,9 +104,8 @@ pub struct PlatformMetrics {
     /// event-driven scheduler skips quiescent grid instants, so this is
     /// the direct measure of sparse-jump savings vs the dense stepper).
     pub ticks_executed: Counter,
-    /// Root-cause diagnoses produced for untriaged problems:
-    /// (time, job, rationale).
-    pub diagnoses: Vec<(SimTime, JobId, String)>,
+    /// Root-cause diagnoses produced for untriaged problems.
+    pub diagnoses: Vec<DiagnosisRecord>,
 }
 
 impl PlatformMetrics {
@@ -109,6 +136,23 @@ mod tests {
         assert_eq!(band.p50.last(), Some(0.5));
         assert_eq!(band.p95.last(), Some(0.95));
         assert_eq!(band.p5.len(), 2);
+    }
+
+    #[test]
+    fn empty_snapshot_records_nothing() {
+        let mut band = BandSeries::default();
+        band.record(SimTime::ZERO, &[0.5]);
+        // No healthy hosts this instant: the bands must not grow, and in
+        // particular must not record a fabricated zero or NaN sample.
+        band.record(SimTime::ZERO + Duration::from_mins(1), &[]);
+        assert_eq!(band.p50.len(), 1);
+        assert_eq!(band.mean.len(), 1);
+        band.record(SimTime::ZERO + Duration::from_mins(2), &[0.7]);
+        assert_eq!(band.p50.len(), 2);
+        assert!(
+            band.p50.points().iter().all(|(_, v)| v.is_finite()),
+            "no NaN in the series"
+        );
     }
 
     #[test]

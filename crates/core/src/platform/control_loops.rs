@@ -7,12 +7,14 @@
 
 use super::Turbine;
 use crate::engine::Engine;
+use crate::metrics::DiagnosisRecord;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use turbine_autoscaler::{DiagnosisInput, JobMetrics, Mitigation, ScalingAction};
 use turbine_config::{ConfigLevel, JobConfig};
 use turbine_shardmgr::ShardMovement;
 use turbine_statesyncer::{Redistribute, SyncEnvironment};
 use turbine_taskmgr::{LocalTaskManager, TaskEvent, TaskService};
+use turbine_trace::TraceData;
 use turbine_types::{ContainerId, Duration, JobId, Resources, SimTime};
 
 impl Turbine {
@@ -51,6 +53,12 @@ impl Turbine {
         let failover_moves = self.shard_manager.check_failover(self.now);
         if !failover_moves.is_empty() {
             self.metrics.failovers.incr();
+            self.trace.emit(
+                self.now,
+                TraceData::Failover {
+                    moves: failover_moves.len(),
+                },
+            );
             self.apply_movements(&failover_moves);
         }
     }
@@ -149,6 +157,21 @@ impl Turbine {
             state_move_bandwidth: self.config.state_move_bandwidth,
         };
         let report = self.syncer.run_round(&mut self.jobs, &mut env);
+        let now = self.now;
+        for (jobs, outcome) in [
+            (&report.started, "started"),
+            (&report.simple, "simple"),
+            (&report.complex_completed, "complex_completed"),
+            (&report.deleted, "deleted"),
+        ] {
+            for &job in jobs {
+                self.trace
+                    .emit(now, TraceData::SyncOutcome { job, outcome });
+            }
+        }
+        for &job in &report.quarantined {
+            self.trace.emit(now, TraceData::Quarantine { job });
+        }
         let mut invalidate = report.total_changed() > 0;
         for &job in report
             .started
@@ -256,6 +279,7 @@ impl Turbine {
             // not scaled around — scaling would both waste capacity and
             // accidentally mask the sick host.
             let mut action = decision.action;
+            let mut diagnose = false;
             if lagging {
                 let window = now.since(self.last_scaler_drain).as_secs_f64().max(1.0);
                 let _ = window;
@@ -279,18 +303,45 @@ impl Turbine {
                     .is_some_and(|&at| now.since(at) < Duration::from_mins(10));
                 if (hardware.is_some() || decision.untriaged.is_some()) && !recently_diagnosed {
                     self.last_diagnosis.insert(job, now);
-                    self.diagnose_untriaged(job, &metrics, &stats.per_task, now);
+                    diagnose = true;
                     if hardware.is_some() {
                         // The move is the mitigation; do not also scale.
                         action = None;
                     }
                 }
             }
+            // Trace the symptom hop only when it is consequential (an
+            // action or diagnosis follows): its cause is the activation
+            // edge of a stall on the job's input category if one is
+            // active, the scaler round's span otherwise.
+            let symptom_id = if (action.is_some() || diagnose) && !decision.symptoms.is_empty() {
+                let description = decision.symptoms[0].describe();
+                let data = TraceData::Symptom { job, description };
+                match self
+                    .categories
+                    .get(&job)
+                    .and_then(|cat| self.trace.fault_cause(&format!("scribe_stall({cat})")))
+                {
+                    Some(root) => self.trace.emit_caused(now, data, Some(root)),
+                    None => self.trace.emit(now, data),
+                }
+            } else {
+                None
+            };
+            if let Some(id) = symptom_id {
+                self.trace.push_cause(id);
+            }
+            if diagnose {
+                self.diagnose_untriaged(job, &metrics, &stats.per_task, now);
+            }
             if decision.untriaged.is_some() {
                 self.metrics.alerts.incr();
             }
             if let Some(action) = action {
                 self.apply_scaling_action(job, &config, action);
+            }
+            if symptom_id.is_some() {
+                self.trace.pop_cause();
             }
         }
         let _ = usage;
@@ -335,10 +386,33 @@ impl Turbine {
             lag_since: self.lag_since.get(&job).copied(),
             now,
         });
+        let trace_id = self.trace.emit(
+            now,
+            TraceData::Diagnosis {
+                job,
+                cause: diagnosis.cause.label().to_string(),
+                mitigation: diagnosis.mitigation.describe(),
+                rationale: diagnosis.rationale.clone(),
+            },
+        );
         if let Mitigation::MoveTask(task) = diagnosis.mitigation {
+            // The move's cause is the diagnosis that mandated it.
+            if let Some(id) = trace_id {
+                self.trace.push_cause(id);
+            }
             self.move_task_shard(task);
+            if trace_id.is_some() {
+                self.trace.pop_cause();
+            }
         }
-        self.metrics.diagnoses.push((now, job, diagnosis.rationale));
+        self.metrics.diagnoses.push(DiagnosisRecord {
+            at: now,
+            job,
+            cause: diagnosis.cause,
+            mitigation: diagnosis.mitigation,
+            rationale: diagnosis.rationale,
+            trace: trace_id,
+        });
     }
 
     /// Move one task's shard to a different alive container (root-causer
@@ -353,6 +427,8 @@ impl Turbine {
             .find(|&c| Some(c) != from);
         if let Some(to) = target {
             if let Some(movement) = self.shard_manager.move_shard(shard, to) {
+                self.trace
+                    .emit(self.now, TraceData::ShardMove { shard, to });
                 self.apply_movements(&[movement]);
             }
         }
@@ -361,6 +437,13 @@ impl Turbine {
     /// Write one scaler decision to the Job Store's scaler config level.
     fn apply_scaling_action(&mut self, job: JobId, config: &JobConfig, action: ScalingAction) {
         self.metrics.scaling_actions.incr();
+        self.trace.emit(
+            self.now,
+            TraceData::ScalingAction {
+                job,
+                action: action.describe(),
+            },
+        );
         match action {
             ScalingAction::RebalanceInput => {
                 if let Some(rt) = self.engine.job_mut(job) {
@@ -416,6 +499,14 @@ impl Turbine {
     /// Cluster-wide load-balancing rebalance.
     pub(crate) fn rebalance_round(&mut self) {
         let result = self.shard_manager.rebalance();
+        if !result.moves.is_empty() {
+            self.trace.emit(
+                self.now,
+                TraceData::RebalancePlan {
+                    moves: result.moves.len(),
+                },
+            );
+        }
         self.apply_movements(&result.moves);
     }
 

@@ -85,6 +85,14 @@ impl Turbine {
     /// model the outage starting; clearance side effects model the
     /// component coming back (reconnect, restart, cache invalidation).
     pub(crate) fn apply_fault_transition(&mut self, transition: FaultTransition) {
+        // Trace the edge first: it is the chain root every downstream
+        // symptom and decision links back to (clearances link to their own
+        // activation).
+        let (label, activated) = match &transition {
+            FaultTransition::Activated(f) => (f.label(), true),
+            FaultTransition::Cleared(f) => (f.label(), false),
+        };
+        self.trace.note_fault_edge(self.now, &label, activated);
         match transition {
             FaultTransition::Activated(Fault::HeartbeatLoss(container)) => {
                 self.sever_connection(container);

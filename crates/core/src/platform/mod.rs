@@ -10,7 +10,7 @@
 //!
 //! * [`mod@self`] — configuration, construction, and the public API
 //!   surface (provisioning, status, interventions);
-//! * [`scheduler`] — the event-driven control plane: the [`ControlEvent`]
+//! * `scheduler` — the event-driven control plane: the [`ControlEvent`]
 //!   taxonomy, the component handler table, and the two drive loops
 //!   (event-driven, and the dense-tick reference stepper);
 //! * `control_loops` — the per-event component handlers (heartbeats, TM
@@ -39,6 +39,7 @@ use turbine_shardmgr::{ShardManager, ShardManagerConfig};
 use turbine_sim::{FaultInjector, SimRng};
 use turbine_statesyncer::{StateSyncer, SyncerConfig};
 use turbine_taskmgr::{LocalTaskManager, TaskService};
+use turbine_trace::TraceBuffer;
 use turbine_types::{ContainerId, Duration, HostId, JobId, Resources, SimTime};
 use turbine_workloads::TrafficModel;
 
@@ -95,6 +96,13 @@ pub struct TurbineConfig {
     /// Master switch for load-balancing rebalances (ablations; fail-over
     /// stays on).
     pub load_balancing_enabled: bool,
+    /// Master switch for causal decision tracing. Tracing is purely
+    /// observational — turning it off changes no simulation outcome, only
+    /// whether the why-chain behind each decision is recorded.
+    pub trace_enabled: bool,
+    /// Ring capacity of the decision trace (records retained; the digest
+    /// covers evicted records too).
+    pub trace_capacity: usize,
 }
 
 impl Default for TurbineConfig {
@@ -122,6 +130,8 @@ impl Default for TurbineConfig {
             capacity: CapacityManagerConfig::default(),
             scaler_enabled: true,
             load_balancing_enabled: true,
+            trace_enabled: true,
+            trace_capacity: turbine_trace::DEFAULT_TRACE_CAPACITY,
         }
     }
 }
@@ -230,6 +240,8 @@ pub struct Turbine {
     pub(crate) categories: BTreeMap<JobId, String>,
     /// The chaos engine: scheduled/active cross-component faults.
     pub(crate) faults: FaultInjector,
+    /// The causal decision trace (inert when tracing is disabled).
+    pub(crate) trace: TraceBuffer,
     /// Continuous invariant checking (enabled for chaos runs).
     pub(crate) invariants: Option<InvariantChecker>,
     /// The control-plane schedule: per-component cadences plus the event
@@ -282,6 +294,11 @@ impl Turbine {
             severed: HashMap::new(),
             categories: BTreeMap::new(),
             faults: FaultInjector::new(),
+            trace: if config.trace_enabled {
+                TraceBuffer::new(config.trace_capacity)
+            } else {
+                TraceBuffer::disabled()
+            },
             invariants: None,
             sched: ControlSchedule::new(&config),
             last_scaler_drain: SimTime::ZERO,
@@ -558,9 +575,18 @@ impl Turbine {
         self.engine.degrade_task(task, factor);
     }
 
-    /// Root-cause diagnoses recorded so far (time, job, rationale).
-    pub fn diagnoses(&self) -> &[(SimTime, JobId, String)] {
+    /// Root-cause diagnoses recorded so far (typed cause, mitigation,
+    /// rationale, and the trace link into the causal chain).
+    pub fn diagnoses(&self) -> &[crate::metrics::DiagnosisRecord] {
         &self.metrics.diagnoses
+    }
+
+    /// The causal decision trace: every consequential control-plane
+    /// decision of this run, with cause links back to the span or event
+    /// that triggered it. Inert (empty, disabled) when
+    /// [`TurbineConfig::trace_enabled`] is off.
+    pub fn trace(&self) -> &TraceBuffer {
+        &self.trace
     }
 
     /// Enable random task crashes with the given fleet-wide mean time

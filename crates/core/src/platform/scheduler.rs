@@ -38,6 +38,7 @@ use super::{Turbine, TurbineConfig};
 use crate::invariants::InvariantView;
 use std::collections::BTreeSet;
 use turbine_sim::{EventQueue, Fault, Periodic};
+use turbine_trace::{Component as TraceComponent, TraceData};
 use turbine_types::{ContainerId, Duration, JobId, SimTime};
 
 /// A typed control-plane event. Periodic component rounds carry no
@@ -97,6 +98,9 @@ pub(crate) struct ControlComponent {
     pub(crate) cadence_name: &'static str,
     /// Event variant this component owns.
     pub(crate) event: ControlEvent,
+    /// The component's tag in the decision trace (span records, latency
+    /// histograms).
+    pub(crate) trace: TraceComponent,
     /// Cadence from the configuration.
     pub(crate) cadence: fn(&TurbineConfig) -> Duration,
     /// First-firing phase offset from the configuration.
@@ -121,6 +125,7 @@ const COMPONENTS: &[ControlComponent] = &[
         name: "heartbeat",
         cadence_name: "heartbeat_interval",
         event: ControlEvent::Heartbeat,
+        trace: TraceComponent::Heartbeat,
         cadence: |c| c.heartbeat_interval,
         // Heartbeats start at time zero (first delivery one tick in).
         phase: |_| Duration::ZERO,
@@ -134,6 +139,7 @@ const COMPONENTS: &[ControlComponent] = &[
         name: "task-manager refresh",
         cadence_name: "tm_refresh_interval",
         event: ControlEvent::TmRefresh,
+        trace: TraceComponent::TmRefresh,
         cadence: |c| c.tm_refresh_interval,
         phase: |c| c.tm_refresh_interval,
         // While the Task Service (or the Job Store behind it) is down,
@@ -149,6 +155,7 @@ const COMPONENTS: &[ControlComponent] = &[
         name: "state syncer",
         cadence_name: "sync_interval",
         event: ControlEvent::SyncRound,
+        trace: TraceComponent::StateSyncer,
         cadence: |c| c.sync_interval,
         phase: |c| c.sync_interval,
         // Skipped while the syncer process is crashed or its backing Job
@@ -163,6 +170,7 @@ const COMPONENTS: &[ControlComponent] = &[
         name: "auto scaler",
         cadence_name: "scaler_interval",
         event: ControlEvent::ScalerRound,
+        trace: TraceComponent::AutoScaler,
         cadence: |c| c.scaler_interval,
         phase: |c| c.scaler_interval,
         // Scaler decisions are writes to the Job Store's scaler level, so
@@ -174,6 +182,7 @@ const COMPONENTS: &[ControlComponent] = &[
         name: "load report",
         cadence_name: "load_report_interval",
         event: ControlEvent::LoadReport,
+        trace: TraceComponent::LoadReport,
         cadence: |c| c.load_report_interval,
         phase: |c| c.load_report_interval,
         gate: always,
@@ -183,6 +192,7 @@ const COMPONENTS: &[ControlComponent] = &[
         name: "rebalance",
         cadence_name: "rebalance_interval",
         event: ControlEvent::Rebalance,
+        trace: TraceComponent::Rebalance,
         cadence: |c| c.rebalance_interval,
         phase: |c| c.rebalance_interval,
         gate: |t| t.config.load_balancing_enabled,
@@ -192,6 +202,7 @@ const COMPONENTS: &[ControlComponent] = &[
         name: "capacity manager",
         cadence_name: "capacity_interval",
         event: ControlEvent::CapacityRound,
+        trace: TraceComponent::CapacityManager,
         cadence: |c| c.capacity_interval,
         phase: |c| c.capacity_interval,
         gate: always,
@@ -201,6 +212,7 @@ const COMPONENTS: &[ControlComponent] = &[
         name: "checkpoint sync",
         cadence_name: "checkpoint_interval",
         event: ControlEvent::Checkpoint,
+        trace: TraceComponent::Checkpoint,
         cadence: |c| c.checkpoint_interval,
         phase: |c| c.checkpoint_interval,
         gate: always,
@@ -210,6 +222,7 @@ const COMPONENTS: &[ControlComponent] = &[
         name: "metrics",
         cadence_name: "metrics_interval",
         event: ControlEvent::MetricsSample,
+        trace: TraceComponent::Metrics,
         cadence: |c| c.metrics_interval,
         phase: |c| c.metrics_interval,
         gate: always,
@@ -319,7 +332,7 @@ impl Turbine {
                     self.sched.queued[i] = None;
                     let due = self.sched.periodics[i].fire_if_due(self.now);
                     if due && (component.gate)(self) {
-                        (component.run)(self);
+                        self.dispatch_component(i);
                     }
                     self.arm_component(i);
                 }
@@ -420,9 +433,26 @@ impl Turbine {
         for (i, component) in COMPONENTS.iter().enumerate() {
             let due = self.sched.periodics[i].fire_if_due(self.now);
             if due && (component.gate)(self) {
-                (component.run)(self);
+                self.dispatch_component(i);
             }
         }
+    }
+
+    /// Run component `i`'s round inside a trace span. Shared by both drive
+    /// modes, so the decision trace (and its digest) is identical whether
+    /// the round was reached by a dense poll or a queued event. The span
+    /// is lazy — an uneventful round leaves no trace record — while the
+    /// wall-clock cost of every round feeds the component's latency
+    /// histogram (tracing enabled only; latencies never enter the digest).
+    fn dispatch_component(&mut self, i: usize) {
+        let component = &COMPONENTS[i];
+        let timer = self.trace.enabled().then(std::time::Instant::now);
+        self.trace.begin_round(self.now, component.trace);
+        (component.run)(self);
+        self.trace.end_round(
+            component.trace,
+            timer.map(|t| t.elapsed().as_nanos() as u64),
+        );
     }
 
     /// One data-plane tick at `self.now`: fault-window edges first, then
@@ -432,6 +462,8 @@ impl Turbine {
     fn data_plane_tick(&mut self, schedule_wakes: bool) {
         let now = self.now;
         self.metrics.ticks_executed.incr();
+        let timer = self.trace.enabled().then(std::time::Instant::now);
+        self.trace.begin_round(now, TraceComponent::DataPlane);
 
         // Chaos engine first: cross the edges of any scheduled fault
         // windows and apply their side effects before anything else
@@ -471,6 +503,15 @@ impl Turbine {
         for task in outcome.oom_kills {
             self.metrics.oom_kills.incr();
             self.metrics.task_restarts.incr();
+            if let Some((_, t)) = self
+                .engine
+                .tasks_of_job(task.job)
+                .find(|(&id, _)| id == task)
+            {
+                let container = t.container;
+                self.trace
+                    .emit(now, TraceData::OomRestart { task, container });
+            }
             let until = now + self.config.restart_delay;
             self.engine.knock_down_task(task, until);
             if schedule_wakes {
@@ -500,6 +541,10 @@ impl Turbine {
                 }
             }
         }
+        self.trace.end_round(
+            TraceComponent::DataPlane,
+            timer.map(|t| t.elapsed().as_nanos() as u64),
+        );
     }
 
     /// Evaluate the continuous invariants over the current state (no-op

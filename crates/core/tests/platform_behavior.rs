@@ -504,11 +504,24 @@ fn root_causer_moves_a_task_off_a_sick_host() {
         !t.diagnoses().is_empty(),
         "untriaged lag must produce a diagnosis"
     );
-    let (_, diag_job, rationale) = &t.diagnoses()[0];
-    assert_eq!(*diag_job, job);
+    let diagnosis = &t.diagnoses()[0];
+    assert_eq!(diagnosis.job, job);
     assert!(
-        rationale.contains("bad host"),
-        "expected a hardware diagnosis, got: {rationale}"
+        matches!(
+            diagnosis.cause,
+            turbine_autoscaler::RootCause::HardwareIssue { .. }
+        ),
+        "expected a hardware diagnosis, got: {:?}",
+        diagnosis.cause
+    );
+    assert!(
+        diagnosis.rationale.contains("bad host"),
+        "expected a hardware rationale, got: {}",
+        diagnosis.rationale
+    );
+    assert!(
+        diagnosis.trace.is_some(),
+        "diagnosis must link into the decision trace"
     );
     let container_after = t
         .task_placements()

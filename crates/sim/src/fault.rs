@@ -191,7 +191,7 @@ impl FaultInjector {
         self.last_transition
     }
 
-    /// The full fault event log: (time, "inject <label>" / "clear <label>").
+    /// The full fault event log: (time, `inject <label>` / `clear <label>`).
     pub fn log(&self) -> &[(SimTime, String)] {
         &self.log
     }

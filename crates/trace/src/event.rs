@@ -1,0 +1,471 @@
+//! The trace record taxonomy: components, event data, and the stable
+//! serializations (digest bytes, JSON) every record carries.
+
+use std::fmt;
+use turbine_types::{ContainerId, JobId, ShardId, SimTime, TaskId};
+
+/// Stable identifier of one trace record. Ids are a monotone sequence per
+/// buffer; an id stays valid as a cause link even after the ring buffer
+/// evicts the record it names (the chain then reports the hop as evicted
+/// rather than resolving it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId(pub u64);
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// The control-plane component (or substrate) a trace record originates
+/// from. The first nine variants mirror the scheduler's component table;
+/// the last two cover the data-plane tick and the chaos engine, which emit
+/// outside any component round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Component {
+    /// Heartbeat delivery + proactive reboots + fail-over check.
+    Heartbeat,
+    /// Task Manager snapshot refresh.
+    TmRefresh,
+    /// State Syncer reconciliation round.
+    StateSyncer,
+    /// Auto Scaler evaluation round.
+    AutoScaler,
+    /// Task Manager load reports.
+    LoadReport,
+    /// Cluster-wide shard rebalance.
+    Rebalance,
+    /// Capacity Manager evaluation round.
+    CapacityManager,
+    /// Scribe/checkpoint durability sync.
+    Checkpoint,
+    /// Metric sampling round.
+    Metrics,
+    /// The data-plane tick (OOM kills, crash injection).
+    DataPlane,
+    /// The chaos engine (fault-window edges).
+    ChaosEngine,
+}
+
+/// All components, in scheduler-table order first. Index of a component in
+/// this slice is its latency-histogram slot.
+pub const COMPONENTS: [Component; 11] = [
+    Component::Heartbeat,
+    Component::TmRefresh,
+    Component::StateSyncer,
+    Component::AutoScaler,
+    Component::LoadReport,
+    Component::Rebalance,
+    Component::CapacityManager,
+    Component::Checkpoint,
+    Component::Metrics,
+    Component::DataPlane,
+    Component::ChaosEngine,
+];
+
+impl Component {
+    /// Stable snake_case name (CLI filters, JSON, digests).
+    pub fn name(self) -> &'static str {
+        match self {
+            Component::Heartbeat => "heartbeat",
+            Component::TmRefresh => "tm_refresh",
+            Component::StateSyncer => "state_syncer",
+            Component::AutoScaler => "auto_scaler",
+            Component::LoadReport => "load_report",
+            Component::Rebalance => "rebalance",
+            Component::CapacityManager => "capacity_manager",
+            Component::Checkpoint => "checkpoint",
+            Component::Metrics => "metrics",
+            Component::DataPlane => "data_plane",
+            Component::ChaosEngine => "chaos_engine",
+        }
+    }
+
+    /// Slot of this component in [`COMPONENTS`] (latency-histogram index).
+    pub fn index(self) -> usize {
+        COMPONENTS.iter().position(|&c| c == self).expect("listed")
+    }
+
+    /// Parse a [`Component::name`] back (CLI `--component` filters).
+    pub fn parse(name: &str) -> Option<Component> {
+        COMPONENTS.iter().copied().find(|c| c.name() == name)
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The typed payload of one trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceData {
+    /// A control-component dispatch span. Only committed to the buffer
+    /// once something consequential happens inside the round; empty
+    /// rounds leave no record.
+    RoundStart {
+        /// The dispatched component.
+        component: Component,
+    },
+    /// A chaos-engine fault window edge (activation or clearance). The
+    /// clearance's cause link points at the matching activation.
+    FaultEdge {
+        /// The fault's stable label (e.g. `scribe_stall(clicks)`).
+        fault: String,
+        /// `true` on activation, `false` on clearance.
+        activated: bool,
+    },
+    /// A symptom the Auto Scaler observed on a job, recorded as the
+    /// intermediate hop between a root cause (e.g. a fault edge) and the
+    /// decision taken in response.
+    Symptom {
+        /// The symptomatic job.
+        job: JobId,
+        /// Short description, e.g. `lagging 400s (SLO 90s)`.
+        description: String,
+    },
+    /// A scaling decision written to the Job Store's scaler level.
+    ScalingAction {
+        /// The scaled job.
+        job: JobId,
+        /// Action summary, e.g. `horizontal(tasks=8)`.
+        action: String,
+    },
+    /// The Shard Manager failed over dead containers' shards.
+    Failover {
+        /// Number of shard movements in the fail-over batch.
+        moves: usize,
+    },
+    /// A periodic load-balancing rebalance moved shards.
+    RebalancePlan {
+        /// Number of shard movements in the plan.
+        moves: usize,
+    },
+    /// A targeted shard move (root-causer mitigation).
+    ShardMove {
+        /// The moved shard.
+        shard: ShardId,
+        /// Destination container.
+        to: ContainerId,
+    },
+    /// A State Syncer round changed a job's lifecycle state.
+    SyncOutcome {
+        /// The synchronized job.
+        job: JobId,
+        /// `started`, `simple`, `complex_completed`, or `deleted`.
+        outcome: &'static str,
+    },
+    /// The State Syncer quarantined a job after repeated failures.
+    Quarantine {
+        /// The quarantined job.
+        job: JobId,
+    },
+    /// A task was OOM-killed and scheduled for restart.
+    OomRestart {
+        /// The killed task.
+        task: TaskId,
+        /// The container it ran in.
+        container: ContainerId,
+    },
+    /// The auto root-causer classified an untriaged problem.
+    Diagnosis {
+        /// The diagnosed job.
+        job: JobId,
+        /// Classified cause label, e.g. `dependency_failure`.
+        cause: String,
+        /// Mitigation label, e.g. `alert_and_wait`.
+        mitigation: String,
+        /// One-line rationale for the runbook.
+        rationale: String,
+    },
+}
+
+impl TraceData {
+    /// Stable snake_case kind tag (JSON, digests, CLI output).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceData::RoundStart { .. } => "round",
+            TraceData::FaultEdge { .. } => "fault_edge",
+            TraceData::Symptom { .. } => "symptom",
+            TraceData::ScalingAction { .. } => "scaling_action",
+            TraceData::Failover { .. } => "failover",
+            TraceData::RebalancePlan { .. } => "rebalance_plan",
+            TraceData::ShardMove { .. } => "shard_move",
+            TraceData::SyncOutcome { .. } => "sync_outcome",
+            TraceData::Quarantine { .. } => "quarantine",
+            TraceData::OomRestart { .. } => "oom_restart",
+            TraceData::Diagnosis { .. } => "diagnosis",
+        }
+    }
+
+    /// The job this record is about, if it is job-scoped.
+    pub fn job(&self) -> Option<JobId> {
+        match self {
+            TraceData::Symptom { job, .. }
+            | TraceData::ScalingAction { job, .. }
+            | TraceData::SyncOutcome { job, .. }
+            | TraceData::Quarantine { job }
+            | TraceData::Diagnosis { job, .. } => Some(*job),
+            TraceData::OomRestart { task, .. } => Some(task.job),
+            _ => None,
+        }
+    }
+
+    /// True for records that represent a consequential platform decision
+    /// (the records `--explain` anchors a causal chain on). Spans, fault
+    /// edges, and symptoms are chain *links*, not decisions.
+    pub fn is_decision(&self) -> bool {
+        matches!(
+            self,
+            TraceData::ScalingAction { .. }
+                | TraceData::Failover { .. }
+                | TraceData::RebalancePlan { .. }
+                | TraceData::ShardMove { .. }
+                | TraceData::SyncOutcome { .. }
+                | TraceData::Quarantine { .. }
+                | TraceData::OomRestart { .. }
+                | TraceData::Diagnosis { .. }
+        )
+    }
+
+    /// One-line human summary (dashboards, `--explain` chains).
+    pub fn summary(&self) -> String {
+        match self {
+            TraceData::RoundStart { component } => format!("{component} round"),
+            TraceData::FaultEdge { fault, activated } => {
+                let verb = if *activated { "activated" } else { "cleared" };
+                format!("fault {verb}: {fault}")
+            }
+            TraceData::Symptom { job, description } => format!("{job} symptom: {description}"),
+            TraceData::ScalingAction { job, action } => format!("{job} scaled: {action}"),
+            TraceData::Failover { moves } => format!("fail-over moved {moves} shard(s)"),
+            TraceData::RebalancePlan { moves } => format!("rebalance moved {moves} shard(s)"),
+            TraceData::ShardMove { shard, to } => format!("{shard} moved to {to}"),
+            TraceData::SyncOutcome { job, outcome } => format!("{job} sync: {outcome}"),
+            TraceData::Quarantine { job } => format!("{job} quarantined"),
+            TraceData::OomRestart { task, container } => {
+                format!("{task} OOM-killed on {container}, restart scheduled")
+            }
+            TraceData::Diagnosis {
+                job,
+                cause,
+                mitigation,
+                rationale,
+            } => format!("{job} diagnosed {cause} (mitigation: {mitigation}) — {rationale}"),
+        }
+    }
+
+    /// Feed the payload's stable byte encoding into a digest function.
+    /// Strings are length-free (terminated by the field boundary byte) but
+    /// the kind tag plus field order make the encoding unambiguous for the
+    /// payloads we produce.
+    pub(crate) fn digest_into(&self, eat: &mut impl FnMut(&[u8])) {
+        eat(self.kind().as_bytes());
+        let mut field = |bytes: &[u8]| {
+            eat(&[0xFE]);
+            eat(bytes);
+        };
+        match self {
+            TraceData::RoundStart { component } => field(component.name().as_bytes()),
+            TraceData::FaultEdge { fault, activated } => {
+                field(fault.as_bytes());
+                field(&[*activated as u8]);
+            }
+            TraceData::Symptom { job, description } => {
+                field(&job.raw().to_le_bytes());
+                field(description.as_bytes());
+            }
+            TraceData::ScalingAction { job, action } => {
+                field(&job.raw().to_le_bytes());
+                field(action.as_bytes());
+            }
+            TraceData::Failover { moves } | TraceData::RebalancePlan { moves } => {
+                field(&(*moves as u64).to_le_bytes());
+            }
+            TraceData::ShardMove { shard, to } => {
+                field(&shard.raw().to_le_bytes());
+                field(&to.raw().to_le_bytes());
+            }
+            TraceData::SyncOutcome { job, outcome } => {
+                field(&job.raw().to_le_bytes());
+                field(outcome.as_bytes());
+            }
+            TraceData::Quarantine { job } => field(&job.raw().to_le_bytes()),
+            TraceData::OomRestart { task, container } => {
+                field(&task.job.raw().to_le_bytes());
+                field(&task.index.to_le_bytes());
+                field(&container.raw().to_le_bytes());
+            }
+            TraceData::Diagnosis {
+                job,
+                cause,
+                mitigation,
+                rationale,
+            } => {
+                field(&job.raw().to_le_bytes());
+                field(cause.as_bytes());
+                field(mitigation.as_bytes());
+                field(rationale.as_bytes());
+            }
+        }
+    }
+}
+
+/// One trace record: when, why (the cause link), and what.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// This record's id.
+    pub id: TraceId,
+    /// Simulated time of the record.
+    pub at: SimTime,
+    /// The record (span or prior event) that triggered this one, if known.
+    pub cause: Option<TraceId>,
+    /// The typed payload.
+    pub data: TraceData,
+}
+
+impl TraceEvent {
+    /// Render the record as one JSON line (the JSONL export format). All
+    /// fields are stable; free-text goes through [`json_escape`].
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str(&format!(
+            "{{\"id\":{},\"t_ms\":{},\"kind\":\"{}\"",
+            self.id.0,
+            self.at.as_millis(),
+            self.data.kind()
+        ));
+        if let Some(cause) = self.cause {
+            out.push_str(&format!(",\"cause\":{}", cause.0));
+        }
+        if let Some(job) = self.data.job() {
+            out.push_str(&format!(",\"job\":{}", job.raw()));
+        }
+        match &self.data {
+            TraceData::RoundStart { component } => {
+                out.push_str(&format!(",\"component\":\"{component}\""));
+            }
+            TraceData::FaultEdge { fault, activated } => {
+                out.push_str(&format!(
+                    ",\"fault\":\"{}\",\"activated\":{activated}",
+                    json_escape(fault)
+                ));
+            }
+            TraceData::Symptom { description, .. } => {
+                out.push_str(&format!(",\"symptom\":\"{}\"", json_escape(description)));
+            }
+            TraceData::ScalingAction { action, .. } => {
+                out.push_str(&format!(",\"action\":\"{}\"", json_escape(action)));
+            }
+            TraceData::Failover { moves } | TraceData::RebalancePlan { moves } => {
+                out.push_str(&format!(",\"moves\":{moves}"));
+            }
+            TraceData::ShardMove { shard, to } => {
+                out.push_str(&format!(",\"shard\":{},\"to\":{}", shard.raw(), to.raw()));
+            }
+            TraceData::SyncOutcome { outcome, .. } => {
+                out.push_str(&format!(",\"outcome\":\"{outcome}\""));
+            }
+            TraceData::Quarantine { .. } => {}
+            TraceData::OomRestart { task, container } => {
+                out.push_str(&format!(
+                    ",\"task\":{},\"container\":{}",
+                    task.index,
+                    container.raw()
+                ));
+            }
+            TraceData::Diagnosis {
+                cause,
+                mitigation,
+                rationale,
+                ..
+            } => {
+                out.push_str(&format!(
+                    ",\"cause_class\":\"{}\",\"mitigation\":\"{}\",\"rationale\":\"{}\"",
+                    json_escape(cause),
+                    json_escape(mitigation),
+                    json_escape(rationale)
+                ));
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Escape a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbine_types::Duration;
+
+    #[test]
+    fn component_names_roundtrip() {
+        for (i, &c) in COMPONENTS.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(Component::parse(c.name()), Some(c));
+        }
+        assert_eq!(Component::parse("nope"), None);
+    }
+
+    #[test]
+    fn job_extraction_and_decision_classes() {
+        let d = TraceData::Diagnosis {
+            job: JobId(7),
+            cause: "hardware_issue".into(),
+            mitigation: "move_task".into(),
+            rationale: "r".into(),
+        };
+        assert_eq!(d.job(), Some(JobId(7)));
+        assert!(d.is_decision());
+        let s = TraceData::RoundStart {
+            component: Component::AutoScaler,
+        };
+        assert_eq!(s.job(), None);
+        assert!(!s.is_decision());
+        let o = TraceData::OomRestart {
+            task: TaskId::new(JobId(3), 2),
+            container: ContainerId(9),
+        };
+        assert_eq!(o.job(), Some(JobId(3)));
+    }
+
+    #[test]
+    fn json_lines_are_well_formed() {
+        let e = TraceEvent {
+            id: TraceId(4),
+            at: SimTime::ZERO + Duration::from_secs(30),
+            cause: Some(TraceId(2)),
+            data: TraceData::FaultEdge {
+                fault: "scribe_stall(\"clicks\")".into(),
+                activated: true,
+            },
+        };
+        let json = e.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"cause\":2"));
+        assert!(json.contains("\\\"clicks\\\""), "{json}");
+    }
+
+    #[test]
+    fn json_escape_handles_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -239,6 +239,18 @@ mod tests {
     }
 
     #[test]
+    fn empty_samples_yield_the_finite_zero_summary() {
+        // Regression: an empty snapshot must not produce NaN (a naive
+        // mean would be 0/0). Callers that want "no sample" semantics
+        // must skip recording instead.
+        let p = Percentiles::from_samples(&[]);
+        assert_eq!(p, Percentiles::default());
+        for v in [p.p5, p.p50, p.p95, p.mean] {
+            assert!(v.is_finite());
+        }
+    }
+
+    #[test]
     fn counter_and_gauge_basics() {
         let mut c = Counter::default();
         c.incr();

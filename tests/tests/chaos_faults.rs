@@ -260,10 +260,9 @@ fn scribe_stall_is_diagnosed_as_dependency_failure_and_drains_after() {
     // drops to zero — the dependency-failure shape.
     t.inject_fault(Fault::ScribeStall(category), Some(Duration::from_mins(30)));
     t.run_for(Duration::from_mins(40));
-    let diagnosed = t
-        .diagnoses()
-        .iter()
-        .any(|(_, job, rationale)| *job == JobId(1) && rationale.contains("dependency failure"));
+    let diagnosed = t.diagnoses().iter().any(|d| {
+        d.job == JobId(1) && matches!(d.cause, turbine_autoscaler::RootCause::DependencyFailure)
+    });
     assert!(
         diagnosed,
         "no dependency-failure diagnosis; got {:?}",
