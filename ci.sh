@@ -27,4 +27,10 @@ echo "== sched_soak (event-driven scheduler speedup) =="
 echo "== trace_soak (decision-trace overhead + determinism gate) =="
 ./target/release/trace_soak --hours 2 --repeats 7
 
+echo "== fuzz_campaign smoke (200 deterministic cases, all oracles) =="
+fuzz_out=$(./target/release/fuzz_campaign --cases 200 --seed 1)
+echo "$fuzz_out" | tail -1
+echo "$fuzz_out" | grep -q "fuzz campaign: 200 cases, 0 oracle violations" \
+    || { echo "fuzz smoke found oracle violations"; exit 1; }
+
 echo "CI OK"

@@ -11,9 +11,48 @@
 use crate::symptoms::JobMetrics;
 use turbine_types::{Duration, Resources};
 
+/// Hard ceiling on any estimated task count. A huge backlog combined with
+/// a sub-second recovery window can push the effective rate to `+inf`;
+/// without this clamp the `as u32` cast would saturate to `u32::MAX` and
+/// the scaler would mandate four billion tasks. The value comfortably
+/// exceeds any real tier (the paper's largest jobs run hundreds of tasks)
+/// while staying far from integer-overflow territory in downstream math.
+pub const MAX_ESTIMATED_TASKS: u32 = 1 << 20;
+
+/// Ceiling on the CPU-units estimate (Eq. 2/3). Anything at this level
+/// already reads as "hopelessly undersized"; returning a finite value
+/// keeps every consumer's arithmetic (comparisons, multiplications by
+/// task counts) NaN- and overflow-free.
+pub const MAX_CPU_UNITS: f64 = 1.0e9;
+
+/// Eq. 3's effective rate `X + B/t`, clamped to a finite non-negative
+/// value. Degenerate inputs (negative rates from buggy meters, `B/t`
+/// overflowing to `+inf` for tiny recovery windows, NaN anywhere) are
+/// clamped rather than propagated.
+fn effective_rate(x: f64, backlog: f64, recovery_time: Option<Duration>) -> f64 {
+    let x = if x.is_finite() { x.max(0.0) } else { 0.0 };
+    let rate = match recovery_time {
+        Some(t) if backlog > 0.0 && !t.is_zero() => x + backlog / t.as_secs_f64(),
+        _ => x,
+    };
+    if rate.is_finite() {
+        rate
+    } else {
+        f64::MAX
+    }
+}
+
 /// CPU resource units (fraction of the job's current capacity) needed for
 /// input rate `x` — Eq. 2, or Eq. 3 when `backlog`/`recovery_time` are
 /// supplied. A value above 1.0 means the job cannot keep up as sized.
+///
+/// Degenerate inputs are clamped, never panicked on: a non-positive or
+/// non-finite `P` (bootstrap jobs legitimately report `P = 0` before the
+/// first throughput sample) or a zero `k`/`n` yields `0.0` — with no
+/// usable throughput estimate there is no evidence of saturation, and the
+/// conservative answer is "no CPU demand" rather than a fleet-wide
+/// scale-up on garbage. The result is finite for all finite inputs,
+/// bounded by [`MAX_CPU_UNITS`].
 pub fn cpu_units_needed(
     x: f64,
     p: f64,
@@ -22,18 +61,25 @@ pub fn cpu_units_needed(
     backlog: f64,
     recovery_time: Option<Duration>,
 ) -> f64 {
-    assert!(p > 0.0, "P must be positive (bootstrap during staging)");
-    assert!(k > 0 && n > 0, "threads and tasks must be positive");
-    let effective_rate = match recovery_time {
-        Some(t) if backlog > 0.0 && !t.is_zero() => x + backlog / t.as_secs_f64(),
-        _ => x,
-    };
-    effective_rate / (p * k as f64 * n as f64)
+    if !p.is_finite() || p <= 0.0 || k == 0 || n == 0 {
+        return 0.0;
+    }
+    let units = effective_rate(x, backlog, recovery_time) / (p * k as f64 * n as f64);
+    if units.is_finite() {
+        units.min(MAX_CPU_UNITS)
+    } else {
+        MAX_CPU_UNITS
+    }
 }
 
 /// The smallest task count able to sustain input rate `x` (plus backlog
 /// recovery, if requested) at per-thread throughput `p` with `k` threads
 /// per task — the `n' = ceil(X/P)` rule of §V-C generalized to `k` threads.
+///
+/// Always in `1..=`[`MAX_ESTIMATED_TASKS`]: a non-positive or non-finite
+/// `P` (bootstrap) or zero `k` returns the floor of 1 (no evidence to
+/// scale on), and an effective rate that overflows the division returns
+/// the ceiling instead of saturating the `u32` cast at four billion.
 pub fn required_task_count(
     x: f64,
     p: f64,
@@ -41,12 +87,15 @@ pub fn required_task_count(
     backlog: f64,
     recovery_time: Option<Duration>,
 ) -> u32 {
-    assert!(p > 0.0 && k > 0);
-    let effective_rate = match recovery_time {
-        Some(t) if backlog > 0.0 && !t.is_zero() => x + backlog / t.as_secs_f64(),
-        _ => x,
-    };
-    ((effective_rate / (p * k as f64)).ceil() as u32).max(1)
+    if !p.is_finite() || p <= 0.0 || k == 0 {
+        return 1;
+    }
+    let tasks = (effective_rate(x, backlog, recovery_time) / (p * k as f64)).ceil();
+    if tasks >= MAX_ESTIMATED_TASKS as f64 || !tasks.is_finite() {
+        MAX_ESTIMATED_TASKS
+    } else {
+        (tasks as u32).max(1)
+    }
 }
 
 /// A multi-dimensional resource estimate for one job.
@@ -96,9 +145,14 @@ impl ResourceEstimator {
     /// per-thread throughput estimate `p`, and whether it keeps state.
     pub fn estimate(&self, metrics: &JobMetrics, p: f64, stateful: bool) -> ResourceEstimate {
         let k = metrics.threads_per_task.max(1);
-        let min_task_count = required_task_count(metrics.input_rate, p, k, 0.0, None);
+        let input_rate = if metrics.input_rate.is_finite() {
+            metrics.input_rate.max(0.0)
+        } else {
+            0.0
+        };
+        let min_task_count = required_task_count(input_rate, p, k, 0.0, None);
         let recovery_task_count = required_task_count(
-            metrics.input_rate,
+            input_rate,
             p,
             k,
             metrics.total_bytes_lagged,
@@ -106,7 +160,7 @@ impl ResourceEstimator {
         );
 
         let n = recovery_task_count.max(1) as f64;
-        let per_task_rate = metrics.input_rate / n;
+        let per_task_rate = input_rate / n;
         let mut memory_mb = self.base_memory_mb + per_task_rate * self.memory_per_rate;
         let mut disk_mb = 0.0;
         if stateful {
@@ -118,8 +172,14 @@ impl ResourceEstimator {
             disk_mb += keys * self.disk_per_key_mb;
         }
         // CPU per task: enough to run its share at the target rate, with
-        // Eq. 3 headroom folded in via the recovery task count.
-        let cpu = (per_task_rate / (p * k as f64) * k as f64).max(0.1);
+        // Eq. 3 headroom folded in via the recovery task count. With no
+        // usable throughput estimate (bootstrap `P = 0`) fall back to the
+        // floor — the same no-evidence rule the task counts use.
+        let cpu = if p.is_finite() && p > 0.0 {
+            (per_task_rate / p).max(0.1)
+        } else {
+            0.1
+        };
         ResourceEstimate {
             min_task_count,
             recovery_task_count,
@@ -211,8 +271,48 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "P must be positive")]
-    fn zero_p_is_rejected() {
-        let _ = cpu_units_needed(1.0, 0.0, 1, 1, 0.0, None);
+    fn zero_p_clamps_instead_of_panicking() {
+        // Bootstrap jobs report P = 0 before their first throughput
+        // sample: no evidence ⇒ no CPU demand, task floor of 1.
+        assert_eq!(cpu_units_needed(1.0, 0.0, 1, 1, 0.0, None), 0.0);
+        assert_eq!(required_task_count(1.0e9, 0.0, 1, 0.0, None), 1);
+        // Degenerate thread/task counts take the same clamp.
+        assert_eq!(cpu_units_needed(1.0, 100.0, 0, 1, 0.0, None), 0.0);
+        assert_eq!(cpu_units_needed(1.0, 100.0, 1, 0, 0.0, None), 0.0);
+        assert_eq!(required_task_count(1.0, 100.0, 0, 0.0, None), 1);
+        let est = ResourceEstimator::default().estimate(
+            &JobMetrics {
+                input_rate: 1.0e6,
+                threads_per_task: 1,
+                ..Default::default()
+            },
+            0.0,
+            false,
+        );
+        assert_eq!(est.min_task_count, 1);
+        assert!(est.per_task.cpu.is_finite());
+    }
+
+    #[test]
+    fn huge_backlog_with_tiny_recovery_window_stays_finite() {
+        // f64::MAX backlog over a 1 ms window overflows `X + B/t` to
+        // `+inf`; the cast used to saturate at u32::MAX tasks.
+        let t = Some(Duration::from_millis(1));
+        let tasks = required_task_count(1.0e6, 100.0, 1, f64::MAX, t);
+        assert_eq!(tasks, MAX_ESTIMATED_TASKS);
+        let units = cpu_units_needed(1.0e6, 100.0, 1, 4, f64::MAX, t);
+        assert!(units.is_finite());
+        assert_eq!(units, MAX_CPU_UNITS);
+        // Large-but-finite effective rates clamp to the same ceiling.
+        let tasks = required_task_count(f64::MAX, 1.0e-300, 1, 0.0, None);
+        assert_eq!(tasks, MAX_ESTIMATED_TASKS);
+    }
+
+    #[test]
+    fn negative_and_nan_rates_are_sanitized() {
+        assert_eq!(required_task_count(-5.0e6, 100.0, 1, 0.0, None), 1);
+        assert_eq!(cpu_units_needed(f64::NAN, 100.0, 1, 1, 0.0, None), 0.0);
+        let units = cpu_units_needed(1000.0, 100.0, 2, 5, f64::NAN, None);
+        assert!((units - 1.0).abs() < 1e-12, "NaN backlog ignored: {units}");
     }
 }

@@ -29,7 +29,10 @@ pub mod scaler;
 pub mod symptoms;
 
 pub use capacity::{CapacityDirective, CapacityManager, CapacityManagerConfig};
-pub use estimator::{cpu_units_needed, required_task_count, ResourceEstimate, ResourceEstimator};
+pub use estimator::{
+    cpu_units_needed, required_task_count, ResourceEstimate, ResourceEstimator, MAX_CPU_UNITS,
+    MAX_ESTIMATED_TASKS,
+};
 pub use patterns::{PatternAnalyzer, PatternConfig, PatternVerdict, ThroughputModel};
 pub use rootcause::{
     Diagnosis, DiagnosisInput, Mitigation, RootCause, RootCauser, RootCauserConfig,

@@ -573,9 +573,14 @@ impl AutoScaler {
         // ramps (diurnal climbs, storm redirects) never violate the SLO.
         let units = crate::estimator::cpu_units_needed(metrics.input_rate, p, k, n, 0.0, None);
         if units > self.config.preemptive_units && !self.blocked_by_priority_floor(config) {
-            let needed = ((metrics.input_rate / (self.config.target_units * p * k as f64)).ceil()
-                as u32)
-                .max(1);
+            // Same finite clamp as `required_task_count`: a tiny `p` must
+            // not let the `as u32` cast saturate at four billion tasks.
+            let raw = (metrics.input_rate / (self.config.target_units * p * k as f64)).ceil();
+            let needed = if raw.is_finite() && raw < crate::estimator::MAX_ESTIMATED_TASKS as f64 {
+                (raw as u32).max(1)
+            } else {
+                crate::estimator::MAX_ESTIMATED_TASKS
+            };
             if let Some((action, reason)) =
                 plan_scale_up(&self.config, config, &estimate, needed, "pre-emptive")
             {

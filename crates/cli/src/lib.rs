@@ -12,10 +12,12 @@
 //! cargo run --release -p turbine-cli --bin turbinesim -- run scenario.json
 //! ```
 
+pub mod repro_cmd;
 pub mod runner;
 pub mod scenario;
 pub mod trace_cmd;
 
+pub use repro_cmd::repro_report;
 pub use runner::{run_scenario, run_scenario_traced, RunSummary, TracedRun};
 pub use scenario::{Scenario, ScenarioError, ScenarioEvent};
 pub use trace_cmd::{trace_report, TraceQuery};

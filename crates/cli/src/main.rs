@@ -4,6 +4,7 @@
 //! turbinesim demo                 # run the built-in demo scenario
 //! turbinesim run scenario.json    # run a scenario file
 //! turbinesim trace <scenario>     # run, then query the causal decision trace
+//! turbinesim repro <repro.json>   # replay a fuzz repro file through every oracle
 //! turbinesim schema               # print the demo scenario JSON as a format reference
 //! turbinesim faults               # list chaos fault events for scenario timelines
 //! ```
@@ -14,7 +15,9 @@
 //! `clear_fault` ends it. See `turbinesim faults` for the fault names and
 //! their addressing fields.
 
-use turbine_cli::{run_scenario, run_scenario_traced, trace_report, Scenario, TraceQuery};
+use turbine_cli::{
+    repro_report, run_scenario, run_scenario_traced, trace_report, Scenario, TraceQuery,
+};
 
 const TRACE_HELP: &str = "\
 usage: turbinesim trace <demo | scenario.json> [flags]
@@ -56,8 +59,8 @@ without it the fault stays active until a matching clear_fault event.";
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let usage =
-        "usage: turbinesim <demo | run <scenario.json> | trace <scenario> [flags] | schema | faults>";
+    let usage = "usage: turbinesim <demo | run <scenario.json> | trace <scenario> [flags] | \
+                 repro <repro.json> | schema | faults>";
     match args.get(1).map(String::as_str) {
         Some("demo") => {
             let scenario = Scenario::demo();
@@ -130,6 +133,31 @@ fn main() {
                 Ok(report) => print!("{report}"),
                 Err(e) => {
                     eprintln!("{e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some("repro") => {
+            let Some(path) = args.get(2) else {
+                eprintln!("{usage}");
+                std::process::exit(2);
+            };
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            match repro_report(&text) {
+                Ok((report, passed)) => {
+                    print!("{report}");
+                    if !passed {
+                        std::process::exit(1);
+                    }
+                }
+                Err(e) => {
+                    eprintln!("invalid repro file {path}: {e}");
                     std::process::exit(1);
                 }
             }

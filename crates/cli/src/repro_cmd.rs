@@ -1,0 +1,72 @@
+//! `turbinesim repro <file>`: replay a fuzz-campaign repro file through
+//! every oracle and report the verdict.
+//!
+//! A repro file is the shrunk scenario the fuzz harness serialized when a
+//! campaign case failed (see `crates/fuzz`). Replaying runs the scenario
+//! in dense-tick mode, event-driven mode, and an event-driven replay, and
+//! re-checks all four oracles — so a fixed bug shows `PASS` here, and an
+//! unfixed one reproduces deterministically, bit for bit, on any machine.
+
+use std::fmt::Write as _;
+use turbine_fuzz::{run_case, FuzzScenario};
+
+/// Replay one repro file. Returns the rendered report and whether every
+/// oracle passed.
+pub fn repro_report(json: &str) -> Result<(String, bool), String> {
+    let scenario = FuzzScenario::from_json(json)?;
+    let report = run_case(&scenario);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "repro seed {}: {} hosts ({:.1} cpu), {} jobs, {} faults, {} flaps, {} min @ tick {}s",
+        scenario.seed,
+        scenario.hosts,
+        scenario.host_cpu,
+        scenario.jobs.len(),
+        scenario.faults.len(),
+        scenario.flaps.len(),
+        scenario.horizon_mins,
+        scenario.tick_secs,
+    );
+    if let Some(artifacts) = &report.event_artifacts {
+        let _ = writeln!(
+            out,
+            "event-mode trace digest: {:#018x}",
+            artifacts.trace_digest
+        );
+    }
+    if report.passed() {
+        let _ = writeln!(
+            out,
+            "oracles: invariants clean, dense/event fingerprints match, \
+             replay deterministic, durable reads ok"
+        );
+        let _ = writeln!(out, "PASS");
+    } else {
+        for failure in &report.failures {
+            let _ = writeln!(out, "FAIL {failure}");
+        }
+    }
+    Ok((out, report.passed()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbine_fuzz::generate;
+
+    #[test]
+    fn passing_repro_reports_pass() {
+        let json = generate(0).to_json();
+        let (report, passed) = repro_report(&json).expect("valid repro");
+        assert!(passed, "seed 0 must pass: {report}");
+        assert!(report.contains("PASS"));
+        assert!(report.contains("trace digest"));
+    }
+
+    #[test]
+    fn invalid_repro_is_an_error() {
+        assert!(repro_report("{}").is_err());
+        assert!(repro_report("not json").is_err());
+    }
+}

@@ -66,6 +66,11 @@ impl JobRuntime {
     pub fn total_arrived(&self) -> f64 {
         self.partitions.iter().map(|p| p.appended).sum()
     }
+
+    /// Number of input partitions the job reads.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
 }
 
 /// One running task as the engine sees it.
@@ -456,13 +461,24 @@ impl Engine {
         for (&job, rt) in &mut self.jobs {
             let category = category_of(job);
             for (i, p) in rt.partitions.iter_mut().enumerate() {
+                let partition = PartitionId(i as u64);
                 let delta = p.appended - p.scribe_synced;
                 if delta >= 1.0 {
-                    let _ =
-                        scribe.append_bytes(&category, PartitionId(i as u64), delta as u64, now);
+                    let _ = scribe.append_bytes(&category, partition, delta as u64, now);
                     p.scribe_synced += delta.floor();
                 }
-                checkpoints.commit(job, PartitionId(i as u64), p.consumed as u64);
+                // Commit the consumed offset, capped at the durable tail: a
+                // checkpoint must name a readable position. After a WAL
+                // torn-tail salvage the tail can sit *below* both the
+                // engine's consumed counter and the last persisted
+                // checkpoint — never move the checkpoint backwards here
+                // (recovery clamps it explicitly, with a trace event) and
+                // never re-advance it past the tail.
+                let tail = scribe.tail_offset(&category, partition).unwrap_or(0);
+                let target = (p.consumed as u64).min(tail);
+                if target >= checkpoints.get(job, partition) {
+                    checkpoints.commit(job, partition, target);
+                }
             }
         }
     }

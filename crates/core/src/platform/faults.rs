@@ -106,6 +106,7 @@ impl Turbine {
                 // is the recovery log — the next round resumes exactly the
                 // syncs that were in flight (§III-B fault tolerance).
                 self.syncer = StateSyncer::new(self.config.syncer);
+                self.clamp_recovered_checkpoints();
             }
             FaultTransition::Cleared(Fault::TaskServiceDown)
             | FaultTransition::Cleared(Fault::JobStoreDown) => {
@@ -120,6 +121,44 @@ impl Turbine {
     /// True while the Job Store is unavailable to writers.
     pub(crate) fn job_store_down(&self) -> bool {
         self.faults.is_active(&Fault::JobStoreDown)
+    }
+
+    /// Re-validate persisted checkpoints against the Scribe tails after a
+    /// State Syncer restart. While the syncer was down the Scribe WAL may
+    /// have salvaged a torn tail, legitimately moving a partition's tail
+    /// *backwards* past an already-persisted checkpoint; left alone, such
+    /// a checkpoint makes every `bytes_available` read error forever. Each
+    /// clamp is surfaced as a `checkpoint_clamp` trace event.
+    pub(crate) fn clamp_recovered_checkpoints(&mut self) {
+        use turbine_trace::TraceData;
+        use turbine_types::PartitionId;
+        for job in self.engine.job_ids() {
+            let Some(category) = self.categories.get(&job).cloned() else {
+                continue;
+            };
+            let n_partitions = self
+                .engine
+                .job(job)
+                .map(|rt| rt.partition_count())
+                .unwrap_or(0);
+            for i in 0..n_partitions {
+                let partition = PartitionId(i as u64);
+                let Ok(tail) = self.scribe.tail_offset(&category, partition) else {
+                    continue;
+                };
+                if let Some((from, to)) = self.checkpoints.clamp_to(job, partition, tail) {
+                    self.trace.emit(
+                        self.now,
+                        TraceData::CheckpointClamp {
+                            job,
+                            partition: partition.raw(),
+                            from,
+                            to,
+                        },
+                    );
+                }
+            }
+        }
     }
 
     /// Fail a host (crash / maintenance). Tasks on it stop processing

@@ -601,6 +601,38 @@ impl Turbine {
         self.categories.get(&job).map(String::as_str)
     }
 
+    /// Durable backlog of a job: bytes between each partition's persisted
+    /// checkpoint and the Scribe tail, summed across partitions. This is
+    /// the restart-from-checkpoint read a new task performs, so an `Err`
+    /// here means a checkpoint is unreadable (e.g. beyond the tail) — the
+    /// condition [`clamp_recovered_checkpoints`](Self) repairs after a
+    /// syncer restart.
+    pub fn durable_backlog(&self, job: JobId) -> Result<u64, String> {
+        let Some(category) = self.categories.get(&job) else {
+            return Ok(0);
+        };
+        let n_partitions = self
+            .engine
+            .job(job)
+            .map(|rt| rt.partition_count())
+            .unwrap_or(0);
+        let mut total = 0u64;
+        for i in 0..n_partitions {
+            let partition = turbine_types::PartitionId(i as u64);
+            // Partitions the engine knows but Scribe has never seen an
+            // append for have no durable bytes yet.
+            if self.scribe.tail_offset(category, partition).is_err() {
+                continue;
+            }
+            let from = self.checkpoints.get(job, partition);
+            total += self
+                .scribe
+                .bytes_available(category, partition, from)
+                .map_err(|e| format!("{job}/p{i}: {e}"))?;
+        }
+        Ok(total)
+    }
+
     /// Turn on continuous invariant checking: every executed instant from
     /// now on is evaluated against the platform's safety and convergence
     /// invariants.

@@ -1,0 +1,62 @@
+//! Campaign driver: `fuzz_campaign [--cases N] [--seed S] [--dump DIR]`.
+//!
+//! Runs N seeded scenarios through the multi-oracle fuzz harness, prints
+//! the summary line CI asserts on, and exits nonzero if any oracle was
+//! violated. With `--dump DIR`, each shrunk failing scenario is written to
+//! `DIR/fuzz-repro-<seed>.json` for replay via `turbinesim repro`.
+
+use turbine_fuzz::run_campaign;
+
+fn main() {
+    let mut cases: u64 = 1000;
+    let mut seed: u64 = 1;
+    let mut dump: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--cases" => {
+                cases = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--cases needs an integer"));
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs an integer"));
+            }
+            "--dump" => {
+                dump = Some(args.next().unwrap_or_else(|| usage("--dump needs a dir")));
+            }
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    let summary = run_campaign(seed, cases, true);
+    for failure in &summary.failures {
+        println!("seed {}:", failure.seed);
+        for line in &failure.failures {
+            println!("  {line}");
+        }
+        if let Some(dir) = &dump {
+            let path = format!("{dir}/fuzz-repro-{}.json", failure.seed);
+            match std::fs::write(&path, &failure.repro_json) {
+                Ok(()) => println!("  repro written to {path}"),
+                Err(e) => println!("  failed to write {path}: {e}"),
+            }
+        } else {
+            println!("  repro: {}", failure.repro_json);
+        }
+    }
+    println!("{}", summary.render());
+    if !summary.clean() {
+        std::process::exit(1);
+    }
+}
+
+fn usage(message: &str) -> ! {
+    eprintln!("{message}");
+    eprintln!("usage: fuzz_campaign [--cases N] [--seed S] [--dump DIR]");
+    std::process::exit(2);
+}

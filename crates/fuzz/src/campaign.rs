@@ -1,0 +1,87 @@
+//! The campaign loop: generate → run → (on failure) shrink → report.
+
+use crate::runner::run_case;
+use crate::scenario::{generate, FuzzScenario};
+use crate::shrink::shrink;
+
+/// One oracle-violating case, already shrunk.
+#[derive(Debug, Clone)]
+pub struct CampaignFailure {
+    /// The seed that produced the original failing scenario.
+    pub seed: u64,
+    /// One-line descriptions of every oracle failure on the *shrunk*
+    /// scenario (the shrink predicate preserves "some oracle fails", not
+    /// which one, so these may differ from the original case's failures).
+    pub failures: Vec<String>,
+    /// The shrunk scenario.
+    pub scenario: FuzzScenario,
+    /// The repro file contents for the shrunk scenario.
+    pub repro_json: String,
+}
+
+/// What a campaign run found.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignSummary {
+    /// Number of cases executed.
+    pub cases: u64,
+    /// Every failing case, shrunk.
+    pub failures: Vec<CampaignFailure>,
+}
+
+impl CampaignSummary {
+    /// True when every case passed every oracle.
+    pub fn clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// The one-line form the CI smoke test greps for.
+    pub fn render(&self) -> String {
+        format!(
+            "fuzz campaign: {} cases, {} oracle violations",
+            self.cases,
+            self.failures.len()
+        )
+    }
+}
+
+/// Run `cases` scenarios starting at `base_seed`. Failing cases are
+/// shrunk before being recorded; `progress` (when true) logs a line every
+/// 100 cases and every failure to stderr.
+pub fn run_campaign(base_seed: u64, cases: u64, progress: bool) -> CampaignSummary {
+    let mut summary = CampaignSummary::default();
+    for i in 0..cases {
+        let seed = base_seed.wrapping_add(i);
+        let scenario = generate(seed);
+        let report = run_case(&scenario);
+        summary.cases += 1;
+        if !report.passed() {
+            if progress {
+                for failure in &report.failures {
+                    eprintln!("seed {seed}: {failure}");
+                }
+                eprintln!("seed {seed}: shrinking...");
+            }
+            let shrunk = shrink(&scenario);
+            let shrunk_report = run_case(&shrunk);
+            summary.failures.push(CampaignFailure {
+                seed,
+                failures: shrunk_report
+                    .failures
+                    .iter()
+                    .map(|f| f.to_string())
+                    .collect(),
+                repro_json: shrunk.to_json(),
+                scenario: shrunk,
+            });
+        }
+        if progress && (i + 1) % 100 == 0 {
+            eprintln!(
+                "fuzz campaign: {}/{} cases, {} failures",
+                i + 1,
+                cases,
+                summary.failures.len()
+            );
+        }
+    }
+    summary
+}

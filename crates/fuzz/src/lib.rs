@@ -1,0 +1,31 @@
+//! Fuzz-driven correctness campaign for the Turbine platform.
+//!
+//! Turbine's operational-safety claim rests on oracles built in earlier
+//! work — the per-tick invariant checker, the dense-vs-event fingerprint
+//! equivalence, and the deterministic trace digest. This crate turns those
+//! oracles into a *search tool*: a seeded generator composes whole-platform
+//! scenarios (jobs, traffic, fault plans, host churn, config corner
+//! values), a runner drives each scenario in both [`turbine::DriveMode`]s
+//! under `catch_unwind`, and every oracle violation is greedily shrunk to a
+//! minimal scenario that serializes to a JSON repro file `turbinesim repro`
+//! replays bit-for-bit.
+//!
+//! The pieces:
+//!
+//! * [`scenario`] — the [`FuzzScenario`] model, the
+//!   seeded generator, and the JSON (de)serialization used by repro files;
+//! * [`runner`] — drives one scenario through both modes plus an
+//!   event-mode replay and evaluates the oracles;
+//! * [`mod@shrink`] — greedy minimization of a failing scenario;
+//! * [`campaign`] — the N-case loop used by the `fuzz_campaign` binary and
+//!   the CI smoke test.
+
+pub mod campaign;
+pub mod runner;
+pub mod scenario;
+pub mod shrink;
+
+pub use campaign::{run_campaign, CampaignFailure, CampaignSummary};
+pub use runner::{run_case, CaseReport, OracleFailure, RunArtifacts};
+pub use scenario::{generate, FuzzFault, FuzzFlap, FuzzJob, FuzzScenario, FuzzTrafficEvent};
+pub use shrink::shrink;

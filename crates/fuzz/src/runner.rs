@@ -1,0 +1,315 @@
+//! Drive one scenario through the platform and evaluate the oracles.
+//!
+//! Each case runs the same scenario three times — dense-tick, event-driven,
+//! and an event-driven replay — inside `catch_unwind`, so a panic anywhere
+//! in the platform becomes an oracle failure instead of killing the
+//! campaign. Four oracles judge the runs:
+//!
+//! 1. **Invariant checker** — the per-tick safety/convergence invariants
+//!    must record zero violations in every mode.
+//! 2. **Mode equivalence** — dense-tick and event-driven fingerprints must
+//!    match bit-for-bit (the PR 3 equivalence contract).
+//! 3. **Replay determinism** — re-running event-driven must reproduce both
+//!    the fingerprint and the full-history trace digest exactly.
+//! 4. **Durable readability** — at the end of the run every job's
+//!    checkpoints must be readable against the Scribe tails
+//!    (`durable_backlog` returns `Ok`).
+
+use crate::scenario::{FuzzScenario, FuzzTrafficEvent};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use turbine::{
+    DriveMode, Fault, FaultPlan, InvariantConfig, PlatformFingerprint, Turbine, TurbineConfig,
+};
+use turbine_config::JobConfig;
+use turbine_types::{Duration, HostId, JobId, Resources, SimTime};
+use turbine_workloads::{TrafficEvent, TrafficEventKind, TrafficModel};
+
+/// What one mode's run produced.
+#[derive(Debug, Clone)]
+pub struct RunArtifacts {
+    /// Bit-exact platform fingerprint at the horizon.
+    pub fingerprint: PlatformFingerprint,
+    /// Full-history trace digest.
+    pub trace_digest: u64,
+    /// Rendered invariant violations (empty on a clean run).
+    pub invariant_violations: Vec<String>,
+    /// Jobs whose checkpoints were unreadable at the end.
+    pub durable_errors: Vec<String>,
+}
+
+/// One oracle failure. `Display` gives the one-line campaign log form.
+#[derive(Debug, Clone)]
+pub enum OracleFailure {
+    /// The platform panicked while driving a mode.
+    Panic {
+        /// Which run panicked (`dense`, `event`, `replay`).
+        mode: &'static str,
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// The invariant checker recorded violations.
+    Invariant {
+        /// Which run.
+        mode: &'static str,
+        /// Rendered violations (capped upstream).
+        violations: Vec<String>,
+    },
+    /// Dense-tick and event-driven fingerprints differ.
+    ModeDivergence,
+    /// An event-driven replay did not reproduce the first event run.
+    ReplayDivergence,
+    /// `durable_backlog` errored for some job at the end of a run.
+    DurableBacklog {
+        /// Which run.
+        mode: &'static str,
+        /// Per-job error strings.
+        errors: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for OracleFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OracleFailure::Panic { mode, message } => write!(f, "panic[{mode}]: {message}"),
+            OracleFailure::Invariant { mode, violations } => {
+                write!(f, "invariant[{mode}]: {}", violations.join("; "))
+            }
+            OracleFailure::ModeDivergence => write!(f, "dense/event fingerprint divergence"),
+            OracleFailure::ReplayDivergence => write!(f, "event replay divergence"),
+            OracleFailure::DurableBacklog { mode, errors } => {
+                write!(f, "durable_backlog[{mode}]: {}", errors.join("; "))
+            }
+        }
+    }
+}
+
+/// The oracle verdicts for one case.
+#[derive(Debug, Clone)]
+pub struct CaseReport {
+    /// Every oracle failure observed (empty = case passed).
+    pub failures: Vec<OracleFailure>,
+    /// The event-mode artifacts, when that run completed without
+    /// panicking (repro verification wants the reference digests).
+    pub event_artifacts: Option<RunArtifacts>,
+}
+
+impl CaseReport {
+    /// True when every oracle held.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Build the platform a scenario describes. Public so regression tests can
+/// poke at intermediate state; campaign code goes through [`run_case`].
+pub fn build_platform(s: &FuzzScenario) -> Result<(Turbine, Vec<HostId>), String> {
+    let mut config = TurbineConfig::default();
+    config.tick = Duration::from_secs(s.tick_secs as u64);
+    config.scaler_enabled = s.scaler_enabled;
+    config.trace_enabled = true;
+    config.shardmgr.placement.headroom = s.headroom;
+    config.shardmgr.placement.band = s.band;
+    let mut turbine = Turbine::try_new(config)?;
+    let hosts = turbine.add_hosts(
+        s.hosts as usize,
+        Resources::new(s.host_cpu, s.host_memory_mb, 1.0e6, 1000.0),
+    );
+    for (i, job) in s.jobs.iter().enumerate() {
+        let id = JobId(i as u64 + 1);
+        let mut jc = JobConfig::stateless(&job.name, job.tasks, job.partitions);
+        jc.threads_per_task = job.threads;
+        jc.max_task_count = job.max_tasks;
+        let mut traffic = if job.diurnal > 0.0 {
+            TrafficModel::diurnal(job.rate, job.diurnal, job.traffic_seed)
+        } else {
+            TrafficModel::flat(job.rate)
+        };
+        for event in &job.events {
+            traffic = traffic.with_event(to_traffic_event(event));
+        }
+        if job.stateful {
+            turbine.provision_stateful_job(
+                id,
+                jc,
+                traffic,
+                job.per_thread_rate,
+                job.message_bytes,
+                job.key_cardinality,
+            )?;
+        } else {
+            turbine.provision_job(id, jc, traffic, job.per_thread_rate, job.message_bytes)?;
+        }
+    }
+    Ok((turbine, hosts))
+}
+
+fn to_traffic_event(event: &FuzzTrafficEvent) -> TrafficEvent {
+    let kind = match event.kind.as_str() {
+        "multiplier" => TrafficEventKind::Multiplier(event.magnitude),
+        "ramp" => TrafficEventKind::RampedMultiplier {
+            peak: event.magnitude,
+            ramp_mins: event.ramp_mins as u64,
+        },
+        "consumer_disabled" => TrafficEventKind::ConsumerDisabled,
+        "input_outage" => TrafficEventKind::InputOutage,
+        other => unreachable!("validated event kind, got '{other}'"),
+    };
+    TrafficEvent {
+        start: at_min(event.start_min),
+        end: at_min(event.end_min),
+        kind,
+    }
+}
+
+fn at_min(min: u32) -> SimTime {
+    SimTime::ZERO + Duration::from_mins(min as u64)
+}
+
+/// Schedule the scenario's fault windows onto a freshly built platform.
+fn schedule_faults(turbine: &mut Turbine, s: &FuzzScenario, hosts: &[HostId]) {
+    for fault in &s.faults {
+        let kind = match fault.kind.as_str() {
+            "task_service_down" => Fault::TaskServiceDown,
+            "job_store_down" => Fault::JobStoreDown,
+            "syncer_crash" => Fault::SyncerCrash,
+            "heartbeat_loss" => {
+                let host = hosts[fault.target as usize % hosts.len()];
+                let containers = turbine.cluster.containers_on(host).unwrap_or_default();
+                let Some(&container) = containers.first() else {
+                    continue;
+                };
+                Fault::HeartbeatLoss(container)
+            }
+            "scribe_stall" => {
+                let job = JobId(fault.target as u64 % s.jobs.len() as u64 + 1);
+                let Some(category) = turbine.job_category(job) else {
+                    continue;
+                };
+                Fault::ScribeStall(category.to_string())
+            }
+            other => unreachable!("validated fault kind, got '{other}'"),
+        };
+        turbine.schedule_fault(FaultPlan {
+            fault: kind,
+            from: at_min(fault.from_min),
+            until: Some(at_min(fault.from_min + fault.len_min.max(1))),
+        });
+    }
+}
+
+/// Drive one mode to the horizon, applying host flaps on minute edges.
+fn drive(s: &FuzzScenario, mode: DriveMode) -> RunArtifacts {
+    let (mut turbine, hosts) =
+        build_platform(s).expect("generated/validated scenarios always build");
+    turbine.enable_invariant_checks(InvariantConfig::default());
+    schedule_faults(&mut turbine, s, &hosts);
+
+    let end = at_min(s.horizon_mins);
+    let mut fails: Vec<(SimTime, usize)> = s
+        .flaps
+        .iter()
+        .map(|f| (at_min(f.fail_min), f.host as usize))
+        .collect();
+    let mut recovers: Vec<(SimTime, usize)> = s
+        .flaps
+        .iter()
+        .map(|f| (at_min(f.recover_min), f.host as usize))
+        .collect();
+    while turbine.now() < end {
+        let now = turbine.now();
+        // Recoveries before failures: a host flapped twice in one scenario
+        // must come back up before it can go down again.
+        recovers.retain(|&(at, h)| {
+            if at <= now {
+                let _ = turbine.recover_host(hosts[h]);
+                false
+            } else {
+                true
+            }
+        });
+        fails.retain(|&(at, h)| {
+            if at <= now {
+                let _ = turbine.fail_host(hosts[h]);
+                false
+            } else {
+                true
+            }
+        });
+        turbine.drive_for(Duration::from_mins(1).min(end.since(now)), mode);
+    }
+
+    let invariant_violations = turbine
+        .invariant_violations()
+        .iter()
+        .map(|v| format!("{} at {}: {}", v.invariant, v.at, v.detail))
+        .collect();
+    let durable_errors = (1..=s.jobs.len() as u64)
+        .filter_map(|id| turbine.durable_backlog(JobId(id)).err())
+        .collect();
+    RunArtifacts {
+        fingerprint: turbine.fingerprint(),
+        trace_digest: turbine.trace().digest(),
+        invariant_violations,
+        durable_errors,
+    }
+}
+
+fn drive_caught(s: &FuzzScenario, mode: DriveMode) -> Result<RunArtifacts, String> {
+    catch_unwind(AssertUnwindSafe(|| drive(s, mode))).map_err(|payload| {
+        if let Some(msg) = payload.downcast_ref::<&str>() {
+            (*msg).to_string()
+        } else if let Some(msg) = payload.downcast_ref::<String>() {
+            msg.clone()
+        } else {
+            "panic with non-string payload".to_string()
+        }
+    })
+}
+
+/// Run one case: three drives, four oracles.
+pub fn run_case(s: &FuzzScenario) -> CaseReport {
+    let mut failures = Vec::new();
+    let mut check = |mode: &'static str, run: &Result<RunArtifacts, String>| match run {
+        Ok(artifacts) => {
+            if !artifacts.invariant_violations.is_empty() {
+                failures.push(OracleFailure::Invariant {
+                    mode,
+                    violations: artifacts.invariant_violations.clone(),
+                });
+            }
+            if !artifacts.durable_errors.is_empty() {
+                failures.push(OracleFailure::DurableBacklog {
+                    mode,
+                    errors: artifacts.durable_errors.clone(),
+                });
+            }
+        }
+        Err(message) => failures.push(OracleFailure::Panic {
+            mode,
+            message: message.clone(),
+        }),
+    };
+
+    let dense = drive_caught(s, DriveMode::DenseTick);
+    check("dense", &dense);
+    let event = drive_caught(s, DriveMode::EventDriven);
+    check("event", &event);
+    let replay = drive_caught(s, DriveMode::EventDriven);
+    check("replay", &replay);
+
+    if let (Ok(d), Ok(e)) = (&dense, &event) {
+        if d.fingerprint != e.fingerprint {
+            failures.push(OracleFailure::ModeDivergence);
+        }
+    }
+    if let (Ok(e), Ok(r)) = (&event, &replay) {
+        if e.fingerprint != r.fingerprint || e.trace_digest != r.trace_digest {
+            failures.push(OracleFailure::ReplayDivergence);
+        }
+    }
+
+    CaseReport {
+        failures,
+        event_artifacts: event.ok(),
+    }
+}

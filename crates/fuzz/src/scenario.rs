@@ -1,0 +1,647 @@
+//! The fuzz scenario model: a flat, serializable description of one
+//! whole-platform run, plus the seeded generator that composes them.
+//!
+//! A scenario is deliberately *feasible by construction*: the generator
+//! budgets job task counts (including scaler headroom up to
+//! `max_task_count`) against the cluster's container capacity and ends
+//! every fault window and host flap well before the horizon, so the
+//! convergence invariant — a liveness property that assumes feasibility —
+//! only fires on genuine platform bugs, never on scenarios that were
+//! impossible to satisfy in the first place.
+//!
+//! Everything is millisecond-free: times are whole minutes, the tick is
+//! whole seconds, and every cadence in the platform config stays at its
+//! (tick-divisible) default, which keeps the dense-vs-event equivalence
+//! oracle applicable to every generated scenario.
+
+use turbine_config::{parse, to_text, ConfigValue};
+use turbine_sim::SimRng;
+
+/// Traffic-event kinds a scenario can attach to a job, mirroring
+/// `turbine_workloads::TrafficEventKind` in serializable form.
+pub const EVENT_KINDS: [&str; 4] = ["multiplier", "ramp", "consumer_disabled", "input_outage"];
+
+/// Fault kinds a scenario can schedule, mirroring `turbine::Fault`.
+pub const FAULT_KINDS: [&str; 5] = [
+    "task_service_down",
+    "job_store_down",
+    "syncer_crash",
+    "heartbeat_loss",
+    "scribe_stall",
+];
+
+/// One traffic event on one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzTrafficEvent {
+    /// One of [`EVENT_KINDS`].
+    pub kind: String,
+    /// Window start, minutes from scenario start.
+    pub start_min: u32,
+    /// Window end (exclusive), minutes from scenario start.
+    pub end_min: u32,
+    /// Multiplier / ramp peak (unused for outage kinds).
+    pub magnitude: f64,
+    /// Ramp-up/down minutes (ramp kind only).
+    pub ramp_mins: u32,
+}
+
+/// One job in a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzJob {
+    /// Package/category base name (unique within the scenario).
+    pub name: String,
+    /// Whether the job keeps state (changes sync protocol and estimators).
+    pub stateful: bool,
+    /// Initial task count.
+    pub tasks: u32,
+    /// Worker threads per task (`k` in Eq. 2).
+    pub threads: u32,
+    /// Input partitions (≥ tasks).
+    pub partitions: u32,
+    /// Scaling ceiling.
+    pub max_tasks: u32,
+    /// Base input rate, bytes/sec.
+    pub rate: f64,
+    /// Diurnal swing fraction (0 = flat).
+    pub diurnal: f64,
+    /// Traffic-noise seed.
+    pub traffic_seed: u64,
+    /// True per-thread processing capacity, bytes/sec (the ground truth
+    /// the Pattern Analyzer's `P` estimate converges toward).
+    pub per_thread_rate: f64,
+    /// Mean message size, bytes.
+    pub message_bytes: f64,
+    /// State key cardinality (stateful jobs only).
+    pub key_cardinality: f64,
+    /// Traffic events in this job's input.
+    pub events: Vec<FuzzTrafficEvent>,
+}
+
+/// One scheduled fault window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzFault {
+    /// One of [`FAULT_KINDS`].
+    pub kind: String,
+    /// Host index (heartbeat_loss) or job index (scribe_stall); unused
+    /// otherwise.
+    pub target: u32,
+    /// Window start, minutes from scenario start.
+    pub from_min: u32,
+    /// Window length, minutes.
+    pub len_min: u32,
+}
+
+/// One host fail/recover cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzFlap {
+    /// Host index into the scenario's host list.
+    pub host: u32,
+    /// Failure time, minutes from scenario start.
+    pub fail_min: u32,
+    /// Recovery time, minutes from scenario start.
+    pub recover_min: u32,
+}
+
+/// A complete generated scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzScenario {
+    /// The seed that generated this scenario (kept for provenance; the
+    /// scenario replays from its fields, not from the seed).
+    pub seed: u64,
+    /// Simulated run length, minutes.
+    pub horizon_mins: u32,
+    /// Data-plane tick, seconds. Always divides every control cadence.
+    pub tick_secs: u32,
+    /// Number of hosts.
+    pub hosts: u32,
+    /// Host CPU capacity, cores.
+    pub host_cpu: f64,
+    /// Host memory capacity, MB.
+    pub host_memory_mb: f64,
+    /// Placement headroom fraction (corner values approach 1).
+    pub headroom: f64,
+    /// Placement utilization band half-width.
+    pub band: f64,
+    /// Whether the Auto Scaler runs.
+    pub scaler_enabled: bool,
+    /// The jobs.
+    pub jobs: Vec<FuzzJob>,
+    /// Scheduled fault windows (overlap freely).
+    pub faults: Vec<FuzzFault>,
+    /// Host flaps (disjoint per host; all recover before the horizon).
+    pub flaps: Vec<FuzzFlap>,
+}
+
+/// Generate the scenario for one campaign case. The same `seed` always
+/// yields the same scenario, bit for bit.
+pub fn generate(seed: u64) -> FuzzScenario {
+    let mut rng = SimRng::seeded(seed ^ 0x5eed_f0cc_a51a_b1ed);
+
+    let horizon_mins = rng.uniform_usize(30, 120) as u32;
+    let tick_secs = [1u32, 2, 5, 10][rng.uniform_usize(0, 4)];
+    let hosts = rng.uniform_usize(2, 6) as u32;
+    // Host shape: mostly commodity, sometimes tiny (placement corner).
+    let host_cpu = if rng.chance(0.15) {
+        rng.uniform(1.0, 4.0)
+    } else {
+        [8.0, 16.0, 56.0][rng.uniform_usize(0, 3)]
+    };
+    let host_memory_mb = host_cpu * 4096.0;
+    // Headroom corners: occasionally 0 or near 1 (but below it).
+    let headroom = if rng.chance(0.1) {
+        0.0
+    } else if rng.chance(0.1) {
+        0.95
+    } else {
+        rng.uniform(0.1, 0.3)
+    };
+    let band = if rng.chance(0.1) {
+        0.01
+    } else {
+        rng.uniform(0.05, 0.3)
+    };
+    let scaler_enabled = rng.chance(0.8);
+
+    // Task budget: configured tasks plus scaler growth must fit the
+    // containers (0.8 host fraction, 1 cpu/task) with slack, so that
+    // convergence is always achievable once faults clear.
+    let budget = (hosts as f64 * host_cpu * 0.8 * 0.5).floor().max(1.0) as u32;
+    let n_jobs = rng.uniform_usize(1, 4) as u32;
+    let mut remaining = budget;
+    let mut jobs = Vec::new();
+    for j in 0..n_jobs {
+        if remaining == 0 {
+            break;
+        }
+        let max_tasks = rng.uniform_usize(1, (remaining as usize + 1).min(9)) as u32;
+        remaining -= max_tasks;
+        let tasks = rng.uniform_usize(1, max_tasks as usize + 1) as u32;
+        let partitions = rng.uniform_usize(max_tasks as usize, 33) as u32;
+        let stateful = rng.chance(0.3);
+        // Rate regimes: near-zero, moderate, hot.
+        let rate = match rng.uniform_usize(0, 3) {
+            0 => rng.uniform(10.0, 1.0e4),
+            1 => rng.uniform(1.0e5, 2.0e6),
+            _ => rng.uniform(2.0e6, 8.0e6),
+        };
+        let mut events = Vec::new();
+        for _ in 0..rng.uniform_usize(0, 3) {
+            let kind = EVENT_KINDS[rng.uniform_usize(0, EVENT_KINDS.len())].to_string();
+            let start_min = rng.uniform_usize(5, horizon_mins as usize * 3 / 4) as u32;
+            let len = rng.uniform_usize(1, (horizon_mins as usize / 4).max(2)) as u32;
+            events.push(FuzzTrafficEvent {
+                kind,
+                start_min,
+                end_min: (start_min + len).min(horizon_mins),
+                magnitude: rng.uniform(1.2, 20.0),
+                ramp_mins: rng.uniform_usize(1, (len as usize).max(2)) as u32,
+            });
+        }
+        jobs.push(FuzzJob {
+            name: format!("fuzz{j}"),
+            stateful,
+            tasks,
+            threads: rng.uniform_usize(1, 5) as u32,
+            partitions,
+            max_tasks,
+            rate,
+            diurnal: if rng.chance(0.5) {
+                rng.uniform(0.05, 0.4)
+            } else {
+                0.0
+            },
+            traffic_seed: rng.next_u64() % 1000,
+            per_thread_rate: rng.uniform(2.0e5, 2.0e6),
+            message_bytes: rng.uniform(64.0, 1024.0),
+            key_cardinality: if stateful {
+                rng.uniform(1.0e4, 5.0e6)
+            } else {
+                0.0
+            },
+            events,
+        });
+    }
+
+    // Fault windows: every kind, overlap freely, all end by 80 % of the
+    // horizon so the convergence clock gets a fair run.
+    let mut faults = Vec::new();
+    for _ in 0..rng.uniform_usize(0, 5) {
+        let kind = FAULT_KINDS[rng.uniform_usize(0, FAULT_KINDS.len())].to_string();
+        let from_min = rng.uniform_usize(2, (horizon_mins as usize * 7 / 10).max(3)) as u32;
+        let len_min = rng.uniform_usize(1, (horizon_mins as usize / 8).max(2)) as u32;
+        let target = match kind.as_str() {
+            "heartbeat_loss" => rng.uniform_usize(0, hosts as usize) as u32,
+            "scribe_stall" => rng.uniform_usize(0, jobs.len().max(1)) as u32,
+            _ => 0,
+        };
+        faults.push(FuzzFault {
+            kind,
+            target,
+            from_min,
+            len_min: len_min.min(horizon_mins * 8 / 10 - from_min.min(horizon_mins * 8 / 10)),
+        });
+    }
+
+    // Host flaps: at most one per host, never host 0 (so the tier always
+    // keeps capacity), all recovered by 85 % of the horizon.
+    let mut flaps = Vec::new();
+    if hosts > 1 {
+        for h in 1..hosts {
+            if !rng.chance(0.25) {
+                continue;
+            }
+            let fail_min = rng.uniform_usize(5, (horizon_mins as usize * 7 / 10).max(6)) as u32;
+            let len = rng.uniform_usize(1, (horizon_mins as usize / 8).max(2)) as u32;
+            flaps.push(FuzzFlap {
+                host: h,
+                fail_min,
+                recover_min: (fail_min + len).min(horizon_mins * 85 / 100),
+            });
+        }
+    }
+    // Drop degenerate flaps the clamps above may have produced.
+    flaps.retain(|f| f.recover_min > f.fail_min);
+
+    FuzzScenario {
+        seed,
+        horizon_mins,
+        tick_secs,
+        hosts,
+        host_cpu,
+        host_memory_mb,
+        headroom,
+        band,
+        scaler_enabled,
+        jobs,
+        faults,
+        flaps,
+    }
+}
+
+impl FuzzScenario {
+    /// Serialize to the compact-JSON repro format (deterministic: equal
+    /// scenarios produce equal strings).
+    pub fn to_json(&self) -> String {
+        to_text(&self.to_value())
+    }
+
+    fn to_value(&self) -> ConfigValue {
+        let mut root = ConfigValue::empty_map();
+        root.insert("seed", ConfigValue::Int(self.seed as i64));
+        root.insert("horizon_mins", ConfigValue::Int(self.horizon_mins as i64));
+        root.insert("tick_secs", ConfigValue::Int(self.tick_secs as i64));
+        root.insert("hosts", ConfigValue::Int(self.hosts as i64));
+        root.insert("host_cpu", ConfigValue::Float(self.host_cpu));
+        root.insert("host_memory_mb", ConfigValue::Float(self.host_memory_mb));
+        root.insert("headroom", ConfigValue::Float(self.headroom));
+        root.insert("band", ConfigValue::Float(self.band));
+        root.insert("scaler_enabled", ConfigValue::Bool(self.scaler_enabled));
+        let jobs = self
+            .jobs
+            .iter()
+            .map(|j| {
+                let mut m = ConfigValue::empty_map();
+                m.insert("name", ConfigValue::Str(j.name.clone()));
+                m.insert("stateful", ConfigValue::Bool(j.stateful));
+                m.insert("tasks", ConfigValue::Int(j.tasks as i64));
+                m.insert("threads", ConfigValue::Int(j.threads as i64));
+                m.insert("partitions", ConfigValue::Int(j.partitions as i64));
+                m.insert("max_tasks", ConfigValue::Int(j.max_tasks as i64));
+                m.insert("rate", ConfigValue::Float(j.rate));
+                m.insert("diurnal", ConfigValue::Float(j.diurnal));
+                m.insert("traffic_seed", ConfigValue::Int(j.traffic_seed as i64));
+                m.insert("per_thread_rate", ConfigValue::Float(j.per_thread_rate));
+                m.insert("message_bytes", ConfigValue::Float(j.message_bytes));
+                m.insert("key_cardinality", ConfigValue::Float(j.key_cardinality));
+                let events = j
+                    .events
+                    .iter()
+                    .map(|e| {
+                        let mut em = ConfigValue::empty_map();
+                        em.insert("kind", ConfigValue::Str(e.kind.clone()));
+                        em.insert("start_min", ConfigValue::Int(e.start_min as i64));
+                        em.insert("end_min", ConfigValue::Int(e.end_min as i64));
+                        em.insert("magnitude", ConfigValue::Float(e.magnitude));
+                        em.insert("ramp_mins", ConfigValue::Int(e.ramp_mins as i64));
+                        em
+                    })
+                    .collect();
+                m.insert("events", ConfigValue::Array(events));
+                m
+            })
+            .collect();
+        root.insert("jobs", ConfigValue::Array(jobs));
+        let faults = self
+            .faults
+            .iter()
+            .map(|f| {
+                let mut m = ConfigValue::empty_map();
+                m.insert("kind", ConfigValue::Str(f.kind.clone()));
+                m.insert("target", ConfigValue::Int(f.target as i64));
+                m.insert("from_min", ConfigValue::Int(f.from_min as i64));
+                m.insert("len_min", ConfigValue::Int(f.len_min as i64));
+                m
+            })
+            .collect();
+        root.insert("faults", ConfigValue::Array(faults));
+        let flaps = self
+            .flaps
+            .iter()
+            .map(|f| {
+                let mut m = ConfigValue::empty_map();
+                m.insert("host", ConfigValue::Int(f.host as i64));
+                m.insert("fail_min", ConfigValue::Int(f.fail_min as i64));
+                m.insert("recover_min", ConfigValue::Int(f.recover_min as i64));
+                m
+            })
+            .collect();
+        root.insert("flaps", ConfigValue::Array(flaps));
+        root
+    }
+
+    /// Parse a repro file produced by [`FuzzScenario::to_json`].
+    pub fn from_json(input: &str) -> Result<FuzzScenario, String> {
+        let value = parse(input).map_err(|e| e.to_string())?;
+        Self::from_value(&value)
+    }
+
+    fn from_value(value: &ConfigValue) -> Result<FuzzScenario, String> {
+        let int = |key: &str| -> Result<i64, String> {
+            value
+                .get(key)
+                .and_then(ConfigValue::as_int)
+                .ok_or_else(|| format!("missing integer field '{key}'"))
+        };
+        let float = |key: &str| -> Result<f64, String> {
+            value
+                .get(key)
+                .and_then(ConfigValue::as_float)
+                .ok_or_else(|| format!("missing float field '{key}'"))
+        };
+        let jobs = value
+            .get("jobs")
+            .and_then(ConfigValue::as_array)
+            .ok_or("missing 'jobs' array")?
+            .iter()
+            .map(parse_job)
+            .collect::<Result<Vec<_>, _>>()?;
+        let faults = value
+            .get("faults")
+            .and_then(ConfigValue::as_array)
+            .unwrap_or(&[])
+            .iter()
+            .map(parse_fault)
+            .collect::<Result<Vec<_>, _>>()?;
+        let flaps = value
+            .get("flaps")
+            .and_then(ConfigValue::as_array)
+            .unwrap_or(&[])
+            .iter()
+            .map(parse_flap)
+            .collect::<Result<Vec<_>, _>>()?;
+        let scenario = FuzzScenario {
+            seed: int("seed")? as u64,
+            horizon_mins: int("horizon_mins")? as u32,
+            tick_secs: int("tick_secs")? as u32,
+            hosts: int("hosts")? as u32,
+            host_cpu: float("host_cpu")?,
+            host_memory_mb: float("host_memory_mb")?,
+            headroom: float("headroom")?,
+            band: float("band")?,
+            scaler_enabled: value
+                .get("scaler_enabled")
+                .and_then(ConfigValue::as_bool)
+                .unwrap_or(true),
+            jobs,
+            faults,
+            flaps,
+        };
+        scenario.validate()?;
+        Ok(scenario)
+    }
+
+    /// Sanity checks on a parsed scenario (a repro file is user input).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.horizon_mins == 0 {
+            return Err("horizon_mins must be positive".into());
+        }
+        if self.tick_secs == 0 || 60 % self.tick_secs != 0 {
+            return Err("tick_secs must divide 60".into());
+        }
+        if self.hosts == 0 {
+            return Err("at least one host required".into());
+        }
+        if !(self.host_cpu.is_finite() && self.host_cpu > 0.0) {
+            return Err("host_cpu must be positive and finite".into());
+        }
+        if !(0.0..1.0).contains(&self.headroom) {
+            return Err("headroom must be in [0, 1)".into());
+        }
+        if !(self.band.is_finite() && self.band > 0.0) {
+            return Err("band must be positive".into());
+        }
+        if self.jobs.is_empty() {
+            return Err("at least one job required".into());
+        }
+        for job in &self.jobs {
+            if job.tasks == 0 || job.tasks > job.max_tasks || job.max_tasks > job.partitions {
+                return Err(format!(
+                    "job '{}': need 1 <= tasks <= max_tasks <= partitions",
+                    job.name
+                ));
+            }
+            if job.threads == 0 {
+                return Err(format!("job '{}': threads must be positive", job.name));
+            }
+            if !(job.rate.is_finite() && job.rate >= 0.0) {
+                return Err(format!("job '{}': rate must be finite and >= 0", job.name));
+            }
+            if !(job.per_thread_rate.is_finite() && job.per_thread_rate > 0.0) {
+                return Err(format!(
+                    "job '{}': per_thread_rate must be positive",
+                    job.name
+                ));
+            }
+            for event in &job.events {
+                if !EVENT_KINDS.contains(&event.kind.as_str()) {
+                    return Err(format!("unknown traffic event kind '{}'", event.kind));
+                }
+            }
+        }
+        for fault in &self.faults {
+            if !FAULT_KINDS.contains(&fault.kind.as_str()) {
+                return Err(format!("unknown fault kind '{}'", fault.kind));
+            }
+            if fault.kind == "heartbeat_loss" && fault.target >= self.hosts {
+                return Err("heartbeat_loss target host out of range".into());
+            }
+            if fault.kind == "scribe_stall" && fault.target as usize >= self.jobs.len() {
+                return Err("scribe_stall target job out of range".into());
+            }
+        }
+        for flap in &self.flaps {
+            if flap.host >= self.hosts {
+                return Err("flap host out of range".into());
+            }
+            if flap.recover_min <= flap.fail_min {
+                return Err("flap must recover after it fails".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse_job(value: &ConfigValue) -> Result<FuzzJob, String> {
+    let int = |key: &str| -> Result<i64, String> {
+        value
+            .get(key)
+            .and_then(ConfigValue::as_int)
+            .ok_or_else(|| format!("job missing integer field '{key}'"))
+    };
+    let float = |key: &str| -> Result<f64, String> {
+        value
+            .get(key)
+            .and_then(ConfigValue::as_float)
+            .ok_or_else(|| format!("job missing float field '{key}'"))
+    };
+    let events = value
+        .get("events")
+        .and_then(ConfigValue::as_array)
+        .unwrap_or(&[])
+        .iter()
+        .map(parse_event)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(FuzzJob {
+        name: value
+            .get("name")
+            .and_then(ConfigValue::as_str)
+            .ok_or("job missing 'name'")?
+            .to_string(),
+        stateful: value
+            .get("stateful")
+            .and_then(ConfigValue::as_bool)
+            .unwrap_or(false),
+        tasks: int("tasks")? as u32,
+        threads: int("threads")? as u32,
+        partitions: int("partitions")? as u32,
+        max_tasks: int("max_tasks")? as u32,
+        rate: float("rate")?,
+        diurnal: float("diurnal").unwrap_or(0.0),
+        traffic_seed: int("traffic_seed").unwrap_or(0) as u64,
+        per_thread_rate: float("per_thread_rate")?,
+        message_bytes: float("message_bytes").unwrap_or(256.0),
+        key_cardinality: float("key_cardinality").unwrap_or(0.0),
+        events,
+    })
+}
+
+fn parse_event(value: &ConfigValue) -> Result<FuzzTrafficEvent, String> {
+    let int = |key: &str| -> Result<i64, String> {
+        value
+            .get(key)
+            .and_then(ConfigValue::as_int)
+            .ok_or_else(|| format!("event missing integer field '{key}'"))
+    };
+    Ok(FuzzTrafficEvent {
+        kind: value
+            .get("kind")
+            .and_then(ConfigValue::as_str)
+            .ok_or("event missing 'kind'")?
+            .to_string(),
+        start_min: int("start_min")? as u32,
+        end_min: int("end_min")? as u32,
+        magnitude: value
+            .get("magnitude")
+            .and_then(ConfigValue::as_float)
+            .unwrap_or(1.0),
+        ramp_mins: int("ramp_mins").unwrap_or(1) as u32,
+    })
+}
+
+fn parse_fault(value: &ConfigValue) -> Result<FuzzFault, String> {
+    let int = |key: &str| -> Result<i64, String> {
+        value
+            .get(key)
+            .and_then(ConfigValue::as_int)
+            .ok_or_else(|| format!("fault missing integer field '{key}'"))
+    };
+    Ok(FuzzFault {
+        kind: value
+            .get("kind")
+            .and_then(ConfigValue::as_str)
+            .ok_or("fault missing 'kind'")?
+            .to_string(),
+        target: int("target").unwrap_or(0) as u32,
+        from_min: int("from_min")? as u32,
+        len_min: int("len_min")? as u32,
+    })
+}
+
+fn parse_flap(value: &ConfigValue) -> Result<FuzzFlap, String> {
+    let int = |key: &str| -> Result<i64, String> {
+        value
+            .get(key)
+            .and_then(ConfigValue::as_int)
+            .ok_or_else(|| format!("flap missing integer field '{key}'"))
+    };
+    Ok(FuzzFlap {
+        host: int("host")? as u32,
+        fail_min: int("fail_min")? as u32,
+        recover_min: int("recover_min")? as u32,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in 0..20 {
+            assert_eq!(generate(seed), generate(seed));
+        }
+    }
+
+    #[test]
+    fn generated_scenarios_are_valid_and_roundtrip() {
+        for seed in 0..100 {
+            let scenario = generate(seed);
+            scenario.validate().unwrap_or_else(|e| {
+                panic!("seed {seed} generated an invalid scenario: {e}");
+            });
+            let json = scenario.to_json();
+            let back = FuzzScenario::from_json(&json)
+                .unwrap_or_else(|e| panic!("seed {seed} repro does not parse: {e}"));
+            assert_eq!(back, scenario, "seed {seed} did not roundtrip");
+            assert_eq!(back.to_json(), json, "seed {seed} json not canonical");
+        }
+    }
+
+    #[test]
+    fn corner_values_do_appear() {
+        let mut tiny_hosts = false;
+        let mut high_headroom = false;
+        let mut near_zero_rate = false;
+        let mut stateful = false;
+        for seed in 0..300 {
+            let s = generate(seed);
+            tiny_hosts |= s.host_cpu < 4.0;
+            high_headroom |= s.headroom >= 0.9;
+            near_zero_rate |= s.jobs.iter().any(|j| j.rate < 1.0e4);
+            stateful |= s.jobs.iter().any(|j| j.stateful);
+        }
+        assert!(tiny_hosts, "generator never produced tiny hosts");
+        assert!(high_headroom, "generator never produced high headroom");
+        assert!(near_zero_rate, "generator never produced near-zero rates");
+        assert!(stateful, "generator never produced stateful jobs");
+    }
+
+    #[test]
+    fn invalid_repro_files_are_rejected() {
+        assert!(FuzzScenario::from_json("not json").is_err());
+        assert!(FuzzScenario::from_json("{}").is_err());
+        let mut s = generate(1);
+        s.tick_secs = 7; // does not divide 60
+        assert!(FuzzScenario::from_json(&s.to_json()).is_err());
+    }
+}

@@ -1,0 +1,187 @@
+//! Greedy minimization of a failing scenario.
+//!
+//! The in-tree `proptest` shim generates but does not shrink, so the fuzz
+//! harness carries its own shrinker: a fixed pass order (drop whole jobs,
+//! halve the horizon, drop faults, drop flaps, drop traffic events, shrink
+//! event magnitudes) where each candidate replaces the current scenario
+//! only if it *still fails* some oracle. The result is the scenario that
+//! gets serialized into a repro file, so smaller is strictly better — a
+//! one-job, thirty-minute repro is diagnosable, a three-job two-hour one
+//! is not.
+
+use crate::runner::run_case;
+use crate::scenario::FuzzScenario;
+
+/// Upper bound on candidate evaluations per shrink. Each evaluation is
+/// three full platform runs, so this caps shrink cost at roughly 600
+/// simulated hours.
+const MAX_ATTEMPTS: u32 = 64;
+
+/// Shrink a failing scenario to a (locally) minimal one that still fails.
+/// Returns the input unchanged if it does not fail, or if no smaller
+/// variant keeps failing.
+pub fn shrink(scenario: &FuzzScenario) -> FuzzScenario {
+    let mut current = scenario.clone();
+    if run_case(&current).passed() {
+        return current;
+    }
+    let mut attempts = 0u32;
+    // A full sweep re-runs every pass; stop when a sweep changes nothing.
+    loop {
+        let before = current.clone();
+        drop_jobs(&mut current, &mut attempts);
+        halve_horizon(&mut current, &mut attempts);
+        drop_items(&mut current, &mut attempts, Pass::Faults);
+        drop_items(&mut current, &mut attempts, Pass::Flaps);
+        drop_items(&mut current, &mut attempts, Pass::Events);
+        soften_magnitudes(&mut current, &mut attempts);
+        if current == before || attempts >= MAX_ATTEMPTS {
+            return current;
+        }
+    }
+}
+
+/// Adopt `candidate` if it is valid and still fails.
+fn still_fails(candidate: &FuzzScenario, attempts: &mut u32) -> bool {
+    if *attempts >= MAX_ATTEMPTS || candidate.validate().is_err() {
+        return false;
+    }
+    *attempts += 1;
+    !run_case(candidate).passed()
+}
+
+fn drop_jobs(current: &mut FuzzScenario, attempts: &mut u32) {
+    let mut i = 0;
+    while current.jobs.len() > 1 && i < current.jobs.len() {
+        let mut candidate = current.clone();
+        candidate.jobs.remove(i);
+        // Re-point or drop faults that referenced jobs by index.
+        candidate.faults.retain_mut(|f| {
+            if f.kind != "scribe_stall" {
+                return true;
+            }
+            match (f.target as usize).cmp(&i) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Equal => false,
+                std::cmp::Ordering::Greater => {
+                    f.target -= 1;
+                    true
+                }
+            }
+        });
+        if still_fails(&candidate, attempts) {
+            *current = candidate;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+fn halve_horizon(current: &mut FuzzScenario, attempts: &mut u32) {
+    while current.horizon_mins > 10 {
+        let mut candidate = current.clone();
+        candidate.horizon_mins = (candidate.horizon_mins / 2).max(10);
+        let h = candidate.horizon_mins;
+        // Clamp everything that referenced the old horizon.
+        candidate.faults.retain(|f| f.from_min < h);
+        candidate.flaps.retain(|f| f.fail_min < h);
+        for flap in &mut candidate.flaps {
+            flap.recover_min = flap.recover_min.min(h.saturating_sub(1));
+        }
+        candidate.flaps.retain(|f| f.recover_min > f.fail_min);
+        for job in &mut candidate.jobs {
+            job.events.retain(|e| e.start_min < h);
+        }
+        if still_fails(&candidate, attempts) {
+            *current = candidate;
+        } else {
+            break;
+        }
+    }
+}
+
+enum Pass {
+    Faults,
+    Flaps,
+    Events,
+}
+
+fn drop_items(current: &mut FuzzScenario, attempts: &mut u32, pass: Pass) {
+    let mut i = 0;
+    loop {
+        let mut candidate = current.clone();
+        let removed = match pass {
+            Pass::Faults => {
+                if i >= candidate.faults.len() {
+                    return;
+                }
+                candidate.faults.remove(i);
+                true
+            }
+            Pass::Flaps => {
+                if i >= candidate.flaps.len() {
+                    return;
+                }
+                candidate.flaps.remove(i);
+                true
+            }
+            Pass::Events => {
+                // Flattened index over every job's event list.
+                let mut k = i;
+                let mut hit = false;
+                for job in &mut candidate.jobs {
+                    if k < job.events.len() {
+                        job.events.remove(k);
+                        hit = true;
+                        break;
+                    }
+                    k -= job.events.len();
+                }
+                hit
+            }
+        };
+        if !removed {
+            return;
+        }
+        if still_fails(&candidate, attempts) {
+            *current = candidate;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+fn soften_magnitudes(current: &mut FuzzScenario, attempts: &mut u32) {
+    // Try pulling traffic-event magnitudes toward 1 (no-op multiplier);
+    // a failure that survives magnitude 2 is easier to reason about than
+    // one that needs a 17.3x spike.
+    for j in 0..current.jobs.len() {
+        for e in 0..current.jobs[j].events.len() {
+            let magnitude = current.jobs[j].events[e].magnitude;
+            if magnitude <= 2.0 {
+                continue;
+            }
+            let mut candidate = current.clone();
+            candidate.jobs[j].events[e].magnitude = (magnitude / 2.0).max(2.0);
+            if still_fails(&candidate, attempts) {
+                *current = candidate;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::generate;
+
+    #[test]
+    fn shrinking_a_passing_scenario_is_identity() {
+        // Seed 0 passes (the campaign relies on this; if it regresses the
+        // campaign smoke test fails first and loudly).
+        let s = generate(0);
+        if run_case(&s).passed() {
+            assert_eq!(shrink(&s), s);
+        }
+    }
+}

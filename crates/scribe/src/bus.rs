@@ -240,6 +240,34 @@ impl Scribe {
         Ok(part.appended - from_offset.max(part.trimmed))
     }
 
+    /// Model a WAL torn-tail salvage: the partition's durable tail moves
+    /// *backwards* to `new_tail` because bytes past it were found torn at
+    /// recovery and dropped. Returns the number of bytes lost. A `new_tail`
+    /// at or beyond the current tail is a no-op (nothing was torn).
+    ///
+    /// This is the one operation that can leave an already-persisted reader
+    /// checkpoint beyond the tail; readers are expected to clamp such
+    /// checkpoints back (see `CheckpointStore::clamp_to`) and re-read the
+    /// lost range.
+    pub fn salvage_tail(
+        &mut self,
+        category: &str,
+        partition: PartitionId,
+        new_tail: u64,
+    ) -> Result<u64, ScribeError> {
+        let (cat, idx) = self.partition_mut(category, partition)?;
+        let part = &mut cat.partitions[idx];
+        if new_tail >= part.appended {
+            return Ok(0);
+        }
+        let lost = part.appended - new_tail;
+        part.appended = new_tail;
+        part.trimmed = part.trimmed.min(new_tail);
+        part.records.retain(|r| r.offset < new_tail);
+        cat.total_appended = cat.total_appended.saturating_sub(lost);
+        Ok(lost)
+    }
+
     /// Read retained records starting at `from_offset`, at most `max`.
     /// Categories created without payload retention always return an empty
     /// vector.
@@ -334,6 +362,37 @@ mod tests {
             bus.append_bytes("c", p(2), 1, SimTime::ZERO),
             Err(ScribeError::UnknownPartition(_, _))
         ));
+    }
+
+    #[test]
+    fn salvage_tail_moves_tail_backwards_and_drops_records() {
+        let mut bus = Scribe::new();
+        bus.create_category_with_payloads("clicks", 1).unwrap();
+        bus.append_record("clicks", PartitionId(0), b"aaaa", SimTime::ZERO)
+            .unwrap();
+        bus.append_record("clicks", PartitionId(0), b"bbbb", SimTime::ZERO)
+            .unwrap();
+        assert_eq!(bus.tail_offset("clicks", PartitionId(0)).unwrap(), 8);
+        // Torn tail: the last record was half-written and dropped.
+        assert_eq!(bus.salvage_tail("clicks", PartitionId(0), 4).unwrap(), 4);
+        assert_eq!(bus.tail_offset("clicks", PartitionId(0)).unwrap(), 4);
+        assert_eq!(
+            bus.read_records("clicks", PartitionId(0), 0, 10)
+                .unwrap()
+                .len(),
+            1
+        );
+        // A reader checkpointed at 8 now reads beyond the tail.
+        assert!(matches!(
+            bus.bytes_available("clicks", PartitionId(0), 8),
+            Err(ScribeError::OffsetBeyondTail {
+                requested: 8,
+                tail: 4
+            })
+        ));
+        // Salvage at/above the tail is a no-op.
+        assert_eq!(bus.salvage_tail("clicks", PartitionId(0), 9).unwrap(), 0);
+        assert_eq!(bus.tail_offset("clicks", PartitionId(0)).unwrap(), 4);
     }
 
     #[test]

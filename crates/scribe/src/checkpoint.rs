@@ -45,6 +45,32 @@ impl CheckpointStore {
         }
     }
 
+    /// Clamp a checkpoint down to `max_offset` if it currently sits above
+    /// it. Returns `Some((from, to))` when a clamp happened.
+    ///
+    /// This is the one sanctioned exception to [`commit`](Self::commit)'s
+    /// forward-only rule: after a WAL torn-tail salvage the Scribe tail can
+    /// legitimately move *backwards* past an already-persisted checkpoint,
+    /// and a checkpoint beyond the tail makes every subsequent
+    /// `bytes_available` call error forever. Moving the checkpoint back to
+    /// the tail re-reads the salvage-lost bytes (at-least-once delivery)
+    /// instead of wedging the reader.
+    pub fn clamp_to(
+        &mut self,
+        job: JobId,
+        partition: PartitionId,
+        max_offset: u64,
+    ) -> Option<(u64, u64)> {
+        let slot = self.offsets.get_mut(&(job, partition))?;
+        if *slot > max_offset {
+            let from = *slot;
+            *slot = max_offset;
+            Some((from, max_offset))
+        } else {
+            None
+        }
+    }
+
     /// All checkpoints of one job, sorted by partition.
     pub fn job_checkpoints(&self, job: JobId) -> Vec<(PartitionId, u64)> {
         self.offsets
@@ -120,6 +146,25 @@ mod tests {
         store.commit(JOB_A, PartitionId(0), 50);
         // In release builds the regression is ignored:
         assert_eq!(store.get(JOB_A, PartitionId(0)), 100);
+    }
+
+    #[test]
+    fn clamp_to_rewinds_only_beyond_tail_checkpoints() {
+        let mut store = CheckpointStore::new();
+        store.commit(JOB_A, PartitionId(0), 100);
+        store.commit(JOB_A, PartitionId(1), 40);
+        // Partition 0 sits beyond the (post-salvage) tail of 60: clamped.
+        assert_eq!(store.clamp_to(JOB_A, PartitionId(0), 60), Some((100, 60)));
+        assert_eq!(store.get(JOB_A, PartitionId(0)), 60);
+        // Partition 1 is at or below the tail: untouched.
+        assert_eq!(store.clamp_to(JOB_A, PartitionId(1), 60), None);
+        assert_eq!(store.get(JOB_A, PartitionId(1)), 40);
+        // Never-committed checkpoints are not created by clamping.
+        assert_eq!(store.clamp_to(JOB_B, PartitionId(0), 60), None);
+        assert!(store.job_checkpoints(JOB_B).is_empty());
+        // Forward progress resumes normally after a clamp.
+        store.commit(JOB_A, PartitionId(0), 80);
+        assert_eq!(store.get(JOB_A, PartitionId(0)), 80);
     }
 
     #[test]

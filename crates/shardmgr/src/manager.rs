@@ -155,8 +155,11 @@ impl ShardManager {
 
     /// Declare dead every container whose heartbeat is older than the
     /// fail-over interval, and fail its shards over to survivors. Returns
-    /// the movements to execute (all with `from: None` — there is nothing
-    /// to drop on a dead container). Does nothing (and returns no moves)
+    /// the movements to execute. Moves of orphaned shards carry
+    /// `from: None` (there is nothing to drop on a dead container), but
+    /// the re-placement may also rebalance shards *between survivors* —
+    /// those moves keep their live source so the executor revokes
+    /// ownership before granting it. Does nothing (and returns no moves)
     /// when no container newly died.
     pub fn check_failover(&mut self, now: SimTime) -> Vec<ShardMovement> {
         let mut newly_dead = false;
@@ -172,6 +175,9 @@ impl ShardManager {
             return Vec::new();
         }
         // Strip assignments pointing at dead containers, then re-place.
+        // Placement derives `from` from the stripped assignment, so a dead
+        // container's shards come back with `from: None` while survivor
+        // rebalancing moves keep their (live) source.
         let dead: Vec<ContainerId> = self
             .containers
             .iter()
@@ -179,13 +185,7 @@ impl ShardManager {
             .map(|(&id, _)| id)
             .collect();
         self.assignment.retain(|_, c| !dead.contains(c));
-        let result = self.run_placement();
-        // Fail-over moves never have a live source to drop from.
-        result
-            .moves
-            .into_iter()
-            .map(|m| ShardMovement { from: None, ..m })
-            .collect()
+        self.run_placement().moves
     }
 
     /// Manually relocate one shard to a specific alive container (operator
@@ -295,13 +295,22 @@ mod tests {
         }
         let moves = mgr.check_failover(t(61));
         assert_eq!(mgr.status(victim), Some(ContainerStatus::Dead));
-        // Every shard of the victim moved, none to the dead container,
-        // and fail-over moves carry no source.
+        // Every shard of the victim moved, none to the dead container.
+        // Orphaned shards carry no source; any survivor-rebalancing move
+        // must keep its live source (dropping it would leave the shard
+        // owned twice).
         let moved: Vec<ShardId> = moves.iter().map(|m| m.shard).collect();
         for s in &victim_shards {
             assert!(moved.contains(s), "{s} must fail over");
         }
-        assert!(moves.iter().all(|m| m.from.is_none()));
+        for m in &moves {
+            if victim_shards.contains(&m.shard) {
+                assert_eq!(m.from, None, "{} had a dead source", m.shard);
+            } else {
+                assert!(m.from.is_some(), "{} moved from a live owner", m.shard);
+                assert_ne!(m.from, Some(victim));
+            }
+        }
         assert!(moves.iter().all(|m| m.to != victim));
         // All shards remain assigned.
         assert_eq!(mgr.assignment().len(), 30);

@@ -79,7 +79,11 @@ pub struct PlacementStats {
     pub overflowed: usize,
 }
 
-/// Total order on f64 utilizations (no NaNs by construction).
+/// Total order on f64 utilizations. Uses [`f64::total_cmp`] so a NaN
+/// (e.g. a 0/0 from a zero-capacity container, or a corrupt load report)
+/// sorts deterministically at the top instead of panicking the Shard
+/// Manager round — a NaN-utilization container reads as "worst possible
+/// target", which is exactly the conservative choice.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct Util(f64);
 impl Eq for Util {}
@@ -90,9 +94,25 @@ impl PartialOrd for Util {
 }
 impl Ord for Util {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0
-            .partial_cmp(&other.0)
-            .expect("utilization is never NaN")
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// A container's utilization for placement decisions. Zero-capacity
+/// containers (a host that reported no usable resources — draining,
+/// misconfigured, or freshly registered with empty capacity) are treated
+/// as *full*: `+inf` keeps them at the bottom of every "least utilized"
+/// ordering so they are never chosen as placement targets, and any NaN
+/// from degenerate division is normalized to the same "full" sentinel.
+fn placement_util(load: &Resources, cap: &Resources) -> f64 {
+    if cap.is_zero() {
+        return f64::INFINITY;
+    }
+    let util = load.dominant_utilization(cap);
+    if util.is_nan() {
+        f64::INFINITY
+    } else {
+        util
     }
 }
 
@@ -117,6 +137,13 @@ pub fn compute_placement(input: PlacementInput<'_>, config: PlacementConfig) -> 
         .iter()
         .map(|(_, cap)| cap.scale(1.0 - config.headroom))
         .collect();
+    // A container whose effective capacity is zero in every dimension
+    // cannot meaningfully host shards: `fits_within` would still accept
+    // zero-load shards (0 <= 0) and `dominant_utilization` reads 0.0
+    // (every dimension is skipped), which makes the container look
+    // *empty* rather than full. Mark it unusable: no stickiness, never a
+    // placement or eviction target, excluded from tier statistics.
+    let usable: Vec<bool> = effective_cap.iter().map(|c| !c.is_zero()).collect();
     let container_index: HashMap<ContainerId, usize> = input
         .containers
         .iter()
@@ -136,7 +163,7 @@ pub fn compute_placement(input: PlacementInput<'_>, config: PlacementConfig) -> 
             .get(&shard)
             .and_then(|c| container_index.get(c))
         {
-            Some(&idx) if (loads[idx] + load).fits_within(&effective_cap[idx]) => {
+            Some(&idx) if usable[idx] && (loads[idx] + load).fits_within(&effective_cap[idx]) => {
                 loads[idx] += load;
                 assignment.insert(shard, input.containers[idx].0);
             }
@@ -147,7 +174,7 @@ pub fn compute_placement(input: PlacementInput<'_>, config: PlacementConfig) -> 
     // Pass 2 — band enforcement: evict from hot containers (largest shards
     // first: fastest load reduction with fewest movements) until every
     // container is within `mean + band`.
-    let mean_util = mean_utilization(&loads, &effective_cap);
+    let mean_util = mean_utilization(&loads, &effective_cap, &usable);
     let hot_threshold = mean_util + config.band;
     let mut by_container: Vec<Vec<(ShardId, Resources)>> = vec![Vec::new(); n_containers];
     for (&shard, container) in &assignment {
@@ -160,13 +187,14 @@ pub fn compute_placement(input: PlacementInput<'_>, config: PlacementConfig) -> 
         if loads[idx].dominant_utilization(cap) <= hot_threshold {
             continue;
         }
-        // Largest first; deterministic tie-break on shard id.
+        // Largest first; deterministic tie-break on shard id. `total_cmp`
+        // keeps the sort total even if a corrupt load report smuggles a
+        // NaN in: NaN-sized shards sort first (drained first), which is
+        // the safe direction for a load we cannot trust.
         by_container[idx].sort_by(|a, b| {
             let ua = a.1.dominant_utilization(cap);
             let ub = b.1.dominant_utilization(cap);
-            ub.partial_cmp(&ua)
-                .expect("shard loads are never NaN")
-                .then(a.0.cmp(&b.0))
+            ub.total_cmp(&ua).then(a.0.cmp(&b.0))
         });
         // Drain largest-first (sorted descending, so from the front) —
         // but only while some other container offers a *strictly better*
@@ -182,6 +210,7 @@ pub fn compute_placement(input: PlacementInput<'_>, config: PlacementConfig) -> 
             let source_util = loads[idx].dominant_utilization(cap);
             let improvable = (0..n_containers).any(|other| {
                 other != idx
+                    && usable[other]
                     && (loads[other] + load).fits_within(&effective_cap[other])
                     && (loads[other] + load).dominant_utilization(&effective_cap[other])
                         < source_util
@@ -201,9 +230,7 @@ pub fn compute_placement(input: PlacementInput<'_>, config: PlacementConfig) -> 
     pool.sort_by(|a, b| {
         let ua = dominant_load(&a.1);
         let ub = dominant_load(&b.1);
-        ub.partial_cmp(&ua)
-            .expect("shard loads are never NaN")
-            .then(a.0.cmp(&b.0))
+        ub.total_cmp(&ua).then(a.0.cmp(&b.0))
     });
     // Lazy min-heap of (utilization, container idx); stale entries are
     // re-pushed with fresh values on pop.
@@ -215,10 +242,14 @@ pub fn compute_placement(input: PlacementInput<'_>, config: PlacementConfig) -> 
     for container in assignment.values() {
         shard_counts[container_index[container]] += 1;
     }
+    // Unusable (zero-capacity) containers never enter the heap, so they
+    // are never first-fit targets; they can still absorb overflow via the
+    // fallback below when the tier has no usable container at all.
     let mut heap: BinaryHeap<Reverse<(Util, usize, usize)>> = (0..n_containers)
+        .filter(|&idx| usable[idx])
         .map(|idx| {
             Reverse((
-                Util(loads[idx].dominant_utilization(&effective_cap[idx])),
+                Util(placement_util(&loads[idx], &effective_cap[idx])),
                 shard_counts[idx],
                 idx,
             ))
@@ -229,7 +260,7 @@ pub fn compute_placement(input: PlacementInput<'_>, config: PlacementConfig) -> 
         let mut skipped: Vec<Reverse<(Util, usize, usize)>> = Vec::new();
         let mut placed_at: Option<usize> = None;
         while let Some(Reverse((util, count, idx))) = heap.pop() {
-            let fresh = Util(loads[idx].dominant_utilization(&effective_cap[idx]));
+            let fresh = Util(placement_util(&loads[idx], &effective_cap[idx]));
             if fresh != util || count != shard_counts[idx] {
                 heap.push(Reverse((fresh, shard_counts[idx], idx)));
                 continue;
@@ -255,11 +286,13 @@ pub fn compute_placement(input: PlacementInput<'_>, config: PlacementConfig) -> 
         loads[idx] += load;
         shard_counts[idx] += 1;
         assignment.insert(shard, input.containers[idx].0);
-        heap.push(Reverse((
-            Util(loads[idx].dominant_utilization(&effective_cap[idx])),
-            shard_counts[idx],
-            idx,
-        )));
+        if usable[idx] {
+            heap.push(Reverse((
+                Util(placement_util(&loads[idx], &effective_cap[idx])),
+                shard_counts[idx],
+                idx,
+            )));
+        }
         for entry in skipped {
             heap.push(entry);
         }
@@ -276,13 +309,18 @@ pub fn compute_placement(input: PlacementInput<'_>, config: PlacementConfig) -> 
     }
     moves.sort_by_key(|m| m.shard);
 
-    let utils: Vec<f64> = loads
-        .iter()
-        .zip(&effective_cap)
-        .map(|(l, c)| l.dominant_utilization(c))
+    // Statistics cover usable containers only: an unusable container's
+    // `+inf` sentinel would otherwise poison the mean and max.
+    let utils: Vec<f64> = (0..n_containers)
+        .filter(|&idx| usable[idx])
+        .map(|idx| placement_util(&loads[idx], &effective_cap[idx]))
         .collect();
     let stats = PlacementStats {
-        mean_util: utils.iter().sum::<f64>() / utils.len() as f64,
+        mean_util: if utils.is_empty() {
+            0.0
+        } else {
+            utils.iter().sum::<f64>() / utils.len() as f64
+        },
         max_util: utils.iter().cloned().fold(0.0, f64::max),
         min_util: utils.iter().cloned().fold(f64::INFINITY, f64::min),
         moved: moves.iter().filter(|m| m.from.is_some()).count(),
@@ -295,16 +333,20 @@ pub fn compute_placement(input: PlacementInput<'_>, config: PlacementConfig) -> 
     }
 }
 
-fn mean_utilization(loads: &[Resources], caps: &[Resources]) -> f64 {
-    if loads.is_empty() {
-        return 0.0;
+fn mean_utilization(loads: &[Resources], caps: &[Resources], usable: &[bool]) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (idx, (l, c)) in loads.iter().zip(caps).enumerate() {
+        if usable[idx] {
+            sum += placement_util(l, c);
+            n += 1;
+        }
     }
-    loads
-        .iter()
-        .zip(caps)
-        .map(|(l, c)| l.dominant_utilization(c))
-        .sum::<f64>()
-        / loads.len() as f64
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
 }
 
 /// Scalar magnitude used to order shards by size (sum of normalized-ish
@@ -519,6 +561,111 @@ mod tests {
             cfg(),
         );
         assert!(result.moves.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_container_gets_no_shards() {
+        let shards: Vec<_> = (0..50).map(|i| shard(i, 0.5)).collect();
+        let mut conts = containers(4, 16.0);
+        conts.push((ContainerId(4), Resources::ZERO));
+        let result = compute_placement(
+            PlacementInput {
+                shards: &shards,
+                containers: &conts,
+                current: &HashMap::new(),
+            },
+            cfg(),
+        );
+        assert_eq!(result.assignment.len(), 50, "no shard loss");
+        assert!(
+            result.assignment.values().all(|&c| c != ContainerId(4)),
+            "zero-capacity container must not be a placement target"
+        );
+        assert_eq!(result.stats.overflowed, 0);
+        assert!(result.stats.mean_util.is_finite());
+        assert!(result.stats.max_util.is_finite());
+    }
+
+    #[test]
+    fn shards_stuck_on_zero_capacity_container_are_evacuated() {
+        // Current assignment points at a container that now reports zero
+        // capacity (e.g. draining): stickiness must not keep shards there.
+        let shards: Vec<_> = (0..8).map(|i| shard(i, 0.0)).collect();
+        let mut conts = containers(2, 16.0);
+        conts.push((ContainerId(2), Resources::ZERO));
+        let mut current = HashMap::new();
+        for &(s, _) in &shards {
+            current.insert(s, ContainerId(2));
+        }
+        let result = compute_placement(
+            PlacementInput {
+                shards: &shards,
+                containers: &conts,
+                current: &current,
+            },
+            cfg(),
+        );
+        assert!(
+            result.assignment.values().all(|&c| c != ContainerId(2)),
+            "zero-load shards must not stick to a zero-capacity container"
+        );
+    }
+
+    #[test]
+    fn all_zero_capacity_tier_overflows_without_panicking() {
+        let shards: Vec<_> = (0..10).map(|i| shard(i, 1.0)).collect();
+        let conts: Vec<_> = (0..3).map(|i| (ContainerId(i), Resources::ZERO)).collect();
+        let result = compute_placement(
+            PlacementInput {
+                shards: &shards,
+                containers: &conts,
+                current: &HashMap::new(),
+            },
+            cfg(),
+        );
+        assert_eq!(result.assignment.len(), 10, "no shard loss even here");
+        assert_eq!(result.stats.overflowed, 10);
+        assert!(result.stats.mean_util.is_finite());
+    }
+
+    #[test]
+    fn mixed_tiny_and_zero_capacities_do_not_panic() {
+        let shards: Vec<_> = (0..30).map(|i| shard(i, 0.25)).collect();
+        let conts = vec![
+            (ContainerId(0), Resources::ZERO),
+            (ContainerId(1), Resources::cpu_mem(0.001, 1.0)),
+            (ContainerId(2), Resources::cpu_mem(16.0, 16384.0)),
+            (ContainerId(3), Resources::cpu_mem(16.0, 16384.0)),
+        ];
+        let result = compute_placement(
+            PlacementInput {
+                shards: &shards,
+                containers: &conts,
+                current: &HashMap::new(),
+            },
+            cfg(),
+        );
+        assert_eq!(result.assignment.len(), 30);
+        assert!(result.assignment.values().all(|&c| c != ContainerId(0)));
+        assert!(result.stats.mean_util.is_finite());
+    }
+
+    #[test]
+    fn nan_shard_load_does_not_panic_placement() {
+        // A corrupt load report: NaN in one dimension. The placement must
+        // stay total-ordered and terminate.
+        let mut shards: Vec<_> = (0..10).map(|i| shard(i, 0.5)).collect();
+        shards[3].1.cpu = f64::NAN;
+        let conts = containers(3, 16.0);
+        let result = compute_placement(
+            PlacementInput {
+                shards: &shards,
+                containers: &conts,
+                current: &HashMap::new(),
+            },
+            cfg(),
+        );
+        assert_eq!(result.assignment.len(), 10);
     }
 
     #[test]

@@ -168,6 +168,19 @@ pub enum TraceData {
         /// The container it ran in.
         container: ContainerId,
     },
+    /// A recovered checkpoint sat beyond the Scribe tail (e.g. the WAL
+    /// lost a torn tail the checkpoint had already covered) and was
+    /// clamped back so readers can resume instead of erroring forever.
+    CheckpointClamp {
+        /// The job whose checkpoint was clamped.
+        job: JobId,
+        /// The affected partition.
+        partition: u64,
+        /// The recovered (beyond-tail) offset.
+        from: u64,
+        /// The tail offset it was clamped to.
+        to: u64,
+    },
     /// The auto root-causer classified an untriaged problem.
     Diagnosis {
         /// The diagnosed job.
@@ -195,6 +208,7 @@ impl TraceData {
             TraceData::SyncOutcome { .. } => "sync_outcome",
             TraceData::Quarantine { .. } => "quarantine",
             TraceData::OomRestart { .. } => "oom_restart",
+            TraceData::CheckpointClamp { .. } => "checkpoint_clamp",
             TraceData::Diagnosis { .. } => "diagnosis",
         }
     }
@@ -206,6 +220,7 @@ impl TraceData {
             | TraceData::ScalingAction { job, .. }
             | TraceData::SyncOutcome { job, .. }
             | TraceData::Quarantine { job }
+            | TraceData::CheckpointClamp { job, .. }
             | TraceData::Diagnosis { job, .. } => Some(*job),
             TraceData::OomRestart { task, .. } => Some(task.job),
             _ => None,
@@ -225,6 +240,7 @@ impl TraceData {
                 | TraceData::SyncOutcome { .. }
                 | TraceData::Quarantine { .. }
                 | TraceData::OomRestart { .. }
+                | TraceData::CheckpointClamp { .. }
                 | TraceData::Diagnosis { .. }
         )
     }
@@ -247,6 +263,12 @@ impl TraceData {
             TraceData::OomRestart { task, container } => {
                 format!("{task} OOM-killed on {container}, restart scheduled")
             }
+            TraceData::CheckpointClamp {
+                job,
+                partition,
+                from,
+                to,
+            } => format!("{job} p{partition} checkpoint clamped {from} → {to} (beyond tail)"),
             TraceData::Diagnosis {
                 job,
                 cause,
@@ -296,6 +318,17 @@ impl TraceData {
                 field(&task.job.raw().to_le_bytes());
                 field(&task.index.to_le_bytes());
                 field(&container.raw().to_le_bytes());
+            }
+            TraceData::CheckpointClamp {
+                job,
+                partition,
+                from,
+                to,
+            } => {
+                field(&job.raw().to_le_bytes());
+                field(&partition.to_le_bytes());
+                field(&from.to_le_bytes());
+                field(&to.to_le_bytes());
             }
             TraceData::Diagnosis {
                 job,
@@ -373,6 +406,16 @@ impl TraceEvent {
                     ",\"task\":{},\"container\":{}",
                     task.index,
                     container.raw()
+                ));
+            }
+            TraceData::CheckpointClamp {
+                partition,
+                from,
+                to,
+                ..
+            } => {
+                out.push_str(&format!(
+                    ",\"partition\":{partition},\"from\":{from},\"to\":{to}"
                 ));
             }
             TraceData::Diagnosis {

@@ -334,3 +334,57 @@ fn maintenance_window_host_recovery_restores_every_task() {
     }
     assert_clean(&t);
 }
+
+#[test]
+fn torn_tail_salvage_clamps_recovered_checkpoints() {
+    use turbine_types::PartitionId;
+
+    let mut config = TurbineConfig::default();
+    config.scaler_enabled = false;
+    let mut t = Turbine::new(config);
+    t.add_hosts(4, host_shape());
+    t.enable_invariant_checks(InvariantConfig::default());
+    provision_stateless(&mut t, 1, "salvaged", 4, 2.0e6);
+    // Run long enough for several checkpoint-cadence syncs to land.
+    t.run_for(Duration::from_mins(30));
+    let job = JobId(1);
+    let backlog_before = t.durable_backlog(job).expect("readable before salvage");
+    let category = t.job_category(job).expect("category").to_string();
+
+    // WAL torn-tail salvage: every partition's durable tail rewinds to
+    // zero, stranding the persisted checkpoints beyond the new tails.
+    let partitions = t.scribe.partition_count(&category).expect("category");
+    let mut lost = 0;
+    for p in 0..partitions {
+        lost += t
+            .scribe
+            .salvage_tail(&category, PartitionId(p as u64), 0)
+            .expect("salvage");
+    }
+    assert!(lost > 0, "nothing was salvaged; test is vacuous");
+    assert!(
+        t.durable_backlog(job).is_err(),
+        "stranded checkpoints must be visible as unreadable"
+    );
+
+    // The syncer crashes and restarts: its recovery path must clamp the
+    // recovered checkpoints back to the tails and trace each clamp.
+    t.inject_fault(Fault::SyncerCrash, None);
+    t.clear_fault(&Fault::SyncerCrash);
+    t.durable_backlog(job)
+        .expect("checkpoints must be readable after recovery clamps them");
+    let clamps = t
+        .trace()
+        .events()
+        .filter(|e| e.data.kind() == "checkpoint_clamp")
+        .count();
+    assert!(clamps > 0, "clamping must surface trace events");
+
+    // And the wedge must not recur: later checkpoint rounds re-commit
+    // from the engine's consumed counters, which now exceed the salvaged
+    // tails — commits must stay capped at the tail.
+    t.run_for(Duration::from_mins(30));
+    let backlog_after = t.durable_backlog(job).expect("still readable");
+    let _ = (backlog_before, backlog_after);
+    assert_clean(&t);
+}

@@ -164,4 +164,104 @@ proptest! {
         prop_assert_eq!(s1, s2);
         prop_assert!(s1.raw() < shards);
     }
+
+    /// Degenerate capacity tiers — zero-capacity containers mixed with
+    /// tiny and normal ones — never panic the placement, never lose a
+    /// shard, and never land a shard on a zero-capacity container while a
+    /// usable one exists.
+    #[test]
+    fn degenerate_capacities_never_panic_or_misplace(
+        shards in arb_shards(),
+        caps in prop::collection::vec(
+            prop_oneof![
+                Just((0.0f64, 0.0f64)),          // fully dead container
+                (1.0e-6f64..0.1, 1.0f64..100.0), // tiny
+                (8.0f64..64.0, 16_000.0f64..256_000.0),
+            ],
+            1..16,
+        ),
+    ) {
+        let containers: Vec<(ContainerId, Resources)> = caps
+            .iter()
+            .enumerate()
+            .map(|(i, &(cpu, mem))| (ContainerId(i as u64), Resources::cpu_mem(cpu, mem)))
+            .collect();
+        let result = compute_placement(
+            PlacementInput { shards: &shards, containers: &containers, current: &HashMap::new() },
+            PlacementConfig::default(),
+        );
+        prop_assert_eq!(result.assignment.len(), shards.len(), "no shard may be lost");
+        let any_usable = caps.iter().any(|&(cpu, mem)| cpu > 0.0 || mem > 0.0);
+        if any_usable {
+            for (&shard, &target) in &result.assignment {
+                let (cpu, mem) = caps[target.raw() as usize];
+                prop_assert!(
+                    cpu > 0.0 || mem > 0.0,
+                    "{shard} placed on zero-capacity {target}"
+                );
+            }
+        }
+        prop_assert!(result.stats.mean_util.is_finite(), "stats poisoned: {:?}", result.stats);
+    }
+
+    /// The headroom band is respected wherever it is satisfiable: with a
+    /// comfortable homogeneous tier plus dead containers thrown in, no
+    /// usable container is pushed past its effective (headroom-scaled)
+    /// capacity and the dead ones stay empty.
+    #[test]
+    fn headroom_band_holds_despite_dead_containers(
+        mut shards in arb_shards(),
+        n_usable in 1usize..12,
+        n_dead in 0usize..6,
+        (cap_cpu, cap_mem) in (8.0f64..64.0, 16_000.0f64..256_000.0),
+    ) {
+        // Interleave dead containers among usable ones.
+        let mut containers = Vec::new();
+        for i in 0..(n_usable + n_dead) {
+            let cap = if i < n_usable {
+                Resources::cpu_mem(cap_cpu, cap_mem)
+            } else {
+                Resources::ZERO
+            };
+            containers.push((ContainerId(i as u64), cap));
+        }
+        containers.sort_by_key(|&(c, _)| c.raw() % 3);
+        // Same comfortable-load construction as the overflow property.
+        let shard_cap = Resources::cpu_mem(cap_cpu, cap_mem).scale(0.35);
+        for (_, load) in &mut shards {
+            *load = load.min(&shard_cap);
+        }
+        let total: Resources = shards.iter().map(|&(_, l)| l).sum();
+        let scale = f64::min(
+            0.5 * (n_usable as f64 * cap_cpu) / total.cpu.max(1e-9),
+            0.5 * (n_usable as f64 * cap_mem) / total.memory_mb.max(1e-9),
+        ).min(1.0);
+        for (_, load) in &mut shards {
+            *load = load.scale(scale);
+        }
+        let config = PlacementConfig::default();
+        let result = compute_placement(
+            PlacementInput { shards: &shards, containers: &containers, current: &HashMap::new() },
+            config,
+        );
+        prop_assert_eq!(result.stats.overflowed, 0, "stats: {:?}", result.stats);
+        // Reconstruct per-container loads and check the headroom band.
+        let mut loads: HashMap<ContainerId, Resources> = HashMap::new();
+        for (&shard, &target) in &result.assignment {
+            let load = shards.iter().find(|&&(s, _)| s == shard).expect("known shard").1;
+            *loads.entry(target).or_insert(Resources::ZERO) += load;
+        }
+        for (container, cap) in &containers {
+            let load = loads.get(container).copied().unwrap_or(Resources::ZERO);
+            if cap.is_zero() {
+                prop_assert!(load.is_zero(), "dead {container} got load {load:?}");
+            } else {
+                let effective = cap.scale(1.0 - config.headroom);
+                prop_assert!(
+                    load.fits_within(&effective),
+                    "{container} over effective capacity: {load:?} vs {effective:?}"
+                );
+            }
+        }
+    }
 }
