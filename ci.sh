@@ -18,8 +18,19 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo doc --no-deps (warnings denied) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
 
-echo "== chaos_soak smoke (30 simulated minutes, dense vs event-driven) =="
-./target/release/chaos_soak --mins 30
+echo "== slo_soak: chaos smoke + per-tier SLO gate (30 simulated minutes) =="
+# chaos_soak exits non-zero if any run diverges (dense vs event vs replay),
+# any invariant fires, any tier's p99 recovery exceeds its budget, or the
+# warm-standby fast path is less than 5x faster than the standard path.
+# The per-tier report is emitted to BENCH_slo.json; a second run must
+# reproduce the identical soak digest or the gate fails.
+./target/release/chaos_soak --mins 30 --slo BENCH_slo.json
+digest_a=$(grep -o '"slo_digest": "[^"]*"' BENCH_slo.json)
+./target/release/chaos_soak --mins 30 --slo /tmp/BENCH_slo_repeat.json > /dev/null
+digest_b=$(grep -o '"slo_digest": "[^"]*"' /tmp/BENCH_slo_repeat.json)
+[ -n "$digest_a" ] && [ "$digest_a" = "$digest_b" ] \
+    || { echo "slo_soak digest not deterministic: '$digest_a' vs '$digest_b'"; exit 1; }
+echo "slo_soak digest reproducible: $digest_a"
 
 echo "== sched_soak (event-driven scheduler speedup) =="
 ./target/release/sched_soak

@@ -12,6 +12,17 @@
 //! bit-for-bit, the replay must reproduce itself bit-for-bit, and zero
 //! invariants may fire — any miss is a non-zero exit.
 //!
+//! On top of the determinism gates the soak enforces the per-tier SLO
+//! contract: every resiliency tier that recovered must land its p99
+//! recovery time inside that tier's budget, the critical tier must have
+//! recorded at least one recovery (the timeline aims a sustained
+//! heartbeat loss at a critical job on purpose), and the warm-standby
+//! fast path must beat the standard full-sync fail-over by at least 5×
+//! on the median recovery (p99 carries one heartbeat interval of
+//! detection-phase jitter, bounded by the absolute budgets instead).
+//! Pass `--slo PATH` to emit the per-tier report as JSON
+//! (`BENCH_slo.json` in CI).
+//!
 //! The scenario itself lives in [`turbine_bench::soak`], shared with the
 //! `trace_soak` overhead benchmark.
 //!
@@ -19,10 +30,12 @@
 //! cargo run --release -p turbine-bench --bin chaos_soak            # 48 h soak
 //! cargo run --release -p turbine-bench --bin chaos_soak -- --mins 30
 //! cargo run --release -p turbine-bench --bin chaos_soak -- --hours 72 --seed 7
+//! cargo run --release -p turbine-bench --bin chaos_soak -- --mins 30 --slo BENCH_slo.json
 //! ```
 
-use turbine::{DriveMode, PlatformFingerprint};
+use turbine::{tier_slo_table, DriveMode, PlatformFingerprint, TierSlo};
 use turbine_bench::soak::{run_soak, SoakParams};
+use turbine_config::ResiliencyClass;
 use turbine_types::{Duration, SimTime};
 
 struct SoakOutcome {
@@ -34,6 +47,7 @@ struct SoakOutcome {
     total_violations: u64,
     ticks_checked: u64,
     fingerprint: PlatformFingerprint,
+    tier_slo: Vec<TierSlo>,
 }
 
 fn soak(total: Duration, seed: u64, mode: DriveMode) -> SoakOutcome {
@@ -65,13 +79,43 @@ fn soak(total: Duration, seed: u64, mode: DriveMode) -> SoakOutcome {
         total_violations: checker.total_violations(),
         ticks_checked: checker.ticks_checked(),
         fingerprint: turbine.fingerprint(),
+        tier_slo: tier_slo_table(&turbine),
     }
+}
+
+fn slo_json(total: Duration, seed: u64, tiers: &[TierSlo], slo_digest: u64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"simulated_hours\": {:.2},\n  \"seed\": \"{seed:#x}\",\n  \
+         \"slo_digest\": \"{slo_digest:#018x}\",\n  \"tiers\": [\n",
+        total.as_hours_f64()
+    ));
+    for (i, t) in tiers.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"tier\": \"{}\", \"jobs\": {}, \"recoveries\": {}, \
+             \"fast_recoveries\": {}, \"p50_ms\": {}, \"p99_ms\": {}, \
+             \"budget_ms\": {}, \"downtime_ms\": {}, \"within_budget\": {}}}{}\n",
+            t.tier.as_str(),
+            t.jobs,
+            t.recoveries,
+            t.fast_recoveries,
+            t.p50_ms,
+            t.p99_ms,
+            t.budget_ms,
+            t.downtime_ms,
+            t.within_budget(),
+            if i + 1 < tiers.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 fn main() {
     let mut hours = 48u64;
     let mut mins: Option<u64> = None;
     let mut seed = 0xC4A05u64;
+    let mut slo_path: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -80,8 +124,11 @@ fn main() {
             ("--hours", Some(v)) => hours = v,
             ("--mins", Some(v)) => mins = Some(v),
             ("--seed", Some(v)) => seed = v,
+            ("--slo", _) if args.get(i + 1).is_some() => {
+                slo_path = Some(args[i + 1].clone());
+            }
             _ => {
-                eprintln!("usage: chaos_soak [--hours H] [--mins M] [--seed S]");
+                eprintln!("usage: chaos_soak [--hours H] [--mins M] [--seed S] [--slo PATH]");
                 std::process::exit(2);
             }
         }
@@ -177,6 +224,96 @@ fn main() {
             first.fingerprint, first.trace_digest, second.fingerprint, second.trace_digest
         );
     }
+
+    println!(
+        "## per-tier SLO report (slo digest {:#018x})",
+        first.fingerprint.slo_digest
+    );
+    for t in &first.tier_slo {
+        println!(
+            "  tier {:>11}: {} job(s) | {} recover(ies), {} fast | p50 {}ms p99 {}ms \
+             (budget {}ms, {}) | downtime {}ms",
+            t.tier.as_str(),
+            t.jobs,
+            t.recoveries,
+            t.fast_recoveries,
+            t.p50_ms,
+            t.p99_ms,
+            t.budget_ms,
+            if t.within_budget() {
+                "ok"
+            } else {
+                "OVER BUDGET"
+            },
+            t.downtime_ms,
+        );
+    }
+    let tier = |c: ResiliencyClass| first.tier_slo.iter().find(|t| t.tier == c);
+    let critical = tier(ResiliencyClass::Critical);
+    let standard = tier(ResiliencyClass::Standard);
+    match critical {
+        Some(c) if c.recoveries > 0 => {
+            println!(
+                "[OK] critical tier recorded {} recover(ies), {} via the fast path",
+                c.recoveries, c.fast_recoveries
+            );
+        }
+        _ => {
+            failed = true;
+            eprintln!("SLO GATE: critical tier recorded no recoveries (fast path never exercised)");
+        }
+    }
+    for t in &first.tier_slo {
+        if !t.within_budget() {
+            failed = true;
+            eprintln!(
+                "SLO GATE: tier {} p99 recovery {}ms exceeds its {}ms budget",
+                t.tier.as_str(),
+                t.p99_ms,
+                t.budget_ms
+            );
+        }
+    }
+    if first.tier_slo.iter().all(TierSlo::within_budget) {
+        println!("[OK] every tier's p99 recovery is within its budget");
+    }
+    // The speedup gate compares medians: individual recoveries carry up
+    // to one heartbeat interval of detection-phase jitter (a sever landing
+    // right after a beat is noticed a round later), which a p99 over a
+    // long soak always absorbs while the typical path stays put. The p99
+    // absolute budgets above already bound the tail.
+    if let (Some(c), Some(s)) = (critical, standard) {
+        if c.recoveries > 0 && s.recoveries > 0 {
+            if s.p50_ms >= 5 * c.p50_ms {
+                println!(
+                    "[OK] warm-standby fast path is {:.1}x faster than the standard \
+                     full-sync path (critical p50 {}ms vs standard p50 {}ms, need 5x)",
+                    s.p50_ms as f64 / c.p50_ms as f64,
+                    c.p50_ms,
+                    s.p50_ms
+                );
+            } else {
+                failed = true;
+                eprintln!(
+                    "SLO GATE: fast path only {:.1}x faster (critical p50 {}ms vs \
+                     standard p50 {}ms, need 5x)",
+                    s.p50_ms as f64 / c.p50_ms as f64,
+                    c.p50_ms,
+                    s.p50_ms
+                );
+            }
+        }
+    }
+    if let Some(path) = &slo_path {
+        let json = slo_json(total, seed, &first.tier_slo, first.fingerprint.slo_digest);
+        if let Err(e) = std::fs::write(path, &json) {
+            failed = true;
+            eprintln!("SLO GATE: cannot write {path}: {e}");
+        } else {
+            println!("[OK] per-tier SLO report written to {path}");
+        }
+    }
+
     if failed {
         std::process::exit(1);
     }

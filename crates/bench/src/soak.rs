@@ -5,9 +5,9 @@
 
 use crate::scuba_host;
 use turbine::{DriveMode, Fault, FaultPlan, InvariantConfig, Turbine, TurbineConfig};
-use turbine_config::JobConfig;
+use turbine_config::{JobConfig, ResiliencyClass};
 use turbine_sim::SimRng;
-use turbine_types::{Duration, HostId, JobId, SimTime};
+use turbine_types::{Duration, HostId, JobId, SimTime, TaskId};
 use turbine_workloads::TrafficModel;
 
 /// One host flap derived from the seed: fail at `fail_at`, recover at
@@ -38,23 +38,48 @@ pub struct SoakParams {
 /// Build the soak platform: eight hosts, three stateless pipelines, and
 /// one stateful job with a modest key space (~1 GB of state, a few
 /// seconds per state move) so complex syncs complete well inside the
-/// convergence window.
+/// convergence window. The fleet spans all three resiliency tiers so the
+/// soak exercises the warm-standby fast path next to the standard one:
+/// `soak_counters` and the stateful `soak_sessions` are critical,
+/// `soak_events` standard, `soak_metrics` best-effort.
 pub fn build_platform(trace_enabled: bool) -> (Turbine, Vec<HostId>) {
     let mut config = TurbineConfig::default();
     config.scaler.downscale_stability = Duration::from_hours(4);
     config.trace_enabled = trace_enabled;
     let mut turbine = Turbine::new(config);
     let hosts = turbine.add_hosts(8, scuba_host());
-    for (i, &(name, tasks, rate, swing, seed)) in [
-        ("soak_events", 8u32, 6.0e6, 0.3, 101u64),
-        ("soak_metrics", 4, 3.0e6, 0.25, 102),
-        ("soak_counters", 4, 2.0e6, 0.2, 103),
+    for (i, &(name, tasks, rate, swing, seed, tier)) in [
+        (
+            "soak_events",
+            8u32,
+            6.0e6,
+            0.3,
+            101u64,
+            ResiliencyClass::Standard,
+        ),
+        (
+            "soak_metrics",
+            4,
+            3.0e6,
+            0.25,
+            102,
+            ResiliencyClass::BestEffort,
+        ),
+        (
+            "soak_counters",
+            4,
+            2.0e6,
+            0.2,
+            103,
+            ResiliencyClass::Critical,
+        ),
     ]
     .iter()
     .enumerate()
     {
         let mut jc = JobConfig::stateless(name, tasks, 64);
         jc.max_task_count = 64;
+        jc.resiliency = tier;
         turbine
             .provision_job(
                 JobId(i as u64 + 1),
@@ -67,6 +92,7 @@ pub fn build_platform(trace_enabled: bool) -> (Turbine, Vec<HostId>) {
     }
     let mut jc = JobConfig::stateless("soak_sessions", 4, 64);
     jc.max_task_count = 64;
+    jc.resiliency = ResiliencyClass::Critical;
     turbine
         .provision_stateful_job(
             JobId(4),
@@ -107,10 +133,12 @@ pub fn schedule_faults(turbine: &mut Turbine, total: Duration) {
         frac(0.40),
         Duration::from_secs(15),
     ));
+    // The sustained loss targets wherever the critical `soak_counters`
+    // job's first task landed, so every soak exercises the warm-standby
+    // promotion path on top of the standard fail-over.
     let sustained = turbine
-        .cluster
-        .containers_on(turbine.cluster.hosts()[1])
-        .expect("containers")[0];
+        .task_container(TaskId::new(JobId(3), 0))
+        .expect("soak_counters task 0 placed");
     turbine.schedule_fault(plan(
         Fault::HeartbeatLoss(sustained),
         frac(0.50),

@@ -102,6 +102,7 @@ pub fn run_scenario_traced(scenario: &Scenario) -> TracedRun {
         let id = JobId(i as u64 + 1);
         let mut jc = JobConfig::stateless(&job.name, job.tasks, job.partitions);
         jc.max_task_count = job.max_tasks.max(job.tasks);
+        jc.resiliency = job.resiliency;
         let traffic = TrafficModel::diurnal(job.rate_mbps * 1.0e6, job.diurnal, job.seed);
         if job.stateful_keys > 0.0 {
             turbine

@@ -5,7 +5,7 @@
 //! same deterministic parse/print semantics as job configurations.
 
 use std::fmt;
-use turbine_config::ConfigValue;
+use turbine_config::{ConfigValue, ResiliencyClass};
 
 /// A job described by a scenario.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,6 +26,9 @@ pub struct ScenarioJob {
     pub stateful_keys: f64,
     /// Seed for the job's traffic noise.
     pub seed: u64,
+    /// Resiliency class (`best_effort`/`standard`/`critical`); critical
+    /// jobs get a warm standby and the fast fail-over path.
+    pub resiliency: ResiliencyClass,
 }
 
 /// One timeline event.
@@ -220,6 +223,15 @@ impl Scenario {
                     "job '{name}': need 1 <= tasks <= partitions (got {tasks}/{partitions})"
                 )));
             }
+            let resiliency = match jv.get_path("resiliency").and_then(|x| x.as_str()) {
+                None => ResiliencyClass::Standard,
+                Some(s) => ResiliencyClass::from_str(s).ok_or_else(|| {
+                    err(format!(
+                        "job '{name}': unknown resiliency class '{s}' \
+                         (one of: best_effort, standard, critical)"
+                    ))
+                })?,
+            };
             jobs.push(ScenarioJob {
                 name,
                 tasks,
@@ -229,6 +241,7 @@ impl Scenario {
                 max_tasks: get_u64(jv, "max_tasks", Some(64))? as u32,
                 stateful_keys: get_f64(jv, "stateful_keys", Some(0.0))?,
                 seed: get_u64(jv, "seed", Some(i as u64))?,
+                resiliency,
             });
         }
 
@@ -447,8 +460,26 @@ mod tests {
         assert_eq!(s.hosts, 4);
         assert_eq!(s.jobs[0].tasks, 1);
         assert_eq!(s.jobs[0].partitions, 64);
+        assert_eq!(s.jobs[0].resiliency, ResiliencyClass::Standard);
         assert!(s.scaler_enabled);
         assert!(s.events.is_empty());
+    }
+
+    #[test]
+    fn resiliency_classes_parse_and_validate() {
+        let s = Scenario::parse(
+            r#"{"jobs": [
+                  {"name": "a", "resiliency": "critical"},
+                  {"name": "b", "resiliency": "best_effort"}
+                ]}"#,
+        )
+        .expect("parse");
+        assert_eq!(s.jobs[0].resiliency, ResiliencyClass::Critical);
+        assert_eq!(s.jobs[1].resiliency, ResiliencyClass::BestEffort);
+        assert!(
+            Scenario::parse(r#"{"jobs": [{"name": "a", "resiliency": "platinum"}]}"#).is_err(),
+            "unknown resiliency class"
+        );
     }
 
     #[test]

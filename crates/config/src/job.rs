@@ -51,6 +51,54 @@ impl MemoryEnforcement {
     }
 }
 
+/// Per-job resiliency class: how aggressively the platform defends the
+/// job's availability when containers fail. Tiers trade standby capacity
+/// for recovery speed — `Critical` jobs keep a warm standby on a distinct
+/// host and fail over on a fast path that skips the full sync round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum ResiliencyClass {
+    /// No recovery-time guarantee; restarts ride the normal rebalance.
+    BestEffort,
+    /// The paper's default: fail-over after the 60 s interval plus a
+    /// restart delay, through the standard sync path.
+    #[default]
+    Standard,
+    /// Warm standby on a distinct host; heartbeat loss promotes it via the
+    /// fast path (no full State Syncer round, no restart delay).
+    Critical,
+}
+
+impl ResiliencyClass {
+    /// Canonical serialized name of the class.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ResiliencyClass::BestEffort => "best_effort",
+            ResiliencyClass::Standard => "standard",
+            ResiliencyClass::Critical => "critical",
+        }
+    }
+
+    /// Parse a canonical class name; `None` for unknown strings (the
+    /// `Option` return is the point — callers branch, they don't want a
+    /// `FromStr` error type).
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(s: &str) -> Option<Self> {
+        match s {
+            "best_effort" => Some(ResiliencyClass::BestEffort),
+            "standard" => Some(ResiliencyClass::Standard),
+            "critical" => Some(ResiliencyClass::Critical),
+            _ => None,
+        }
+    }
+
+    /// All classes, in tier order (for dashboards and SLO reports).
+    pub const ALL: [ResiliencyClass; 3] = [
+        ResiliencyClass::BestEffort,
+        ResiliencyClass::Standard,
+        ResiliencyClass::Critical,
+    ];
+}
+
 /// Fully resolved configuration of one streaming job: everything the Task
 /// Service needs to expand the job into task specs, and everything the Auto
 /// Scaler needs to reason about its resources.
@@ -89,6 +137,10 @@ pub struct JobConfig {
     /// Upper limit on `task_count` enforced against runaway scaling (the
     /// paper's default is 32 for unprivileged Scuba tailers).
     pub max_task_count: u32,
+    /// Resiliency tier: how fast the platform must recover the job when
+    /// its container fails (warm standby + fast-path fail-over for
+    /// `Critical`).
+    pub resiliency: ResiliencyClass,
 }
 
 impl JobConfig {
@@ -115,6 +167,7 @@ impl JobConfig {
             slo_lag_secs: 90.0,
             memory_enforcement: MemoryEnforcement::SoftLimit,
             max_task_count: 32,
+            resiliency: ResiliencyClass::Standard,
         }
     }
 
@@ -184,6 +237,7 @@ impl JobConfig {
             self.memory_enforcement.as_str().into(),
         );
         v.insert("max_task_count", self.max_task_count.into());
+        v.insert("resiliency", self.resiliency.as_str().into());
         v
     }
 
@@ -221,6 +275,20 @@ impl JobConfig {
             MemoryEnforcement::from_str(&enforcement_str).ok_or_else(|| {
                 ValidationError::new(&format!("unknown memory_enforcement '{enforcement_str}'"))
             })?;
+        // Absent means Standard (configs written before resiliency tiers
+        // existed stay decodable); a present-but-unknown string is a type
+        // error like any other enum field.
+        let resiliency = match v.get_path("resiliency") {
+            None => ResiliencyClass::Standard,
+            Some(x) => {
+                let s = x
+                    .as_str()
+                    .ok_or_else(|| ValidationError::new("field 'resiliency' must be a string"))?;
+                ResiliencyClass::from_str(s).ok_or_else(|| {
+                    ValidationError::new(&format!("unknown resiliency class '{s}'"))
+                })?
+            }
+        };
 
         let config = JobConfig {
             package: PackageSpec {
@@ -261,6 +329,7 @@ impl JobConfig {
             slo_lag_secs: get_f64("slo_lag_secs")?,
             memory_enforcement,
             max_task_count: get_u32("max_task_count")?,
+            resiliency,
         };
         Ok(config)
     }
@@ -324,9 +393,31 @@ mod tests {
         cfg.stateful = true;
         cfg.priority = Priority::Privileged;
         cfg.memory_enforcement = MemoryEnforcement::Cgroup;
+        cfg.resiliency = ResiliencyClass::Critical;
         cfg.task_resources = Resources::new(2.5, 1024.0, 4096.0, 12.5);
         let decoded = JobConfig::from_value(&cfg.to_value()).expect("decode");
         assert_eq!(decoded, cfg);
+    }
+
+    #[test]
+    fn resiliency_defaults_to_standard_when_absent() {
+        // Configs persisted before the resiliency field existed must keep
+        // decoding (the Job Store replays old WAL entries on recovery).
+        let mut v = JobConfig::stateless("tailer", 2, 8).to_value();
+        v.as_map_mut().expect("map").remove("resiliency");
+        let cfg = JobConfig::from_value(&v).expect("decode");
+        assert_eq!(cfg.resiliency, ResiliencyClass::Standard);
+    }
+
+    #[test]
+    fn resiliency_names_roundtrip_and_reject_unknowns() {
+        for class in ResiliencyClass::ALL {
+            assert_eq!(ResiliencyClass::from_str(class.as_str()), Some(class));
+        }
+        assert_eq!(ResiliencyClass::from_str("platinum"), None);
+        let mut v = JobConfig::stateless("t", 1, 1).to_value();
+        v.insert("resiliency", "platinum".into());
+        assert!(JobConfig::from_value(&v).is_err());
     }
 
     #[test]

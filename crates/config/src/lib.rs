@@ -18,7 +18,7 @@ pub mod merge;
 pub mod text;
 pub mod value;
 
-pub use job::{JobConfig, MemoryEnforcement, PackageSpec, ValidationError};
+pub use job::{JobConfig, MemoryEnforcement, PackageSpec, ResiliencyClass, ValidationError};
 pub use level::ConfigLevel;
 pub use merge::{layer_all, layer_configs};
 pub use text::{parse, to_text, ParseError};

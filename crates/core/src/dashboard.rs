@@ -8,9 +8,11 @@
 //! [`FleetHealth`] snapshot with per-job drill-down, renderable as the
 //! text dashboard operators read.
 
+use crate::metrics::recovery_budget;
 use crate::platform::Turbine;
 use std::fmt::Write as _;
-use turbine_types::JobId;
+use turbine_config::ResiliencyClass;
+use turbine_types::{Cdf, JobId};
 
 /// Why a job shows up in the unhealthy drill-down.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +52,37 @@ impl std::fmt::Display for HealthIssue {
     }
 }
 
+/// Per-resiliency-tier SLO accounting: how often jobs of the tier went
+/// down to faults, how fast they came back, and how that compares with
+/// the tier's recovery budget.
+#[derive(Debug, Clone)]
+pub struct TierSlo {
+    /// The tier.
+    pub tier: ResiliencyClass,
+    /// Jobs currently configured in this tier.
+    pub jobs: usize,
+    /// Fault-attributed outages that closed.
+    pub recoveries: usize,
+    /// Of those, recoveries via the warm-standby fast path.
+    pub fast_recoveries: usize,
+    /// Median recovery time, ms (0 with no samples).
+    pub p50_ms: u64,
+    /// 99th-percentile recovery time, ms (0 with no samples).
+    pub p99_ms: u64,
+    /// Accumulated fault-attributed downtime, ms.
+    pub downtime_ms: u64,
+    /// The tier's recovery budget, ms.
+    pub budget_ms: u64,
+}
+
+impl TierSlo {
+    /// True when the tier's observed p99 recovery stays within budget
+    /// (vacuously true with no samples).
+    pub fn within_budget(&self) -> bool {
+        self.recoveries == 0 || self.p99_ms <= self.budget_ms
+    }
+}
+
 /// A point-in-time fleet health snapshot.
 #[derive(Debug, Clone)]
 pub struct FleetHealth {
@@ -69,6 +102,8 @@ pub struct FleetHealth {
     /// about it, newest first, rendered from the causal trace ("what has
     /// the platform already tried?"). Empty when tracing is disabled.
     pub recent_decisions: Vec<(JobId, Vec<String>)>,
+    /// Per-tier SLO accounting, in tier order (best-effort → critical).
+    pub tier_slo: Vec<TierSlo>,
 }
 
 impl FleetHealth {
@@ -106,8 +141,69 @@ impl FleetHealth {
                 }
             }
         }
+        for t in &self.tier_slo {
+            if t.jobs == 0 && t.recoveries == 0 {
+                continue;
+            }
+            let verdict = if t.within_budget() {
+                "ok"
+            } else {
+                "OVER BUDGET"
+            };
+            let _ = writeln!(
+                out,
+                "tier {}: {} job(s) | {} recover(ies), {} fast | p50 {}ms p99 {}ms \
+                 (budget {}ms, {verdict}) | downtime {}ms",
+                t.tier.as_str(),
+                t.jobs,
+                t.recoveries,
+                t.fast_recoveries,
+                t.p50_ms,
+                t.p99_ms,
+                t.budget_ms,
+                t.downtime_ms,
+            );
+        }
         out
     }
+}
+
+/// Build the per-tier SLO accounting table from a platform's metrics.
+pub fn tier_slo_table(turbine: &Turbine) -> Vec<TierSlo> {
+    ResiliencyClass::ALL
+        .iter()
+        .map(|&tier| {
+            let jobs = turbine
+                .job_ids()
+                .into_iter()
+                .filter(|&j| turbine.job_resiliency(j) == tier)
+                .count();
+            let samples_ms = turbine.metrics.tier_recovery_ms(tier);
+            let samples: Vec<f64> = samples_ms.iter().map(|&ms| ms as f64).collect();
+            let cdf = Cdf::from_samples(&samples);
+            let fast = turbine
+                .metrics
+                .recoveries
+                .iter()
+                .filter(|r| r.tier == tier && r.fast)
+                .count();
+            TierSlo {
+                tier,
+                jobs,
+                recoveries: samples_ms.len(),
+                fast_recoveries: fast,
+                p50_ms: cdf.quantile(0.50).unwrap_or(0.0) as u64,
+                p99_ms: cdf.quantile(0.99).unwrap_or(0.0) as u64,
+                downtime_ms: turbine
+                    .metrics
+                    .tier_downtime_ms
+                    .get(&tier)
+                    .copied()
+                    .unwrap_or(0),
+                budget_ms: recovery_budget(tier).as_millis(),
+            }
+        })
+        .collect()
 }
 
 /// Decisions shown per unhealthy job in the dashboard drill-down.
@@ -187,6 +283,7 @@ pub fn fleet_health(turbine: &Turbine) -> FleetHealth {
         },
         unhealthy,
         recent_decisions,
+        tier_slo: tier_slo_table(turbine),
     }
 }
 
@@ -301,9 +398,38 @@ mod tests {
                     "[t+30.00m] diagnosed job 2: unknown -> alert_and_wait".to_string(),
                 ],
             )],
+            tier_slo: vec![
+                TierSlo {
+                    tier: ResiliencyClass::Critical,
+                    jobs: 1,
+                    recoveries: 3,
+                    fast_recoveries: 3,
+                    p50_ms: 10_000,
+                    p99_ms: 20_000,
+                    downtime_ms: 40_000,
+                    budget_ms: 30_000,
+                },
+                TierSlo {
+                    tier: ResiliencyClass::Standard,
+                    jobs: 2,
+                    recoveries: 1,
+                    fast_recoveries: 0,
+                    p50_ms: 70_000,
+                    p99_ms: 170_000,
+                    downtime_ms: 170_000,
+                    budget_ms: 150_000,
+                },
+            ],
         };
         let rendered = health.render();
         assert!(rendered.contains("unhealthy jobs (4):"), "{rendered}");
+        assert!(rendered.contains("tier critical: 1 job(s)"), "{rendered}");
+        assert!(
+            rendered.contains("p99 20000ms (budget 30000ms, ok)"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("tier standard: 2 job(s)"), "{rendered}");
+        assert!(rendered.contains("OVER BUDGET"), "{rendered}");
         assert!(rendered.contains("5/8 tasks running"), "{rendered}");
         assert!(rendered.contains("lagging 240s (SLO 90s)"), "{rendered}");
         assert!(

@@ -22,7 +22,18 @@
 //! 6. **Justified quarantine** — a job is quarantined only after the
 //!    configured number of consecutive sync failures.
 //!
-//! Safety violations (1–4, 6) are recorded on their rising edge; the
+//! 7. **Standby isolation** — a critical job's warm standby never shares
+//!    a host with one of the job's primary tasks (a single host failure
+//!    must not take out both).
+//! 8. **Standby never commits** — the shadow-consumption path never
+//!    writes the checkpoint store (single-writer checkpoint safety).
+//! 9. **Single owner after promotion** — a promoted job's tasks run only
+//!    on the promoted container, never also on another live Task Manager.
+//! 10. **Clean revival** — a container revived after being declared dead
+//!     rejoins with zero shards still mapped to it (fail-over already
+//!     reassigned them).
+//!
+//! Safety violations (1–4, 6–10) are recorded on their rising edge; the
 //! convergence liveness check (5) tracks per-job divergence episodes so
 //! legitimate in-flight syncs (scaler updates, complex syncs moving state)
 //! never count against the window.
@@ -31,6 +42,7 @@ use crate::engine::Engine;
 use std::collections::{BTreeMap, BTreeSet};
 use turbine_cluster::Cluster;
 use turbine_jobstore::{JobService, MemWal};
+use turbine_scribe::ShadowCursor;
 use turbine_shardmgr::ShardManager;
 use turbine_statesyncer::StateSyncer;
 use turbine_taskmgr::LocalTaskManager;
@@ -96,6 +108,13 @@ pub struct InvariantView<'a> {
     /// When the system last became fault-free (`None` while any fault is
     /// active). `Some(SimTime::ZERO)` if no fault was ever injected.
     pub quiet_since: Option<SimTime>,
+    /// The shadow cursors of warm standbys (illegal-commit counter).
+    pub shadow: &'a ShadowCursor,
+    /// Standby promotions since the last check: (job, promoted container).
+    pub fresh_promotions: &'a [(JobId, ContainerId)],
+    /// Container revivals since the last check: (container, shards still
+    /// mapped to it at revival time).
+    pub fresh_revivals: &'a [(ContainerId, usize)],
 }
 
 /// Continuous invariant checker.
@@ -148,6 +167,10 @@ impl InvariantChecker {
         self.check_task_and_shard_ownership(view, &mut fresh, &mut seen);
         self.check_host_overcommit(view, &mut fresh, &mut seen);
         self.check_quarantine_justified(view, &mut fresh, &mut seen);
+        self.check_standby_isolation(view, &mut fresh, &mut seen);
+        self.check_standby_never_commits(view, &mut fresh, &mut seen);
+        self.check_promotion_single_owner(view, &mut fresh, &mut seen);
+        self.check_revival_clean(view, &mut fresh, &mut seen);
 
         // Rising-edge bookkeeping: record only newly-violated keys, forget
         // keys whose condition cleared.
@@ -285,6 +308,117 @@ impl InvariantChecker {
                     key,
                     "quarantine-after-max-failures",
                     format!("{job} quarantined after only {count}/{max} failures"),
+                ));
+            }
+        }
+    }
+
+    /// Invariant 7: a warm standby never shares a host with one of its
+    /// job's primary tasks, and never runs the job's tasks itself before
+    /// promotion.
+    fn check_standby_isolation(
+        &mut self,
+        view: &InvariantView<'_>,
+        fresh: &mut Vec<(String, &'static str, String)>,
+        seen: &mut BTreeSet<String>,
+    ) {
+        for (job, standby) in view.shard_manager.standbys() {
+            let standby_host = view.cluster.host_of(standby).ok();
+            for (&task, active) in view.engine.tasks_of_job(job) {
+                let conflict = active.container == standby
+                    || (standby_host.is_some()
+                        && view.cluster.host_of(active.container).ok() == standby_host);
+                if conflict {
+                    let key = format!("standby:{job:?}");
+                    seen.insert(key.clone());
+                    fresh.push((
+                        key,
+                        "standby-isolated",
+                        format!(
+                            "{job} standby {standby} shares a host with primary {task:?} on {}",
+                            active.container
+                        ),
+                    ));
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Invariant 8: the shadow-consumption path never commits checkpoints.
+    fn check_standby_never_commits(
+        &mut self,
+        view: &InvariantView<'_>,
+        fresh: &mut Vec<(String, &'static str, String)>,
+        seen: &mut BTreeSet<String>,
+    ) {
+        let illegal = view.shadow.illegal_commits();
+        if illegal > 0 {
+            let key = "shadow-commit".to_string();
+            seen.insert(key.clone());
+            fresh.push((
+                key,
+                "standby-never-commits",
+                format!("{illegal} checkpoint commit(s) attempted through the shadow path"),
+            ));
+        }
+    }
+
+    /// Invariant 9: right after a promotion, the promoted job's tasks run
+    /// only on the promoted container — no other live Task Manager still
+    /// claims them.
+    fn check_promotion_single_owner(
+        &mut self,
+        view: &InvariantView<'_>,
+        fresh: &mut Vec<(String, &'static str, String)>,
+        seen: &mut BTreeSet<String>,
+    ) {
+        for &(job, to) in view.fresh_promotions {
+            let Some(tm) = view.task_managers.get(&to) else {
+                continue;
+            };
+            let promoted: BTreeSet<TaskId> = tm
+                .running_tasks()
+                .map(|(&t, _)| t)
+                .filter(|t| t.job == job)
+                .collect();
+            for (&container, other) in view.task_managers {
+                if container == to || !view.live_containers.contains(&container) {
+                    continue;
+                }
+                for (&task, _) in other.running_tasks() {
+                    if promoted.contains(&task) {
+                        let key = format!("promotion:{task:?}");
+                        seen.insert(key.clone());
+                        fresh.push((
+                            key,
+                            "promotion-single-owner",
+                            format!(
+                                "{job} promoted to {to} but {task:?} still runs in {container}"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Invariant 10: a revived container's shards were already reassigned
+    /// by the fail-over — it must rejoin empty.
+    fn check_revival_clean(
+        &mut self,
+        view: &InvariantView<'_>,
+        fresh: &mut Vec<(String, &'static str, String)>,
+        seen: &mut BTreeSet<String>,
+    ) {
+        for &(container, stale_shards) in view.fresh_revivals {
+            if stale_shards > 0 {
+                let key = format!("revival:{container:?}:{}", view.now.as_millis());
+                seen.insert(key.clone());
+                fresh.push((
+                    key,
+                    "container-revival-clean",
+                    format!("{container} revived with {stale_shards} shard(s) still mapped to it"),
                 ));
             }
         }

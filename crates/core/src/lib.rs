@@ -44,9 +44,9 @@ pub mod invariants;
 pub mod metrics;
 pub mod platform;
 
-pub use dashboard::{fleet_health, FleetHealth, HealthIssue};
+pub use dashboard::{fleet_health, tier_slo_table, FleetHealth, HealthIssue, TierSlo};
 pub use invariants::{InvariantChecker, InvariantConfig, InvariantView, Violation};
-pub use metrics::{DiagnosisRecord, PlatformMetrics};
+pub use metrics::{recovery_budget, DiagnosisRecord, PlatformMetrics, RecoveryRecord};
 pub use platform::{
     ControlEvent, DriveMode, JobStatus, PlatformFingerprint, Turbine, TurbineConfig,
 };

@@ -7,8 +7,9 @@
 
 use std::collections::BTreeMap;
 use turbine_autoscaler::{Mitigation, RootCause};
+use turbine_config::ResiliencyClass;
 use turbine_trace::TraceId;
-use turbine_types::{Counter, JobId, Percentiles, SimTime, TimeSeries};
+use turbine_types::{Counter, Duration, JobId, Percentiles, SimTime, TimeSeries};
 
 /// One percentile band series (p5/p50/p95 + mean over hosts).
 #[derive(Debug, Default, Clone)]
@@ -60,6 +61,34 @@ pub struct DiagnosisRecord {
     pub trace: Option<TraceId>,
 }
 
+/// The recovery-time budget a resiliency tier promises (the per-tier SLO
+/// the soak gate holds p99 recovery against). Critical jobs ride the
+/// warm-standby fast path and promise an order of magnitude less downtime
+/// than the full state-sync fail-over path behind the other tiers.
+pub fn recovery_budget(tier: ResiliencyClass) -> Duration {
+    match tier {
+        ResiliencyClass::Critical => Duration::from_secs(30),
+        ResiliencyClass::Standard => Duration::from_secs(150),
+        ResiliencyClass::BestEffort => Duration::from_secs(300),
+    }
+}
+
+/// One fault-attributed outage that ended: how long the job was below its
+/// running-config task count, and which recovery path closed it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryRecord {
+    /// When the job recovered (outage end).
+    pub at: SimTime,
+    /// The recovered job.
+    pub job: JobId,
+    /// The job's resiliency tier at recovery time.
+    pub tier: ResiliencyClass,
+    /// Outage duration in milliseconds, measured from fault onset.
+    pub ms: u64,
+    /// True when a warm-standby promotion (fast path) ended the outage.
+    pub fast: bool,
+}
+
 /// All platform metrics captured during a run.
 #[derive(Debug, Default)]
 pub struct PlatformMetrics {
@@ -104,8 +133,16 @@ pub struct PlatformMetrics {
     /// event-driven scheduler skips quiescent grid instants, so this is
     /// the direct measure of sparse-jump savings vs the dense stepper).
     pub ticks_executed: Counter,
+    /// Warm-standby promotions (fast-path fail-overs).
+    pub standby_promotions: Counter,
+    /// Containers that came back after being declared dead and failed over.
+    pub container_revivals: Counter,
     /// Root-cause diagnoses produced for untriaged problems.
     pub diagnoses: Vec<DiagnosisRecord>,
+    /// Every fault-attributed outage that closed, in recovery order.
+    pub recoveries: Vec<RecoveryRecord>,
+    /// Accumulated fault-attributed downtime per resiliency tier, ms.
+    pub tier_downtime_ms: BTreeMap<ResiliencyClass, u64>,
 }
 
 impl PlatformMetrics {
@@ -118,6 +155,35 @@ impl PlatformMetrics {
     /// True if the job is being watched.
     pub fn is_watched(&self, job: JobId) -> bool {
         self.watched_job_lag.contains_key(&job)
+    }
+
+    /// Close one fault-attributed outage: append the recovery sample and
+    /// charge the downtime to the job's tier.
+    pub fn record_recovery(
+        &mut self,
+        at: SimTime,
+        job: JobId,
+        tier: ResiliencyClass,
+        ms: u64,
+        fast: bool,
+    ) {
+        *self.tier_downtime_ms.entry(tier).or_insert(0) += ms;
+        self.recoveries.push(RecoveryRecord {
+            at,
+            job,
+            tier,
+            ms,
+            fast,
+        });
+    }
+
+    /// Recovery durations (ms) sampled for one tier, in recovery order.
+    pub fn tier_recovery_ms(&self, tier: ResiliencyClass) -> Vec<u64> {
+        self.recoveries
+            .iter()
+            .filter(|r| r.tier == tier)
+            .map(|r| r.ms)
+            .collect()
     }
 }
 
@@ -152,6 +218,42 @@ mod tests {
         assert!(
             band.p50.points().iter().all(|(_, v)| v.is_finite()),
             "no NaN in the series"
+        );
+    }
+
+    #[test]
+    fn recoveries_accumulate_per_tier() {
+        let mut m = PlatformMetrics::default();
+        m.record_recovery(
+            SimTime::ZERO,
+            JobId(1),
+            ResiliencyClass::Critical,
+            20_000,
+            true,
+        );
+        m.record_recovery(
+            SimTime::ZERO,
+            JobId(2),
+            ResiliencyClass::Standard,
+            70_000,
+            false,
+        );
+        m.record_recovery(
+            SimTime::ZERO,
+            JobId(1),
+            ResiliencyClass::Critical,
+            10_000,
+            true,
+        );
+        assert_eq!(
+            m.tier_recovery_ms(ResiliencyClass::Critical),
+            vec![20_000, 10_000]
+        );
+        assert_eq!(m.tier_downtime_ms[&ResiliencyClass::Critical], 30_000);
+        assert_eq!(m.tier_downtime_ms[&ResiliencyClass::Standard], 70_000);
+        assert!(m.tier_recovery_ms(ResiliencyClass::BestEffort).is_empty());
+        assert!(
+            recovery_budget(ResiliencyClass::Critical) < recovery_budget(ResiliencyClass::Standard)
         );
     }
 

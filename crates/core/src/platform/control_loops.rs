@@ -5,17 +5,17 @@
 //! component table — these bodies only do the round's work at the instant
 //! they are invoked.
 
-use super::Turbine;
+use super::{OutageState, Turbine};
 use crate::engine::Engine;
 use crate::metrics::DiagnosisRecord;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use turbine_autoscaler::{DiagnosisInput, JobMetrics, Mitigation, ScalingAction};
-use turbine_config::{ConfigLevel, JobConfig};
-use turbine_shardmgr::ShardMovement;
+use turbine_config::{ConfigLevel, JobConfig, ResiliencyClass};
+use turbine_shardmgr::{ContainerStatus, ShardMovement};
 use turbine_statesyncer::{Redistribute, SyncEnvironment};
 use turbine_taskmgr::{LocalTaskManager, TaskEvent, TaskService};
 use turbine_trace::TraceData;
-use turbine_types::{ContainerId, Duration, JobId, Resources, SimTime};
+use turbine_types::{ContainerId, Duration, JobId, PartitionId, Resources, SimTime};
 
 impl Turbine {
     /// Heartbeats + proactive reboot of disconnected containers.
@@ -39,19 +39,87 @@ impl Turbine {
                     all_events.extend(tm.drop_shard(shard));
                 }
             }
+            // The reboot takes the container's tasks down: this is a
+            // fault-attributed outage for every affected job, measured
+            // from the connectivity loss (not the reboot).
+            let since = self
+                .container_down_since
+                .get(&container)
+                .copied()
+                .unwrap_or(now);
+            let affected: BTreeSet<JobId> = all_events
+                .iter()
+                .filter_map(|e| match e {
+                    TaskEvent::Stopped(id) => Some(id.job),
+                    _ => None,
+                })
+                .collect();
+            for job in affected {
+                self.open_outage(job, since);
+            }
             self.handle_task_events(container, &all_events);
         }
-        for &container in self.task_managers.keys() {
-            if healthy.contains(&container) && !self.severed.contains_key(&container) {
-                self.shard_manager.heartbeat(container, now);
+        let containers: Vec<ContainerId> = self.task_managers.keys().copied().collect();
+        for container in containers {
+            if healthy.contains(&container)
+                && !self.severed.contains_key(&container)
+                && self.shard_manager.heartbeat(container, now)
+            {
+                // A container we declared dead (and failed over) came
+                // back. Its shards must already live elsewhere — the
+                // revival is surfaced rather than silently absorbed.
+                let stale_shards = self.shard_manager.shards_of(container).len();
+                self.metrics.container_revivals.incr();
+                self.trace.emit(
+                    now,
+                    TraceData::ContainerRevived {
+                        container,
+                        stale_shards,
+                    },
+                );
+                if self.invariants.is_some() {
+                    self.fresh_revivals.push((container, stale_shards));
+                }
             }
         }
     }
 
     /// Shard Manager fail-over check (piggybacks the heartbeat cadence).
+    /// The warm-standby fast path runs first: a critical job whose primary
+    /// went suspect is promoted without waiting for the full fail-over
+    /// interval. Then the standard path declares dead containers and moves
+    /// their shards, standbys are (re)placed, and the SLO check closes any
+    /// outage whose job is back at full strength.
     pub(crate) fn failover_check(&mut self) {
+        self.promote_suspect_primaries();
+        let alive_before = self.shard_manager.alive_containers();
         let failover_moves = self.shard_manager.check_failover(self.now);
         if !failover_moves.is_empty() {
+            // Outages are attributed before the movements execute: every
+            // job with a task on a newly dead container went down when
+            // that container lost connectivity, not when we noticed.
+            let newly_dead: BTreeSet<ContainerId> = alive_before
+                .into_iter()
+                .filter(|&c| self.shard_manager.status(c) == Some(ContainerStatus::Dead))
+                .collect();
+            let mut affected: BTreeMap<JobId, SimTime> = BTreeMap::new();
+            for (id, task) in self.engine.tasks() {
+                if !newly_dead.contains(&task.container) {
+                    continue;
+                }
+                let since = self
+                    .container_down_since
+                    .get(&task.container)
+                    .copied()
+                    .unwrap_or(self.now);
+                let slot = affected.entry(id.job).or_insert(since);
+                if since < *slot {
+                    *slot = since;
+                }
+            }
+            for (job, since) in affected {
+                self.open_outage(job, since);
+            }
             self.metrics.failovers.incr();
             self.trace.emit(
                 self.now,
@@ -60,6 +128,270 @@ impl Turbine {
                 },
             );
             self.apply_movements(&failover_moves);
+        }
+        self.ensure_standbys();
+        self.slo_check();
+    }
+
+    /// Open a fault-attributed outage for a job (idempotent: an already
+    /// open outage keeps its original onset).
+    fn open_outage(&mut self, job: JobId, since: SimTime) {
+        self.outages
+            .entry(job)
+            .or_insert(OutageState { since, fast: false });
+    }
+
+    /// The fast fail-over path: promote the warm standby of any critical
+    /// job whose primary container has gone suspect (missed heartbeats for
+    /// the standby grace period, but not yet long enough for the standard
+    /// path to declare it dead). The promotion hands the suspect shards to
+    /// the standby, which starts their tasks without the cold restart
+    /// delay — it was already shadow-consuming the input. A suspect,
+    /// severed, or host-dead standby is dropped instead of promoted: the
+    /// job then degrades to the standard fail-over path (double fault).
+    fn promote_suspect_primaries(&mut self) {
+        let now = self.now;
+        let registrations: Vec<(JobId, ContainerId)> = self.shard_manager.standbys().collect();
+        for (job, standby) in registrations {
+            if self.shard_manager.is_suspect(standby, now)
+                || self.severed.contains_key(&standby)
+                || !self.cluster.is_container_healthy(standby)
+            {
+                self.shard_manager.clear_standby(job);
+                self.shadow.remove_job(job);
+                continue;
+            }
+            let mut suspect_shards = Vec::new();
+            let mut onset: Option<SimTime> = None;
+            for (&id, task) in self.engine.tasks_of_job(job) {
+                if !self.shard_manager.is_suspect(task.container, now) {
+                    continue;
+                }
+                suspect_shards.push(turbine_taskmgr::shard_of_task(id, self.config.shard_count));
+                let since = self
+                    .container_down_since
+                    .get(&task.container)
+                    .copied()
+                    .unwrap_or(now);
+                if onset.is_none_or(|o| since < o) {
+                    onset = Some(since);
+                }
+            }
+            if suspect_shards.is_empty() {
+                continue;
+            }
+            suspect_shards.sort_unstable();
+            suspect_shards.dedup();
+            let Some((to, moves)) = self.shard_manager.promote_standby(job, &suspect_shards) else {
+                continue;
+            };
+            self.metrics.standby_promotions.incr();
+            self.trace.emit(
+                now,
+                TraceData::StandbyPromoted {
+                    job,
+                    to,
+                    moves: moves.len(),
+                },
+            );
+            if self.engine.job(job).is_some_and(|rt| rt.stateful) {
+                // The standby's shadow state makes the next checkpoint
+                // redistribution free: no state move, no pause.
+                self.syncer.grant_warm_handoff(job);
+            }
+            self.shadow.remove_job(job);
+            if self.invariants.is_some() {
+                self.fresh_promotions.push((job, to));
+            }
+            let since = onset.unwrap_or(now);
+            self.outages
+                .entry(job)
+                .and_modify(|o| o.fast = true)
+                .or_insert(OutageState { since, fast: true });
+            self.apply_promotion(&moves);
+        }
+    }
+
+    /// Keep every critical running job covered by a valid warm standby:
+    /// drop registrations that are no longer valid (job deleted or
+    /// demoted, standby unhealthy or co-hosted with a primary), then place
+    /// a standby for any critical job lacking one.
+    fn ensure_standbys(&mut self) {
+        let now = self.now;
+        let critical: Vec<JobId> = self
+            .jobs
+            .store()
+            .running_jobs()
+            .into_iter()
+            .filter(|&j| {
+                self.job_resiliency(j) == ResiliencyClass::Critical && self.engine.job(j).is_some()
+            })
+            .collect();
+        let registrations: Vec<(JobId, ContainerId)> = self.shard_manager.standbys().collect();
+        let mut tasks_on: BTreeMap<ContainerId, usize> = BTreeMap::new();
+        for (_, task) in self.engine.tasks() {
+            *tasks_on.entry(task.container).or_insert(0) += 1;
+        }
+        for (job, standby) in registrations {
+            let mut valid = critical.contains(&job)
+                && self.shard_manager.status(standby) == Some(ContainerStatus::Alive)
+                && self.cluster.is_container_healthy(standby)
+                && !self.severed.contains_key(&standby)
+                && !self.standby_conflicts(job, standby);
+            // Migrate a standby off a container that runs primary tasks
+            // once an idle container is available: co-residency couples
+            // the standby's fate to other jobs' faults. With no idle
+            // candidate the busy placement stands — better than none.
+            if valid && tasks_on.get(&standby).copied().unwrap_or(0) > 0 {
+                if let Some(better) = self.pick_standby(job) {
+                    if tasks_on.get(&better).copied().unwrap_or(0) == 0 {
+                        valid = false;
+                    }
+                }
+            }
+            if !valid {
+                self.shard_manager.clear_standby(job);
+                self.shadow.remove_job(job);
+            }
+        }
+        for job in critical {
+            if self.shard_manager.standby_of(job).is_some() {
+                continue;
+            }
+            // Never place a standby while the job is mid-fault: a replica
+            // registered this instant has shadow-consumed nothing, so
+            // promoting it would be a cold start masquerading as the fast
+            // path. The job rides the standard fail-over and gets a fresh
+            // standby once its outage closes.
+            if self.outages.contains_key(&job)
+                || self.engine.tasks_of_job(job).any(|(_, t)| {
+                    self.shard_manager.is_suspect(t.container, now)
+                        || self.severed.contains_key(&t.container)
+                        || !self.cluster.is_container_healthy(t.container)
+                })
+            {
+                continue;
+            }
+            if let Some(container) = self.pick_standby(job) {
+                self.shard_manager.set_standby(job, container);
+                self.trace
+                    .emit(now, TraceData::StandbyPlaced { job, container });
+            }
+        }
+    }
+
+    /// True when a standby shares a host with one of the job's primary
+    /// tasks (a single host failure would take out both).
+    fn standby_conflicts(&self, job: JobId, standby: ContainerId) -> bool {
+        let Ok(standby_host) = self.cluster.host_of(standby) else {
+            return true;
+        };
+        self.engine.tasks_of_job(job).any(|(_, t)| {
+            t.container == standby || self.cluster.host_of(t.container) == Ok(standby_host)
+        })
+    }
+
+    /// Choose a standby container for a critical job: healthy, alive, not
+    /// severed, on a host running none of the job's primaries. Containers
+    /// running the fewest primary tasks (across all jobs) win — an idle
+    /// container keeps the standby's failure domain decoupled from other
+    /// jobs' faults — then fewest owned shards, then the lowest id.
+    fn pick_standby(&self, job: JobId) -> Option<ContainerId> {
+        let healthy: BTreeSet<ContainerId> =
+            self.cluster.healthy_containers().into_iter().collect();
+        let mut primary_hosts = BTreeSet::new();
+        for (_, task) in self.engine.tasks_of_job(job) {
+            if let Ok(host) = self.cluster.host_of(task.container) {
+                primary_hosts.insert(host);
+            }
+        }
+        let mut tasks_on: BTreeMap<ContainerId, usize> = BTreeMap::new();
+        for (_, task) in self.engine.tasks() {
+            *tasks_on.entry(task.container).or_insert(0) += 1;
+        }
+        let mut best: Option<((usize, usize), ContainerId)> = None;
+        for &container in self.task_managers.keys() {
+            if !healthy.contains(&container)
+                || self.severed.contains_key(&container)
+                || self.shard_manager.status(container) != Some(ContainerStatus::Alive)
+            {
+                continue;
+            }
+            let Ok(host) = self.cluster.host_of(container) else {
+                continue;
+            };
+            if primary_hosts.contains(&host) {
+                continue;
+            }
+            let load = (
+                tasks_on.get(&container).copied().unwrap_or(0),
+                self.shard_manager.shards_of(container).len(),
+            );
+            let better = match best {
+                None => true,
+                Some((best_load, best_id)) => {
+                    load < best_load || (load == best_load && container < best_id)
+                }
+            };
+            if better {
+                best = Some((load, container));
+            }
+        }
+        best.map(|(_, container)| container)
+    }
+
+    /// Close every open outage whose job is back at full strength: all
+    /// running-config tasks effectively running (not in restart downtime,
+    /// on cluster-healthy, connected containers). Closing records the
+    /// per-tier recovery sample and emits the SLO trace event.
+    fn slo_check(&mut self) {
+        if self.outages.is_empty() {
+            return;
+        }
+        let now = self.now;
+        let healthy: BTreeSet<ContainerId> =
+            self.cluster.healthy_containers().into_iter().collect();
+        let open: Vec<JobId> = self.outages.keys().copied().collect();
+        for job in open {
+            if self.engine.job(job).is_none() {
+                // Deleted mid-outage: nothing left to recover.
+                self.outages.remove(&job);
+                continue;
+            }
+            if self.paused.contains(&job) || self.capacity_stopped.contains(&job) {
+                continue;
+            }
+            let Some(config) = self.jobs.running_typed(job) else {
+                continue;
+            };
+            let want = config.task_count as usize;
+            let severed = &self.severed;
+            let up = self
+                .engine
+                .tasks_of_job(job)
+                .filter(|(_, t)| {
+                    healthy.contains(&t.container)
+                        && !severed.contains_key(&t.container)
+                        && t.down_until.is_none_or(|u| now >= u)
+                })
+                .count();
+            if want == 0 || up < want {
+                continue;
+            }
+            let outage = self.outages.remove(&job).expect("listed");
+            let ms = now.since(outage.since).as_millis();
+            let tier = self.job_resiliency(job);
+            self.metrics
+                .record_recovery(now, job, tier, ms, outage.fast);
+            self.trace.emit(
+                now,
+                TraceData::SloRecovery {
+                    job,
+                    tier: tier.as_str(),
+                    ms,
+                    fast: outage.fast,
+                },
+            );
         }
     }
 
@@ -188,6 +520,9 @@ impl Turbine {
             self.engine.remove_job(job);
             self.checkpoints.remove_job(job);
             self.categories.remove(&job);
+            self.shard_manager.clear_standby(job);
+            self.shadow.remove_job(job);
+            self.outages.remove(&job);
             invalidate = true;
         }
         if invalidate {
@@ -549,7 +884,10 @@ impl Turbine {
         }
     }
 
-    /// Durability sync: flush processed offsets to the checkpoint store.
+    /// Durability sync: flush processed offsets to the checkpoint store,
+    /// then advance the shadow cursors of warm standbys — they tail their
+    /// job's input alongside the primary but never write the checkpoint
+    /// store.
     pub(crate) fn checkpoint_round(&mut self) {
         let categories = self.categories.clone();
         self.engine.sync_durable(
@@ -558,6 +896,23 @@ impl Turbine {
             &mut self.checkpoints,
             &move |job| categories.get(&job).cloned().unwrap_or_default(),
         );
+        let shadowed: Vec<JobId> = self.shard_manager.standbys().map(|(job, _)| job).collect();
+        for job in shadowed {
+            let Some(category) = self.categories.get(&job) else {
+                continue;
+            };
+            let partitions = self
+                .engine
+                .job(job)
+                .map(|rt| rt.partition_count())
+                .unwrap_or(0);
+            for i in 0..partitions {
+                let partition = PartitionId(i as u64);
+                if let Ok(tail) = self.scribe.tail_offset(category, partition) {
+                    self.shadow.observe(job, partition, tail);
+                }
+            }
+        }
     }
 
     /// One metric-sampling round.
@@ -683,26 +1038,80 @@ impl Turbine {
         }
     }
 
+    /// Apply a promotion's shard movements. Same DROP-before-ADD protocol
+    /// as [`Self::apply_movements`], but tasks landing on the standby start
+    /// without the cold restart delay: the standby was already
+    /// shadow-consuming the job's input, so its tasks resume warm.
+    pub(crate) fn apply_promotion(&mut self, moves: &[ShardMovement]) {
+        for m in moves {
+            self.metrics.shard_moves.incr();
+            if let Some(from) = m.from {
+                let events = self
+                    .task_managers
+                    .get_mut(&from)
+                    .map(|tm| tm.drop_shard(m.shard))
+                    .unwrap_or_default();
+                self.handle_task_events(from, &events);
+            }
+            let events = self
+                .task_managers
+                .get_mut(&m.to)
+                .map(|tm| tm.add_shard(m.shard))
+                .unwrap_or_default();
+            self.handle_task_events_delayed(m.to, &events, Duration::ZERO);
+        }
+    }
+
     /// Record task lifecycle events from a Task Manager into the engine
     /// and the platform counters.
     pub(crate) fn handle_task_events(&mut self, container: ContainerId, events: &[TaskEvent]) {
+        self.handle_task_events_delayed(container, events, self.config.restart_delay);
+    }
+
+    fn handle_task_events_delayed(
+        &mut self,
+        container: ContainerId,
+        events: &[TaskEvent],
+        restart_delay: Duration,
+    ) {
         for event in events {
             match event {
                 TaskEvent::Started(spec) => {
                     self.metrics.task_starts.incr();
                     self.engine
-                        .task_started(spec, container, self.now, self.config.restart_delay);
+                        .task_started(spec, container, self.now, restart_delay);
+                    self.evict_conflicting_standby(spec.id.job, container);
                 }
                 TaskEvent::Restarted(spec) => {
                     self.metrics.task_restarts.incr();
                     self.engine
-                        .task_started(spec, container, self.now, self.config.restart_delay);
+                        .task_started(spec, container, self.now, restart_delay);
+                    self.evict_conflicting_standby(spec.id.job, container);
                 }
                 TaskEvent::Stopped(id) => {
                     self.metrics.task_stops.incr();
                     self.engine.task_stopped(*id, container);
                 }
             }
+        }
+    }
+
+    /// A primary task just landed on `container`: if the job's standby
+    /// lives on the same host (e.g. a scale-up placed a shard there), the
+    /// registration is no longer isolated and is dropped eagerly — the
+    /// next fail-over check places a fresh standby elsewhere.
+    fn evict_conflicting_standby(&mut self, job: JobId, container: ContainerId) {
+        let Some(standby) = self.shard_manager.standby_of(job) else {
+            return;
+        };
+        let same_host = standby == container
+            || matches!(
+                (self.cluster.host_of(standby), self.cluster.host_of(container)),
+                (Ok(a), Ok(b)) if a == b
+            );
+        if same_host {
+            self.shard_manager.clear_standby(job);
+            self.shadow.remove_job(job);
         }
     }
 }

@@ -14,6 +14,9 @@ impl Turbine {
     /// failure injection). Heartbeats stop; after the proactive timeout
     /// the container reboots itself (§IV-C).
     pub fn sever_connection(&mut self, container: ContainerId) {
+        self.container_down_since
+            .entry(container)
+            .or_insert(self.now);
         self.severed.entry(container).or_insert(SeveredState {
             at: self.now,
             rebooted: false,
@@ -24,6 +27,7 @@ impl Turbine {
     /// the container over, it rejoins as an empty container; otherwise its
     /// shards resume where they were.
     pub fn restore_connection(&mut self, container: ContainerId) {
+        self.container_down_since.remove(&container);
         let Some(state) = self.severed.remove(&container) else {
             return;
         };
@@ -165,6 +169,13 @@ impl Turbine {
     /// immediately; the Shard Manager fails its shards over after the
     /// fail-over interval.
     pub fn fail_host(&mut self, host: HostId) -> Result<(), String> {
+        if let Ok(containers) = self.cluster.containers_on(host) {
+            for container in containers {
+                self.container_down_since
+                    .entry(container)
+                    .or_insert(self.now);
+            }
+        }
         self.cluster.fail_host(host).map_err(|e| e.to_string())
     }
 
@@ -181,6 +192,7 @@ impl Turbine {
             .map_err(|e| e.to_string())?;
         self.cluster.recover_host(host).map_err(|e| e.to_string())?;
         for container in containers {
+            self.container_down_since.remove(&container);
             if self.shard_manager.status(container) == Some(ContainerStatus::Alive) {
                 // Recovered before fail-over: ownership is unchanged and
                 // the local state is still valid.

@@ -32,9 +32,9 @@ use turbine_autoscaler::{
     AutoScaler, CapacityManager, CapacityManagerConfig, RootCauser, ScalerConfig,
 };
 use turbine_cluster::Cluster;
-use turbine_config::{ConfigLevel, ConfigValue, JobConfig};
+use turbine_config::{ConfigLevel, ConfigValue, JobConfig, ResiliencyClass};
 use turbine_jobstore::{JobService, JobStore, MemWal};
-use turbine_scribe::{CheckpointStore, Scribe};
+use turbine_scribe::{CheckpointStore, Scribe, ShadowCursor};
 use turbine_shardmgr::{ShardManager, ShardManagerConfig};
 use turbine_sim::{FaultInjector, SimRng};
 use turbine_statesyncer::{StateSyncer, SyncerConfig};
@@ -185,20 +185,37 @@ pub struct PlatformFingerprint {
     /// Simulated time of the snapshot, milliseconds.
     pub now_ms: u64,
     /// Lifecycle counters: task starts, stops, restarts, shard moves,
-    /// fail-overs, OOM kills, scaling actions, alerts.
-    pub counters: [u64; 8],
+    /// fail-overs, OOM kills, scaling actions, alerts, standby promotions.
+    pub counters: [u64; 9],
     /// Per job: (raw id, running tasks, backlog-bytes `f64` bits).
     pub jobs: Vec<(u64, usize, u64)>,
     /// FNV digest of the chaos-engine fault timeline.
     pub fault_digest: u64,
     /// Number of fault transitions logged.
     pub fault_transitions: usize,
+    /// FNV digest of the per-tier SLO recovery records (time, job, tier,
+    /// duration, path of every closed outage).
+    pub slo_digest: u64,
+    /// Number of recovery records in the SLO log.
+    pub recoveries: usize,
 }
 
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct SeveredState {
     pub(crate) at: SimTime,
     pub(crate) rebooted: bool,
+}
+
+/// One open fault-attributed outage of a job. Opened only at the three
+/// causal sites (proactive reboot drop, standard fail-over, standby
+/// promotion); closed by the SLO check once the job is back at its running
+/// configuration.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct OutageState {
+    /// Fault onset this outage is measured from.
+    pub(crate) since: SimTime,
+    /// Whether a warm-standby promotion (fast path) handled the outage.
+    pub(crate) fast: bool,
 }
 
 /// The Turbine platform.
@@ -238,6 +255,19 @@ pub struct Turbine {
     pub(crate) last_diagnosis: HashMap<JobId, SimTime>,
     pub(crate) severed: HashMap<ContainerId, SeveredState>,
     pub(crate) categories: BTreeMap<JobId, String>,
+    /// Shadow read positions of warm standbys (critical jobs only).
+    pub(crate) shadow: ShadowCursor,
+    /// Open fault-attributed outages per job (SLO accounting).
+    pub(crate) outages: BTreeMap<JobId, OutageState>,
+    /// When each container's current connectivity loss began — fault onset
+    /// for backdating outage starts. Cleared on restore/recovery.
+    pub(crate) container_down_since: BTreeMap<ContainerId, SimTime>,
+    /// Promotions since the last invariant check (recorded only while
+    /// invariant checking is enabled; drained every checked instant).
+    pub(crate) fresh_promotions: Vec<(JobId, ContainerId)>,
+    /// Revived containers since the last invariant check, with the number
+    /// of shards still mapped to them at revival time (invariants only).
+    pub(crate) fresh_revivals: Vec<(ContainerId, usize)>,
     /// The chaos engine: scheduled/active cross-component faults.
     pub(crate) faults: FaultInjector,
     /// The causal decision trace (inert when tracing is disabled).
@@ -293,6 +323,11 @@ impl Turbine {
             last_diagnosis: HashMap::new(),
             severed: HashMap::new(),
             categories: BTreeMap::new(),
+            shadow: ShadowCursor::new(),
+            outages: BTreeMap::new(),
+            container_down_since: BTreeMap::new(),
+            fresh_promotions: Vec::new(),
+            fresh_revivals: Vec::new(),
             faults: FaultInjector::new(),
             trace: if config.trace_enabled {
                 TraceBuffer::new(config.trace_capacity)
@@ -601,6 +636,34 @@ impl Turbine {
         self.categories.get(&job).map(String::as_str)
     }
 
+    /// A job's resiliency tier from its expected configuration; `Standard`
+    /// when the config is missing or undecodable.
+    pub fn job_resiliency(&self, job: JobId) -> ResiliencyClass {
+        self.jobs
+            .expected_typed(job)
+            .map(|c| c.resiliency)
+            .unwrap_or_default()
+    }
+
+    /// The container a task currently runs in, if it is active.
+    pub fn task_container(&self, task: turbine_types::TaskId) -> Option<ContainerId> {
+        self.engine
+            .tasks()
+            .find(|(&id, _)| id == task)
+            .map(|(_, t)| t.container)
+    }
+
+    /// The shadow cursors of warm standbys (tests, invariant checks).
+    pub fn shadow_cursor(&self) -> &ShadowCursor {
+        &self.shadow
+    }
+
+    /// The warm-standby container registered for a job, if any (critical
+    /// jobs only; placed by the Shard Manager once the job is running).
+    pub fn standby_of(&self, job: JobId) -> Option<ContainerId> {
+        self.shard_manager.standby_of(job)
+    }
+
     /// Durable backlog of a job: bytes between each partition's persisted
     /// checkpoint and the Scribe tail, summed across partitions. This is
     /// the restart-from-checkpoint read a new task performs, so an `Err`
@@ -676,6 +739,20 @@ impl Turbine {
     /// job running tasks and backlog bits, and the fault-timeline digest.
     /// Two runs of the same scenario match iff their fingerprints do.
     pub fn fingerprint(&self) -> PlatformFingerprint {
+        fn fnv1a(digest: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *digest ^= b as u64;
+                *digest = digest.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        let mut slo_digest = 0xCBF2_9CE4_8422_2325u64;
+        for r in &self.metrics.recoveries {
+            fnv1a(&mut slo_digest, &r.at.as_millis().to_le_bytes());
+            fnv1a(&mut slo_digest, &r.job.0.to_le_bytes());
+            fnv1a(&mut slo_digest, r.tier.as_str().as_bytes());
+            fnv1a(&mut slo_digest, &r.ms.to_le_bytes());
+            fnv1a(&mut slo_digest, &[r.fast as u8]);
+        }
         PlatformFingerprint {
             now_ms: self.now.as_millis(),
             counters: [
@@ -687,6 +764,7 @@ impl Turbine {
                 self.metrics.oom_kills.get(),
                 self.metrics.scaling_actions.get(),
                 self.metrics.alerts.get(),
+                self.metrics.standby_promotions.get(),
             ],
             jobs: self
                 .engine
@@ -700,6 +778,8 @@ impl Turbine {
                 .collect(),
             fault_digest: self.faults.log_digest(),
             fault_transitions: self.faults.log().len(),
+            slo_digest,
+            recoveries: self.metrics.recoveries.len(),
         }
     }
 }

@@ -578,7 +578,12 @@ impl Turbine {
             capacity_stopped: &self.capacity_stopped,
             live_containers: &live_containers,
             quiet_since,
+            shadow: &self.shadow,
+            fresh_promotions: &self.fresh_promotions,
+            fresh_revivals: &self.fresh_revivals,
         });
+        self.fresh_promotions.clear();
+        self.fresh_revivals.clear();
         self.invariants = Some(checker);
     }
 }

@@ -14,7 +14,7 @@
 //! (tick-divisible) default, which keeps the dense-vs-event equivalence
 //! oracle applicable to every generated scenario.
 
-use turbine_config::{parse, to_text, ConfigValue};
+use turbine_config::{parse, to_text, ConfigValue, ResiliencyClass};
 use turbine_sim::SimRng;
 
 /// Traffic-event kinds a scenario can attach to a job, mirroring
@@ -73,6 +73,9 @@ pub struct FuzzJob {
     pub message_bytes: f64,
     /// State key cardinality (stateful jobs only).
     pub key_cardinality: f64,
+    /// Resiliency class name (`best_effort`/`standard`/`critical`);
+    /// critical jobs get warm standbys and the fast fail-over path.
+    pub resiliency: String,
     /// Traffic events in this job's input.
     pub events: Vec<FuzzTrafficEvent>,
 }
@@ -218,6 +221,16 @@ pub fn generate(seed: u64) -> FuzzScenario {
             } else {
                 0.0
             },
+            // Critical often enough that the standby machinery gets a real
+            // workout across a campaign.
+            resiliency: if rng.chance(0.35) {
+                "critical"
+            } else if rng.chance(0.25) {
+                "best_effort"
+            } else {
+                "standard"
+            }
+            .to_string(),
             events,
         });
     }
@@ -242,12 +255,29 @@ pub fn generate(seed: u64) -> FuzzScenario {
         });
     }
 
+    // A critical job makes a sustained heartbeat loss — the trigger for a
+    // warm-standby promotion — much more likely, so campaigns hammer the
+    // fast fail-over path instead of finding it by accident.
+    let has_critical = jobs.iter().any(|j| j.resiliency == "critical");
+    if has_critical && rng.chance(0.6) {
+        let from_min = rng.uniform_usize(2, (horizon_mins as usize * 6 / 10).max(3)) as u32;
+        faults.push(FuzzFault {
+            kind: "heartbeat_loss".to_string(),
+            target: rng.uniform_usize(0, hosts as usize) as u32,
+            from_min,
+            len_min: rng.uniform_usize(2, (horizon_mins as usize / 8).max(3)) as u32,
+        });
+    }
+
     // Host flaps: at most one per host, never host 0 (so the tier always
-    // keeps capacity), all recovered by 85 % of the horizon.
+    // keeps capacity), all recovered by 85 % of the horizon. Critical jobs
+    // raise the flap rate: a concurrently-flapping host is how a standby
+    // replica dies mid-promotion, the corner the tiers must survive.
+    let flap_chance = if has_critical { 0.5 } else { 0.25 };
     let mut flaps = Vec::new();
     if hosts > 1 {
         for h in 1..hosts {
-            if !rng.chance(0.25) {
+            if !rng.chance(flap_chance) {
                 continue;
             }
             let fail_min = rng.uniform_usize(5, (horizon_mins as usize * 7 / 10).max(6)) as u32;
@@ -313,6 +343,7 @@ impl FuzzScenario {
                 m.insert("per_thread_rate", ConfigValue::Float(j.per_thread_rate));
                 m.insert("message_bytes", ConfigValue::Float(j.message_bytes));
                 m.insert("key_cardinality", ConfigValue::Float(j.key_cardinality));
+                m.insert("resiliency", ConfigValue::Str(j.resiliency.clone()));
                 let events = j
                     .events
                     .iter()
@@ -462,6 +493,12 @@ impl FuzzScenario {
                     job.name
                 ));
             }
+            if ResiliencyClass::from_str(&job.resiliency).is_none() {
+                return Err(format!(
+                    "job '{}': unknown resiliency class '{}'",
+                    job.name, job.resiliency
+                ));
+            }
             for event in &job.events {
                 if !EVENT_KINDS.contains(&event.kind.as_str()) {
                     return Err(format!("unknown traffic event kind '{}'", event.kind));
@@ -531,6 +568,11 @@ fn parse_job(value: &ConfigValue) -> Result<FuzzJob, String> {
         per_thread_rate: float("per_thread_rate")?,
         message_bytes: float("message_bytes").unwrap_or(256.0),
         key_cardinality: float("key_cardinality").unwrap_or(0.0),
+        resiliency: value
+            .get("resiliency")
+            .and_then(ConfigValue::as_str)
+            .unwrap_or("standard")
+            .to_string(),
         events,
     })
 }
@@ -623,17 +665,31 @@ mod tests {
         let mut high_headroom = false;
         let mut near_zero_rate = false;
         let mut stateful = false;
+        let mut critical = false;
+        let mut best_effort = false;
+        let mut critical_with_heartbeat_loss = false;
         for seed in 0..300 {
             let s = generate(seed);
             tiny_hosts |= s.host_cpu < 4.0;
             high_headroom |= s.headroom >= 0.9;
             near_zero_rate |= s.jobs.iter().any(|j| j.rate < 1.0e4);
             stateful |= s.jobs.iter().any(|j| j.stateful);
+            let has_critical = s.jobs.iter().any(|j| j.resiliency == "critical");
+            critical |= has_critical;
+            best_effort |= s.jobs.iter().any(|j| j.resiliency == "best_effort");
+            critical_with_heartbeat_loss |=
+                has_critical && s.faults.iter().any(|f| f.kind == "heartbeat_loss");
         }
         assert!(tiny_hosts, "generator never produced tiny hosts");
         assert!(high_headroom, "generator never produced high headroom");
         assert!(near_zero_rate, "generator never produced near-zero rates");
         assert!(stateful, "generator never produced stateful jobs");
+        assert!(critical, "generator never produced critical jobs");
+        assert!(best_effort, "generator never produced best-effort jobs");
+        assert!(
+            critical_with_heartbeat_loss,
+            "generator never paired a critical job with a heartbeat loss"
+        );
     }
 
     #[test]
@@ -643,5 +699,22 @@ mod tests {
         let mut s = generate(1);
         s.tick_secs = 7; // does not divide 60
         assert!(FuzzScenario::from_json(&s.to_json()).is_err());
+        let mut s = generate(1);
+        s.jobs[0].resiliency = "gold_plated".to_string();
+        assert!(FuzzScenario::from_json(&s.to_json()).is_err());
+    }
+
+    #[test]
+    fn resiliency_defaults_to_standard_when_absent() {
+        let mut v = parse(&generate(2).to_json()).expect("parses");
+        let root = v.as_map_mut().expect("map");
+        let Some(ConfigValue::Array(jobs)) = root.get_mut("jobs") else {
+            panic!("jobs not an array");
+        };
+        for job in jobs {
+            job.as_map_mut().expect("map").remove("resiliency");
+        }
+        let s = FuzzScenario::from_json(&to_text(&v)).expect("parses without resiliency");
+        assert!(s.jobs.iter().all(|j| j.resiliency == "standard"));
     }
 }

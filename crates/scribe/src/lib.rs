@@ -16,6 +16,8 @@
 
 pub mod bus;
 pub mod checkpoint;
+pub mod shadow;
 
 pub use bus::{CategoryStats, Record, Scribe, ScribeError};
 pub use checkpoint::CheckpointStore;
+pub use shadow::ShadowCursor;

@@ -4,7 +4,7 @@
 use crate::movement::ShardMovement;
 use crate::placement::{compute_placement, PlacementConfig, PlacementInput, PlacementResult};
 use std::collections::{BTreeMap, HashMap};
-use turbine_types::{ContainerId, Duration, Resources, ShardId, SimTime};
+use turbine_types::{ContainerId, Duration, JobId, Resources, ShardId, SimTime};
 
 /// Shard Manager tunables, defaulting to the paper's production values.
 #[derive(Debug, Clone, Copy)]
@@ -12,6 +12,12 @@ pub struct ShardManagerConfig {
     /// Missing heartbeats for this long ⇒ the container is declared dead
     /// and its shards fail over (paper default: 60 s).
     pub failover_interval: Duration,
+    /// Missing heartbeats for this long ⇒ a critical job's primary is
+    /// *suspect* and its warm standby is promoted, well before the full
+    /// fail-over interval declares the container dead. Two missed beats at
+    /// the default 10 s heartbeat cadence. Must not exceed
+    /// `failover_interval` (the standard path would win the race).
+    pub standby_grace: Duration,
     /// Placement tunables.
     pub placement: PlacementConfig,
 }
@@ -20,6 +26,7 @@ impl Default for ShardManagerConfig {
     fn default() -> Self {
         ShardManagerConfig {
             failover_interval: Duration::from_secs(60),
+            standby_grace: Duration::from_secs(20),
             placement: PlacementConfig::default(),
         }
     }
@@ -50,6 +57,10 @@ pub struct ShardManager {
     shard_loads: BTreeMap<ShardId, Resources>,
     containers: BTreeMap<ContainerId, ContainerEntry>,
     assignment: HashMap<ShardId, ContainerId>,
+    /// Warm-standby container per critical job. The standby shadow-
+    /// consumes the job's input but owns no shards; promotion hands it the
+    /// job's shards through the fast path.
+    standbys: BTreeMap<JobId, ContainerId>,
 }
 
 impl ShardManager {
@@ -60,6 +71,7 @@ impl ShardManager {
             shard_loads: BTreeMap::new(),
             containers: BTreeMap::new(),
             assignment: HashMap::new(),
+            standbys: BTreeMap::new(),
         }
     }
 
@@ -105,11 +117,29 @@ impl ShardManager {
     /// Record a heartbeat. A container that was declared dead and comes
     /// back is treated as a newly added empty container (paper §IV-C): it
     /// is alive again but owns no shards until a rebalance hands it some.
-    pub fn heartbeat(&mut self, id: ContainerId, now: SimTime) {
+    /// Returns `true` when the beat revived a dead container — the caller
+    /// must surface the revival (trace event, invariant check) rather than
+    /// let stale ownership resurrect silently.
+    pub fn heartbeat(&mut self, id: ContainerId, now: SimTime) -> bool {
         if let Some(entry) = self.containers.get_mut(&id) {
+            let revived = entry.status == ContainerStatus::Dead;
             entry.last_heartbeat = now;
             entry.status = ContainerStatus::Alive;
+            revived
+        } else {
+            false
         }
+    }
+
+    /// True when an alive container has missed heartbeats for at least the
+    /// standby grace period: not yet dead, but suspect enough that a
+    /// critical job's warm standby takes over. Covers both a severed
+    /// connection and a dead host (heartbeats stop either way).
+    pub fn is_suspect(&self, id: ContainerId, now: SimTime) -> bool {
+        self.containers.get(&id).is_some_and(|e| {
+            e.status == ContainerStatus::Alive
+                && now.since(e.last_heartbeat) >= self.config.standby_grace
+        })
     }
 
     /// Liveness of a container, if registered.
@@ -153,6 +183,65 @@ impl ShardManager {
             .collect()
     }
 
+    /// Designate `container` as the warm standby of a critical `job`.
+    /// The standby owns no shards; it shadow-consumes the job's input so a
+    /// promotion starts from warm state.
+    pub fn set_standby(&mut self, job: JobId, container: ContainerId) {
+        self.standbys.insert(job, container);
+    }
+
+    /// The registered standby container of a job, if any.
+    pub fn standby_of(&self, job: JobId) -> Option<ContainerId> {
+        self.standbys.get(&job).copied()
+    }
+
+    /// Drop a job's standby registration (job deleted, standby unhealthy,
+    /// or the standby's host now runs a primary task of the job).
+    pub fn clear_standby(&mut self, job: JobId) -> Option<ContainerId> {
+        self.standbys.remove(&job)
+    }
+
+    /// All standby registrations, in job order.
+    pub fn standbys(&self) -> impl Iterator<Item = (JobId, ContainerId)> + '_ {
+        self.standbys.iter().map(|(&j, &c)| (j, c))
+    }
+
+    /// Fast-path promotion: hand every one of `shards` to the job's
+    /// standby, consuming the registration. Returns the promoted container
+    /// and the movements to execute (sources are the current owners, so
+    /// the DROP-before-ADD protocol still revokes stale ownership), or
+    /// `None` when the job has no standby or the standby is not alive —
+    /// the caller then degrades to the standard fail-over path.
+    pub fn promote_standby(
+        &mut self,
+        job: JobId,
+        shards: &[ShardId],
+    ) -> Option<(ContainerId, Vec<ShardMovement>)> {
+        let standby = self.standby_of(job)?;
+        if self.status(standby) != Some(ContainerStatus::Alive) {
+            self.standbys.remove(&job);
+            return None;
+        }
+        self.standbys.remove(&job);
+        let mut moves = Vec::new();
+        for &shard in shards {
+            if !self.shard_loads.contains_key(&shard) {
+                continue;
+            }
+            let from = self.assignment.get(&shard).copied();
+            if from == Some(standby) {
+                continue;
+            }
+            self.assignment.insert(shard, standby);
+            moves.push(ShardMovement {
+                shard,
+                from,
+                to: standby,
+            });
+        }
+        Some((standby, moves))
+    }
+
     /// Declare dead every container whose heartbeat is older than the
     /// fail-over interval, and fail its shards over to survivors. Returns
     /// the movements to execute. Moves of orphaned shards carry
@@ -185,6 +274,9 @@ impl ShardManager {
             .map(|(&id, _)| id)
             .collect();
         self.assignment.retain(|_, c| !dead.contains(c));
+        // A dead standby is useless — drop the registration so the control
+        // plane places a fresh one instead of promoting onto a corpse.
+        self.standbys.retain(|_, c| !dead.contains(c));
         self.run_placement().moves
     }
 
@@ -389,6 +481,78 @@ mod tests {
         let result = mgr.rebalance();
         assert_eq!(result.assignment.len(), 12);
         assert!(result.assignment.values().all(|&c| c != ContainerId(2)));
+    }
+
+    #[test]
+    fn heartbeat_reports_revival_of_dead_containers() {
+        let mut mgr = manager_with(2, 10);
+        mgr.rebalance();
+        for s in (10..70).step_by(10) {
+            assert!(!mgr.heartbeat(ContainerId(1), t(s)), "alive beat");
+        }
+        mgr.check_failover(t(61));
+        assert_eq!(mgr.status(ContainerId(0)), Some(ContainerStatus::Dead));
+        assert!(
+            mgr.heartbeat(ContainerId(0), t(90)),
+            "beat from a dead container is a revival"
+        );
+        assert!(!mgr.heartbeat(ContainerId(0), t(100)), "now ordinary");
+        assert!(!mgr.heartbeat(ContainerId(99), t(100)), "unregistered");
+    }
+
+    #[test]
+    fn suspect_precedes_death() {
+        let mut mgr = manager_with(2, 10);
+        mgr.rebalance();
+        // Fresh beat at t=10, then silence.
+        mgr.heartbeat(ContainerId(0), t(10));
+        assert!(!mgr.is_suspect(ContainerId(0), t(20)));
+        assert!(mgr.is_suspect(ContainerId(0), t(30)), "20 s of silence");
+        // Still alive — standard fail-over has not fired yet.
+        assert_eq!(mgr.status(ContainerId(0)), Some(ContainerStatus::Alive));
+        // Once dead, a container is no longer merely suspect.
+        mgr.check_failover(t(71));
+        assert!(!mgr.is_suspect(ContainerId(0), t(72)));
+    }
+
+    #[test]
+    fn promote_standby_hands_over_shards_and_consumes_registration() {
+        let mut mgr = manager_with(3, 12);
+        mgr.rebalance();
+        let job = JobId(7);
+        mgr.set_standby(job, ContainerId(2));
+        assert_eq!(mgr.standby_of(job), Some(ContainerId(2)));
+        let shards = mgr.shards_of(ContainerId(0));
+        assert!(!shards.is_empty());
+        let (to, moves) = mgr.promote_standby(job, &shards).expect("promotes");
+        assert_eq!(to, ContainerId(2));
+        assert_eq!(moves.len(), shards.len());
+        for m in &moves {
+            assert_eq!(m.to, ContainerId(2));
+            assert_eq!(m.from, Some(ContainerId(0)), "source still owns");
+        }
+        for s in &shards {
+            assert_eq!(mgr.container_of(*s), Some(ContainerId(2)));
+        }
+        // Registration consumed: a second promotion degrades.
+        assert!(mgr.promote_standby(job, &shards).is_none());
+    }
+
+    #[test]
+    fn dead_standby_is_dropped_not_promoted() {
+        let mut mgr = manager_with(3, 12);
+        mgr.rebalance();
+        let job = JobId(1);
+        mgr.set_standby(job, ContainerId(2));
+        // Standby goes silent and dies.
+        for s in (10..70).step_by(10) {
+            mgr.heartbeat(ContainerId(0), t(s));
+            mgr.heartbeat(ContainerId(1), t(s));
+        }
+        mgr.check_failover(t(61));
+        assert_eq!(mgr.status(ContainerId(2)), Some(ContainerStatus::Dead));
+        assert_eq!(mgr.standby_of(job), None, "fail-over dropped it");
+        assert!(mgr.promote_standby(job, &[ShardId(0)]).is_none());
     }
 
     #[test]

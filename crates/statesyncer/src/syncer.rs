@@ -98,6 +98,10 @@ pub struct SyncReport {
     pub quarantined: Vec<JobId>,
     /// Operator alerts raised this round.
     pub alerts: Vec<String>,
+    /// Jobs whose redistribution was satisfied by a consumed warm-handoff
+    /// grant this round (fast-path fail-over: the promoted standby already
+    /// holds warm state, so nothing moved).
+    pub warm_handoffs: Vec<JobId>,
 }
 
 impl SyncReport {
@@ -121,6 +125,12 @@ pub struct StateSyncer {
     /// Jitter source for backoff spacing, seeded from the config so two
     /// syncers with the same seed produce the same retry schedule.
     rng: SimRng,
+    /// One-shot warm-handoff grants from fast-path promotions: the
+    /// promoted standby shadow-consumed the input, so the job's next
+    /// checkpoint/state redistribution is already satisfied and must not
+    /// pause the job for a state move. Grants are in-memory only — a
+    /// syncer crash drops them and the job degrades to the full path.
+    warm_handoffs: BTreeSet<JobId>,
 }
 
 impl StateSyncer {
@@ -138,7 +148,21 @@ impl StateSyncer {
             round: 0,
             resume_round: BTreeMap::new(),
             rng: SimRng::seeded(config.backoff_seed),
+            warm_handoffs: BTreeSet::new(),
         }
+    }
+
+    /// Grant a one-shot warm handoff: the job's next redistribution
+    /// completes instantly because its promoted standby already holds warm
+    /// state. Issued by the platform when a critical job's standby is
+    /// promoted on the fast path.
+    pub fn grant_warm_handoff(&mut self, job: JobId) {
+        self.warm_handoffs.insert(job);
+    }
+
+    /// True while a warm-handoff grant is pending for the job.
+    pub fn has_warm_handoff(&self, job: JobId) -> bool {
+        self.warm_handoffs.contains(&job)
     }
 
     /// The configuration in effect.
@@ -290,6 +314,14 @@ impl StateSyncer {
                         return false;
                     }
                     self.inflight_rounds.remove(job);
+                }
+                SyncAction::RedistributeCheckpoints { job, .. }
+                    if self.warm_handoffs.remove(job) =>
+                {
+                    // Fast path: the promoted standby shadow-consumed the
+                    // input, so the redistribution is already satisfied —
+                    // no state move, no pause, grant consumed.
+                    report.warm_handoffs.push(*job);
                 }
                 SyncAction::RedistributeCheckpoints {
                     job,
@@ -629,6 +661,43 @@ mod tests {
         let r = syncer.run_round(&mut svc, &mut env);
         assert_eq!(r.complex_completed, vec![JOB]);
         assert!(!syncer.is_quarantined(JOB));
+    }
+
+    #[test]
+    fn warm_handoff_skips_redistribution_once() {
+        let mut svc = service_with_job();
+        // A redistribution that would otherwise crawl for 3 rounds.
+        let mut env = MockEnv {
+            redistribute_slow_rounds: 3,
+            ..Default::default()
+        };
+        let mut syncer = StateSyncer::default();
+        syncer.run_round(&mut svc, &mut env);
+        svc.set_level_field(JOB, ConfigLevel::Scaler, "task_count", 8u32.into())
+            .expect("scale");
+        syncer.grant_warm_handoff(JOB);
+        assert!(syncer.has_warm_handoff(JOB));
+        // One round: the grant satisfies the redistribution instantly.
+        let r = syncer.run_round(&mut svc, &mut env);
+        assert_eq!(r.complex_completed, vec![JOB]);
+        assert_eq!(r.warm_handoffs, vec![JOB]);
+        assert!(
+            env.redistributions.is_empty(),
+            "warm handoff must not move state"
+        );
+        assert!(!syncer.has_warm_handoff(JOB), "grant is one-shot");
+        // The next redistribution takes the full path again.
+        svc.set_level_field(JOB, ConfigLevel::Scaler, "task_count", 4u32.into())
+            .expect("scale");
+        let mut slow = 0;
+        for _ in 0..8 {
+            let r = syncer.run_round(&mut svc, &mut env);
+            if r.complex_completed == vec![JOB] {
+                break;
+            }
+            slow += 1;
+        }
+        assert!(slow >= 1, "second sync must pay the slow rounds");
     }
 
     #[test]

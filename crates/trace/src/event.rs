@@ -181,6 +181,45 @@ pub enum TraceData {
         /// The tail offset it was clamped to.
         to: u64,
     },
+    /// A heartbeat arrived from a container the Shard Manager had already
+    /// declared dead and failed over — the container came back and was
+    /// silently revived into the fleet.
+    ContainerRevived {
+        /// The revived container.
+        container: ContainerId,
+        /// Shards still mapped to the container at revival time. Must be
+        /// zero: fail-over reassigned them before the revival, and the
+        /// invariant checker flags any leftovers.
+        stale_shards: usize,
+    },
+    /// The Shard Manager placed a warm standby for a critical job.
+    StandbyPlaced {
+        /// The protected job.
+        job: JobId,
+        /// The container hosting the standby.
+        container: ContainerId,
+    },
+    /// A warm standby was promoted to primary on the fast fail-over path.
+    StandbyPromoted {
+        /// The recovered job.
+        job: JobId,
+        /// The standby container that took ownership.
+        to: ContainerId,
+        /// Number of shard movements in the promotion batch.
+        moves: usize,
+    },
+    /// A job recovered from a fault-attributed outage; the record carries
+    /// the per-tier SLO accounting sample.
+    SloRecovery {
+        /// The recovered job.
+        job: JobId,
+        /// The job's resiliency tier (`best_effort`/`standard`/`critical`).
+        tier: &'static str,
+        /// Outage duration in milliseconds (fault onset to recovery).
+        ms: u64,
+        /// True when the recovery went through the warm-standby fast path.
+        fast: bool,
+    },
     /// The auto root-causer classified an untriaged problem.
     Diagnosis {
         /// The diagnosed job.
@@ -209,6 +248,10 @@ impl TraceData {
             TraceData::Quarantine { .. } => "quarantine",
             TraceData::OomRestart { .. } => "oom_restart",
             TraceData::CheckpointClamp { .. } => "checkpoint_clamp",
+            TraceData::ContainerRevived { .. } => "container_revived",
+            TraceData::StandbyPlaced { .. } => "standby_placed",
+            TraceData::StandbyPromoted { .. } => "standby_promoted",
+            TraceData::SloRecovery { .. } => "slo_recovery",
             TraceData::Diagnosis { .. } => "diagnosis",
         }
     }
@@ -221,6 +264,9 @@ impl TraceData {
             | TraceData::SyncOutcome { job, .. }
             | TraceData::Quarantine { job }
             | TraceData::CheckpointClamp { job, .. }
+            | TraceData::StandbyPlaced { job, .. }
+            | TraceData::StandbyPromoted { job, .. }
+            | TraceData::SloRecovery { job, .. }
             | TraceData::Diagnosis { job, .. } => Some(*job),
             TraceData::OomRestart { task, .. } => Some(task.job),
             _ => None,
@@ -241,6 +287,8 @@ impl TraceData {
                 | TraceData::Quarantine { .. }
                 | TraceData::OomRestart { .. }
                 | TraceData::CheckpointClamp { .. }
+                | TraceData::StandbyPlaced { .. }
+                | TraceData::StandbyPromoted { .. }
                 | TraceData::Diagnosis { .. }
         )
     }
@@ -269,6 +317,27 @@ impl TraceData {
                 from,
                 to,
             } => format!("{job} p{partition} checkpoint clamped {from} → {to} (beyond tail)"),
+            TraceData::ContainerRevived {
+                container,
+                stale_shards,
+            } => format!(
+                "{container} revived after being declared dead ({stale_shards} stale shard(s))"
+            ),
+            TraceData::StandbyPlaced { job, container } => {
+                format!("{job} warm standby placed on {container}")
+            }
+            TraceData::StandbyPromoted { job, to, moves } => {
+                format!("{job} standby on {to} promoted ({moves} shard(s) handed over)")
+            }
+            TraceData::SloRecovery {
+                job,
+                tier,
+                ms,
+                fast,
+            } => {
+                let path = if *fast { "fast path" } else { "full sync" };
+                format!("{job} ({tier}) recovered in {ms}ms via {path}")
+            }
             TraceData::Diagnosis {
                 job,
                 cause,
@@ -329,6 +398,33 @@ impl TraceData {
                 field(&partition.to_le_bytes());
                 field(&from.to_le_bytes());
                 field(&to.to_le_bytes());
+            }
+            TraceData::ContainerRevived {
+                container,
+                stale_shards,
+            } => {
+                field(&container.raw().to_le_bytes());
+                field(&(*stale_shards as u64).to_le_bytes());
+            }
+            TraceData::StandbyPlaced { job, container } => {
+                field(&job.raw().to_le_bytes());
+                field(&container.raw().to_le_bytes());
+            }
+            TraceData::StandbyPromoted { job, to, moves } => {
+                field(&job.raw().to_le_bytes());
+                field(&to.raw().to_le_bytes());
+                field(&(*moves as u64).to_le_bytes());
+            }
+            TraceData::SloRecovery {
+                job,
+                tier,
+                ms,
+                fast,
+            } => {
+                field(&job.raw().to_le_bytes());
+                field(tier.as_bytes());
+                field(&ms.to_le_bytes());
+                field(&[*fast as u8]);
             }
             TraceData::Diagnosis {
                 job,
@@ -418,6 +514,24 @@ impl TraceEvent {
                     ",\"partition\":{partition},\"from\":{from},\"to\":{to}"
                 ));
             }
+            TraceData::ContainerRevived {
+                container,
+                stale_shards,
+            } => {
+                out.push_str(&format!(
+                    ",\"container\":{},\"stale_shards\":{stale_shards}",
+                    container.raw()
+                ));
+            }
+            TraceData::StandbyPlaced { container, .. } => {
+                out.push_str(&format!(",\"container\":{}", container.raw()));
+            }
+            TraceData::StandbyPromoted { to, moves, .. } => {
+                out.push_str(&format!(",\"to\":{},\"moves\":{moves}", to.raw()));
+            }
+            TraceData::SloRecovery { tier, ms, fast, .. } => {
+                out.push_str(&format!(",\"tier\":\"{tier}\",\"ms\":{ms},\"fast\":{fast}"));
+            }
             TraceData::Diagnosis {
                 cause,
                 mitigation,
@@ -487,6 +601,45 @@ mod tests {
             container: ContainerId(9),
         };
         assert_eq!(o.job(), Some(JobId(3)));
+    }
+
+    #[test]
+    fn resiliency_records_classify_and_serialize() {
+        let placed = TraceData::StandbyPlaced {
+            job: JobId(2),
+            container: ContainerId(11),
+        };
+        assert_eq!(placed.job(), Some(JobId(2)));
+        assert!(placed.is_decision());
+        let promoted = TraceData::StandbyPromoted {
+            job: JobId(2),
+            to: ContainerId(11),
+            moves: 3,
+        };
+        assert!(promoted.is_decision());
+        let revived = TraceData::ContainerRevived {
+            container: ContainerId(11),
+            stale_shards: 0,
+        };
+        assert_eq!(revived.job(), None);
+        assert!(!revived.is_decision());
+        let recovery = TraceData::SloRecovery {
+            job: JobId(2),
+            tier: "critical",
+            ms: 20_000,
+            fast: true,
+        };
+        assert!(!recovery.is_decision());
+        let e = TraceEvent {
+            id: TraceId(1),
+            at: SimTime::ZERO,
+            cause: None,
+            data: recovery,
+        };
+        let json = e.to_json();
+        assert!(json.contains("\"tier\":\"critical\""), "{json}");
+        assert!(json.contains("\"ms\":20000"), "{json}");
+        assert!(json.contains("\"fast\":true"), "{json}");
     }
 
     #[test]

@@ -26,6 +26,28 @@ fn maintenance_window_scenario_stays_healthy() {
 }
 
 #[test]
+fn tiered_outage_drill_scenario_stays_healthy() {
+    let summary = run_file("tiered_outage_drill.json");
+    // Mixed-tier fleet under sustained heartbeat loss, a Scribe stall on a
+    // critical job, and a host flap: everything running at the end.
+    for (name, tasks, _) in &summary.jobs {
+        assert!(*tasks > 0, "{name} lost its tasks");
+    }
+    let &(_, _, _, slo, _) = summary.rows.last().expect("rows");
+    assert!(slo > 0.99, "final slo {slo}");
+    assert!(
+        summary.counters[4] >= 1,
+        "sustained heartbeat loss must trigger fail-over"
+    );
+    // The dashboard reports per-tier SLO lines for the tiers in the fleet.
+    assert!(
+        summary.dashboard.contains("tier critical:"),
+        "dashboard must report the critical tier:\n{}",
+        summary.dashboard
+    );
+}
+
+#[test]
 fn storm_and_rollback_scenario_stays_healthy() {
     let summary = run_file("storm_and_rollback.json");
     let &(_, _, _, slo, backlog) = summary.rows.last().expect("rows");

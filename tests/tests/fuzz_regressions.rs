@@ -46,6 +46,15 @@ const HEARTBEAT_LOSS_DUAL_OWNERSHIP: &str = r#"{"band":0.26808421914751707,"faul
 /// rebalancing to do — dozens of shards ended up dual-owned.
 const NARROW_BAND_DUAL_OWNERSHIP: &str = r#"{"band":0.01,"faults":[{"from_min":73,"kind":"heartbeat_loss","len_min":7,"target":0}],"flaps":[],"headroom":0.20080720800155558,"horizon_mins":114,"host_cpu":3.4223294613599617,"host_memory_mb":14017.861473730403,"hosts":5,"jobs":[{"diurnal":0.0,"events":[],"key_cardinality":0.0,"max_tasks":1,"message_bytes":770.8920919815529,"name":"fuzz0","partitions":7,"per_thread_rate":1730775.9076928792,"rate":580473.1696088638,"stateful":false,"tasks":1,"threads":2,"traffic_seed":473},{"diurnal":0.15604792264446907,"events":[],"key_cardinality":0.0,"max_tasks":3,"message_bytes":120.04458041091696,"name":"fuzz1","partitions":18,"per_thread_rate":907151.6065184504,"rate":5299.140396207196,"stateful":false,"tasks":3,"threads":3,"traffic_seed":540}],"scaler_enabled":true,"seed":18,"tick_secs":2}"#;
 
+/// Resiliency-tier corner, landed with the warm-standby fast path: a
+/// critical stateful job loses its primary's heartbeats (sustained, so
+/// the standby gets promoted) while another host flaps across the
+/// promotion window — the standby itself may be on the flapping host,
+/// forcing the double-fault degradation to the standard path. Pins the
+/// promotion-single-owner and standby-isolation invariants plus mode
+/// equivalence for the whole corner.
+const STANDBY_FLAP_DURING_PROMOTION: &str = r#"{"band":0.15,"faults":[{"from_min":10,"kind":"heartbeat_loss","len_min":5,"target":0}],"flaps":[{"fail_min":10,"host":2,"recover_min":15}],"headroom":0.1,"horizon_mins":40,"host_cpu":8.0,"host_memory_mb":32768.0,"hosts":3,"jobs":[{"diurnal":0.0,"events":[],"key_cardinality":100000.0,"max_tasks":2,"message_bytes":256.0,"name":"crit0","partitions":8,"per_thread_rate":1000000.0,"rate":1000000.0,"resiliency":"critical","stateful":true,"tasks":2,"threads":2,"traffic_seed":1},{"diurnal":0.0,"events":[],"key_cardinality":0.0,"max_tasks":2,"message_bytes":256.0,"name":"std1","partitions":8,"per_thread_rate":1000000.0,"rate":500000.0,"resiliency":"standard","stateful":false,"tasks":2,"threads":2,"traffic_seed":2}],"scaler_enabled":false,"seed":0,"tick_secs":5}"#;
+
 #[test]
 fn host_flap_no_longer_dual_owns_shards() {
     check_repro("seed-9", HOST_FLAP_DUAL_OWNERSHIP);
@@ -59,4 +68,9 @@ fn heartbeat_loss_no_longer_dual_owns_shards() {
 #[test]
 fn narrow_band_failover_no_longer_dual_owns_shards() {
     check_repro("seed-18", NARROW_BAND_DUAL_OWNERSHIP);
+}
+
+#[test]
+fn standby_host_flap_during_promotion_stays_single_owner() {
+    check_repro("standby-flap", STANDBY_FLAP_DURING_PROMOTION);
 }
