@@ -32,6 +32,21 @@ digest_b=$(grep -o '"slo_digest": "[^"]*"' /tmp/BENCH_slo_repeat.json)
     || { echo "slo_soak digest not deterministic: '$digest_a' vs '$digest_b'"; exit 1; }
 echo "slo_soak digest reproducible: $digest_a"
 
+echo "== scale_smoke: sparse data plane at 1k hosts / 10k tasks (13 simulated hours) =="
+# scale_soak runs the identical scenario under the sparse and full-scan
+# data planes and exits non-zero unless the fingerprints are bit-equal,
+# the sparse syncer does >= 5x less per-job work, and the sparse run
+# lands inside the wall-clock budget. A second run must reproduce the
+# identical fingerprint counters or the gate fails. The full-size run
+# (10k hosts / 120k tasks / 24 h, the default flags) is manual.
+./target/release/scale_soak --hosts 1000 --jobs 1000 --hours 13 --max-wall-secs 300
+fp_a=$(grep -o '"counters": \[[^]]*\]' BENCH_scale.json)
+./target/release/scale_soak --hosts 1000 --jobs 1000 --hours 13 --max-wall-secs 300 > /dev/null
+fp_b=$(grep -o '"counters": \[[^]]*\]' BENCH_scale.json)
+[ -n "$fp_a" ] && [ "$fp_a" = "$fp_b" ] \
+    || { echo "scale_smoke fingerprint not deterministic: '$fp_a' vs '$fp_b'"; exit 1; }
+echo "scale_smoke fingerprint reproducible: $fp_a"
+
 echo "== sched_soak (event-driven scheduler speedup) =="
 ./target/release/sched_soak
 

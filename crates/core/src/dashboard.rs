@@ -12,7 +12,7 @@ use crate::metrics::recovery_budget;
 use crate::platform::Turbine;
 use std::fmt::Write as _;
 use turbine_config::ResiliencyClass;
-use turbine_types::{Cdf, JobId};
+use turbine_types::JobId;
 
 /// Why a job shows up in the unhealthy drill-down.
 #[derive(Debug, Clone, PartialEq)]
@@ -178,9 +178,10 @@ pub fn tier_slo_table(turbine: &Turbine) -> Vec<TierSlo> {
                 .into_iter()
                 .filter(|&j| turbine.job_resiliency(j) == tier)
                 .count();
-            let samples_ms = turbine.metrics.tier_recovery_ms(tier);
-            let samples: Vec<f64> = samples_ms.iter().map(|&ms| ms as f64).collect();
-            let cdf = Cdf::from_samples(&samples);
+            // Percentiles come from the metrics' insert-sorted per-tier
+            // vector: a rank lookup, not a per-render rebuild and sort of
+            // every recovery sample (identical nearest-rank results).
+            let samples_ms = turbine.metrics.tier_recovery_sorted(tier);
             let fast = turbine
                 .metrics
                 .recoveries
@@ -192,8 +193,14 @@ pub fn tier_slo_table(turbine: &Turbine) -> Vec<TierSlo> {
                 jobs,
                 recoveries: samples_ms.len(),
                 fast_recoveries: fast,
-                p50_ms: cdf.quantile(0.50).unwrap_or(0.0) as u64,
-                p99_ms: cdf.quantile(0.99).unwrap_or(0.0) as u64,
+                p50_ms: turbine
+                    .metrics
+                    .tier_recovery_quantile(tier, 0.50)
+                    .unwrap_or(0),
+                p99_ms: turbine
+                    .metrics
+                    .tier_recovery_quantile(tier, 0.99)
+                    .unwrap_or(0),
                 downtime_ms: turbine
                     .metrics
                     .tier_downtime_ms

@@ -37,6 +37,23 @@
 //! convergence liveness check (5) tracks per-job divergence episodes so
 //! legitimate in-flight syncs (scaler updates, complex syncs moving state)
 //! never count against the window.
+//!
+//! # Sparse checking
+//!
+//! [`InvariantChecker::check_sparse`] evaluates the same invariants but
+//! scopes each scan to the inputs that actually changed since the last
+//! tick, described by a [`DirtyInput`] the platform assembles from the
+//! engine's dirty-job set, the Job Store changelog, and change flags for
+//! the cluster / distributed / quarantine / standby state. A scope whose
+//! inputs did not change keeps its previous violating-key set — since the
+//! scans are pure functions of those inputs, the skipped result is exactly
+//! what a full scan would have produced. The convergence universe
+//! (expected ∪ running jobs) is maintained incrementally off the store
+//! changelog instead of being rebuilt every tick, in both modes. Every
+//! `audit_interval` sparse ticks a full recomputation cross-checks the
+//! incrementally maintained state and counts any disagreement in
+//! [`InvariantChecker::audit_mismatches`] — the equivalence oracle for the
+//! sparse path.
 
 use crate::engine::Engine;
 use std::collections::{BTreeMap, BTreeSet};
@@ -58,6 +75,9 @@ pub struct InvariantConfig {
     pub convergence_window: Duration,
     /// Cap on stored violations (a counter keeps the true total).
     pub max_recorded: usize,
+    /// Every this many sparse checks, a full-scan audit cross-checks the
+    /// incrementally maintained state (0 disables the audit).
+    pub audit_interval: u64,
 }
 
 impl Default for InvariantConfig {
@@ -65,6 +85,7 @@ impl Default for InvariantConfig {
         InvariantConfig {
             convergence_window: Duration::from_mins(30),
             max_recorded: 64,
+            audit_interval: 256,
         }
     }
 }
@@ -78,6 +99,25 @@ pub struct Violation {
     pub invariant: &'static str,
     /// Human-readable specifics.
     pub detail: String,
+}
+
+/// What changed since the last check — the platform assembles this from
+/// the engine dirty set, component change flags, and set diffs. Every
+/// flag must be *conservatively* complete: claiming something unchanged
+/// when it changed breaks the sparse/full equivalence (the audit exists
+/// to catch exactly that).
+pub struct DirtyInput<'a> {
+    /// Jobs whose engine state, pause/quarantine/capacity membership, or
+    /// store rows changed since the last check.
+    pub jobs: &'a BTreeSet<JobId>,
+    /// Task-manager ownership or the live-container set changed.
+    pub distributed_changed: bool,
+    /// Cluster topology or capacity changed.
+    pub cluster_changed: bool,
+    /// The syncer's quarantine state changed.
+    pub quarantine_changed: bool,
+    /// Standby registrations changed.
+    pub standby_changed: bool,
 }
 
 /// The read-only world the checker evaluates, assembled by the platform.
@@ -117,6 +157,45 @@ pub struct InvariantView<'a> {
     pub fresh_revivals: &'a [(ContainerId, usize)],
 }
 
+/// Rising-edge key sets, partitioned by scope so a scope whose inputs did
+/// not change can keep its previous result untouched.
+#[derive(Debug, Default)]
+struct ScopedKeys {
+    /// Invariant 1, per job.
+    partition: BTreeMap<JobId, BTreeSet<String>>,
+    /// Invariants 2 + 3.
+    distributed: BTreeSet<String>,
+    /// Invariant 4.
+    overcommit: BTreeSet<String>,
+    /// Invariant 6.
+    quarantine: BTreeSet<String>,
+    /// Invariant 7.
+    standby: BTreeSet<String>,
+    /// Invariant 8.
+    shadow: BTreeSet<String>,
+    /// Invariant 9.
+    promotion: BTreeSet<String>,
+    /// Invariant 10.
+    revival: BTreeSet<String>,
+}
+
+/// Retain-and-insert bookkeeping for one scope: keys whose condition
+/// cleared are forgotten, keys newly in violation are queued for
+/// recording.
+fn settle_scope(
+    active: &mut BTreeSet<String>,
+    seen: &BTreeSet<String>,
+    fresh: Vec<(String, &'static str, String)>,
+    rising: &mut Vec<(&'static str, String)>,
+) {
+    active.retain(|k| seen.contains(k));
+    for (key, invariant, detail) in fresh {
+        if active.insert(key) {
+            rising.push((invariant, detail));
+        }
+    }
+}
+
 /// Continuous invariant checker.
 #[derive(Debug, Default)]
 pub struct InvariantChecker {
@@ -125,12 +204,21 @@ pub struct InvariantChecker {
     total: u64,
     /// Rising-edge tracking for safety invariants: keys currently in
     /// violation (so a persisting condition records once, not per tick).
-    active_keys: BTreeSet<String>,
+    active: ScopedKeys,
+    /// The expected ∪ running job universe, maintained incrementally off
+    /// the Job Store changelog (never rebuilt per tick).
+    convergence_jobs: BTreeSet<JobId>,
+    /// How much of the store changelog has been folded into
+    /// `convergence_jobs`.
+    changelog_cursor: u64,
     /// Start of each job's current divergence episode.
     diverged_since: BTreeMap<JobId, SimTime>,
     /// Jobs already reported for their current divergence episode.
     convergence_flagged: BTreeSet<JobId>,
     ticks_checked: u64,
+    sparse_checks: u64,
+    audit_rounds: u64,
+    audit_mismatches: u64,
 }
 
 impl InvariantChecker {
@@ -157,271 +245,184 @@ impl InvariantChecker {
         self.ticks_checked
     }
 
-    /// Evaluate every invariant against one tick's state.
+    /// Full-scan audits performed on the sparse path.
+    pub fn audit_rounds(&self) -> u64 {
+        self.audit_rounds
+    }
+
+    /// Disagreements between the incrementally maintained state and a full
+    /// recomputation — any non-zero value means the sparse path diverged
+    /// from the full-scan oracle.
+    pub fn audit_mismatches(&self) -> u64 {
+        self.audit_mismatches
+    }
+
+    /// Evaluate every invariant against one tick's state (full scan).
     pub fn check(&mut self, view: &InvariantView<'_>) {
         self.ticks_checked += 1;
-        let mut fresh: Vec<(String, &'static str, String)> = Vec::new();
-        let mut seen: BTreeSet<String> = BTreeSet::new();
+        let mut rising: Vec<(&'static str, String)> = Vec::new();
 
-        self.check_partition_ownership(view, &mut fresh, &mut seen);
-        self.check_task_and_shard_ownership(view, &mut fresh, &mut seen);
-        self.check_host_overcommit(view, &mut fresh, &mut seen);
-        self.check_quarantine_justified(view, &mut fresh, &mut seen);
-        self.check_standby_isolation(view, &mut fresh, &mut seen);
-        self.check_standby_never_commits(view, &mut fresh, &mut seen);
-        self.check_promotion_single_owner(view, &mut fresh, &mut seen);
-        self.check_revival_clean(view, &mut fresh, &mut seen);
+        // Invariant 1, every job.
+        let examined: Vec<JobId> = view.engine.job_ids();
+        let examined_set: BTreeSet<JobId> = examined.iter().copied().collect();
+        self.active
+            .partition
+            .retain(|j, _| examined_set.contains(j));
+        for job in examined {
+            self.settle_partition_scope(view, job, &mut rising);
+        }
+        // Invariants 2–4, 6–10.
+        self.settle_distributed_scope(view, &mut rising);
+        self.settle_overcommit_scope(view, &mut rising);
+        self.settle_quarantine_scope(view, &mut rising);
+        self.settle_standby_scope(view, &mut rising);
+        self.settle_edge_scopes(view, &mut rising);
 
-        // Rising-edge bookkeeping: record only newly-violated keys, forget
-        // keys whose condition cleared.
-        self.active_keys.retain(|k| seen.contains(k));
-        for (key, invariant, detail) in fresh {
-            if self.active_keys.insert(key) {
-                self.record(view.now, invariant, detail);
-            }
+        let now = view.now;
+        for (invariant, detail) in rising {
+            self.record(now, invariant, detail);
         }
 
-        self.check_convergence(view);
+        self.check_convergence(view, None);
     }
 
-    /// Invariant 1: each input partition of a job is owned by at most one
-    /// active task.
-    fn check_partition_ownership(
-        &mut self,
-        view: &InvariantView<'_>,
-        fresh: &mut Vec<(String, &'static str, String)>,
-        seen: &mut BTreeSet<String>,
-    ) {
-        for job in view.engine.job_ids() {
-            let mut owner: BTreeMap<PartitionId, TaskId> = BTreeMap::new();
-            for (&task, active) in view.engine.tasks_of_job(job) {
-                for &p in &active.partitions {
-                    if let Some(&other) = owner.get(&p) {
-                        let key = format!("partition:{job:?}:{p:?}");
-                        seen.insert(key.clone());
-                        fresh.push((
-                            key,
-                            "single-partition-ownership",
-                            format!("{job} partition {p:?} owned by both {other:?} and {task:?}"),
-                        ));
-                    } else {
-                        owner.insert(p, task);
-                    }
-                }
-            }
+    /// Evaluate the invariants touching only what `dirty` says changed.
+    /// Scopes with unchanged inputs keep their previous violating-key
+    /// sets — the scans are pure, so the result is identical to a full
+    /// scan. Periodically runs the full-scan audit.
+    pub fn check_sparse(&mut self, view: &InvariantView<'_>, dirty: &DirtyInput<'_>) {
+        self.ticks_checked += 1;
+        self.sparse_checks += 1;
+        let mut rising: Vec<(&'static str, String)> = Vec::new();
+
+        // Invariant 1: only jobs whose task/partition state changed. A
+        // removed job is marked dirty by the engine, scans to an empty
+        // key set, and drops its entry.
+        for &job in dirty.jobs {
+            self.settle_partition_scope(view, job, &mut rising);
         }
-    }
+        if dirty.distributed_changed {
+            self.settle_distributed_scope(view, &mut rising);
+        }
+        if dirty.cluster_changed {
+            self.settle_overcommit_scope(view, &mut rising);
+        }
+        if dirty.quarantine_changed {
+            self.settle_quarantine_scope(view, &mut rising);
+        }
+        // Standby isolation reads standby registrations, the engine tasks
+        // of standby jobs, and host placement: rescan when any of those
+        // moved.
+        let standby_inputs_changed = dirty.standby_changed
+            || dirty.cluster_changed
+            || view
+                .shard_manager
+                .standbys()
+                .any(|(job, _)| dirty.jobs.contains(&job));
+        if standby_inputs_changed {
+            self.settle_standby_scope(view, &mut rising);
+        }
+        // Shadow-commit counter and the fresh promotion/revival edge lists
+        // are O(changes) already: always evaluated.
+        self.settle_edge_scopes(view, &mut rising);
 
-    /// Invariants 2 + 3: across live Task Managers, every task and every
-    /// shard has at most one owner.
-    fn check_task_and_shard_ownership(
-        &mut self,
-        view: &InvariantView<'_>,
-        fresh: &mut Vec<(String, &'static str, String)>,
-        seen: &mut BTreeSet<String>,
-    ) {
-        let mut task_owner: BTreeMap<TaskId, ContainerId> = BTreeMap::new();
-        let mut shard_owner: BTreeMap<ShardId, ContainerId> = BTreeMap::new();
-        for (&container, tm) in view.task_managers {
-            if !view.live_containers.contains(&container) {
-                continue;
-            }
-            for (&task, _) in tm.running_tasks() {
-                if let Some(&other) = task_owner.get(&task) {
-                    let key = format!("task:{task:?}");
-                    seen.insert(key.clone());
-                    fresh.push((
-                        key,
-                        "single-task-ownership",
-                        format!("{task:?} running in both {other} and {container}"),
-                    ));
-                } else {
-                    task_owner.insert(task, container);
-                }
-            }
-            for shard in tm.owned_shards() {
-                if let Some(&other) = shard_owner.get(&shard) {
-                    let key = format!("shard:{shard:?}");
-                    seen.insert(key.clone());
-                    fresh.push((
-                        key,
-                        "single-shard-ownership",
-                        format!("{shard} owned by both {other} and {container}"),
-                    ));
-                } else {
-                    shard_owner.insert(shard, container);
-                }
-            }
+        let now = view.now;
+        for (invariant, detail) in rising {
+            self.record(now, invariant, detail);
+        }
+
+        self.check_convergence(view, Some(dirty.jobs));
+
+        if self.config.audit_interval > 0
+            && self
+                .sparse_checks
+                .is_multiple_of(self.config.audit_interval)
+        {
+            self.audit(view);
         }
     }
 
-    /// Invariant 4: per host, allocated container capacity never exceeds
-    /// the host's capacity.
-    fn check_host_overcommit(
+    fn settle_partition_scope(
         &mut self,
         view: &InvariantView<'_>,
-        fresh: &mut Vec<(String, &'static str, String)>,
-        seen: &mut BTreeSet<String>,
+        job: JobId,
+        rising: &mut Vec<(&'static str, String)>,
     ) {
-        for host in view.cluster.hosts() {
-            let (Ok(capacity), Ok(containers)) = (
-                view.cluster.host_capacity(host),
-                view.cluster.containers_on(host),
-            ) else {
-                continue;
-            };
-            let allocated: turbine_types::Resources = containers
-                .iter()
-                .filter_map(|&c| view.cluster.container_capacity(c).ok())
-                .sum();
-            // Tiny epsilon: the capacities are f64 sums.
-            let over = allocated.cpu > capacity.cpu * (1.0 + 1e-9)
-                || allocated.memory_mb > capacity.memory_mb * (1.0 + 1e-9)
-                || allocated.disk_mb > capacity.disk_mb * (1.0 + 1e-9)
-                || allocated.network_mbps > capacity.network_mbps * (1.0 + 1e-9);
-            if over {
-                let key = format!("overcommit:{host:?}");
-                seen.insert(key.clone());
-                fresh.push((
-                    key,
-                    "no-host-overcommit",
-                    format!("{host} allocated {allocated:?} exceeds capacity {capacity:?}"),
-                ));
-            }
+        let mut seen = BTreeSet::new();
+        let mut fresh = Vec::new();
+        scan_partition_ownership(view, job, &mut fresh, &mut seen);
+        if seen.is_empty() {
+            self.active.partition.remove(&job);
+            return;
         }
+        let active = self.active.partition.entry(job).or_default();
+        settle_scope(active, &seen, fresh, rising);
     }
 
-    /// Invariant 6: quarantine only after `max_failures` sync failures.
-    fn check_quarantine_justified(
+    fn settle_distributed_scope(
         &mut self,
         view: &InvariantView<'_>,
-        fresh: &mut Vec<(String, &'static str, String)>,
-        seen: &mut BTreeSet<String>,
+        rising: &mut Vec<(&'static str, String)>,
     ) {
-        let max = view.syncer.config().max_failures;
-        for job in view.syncer.quarantined_jobs() {
-            let count = view.syncer.failure_count(job);
-            if count < max {
-                let key = format!("quarantine:{job:?}");
-                seen.insert(key.clone());
-                fresh.push((
-                    key,
-                    "quarantine-after-max-failures",
-                    format!("{job} quarantined after only {count}/{max} failures"),
-                ));
-            }
-        }
+        let mut seen = BTreeSet::new();
+        let mut fresh = Vec::new();
+        scan_task_and_shard_ownership(view, &mut fresh, &mut seen);
+        settle_scope(&mut self.active.distributed, &seen, fresh, rising);
     }
 
-    /// Invariant 7: a warm standby never shares a host with one of its
-    /// job's primary tasks, and never runs the job's tasks itself before
-    /// promotion.
-    fn check_standby_isolation(
+    fn settle_overcommit_scope(
         &mut self,
         view: &InvariantView<'_>,
-        fresh: &mut Vec<(String, &'static str, String)>,
-        seen: &mut BTreeSet<String>,
+        rising: &mut Vec<(&'static str, String)>,
     ) {
-        for (job, standby) in view.shard_manager.standbys() {
-            let standby_host = view.cluster.host_of(standby).ok();
-            for (&task, active) in view.engine.tasks_of_job(job) {
-                let conflict = active.container == standby
-                    || (standby_host.is_some()
-                        && view.cluster.host_of(active.container).ok() == standby_host);
-                if conflict {
-                    let key = format!("standby:{job:?}");
-                    seen.insert(key.clone());
-                    fresh.push((
-                        key,
-                        "standby-isolated",
-                        format!(
-                            "{job} standby {standby} shares a host with primary {task:?} on {}",
-                            active.container
-                        ),
-                    ));
-                    break;
-                }
-            }
-        }
+        let mut seen = BTreeSet::new();
+        let mut fresh = Vec::new();
+        scan_host_overcommit(view, &mut fresh, &mut seen);
+        settle_scope(&mut self.active.overcommit, &seen, fresh, rising);
     }
 
-    /// Invariant 8: the shadow-consumption path never commits checkpoints.
-    fn check_standby_never_commits(
+    fn settle_quarantine_scope(
         &mut self,
         view: &InvariantView<'_>,
-        fresh: &mut Vec<(String, &'static str, String)>,
-        seen: &mut BTreeSet<String>,
+        rising: &mut Vec<(&'static str, String)>,
     ) {
-        let illegal = view.shadow.illegal_commits();
-        if illegal > 0 {
-            let key = "shadow-commit".to_string();
-            seen.insert(key.clone());
-            fresh.push((
-                key,
-                "standby-never-commits",
-                format!("{illegal} checkpoint commit(s) attempted through the shadow path"),
-            ));
-        }
+        let mut seen = BTreeSet::new();
+        let mut fresh = Vec::new();
+        scan_quarantine_justified(view, &mut fresh, &mut seen);
+        settle_scope(&mut self.active.quarantine, &seen, fresh, rising);
     }
 
-    /// Invariant 9: right after a promotion, the promoted job's tasks run
-    /// only on the promoted container — no other live Task Manager still
-    /// claims them.
-    fn check_promotion_single_owner(
+    fn settle_standby_scope(
         &mut self,
         view: &InvariantView<'_>,
-        fresh: &mut Vec<(String, &'static str, String)>,
-        seen: &mut BTreeSet<String>,
+        rising: &mut Vec<(&'static str, String)>,
     ) {
-        for &(job, to) in view.fresh_promotions {
-            let Some(tm) = view.task_managers.get(&to) else {
-                continue;
-            };
-            let promoted: BTreeSet<TaskId> = tm
-                .running_tasks()
-                .map(|(&t, _)| t)
-                .filter(|t| t.job == job)
-                .collect();
-            for (&container, other) in view.task_managers {
-                if container == to || !view.live_containers.contains(&container) {
-                    continue;
-                }
-                for (&task, _) in other.running_tasks() {
-                    if promoted.contains(&task) {
-                        let key = format!("promotion:{task:?}");
-                        seen.insert(key.clone());
-                        fresh.push((
-                            key,
-                            "promotion-single-owner",
-                            format!(
-                                "{job} promoted to {to} but {task:?} still runs in {container}"
-                            ),
-                        ));
-                    }
-                }
-            }
-        }
+        let mut seen = BTreeSet::new();
+        let mut fresh = Vec::new();
+        scan_standby_isolation(view, &mut fresh, &mut seen);
+        settle_scope(&mut self.active.standby, &seen, fresh, rising);
     }
 
-    /// Invariant 10: a revived container's shards were already reassigned
-    /// by the fail-over — it must rejoin empty.
-    fn check_revival_clean(
+    /// Invariants 8–10: cheap counter + edge-list driven, always scanned.
+    fn settle_edge_scopes(
         &mut self,
         view: &InvariantView<'_>,
-        fresh: &mut Vec<(String, &'static str, String)>,
-        seen: &mut BTreeSet<String>,
+        rising: &mut Vec<(&'static str, String)>,
     ) {
-        for &(container, stale_shards) in view.fresh_revivals {
-            if stale_shards > 0 {
-                let key = format!("revival:{container:?}:{}", view.now.as_millis());
-                seen.insert(key.clone());
-                fresh.push((
-                    key,
-                    "container-revival-clean",
-                    format!("{container} revived with {stale_shards} shard(s) still mapped to it"),
-                ));
-            }
-        }
+        let mut seen = BTreeSet::new();
+        let mut fresh = Vec::new();
+        scan_standby_never_commits(view, &mut fresh, &mut seen);
+        settle_scope(&mut self.active.shadow, &seen, fresh, rising);
+
+        let mut seen = BTreeSet::new();
+        let mut fresh = Vec::new();
+        scan_promotion_single_owner(view, &mut fresh, &mut seen);
+        settle_scope(&mut self.active.promotion, &seen, fresh, rising);
+
+        let mut seen = BTreeSet::new();
+        let mut fresh = Vec::new();
+        scan_revival_clean(view, &mut fresh, &mut seen);
+        settle_scope(&mut self.active.revival, &seen, fresh, rising);
     }
 
     /// Invariant 5: bounded post-fault convergence. A job is *diverged*
@@ -431,82 +432,156 @@ impl InvariantChecker {
     /// faults are active or a sync is under way — it violates the
     /// invariant only when it outlives the convergence window after both
     /// the divergence started and the last fault cleared.
-    fn check_convergence(&mut self, view: &InvariantView<'_>) {
+    ///
+    /// With `candidates: Some(..)`, only the given jobs plus jobs in the
+    /// changelog slice are re-evaluated — every input of the divergence
+    /// predicate (store rows, pause/quarantine/capacity membership, engine
+    /// task counts) routes through one of those two sets, so untouched
+    /// jobs keep their status. The window-expiry pass always walks the
+    /// (small) diverged set: it is time-dependent.
+    fn check_convergence(
+        &mut self,
+        view: &InvariantView<'_>,
+        candidates: Option<&BTreeSet<JobId>>,
+    ) {
         let now = view.now;
         let store = view.jobs.store();
-        let mut jobs: BTreeSet<JobId> = store.expected_jobs().into_iter().collect();
-        jobs.extend(store.running_jobs());
-        let current: BTreeSet<JobId> = jobs
+        // Fold the changelog into the expected ∪ running universe.
+        let log_len = store.changelog_len();
+        let mut full_rescan = candidates.is_none();
+        if self.changelog_cursor > log_len {
+            // The store was rebuilt underneath us: resynchronize.
+            self.convergence_jobs = store.expected_jobs().into_iter().collect();
+            self.convergence_jobs.extend(store.running_jobs());
+            full_rescan = true;
+        } else {
+            for &job in store.changed_since(self.changelog_cursor) {
+                if store.running(job).is_some() || store.expected_merged_ref(job).is_ok() {
+                    self.convergence_jobs.insert(job);
+                } else {
+                    self.convergence_jobs.remove(&job);
+                }
+            }
+        }
+        let changed: Vec<JobId> = if full_rescan {
+            Vec::new()
+        } else {
+            store.changed_since(self.changelog_cursor).to_vec()
+        };
+        self.changelog_cursor = log_len;
+
+        if full_rescan {
+            // Jobs that left the universe can no longer be diverged.
+            let universe = &self.convergence_jobs;
+            self.diverged_since.retain(|j, _| universe.contains(j));
+            self.convergence_flagged.retain(|j| universe.contains(j));
+            let jobs: Vec<JobId> = self.convergence_jobs.iter().copied().collect();
+            for job in jobs {
+                self.update_divergence(view, job, now);
+            }
+        } else {
+            let candidates = candidates.expect("sparse path");
+            for &job in candidates {
+                self.update_divergence(view, job, now);
+            }
+            for job in changed {
+                if !candidates.contains(&job) {
+                    self.update_divergence(view, job, now);
+                }
+            }
+        }
+
+        let Some(quiet_since) = view.quiet_since else {
+            return; // faults active: liveness clock not running
+        };
+        let flagged: Vec<JobId> = self
+            .diverged_since
+            .iter()
+            .filter(|(job, _)| !self.convergence_flagged.contains(job))
+            .filter(|&(_, &start)| {
+                now.since(start.max(quiet_since)) > self.config.convergence_window
+            })
+            .map(|(&job, _)| job)
+            .collect();
+        for job in flagged {
+            self.convergence_flagged.insert(job);
+            let detail = describe_divergence(view, job);
+            self.record(now, "post-fault-convergence", detail);
+        }
+    }
+
+    /// Bring one job's divergence-episode bookkeeping up to date.
+    fn update_divergence(&mut self, view: &InvariantView<'_>, job: JobId, now: SimTime) {
+        let eligible = self.convergence_jobs.contains(&job)
+            && !view.syncer.is_quarantined(job)
+            && !view.capacity_stopped.contains(&job);
+        if eligible && is_diverged(view, job) {
+            self.diverged_since.entry(job).or_insert(now);
+        } else {
+            self.diverged_since.remove(&job);
+            self.convergence_flagged.remove(&job);
+        }
+    }
+
+    /// The equivalence oracle: recompute every scope's violating-key set
+    /// and the convergence state from scratch, and count disagreements
+    /// with the incrementally maintained state. Pure — performs no
+    /// state updates, records no violations.
+    fn audit(&mut self, view: &InvariantView<'_>) {
+        self.audit_rounds += 1;
+        let mut mismatches = 0u64;
+
+        let mut partition: BTreeMap<JobId, BTreeSet<String>> = BTreeMap::new();
+        for job in view.engine.job_ids() {
+            let mut seen = BTreeSet::new();
+            let mut fresh = Vec::new();
+            scan_partition_ownership(view, job, &mut fresh, &mut seen);
+            if !seen.is_empty() {
+                partition.insert(job, seen);
+            }
+        }
+        if partition != self.active.partition {
+            mismatches += 1;
+        }
+
+        for (scan, active) in [
+            (
+                scan_task_and_shard_ownership as fn(&InvariantView<'_>, &mut _, &mut _),
+                &self.active.distributed,
+            ),
+            (scan_host_overcommit, &self.active.overcommit),
+            (scan_quarantine_justified, &self.active.quarantine),
+            (scan_standby_isolation, &self.active.standby),
+            (scan_standby_never_commits, &self.active.shadow),
+        ] {
+            let mut seen = BTreeSet::new();
+            let mut fresh = Vec::new();
+            scan(view, &mut fresh, &mut seen);
+            if &seen != active {
+                mismatches += 1;
+            }
+        }
+
+        let store = view.jobs.store();
+        let mut universe: BTreeSet<JobId> = store.expected_jobs().into_iter().collect();
+        universe.extend(store.running_jobs());
+        if universe != self.convergence_jobs {
+            mismatches += 1;
+        }
+        let diverged: BTreeSet<JobId> = universe
             .iter()
             .copied()
             .filter(|&job| {
                 !view.syncer.is_quarantined(job) && !view.capacity_stopped.contains(&job)
             })
-            .filter(|&job| self.is_diverged(view, job))
+            .filter(|&job| is_diverged(view, job))
             .collect();
-        self.diverged_since.retain(|job, _| current.contains(job));
-        self.convergence_flagged.retain(|job| current.contains(job));
-        for &job in &current {
-            self.diverged_since.entry(job).or_insert(now);
+        let tracked: BTreeSet<JobId> = self.diverged_since.keys().copied().collect();
+        if diverged != tracked {
+            mismatches += 1;
         }
-        let Some(quiet_since) = view.quiet_since else {
-            return; // faults active: liveness clock not running
-        };
-        let flagged: Vec<JobId> = current
-            .iter()
-            .copied()
-            .filter(|job| !self.convergence_flagged.contains(job))
-            .filter(|job| {
-                let start = self.diverged_since[job].max(quiet_since);
-                now.since(start) > self.config.convergence_window
-            })
-            .collect();
-        for job in flagged {
-            self.convergence_flagged.insert(job);
-            let detail = self.describe_divergence(view, job);
-            self.record(now, "post-fault-convergence", detail);
-        }
-    }
 
-    fn is_diverged(&self, view: &InvariantView<'_>, job: JobId) -> bool {
-        if view.paused.contains(&job) {
-            return true;
-        }
-        let store = view.jobs.store();
-        match (store.expected_merged_ref(job).ok(), store.running(job)) {
-            (Some(expected), Some(running)) if expected != running => return true,
-            (Some(_), None) | (None, Some(_)) => return true,
-            (None, None) => return false,
-            _ => {}
-        }
-        // Config tables agree: do the tasks actually run?
-        let configured = view
-            .jobs
-            .running_typed(job)
-            .map(|c| c.task_count as usize)
-            .unwrap_or(0);
-        view.engine.running_tasks_of(job) < configured
-    }
-
-    fn describe_divergence(&self, view: &InvariantView<'_>, job: JobId) -> String {
-        let store = view.jobs.store();
-        if view.paused.contains(&job) {
-            return format!("{job} still paused mid-sync after the convergence window");
-        }
-        if store.expected_merged_ref(job).ok() != store.running(job) {
-            return format!(
-                "{job} expected/running configs still differ after the convergence window"
-            );
-        }
-        let configured = view
-            .jobs
-            .running_typed(job)
-            .map(|c| c.task_count as usize)
-            .unwrap_or(0);
-        format!(
-            "{job} running {}/{configured} configured tasks after the convergence window",
-            view.engine.running_tasks_of(job)
-        )
+        self.audit_mismatches += mismatches;
     }
 
     fn record(&mut self, at: SimTime, invariant: &'static str, detail: String) {
@@ -519,4 +594,272 @@ impl InvariantChecker {
             });
         }
     }
+}
+
+/// Invariant 1: each input partition of `job` is owned by at most one
+/// active task.
+fn scan_partition_ownership(
+    view: &InvariantView<'_>,
+    job: JobId,
+    fresh: &mut Vec<(String, &'static str, String)>,
+    seen: &mut BTreeSet<String>,
+) {
+    let mut owner: BTreeMap<PartitionId, TaskId> = BTreeMap::new();
+    for (&task, active) in view.engine.tasks_of_job(job) {
+        for &p in &active.partitions {
+            if let Some(&other) = owner.get(&p) {
+                let key = format!("partition:{job:?}:{p:?}");
+                seen.insert(key.clone());
+                fresh.push((
+                    key,
+                    "single-partition-ownership",
+                    format!("{job} partition {p:?} owned by both {other:?} and {task:?}"),
+                ));
+            } else {
+                owner.insert(p, task);
+            }
+        }
+    }
+}
+
+/// Invariants 2 + 3: across live Task Managers, every task and every
+/// shard has at most one owner.
+fn scan_task_and_shard_ownership(
+    view: &InvariantView<'_>,
+    fresh: &mut Vec<(String, &'static str, String)>,
+    seen: &mut BTreeSet<String>,
+) {
+    let mut task_owner: BTreeMap<TaskId, ContainerId> = BTreeMap::new();
+    let mut shard_owner: BTreeMap<ShardId, ContainerId> = BTreeMap::new();
+    for (&container, tm) in view.task_managers {
+        if !view.live_containers.contains(&container) {
+            continue;
+        }
+        for (&task, _) in tm.running_tasks() {
+            if let Some(&other) = task_owner.get(&task) {
+                let key = format!("task:{task:?}");
+                seen.insert(key.clone());
+                fresh.push((
+                    key,
+                    "single-task-ownership",
+                    format!("{task:?} running in both {other} and {container}"),
+                ));
+            } else {
+                task_owner.insert(task, container);
+            }
+        }
+        for shard in tm.owned_shards() {
+            if let Some(&other) = shard_owner.get(&shard) {
+                let key = format!("shard:{shard:?}");
+                seen.insert(key.clone());
+                fresh.push((
+                    key,
+                    "single-shard-ownership",
+                    format!("{shard} owned by both {other} and {container}"),
+                ));
+            } else {
+                shard_owner.insert(shard, container);
+            }
+        }
+    }
+}
+
+/// Invariant 4: per host, allocated container capacity never exceeds
+/// the host's capacity.
+fn scan_host_overcommit(
+    view: &InvariantView<'_>,
+    fresh: &mut Vec<(String, &'static str, String)>,
+    seen: &mut BTreeSet<String>,
+) {
+    for host in view.cluster.hosts() {
+        let (Ok(capacity), Ok(containers)) = (
+            view.cluster.host_capacity(host),
+            view.cluster.containers_on(host),
+        ) else {
+            continue;
+        };
+        let allocated: turbine_types::Resources = containers
+            .iter()
+            .filter_map(|&c| view.cluster.container_capacity(c).ok())
+            .sum();
+        // Tiny epsilon: the capacities are f64 sums.
+        let over = allocated.cpu > capacity.cpu * (1.0 + 1e-9)
+            || allocated.memory_mb > capacity.memory_mb * (1.0 + 1e-9)
+            || allocated.disk_mb > capacity.disk_mb * (1.0 + 1e-9)
+            || allocated.network_mbps > capacity.network_mbps * (1.0 + 1e-9);
+        if over {
+            let key = format!("overcommit:{host:?}");
+            seen.insert(key.clone());
+            fresh.push((
+                key,
+                "no-host-overcommit",
+                format!("{host} allocated {allocated:?} exceeds capacity {capacity:?}"),
+            ));
+        }
+    }
+}
+
+/// Invariant 6: quarantine only after `max_failures` sync failures.
+fn scan_quarantine_justified(
+    view: &InvariantView<'_>,
+    fresh: &mut Vec<(String, &'static str, String)>,
+    seen: &mut BTreeSet<String>,
+) {
+    let max = view.syncer.config().max_failures;
+    for job in view.syncer.quarantined_jobs() {
+        let count = view.syncer.failure_count(job);
+        if count < max {
+            let key = format!("quarantine:{job:?}");
+            seen.insert(key.clone());
+            fresh.push((
+                key,
+                "quarantine-after-max-failures",
+                format!("{job} quarantined after only {count}/{max} failures"),
+            ));
+        }
+    }
+}
+
+/// Invariant 7: a warm standby never shares a host with one of its
+/// job's primary tasks, and never runs the job's tasks itself before
+/// promotion.
+fn scan_standby_isolation(
+    view: &InvariantView<'_>,
+    fresh: &mut Vec<(String, &'static str, String)>,
+    seen: &mut BTreeSet<String>,
+) {
+    for (job, standby) in view.shard_manager.standbys() {
+        let standby_host = view.cluster.host_of(standby).ok();
+        for (&task, active) in view.engine.tasks_of_job(job) {
+            let conflict = active.container == standby
+                || (standby_host.is_some()
+                    && view.cluster.host_of(active.container).ok() == standby_host);
+            if conflict {
+                let key = format!("standby:{job:?}");
+                seen.insert(key.clone());
+                fresh.push((
+                    key,
+                    "standby-isolated",
+                    format!(
+                        "{job} standby {standby} shares a host with primary {task:?} on {}",
+                        active.container
+                    ),
+                ));
+                break;
+            }
+        }
+    }
+}
+
+/// Invariant 8: the shadow-consumption path never commits checkpoints.
+fn scan_standby_never_commits(
+    view: &InvariantView<'_>,
+    fresh: &mut Vec<(String, &'static str, String)>,
+    seen: &mut BTreeSet<String>,
+) {
+    let illegal = view.shadow.illegal_commits();
+    if illegal > 0 {
+        let key = "shadow-commit".to_string();
+        seen.insert(key.clone());
+        fresh.push((
+            key,
+            "standby-never-commits",
+            format!("{illegal} checkpoint commit(s) attempted through the shadow path"),
+        ));
+    }
+}
+
+/// Invariant 9: right after a promotion, the promoted job's tasks run
+/// only on the promoted container — no other live Task Manager still
+/// claims them.
+fn scan_promotion_single_owner(
+    view: &InvariantView<'_>,
+    fresh: &mut Vec<(String, &'static str, String)>,
+    seen: &mut BTreeSet<String>,
+) {
+    for &(job, to) in view.fresh_promotions {
+        let Some(tm) = view.task_managers.get(&to) else {
+            continue;
+        };
+        let promoted: BTreeSet<TaskId> = tm
+            .running_tasks()
+            .map(|(&t, _)| t)
+            .filter(|t| t.job == job)
+            .collect();
+        for (&container, other) in view.task_managers {
+            if container == to || !view.live_containers.contains(&container) {
+                continue;
+            }
+            for (&task, _) in other.running_tasks() {
+                if promoted.contains(&task) {
+                    let key = format!("promotion:{task:?}");
+                    seen.insert(key.clone());
+                    fresh.push((
+                        key,
+                        "promotion-single-owner",
+                        format!("{job} promoted to {to} but {task:?} still runs in {container}"),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Invariant 10: a revived container's shards were already reassigned
+/// by the fail-over — it must rejoin empty.
+fn scan_revival_clean(
+    view: &InvariantView<'_>,
+    fresh: &mut Vec<(String, &'static str, String)>,
+    seen: &mut BTreeSet<String>,
+) {
+    for &(container, stale_shards) in view.fresh_revivals {
+        if stale_shards > 0 {
+            let key = format!("revival:{container:?}:{}", view.now.as_millis());
+            seen.insert(key.clone());
+            fresh.push((
+                key,
+                "container-revival-clean",
+                format!("{container} revived with {stale_shards} shard(s) still mapped to it"),
+            ));
+        }
+    }
+}
+
+fn is_diverged(view: &InvariantView<'_>, job: JobId) -> bool {
+    if view.paused.contains(&job) {
+        return true;
+    }
+    let store = view.jobs.store();
+    match (store.expected_merged_ref(job).ok(), store.running(job)) {
+        (Some(expected), Some(running)) if expected != running => return true,
+        (Some(_), None) | (None, Some(_)) => return true,
+        (None, None) => return false,
+        _ => {}
+    }
+    // Config tables agree: do the tasks actually run?
+    let configured = view
+        .jobs
+        .running_typed(job)
+        .map(|c| c.task_count as usize)
+        .unwrap_or(0);
+    view.engine.running_tasks_of(job) < configured
+}
+
+fn describe_divergence(view: &InvariantView<'_>, job: JobId) -> String {
+    let store = view.jobs.store();
+    if view.paused.contains(&job) {
+        return format!("{job} still paused mid-sync after the convergence window");
+    }
+    if store.expected_merged_ref(job).ok() != store.running(job) {
+        return format!("{job} expected/running configs still differ after the convergence window");
+    }
+    let configured = view
+        .jobs
+        .running_typed(job)
+        .map(|c| c.task_count as usize)
+        .unwrap_or(0);
+    format!(
+        "{job} running {}/{configured} configured tasks after the convergence window",
+        view.engine.running_tasks_of(job)
+    )
 }

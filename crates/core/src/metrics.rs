@@ -143,6 +143,19 @@ pub struct PlatformMetrics {
     pub recoveries: Vec<RecoveryRecord>,
     /// Accumulated fault-attributed downtime per resiliency tier, ms.
     pub tier_downtime_ms: BTreeMap<ResiliencyClass, u64>,
+    /// Per-tier recovery durations kept sorted ascending, maintained
+    /// incrementally by [`Self::record_recovery`] so dashboard percentile
+    /// reads cost a rank lookup instead of a per-render sort.
+    tier_recovery_sorted: BTreeMap<ResiliencyClass, Vec<u64>>,
+
+    /// Jobs examined across State Syncer rounds. Sparse rounds examine
+    /// only the attention set plus the changelog delta, so on a quiescent
+    /// fleet this grows far slower than rounds × jobs — the scale gate's
+    /// per-round work measure.
+    pub sync_jobs_examined: Counter,
+    /// Containers that produced a load report (sparse load reporting
+    /// skips containers whose loads cannot have moved).
+    pub load_reports_sent: Counter,
 }
 
 impl PlatformMetrics {
@@ -168,6 +181,9 @@ impl PlatformMetrics {
         fast: bool,
     ) {
         *self.tier_downtime_ms.entry(tier).or_insert(0) += ms;
+        let sorted = self.tier_recovery_sorted.entry(tier).or_default();
+        let at_rank = sorted.partition_point(|&v| v <= ms);
+        sorted.insert(at_rank, ms);
         self.recoveries.push(RecoveryRecord {
             at,
             job,
@@ -184,6 +200,28 @@ impl PlatformMetrics {
             .filter(|r| r.tier == tier)
             .map(|r| r.ms)
             .collect()
+    }
+
+    /// A tier's recovery durations sorted ascending (no per-call work —
+    /// the vector is maintained on insert).
+    pub fn tier_recovery_sorted(&self, tier: ResiliencyClass) -> &[u64] {
+        self.tier_recovery_sorted
+            .get(&tier)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Nearest-rank quantile of a tier's recovery durations, identical to
+    /// `Cdf::from_samples(...).quantile(q)` over the same samples but
+    /// without rebuilding and re-sorting the sample set.
+    pub fn tier_recovery_quantile(&self, tier: ResiliencyClass, q: f64) -> Option<u64> {
+        let sorted = self.tier_recovery_sorted(tier);
+        if sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+        Some(sorted[rank])
     }
 }
 
@@ -254,6 +292,39 @@ mod tests {
         assert!(m.tier_recovery_ms(ResiliencyClass::BestEffort).is_empty());
         assert!(
             recovery_budget(ResiliencyClass::Critical) < recovery_budget(ResiliencyClass::Standard)
+        );
+    }
+
+    #[test]
+    fn sorted_recovery_quantiles_match_cdf() {
+        use turbine_types::Cdf;
+        let mut m = PlatformMetrics::default();
+        let samples = [5_000u64, 120_000, 7_000, 7_000, 90_000, 33_000, 1];
+        for (i, &ms) in samples.iter().enumerate() {
+            m.record_recovery(
+                SimTime::ZERO,
+                JobId(i as u64),
+                ResiliencyClass::Standard,
+                ms,
+                false,
+            );
+        }
+        let as_f64: Vec<f64> = samples.iter().map(|&v| v as f64).collect();
+        let cdf = Cdf::from_samples(&as_f64);
+        for q in [0.0, 0.01, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(
+                m.tier_recovery_quantile(ResiliencyClass::Standard, q),
+                cdf.quantile(q).map(|v| v as u64),
+                "quantile {q} must match the Cdf path bit for bit",
+            );
+        }
+        assert_eq!(
+            m.tier_recovery_quantile(ResiliencyClass::Critical, 0.5),
+            None
+        );
+        assert_eq!(
+            m.tier_recovery_sorted(ResiliencyClass::Standard),
+            &[1, 5_000, 7_000, 7_000, 33_000, 90_000, 120_000]
         );
     }
 

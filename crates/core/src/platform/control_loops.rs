@@ -57,6 +57,10 @@ impl Turbine {
             for job in affected {
                 self.open_outage(job, since);
             }
+            // The reboot dropped every owned shard regardless of whether
+            // tasks were running on them.
+            self.pending_dirty.distributed = true;
+            self.load_dirty_containers.insert(container);
             self.handle_task_events(container, &all_events);
         }
         let containers: Vec<ContainerId> = self.task_managers.keys().copied().collect();
@@ -159,6 +163,7 @@ impl Turbine {
             {
                 self.shard_manager.clear_standby(job);
                 self.shadow.remove_job(job);
+                self.pending_dirty.standby = true;
                 continue;
             }
             let mut suspect_shards = Vec::new();
@@ -200,6 +205,7 @@ impl Turbine {
                 self.syncer.grant_warm_handoff(job);
             }
             self.shadow.remove_job(job);
+            self.pending_dirty.standby = true;
             if self.invariants.is_some() {
                 self.fresh_promotions.push((job, to));
             }
@@ -218,16 +224,24 @@ impl Turbine {
     /// a standby for any critical job lacking one.
     fn ensure_standbys(&mut self) {
         let now = self.now;
+        // Critical jobs come from the changelog-maintained resiliency
+        // cache: the round costs O(critical + changelog delta), not a
+        // re-decode of every job config in the fleet.
+        self.refresh_resiliency_cache();
         let critical: Vec<JobId> = self
-            .jobs
-            .store()
-            .running_jobs()
-            .into_iter()
-            .filter(|&j| {
-                self.job_resiliency(j) == ResiliencyClass::Critical && self.engine.job(j).is_some()
+            .resiliency_cache
+            .iter()
+            .filter(|&(&j, &tier)| {
+                tier == ResiliencyClass::Critical
+                    && self.jobs.store().running(j).is_some()
+                    && self.engine.job(j).is_some()
             })
+            .map(|(&j, _)| j)
             .collect();
         let registrations: Vec<(JobId, ContainerId)> = self.shard_manager.standbys().collect();
+        if registrations.is_empty() && critical.is_empty() {
+            return;
+        }
         let mut tasks_on: BTreeMap<ContainerId, usize> = BTreeMap::new();
         for (_, task) in self.engine.tasks() {
             *tasks_on.entry(task.container).or_insert(0) += 1;
@@ -252,6 +266,7 @@ impl Turbine {
             if !valid {
                 self.shard_manager.clear_standby(job);
                 self.shadow.remove_job(job);
+                self.pending_dirty.standby = true;
             }
         }
         for job in critical {
@@ -274,6 +289,7 @@ impl Turbine {
             }
             if let Some(container) = self.pick_standby(job) {
                 self.shard_manager.set_standby(job, container);
+                self.pending_dirty.standby = true;
                 self.trace
                     .emit(now, TraceData::StandbyPlaced { job, container });
             }
@@ -435,6 +451,7 @@ impl Turbine {
             task_managers: &'a BTreeMap<ContainerId, LocalTaskManager>,
             engine: &'a Engine,
             state_moves: &'a mut HashMap<JobId, SimTime>,
+            dirty_jobs: &'a mut BTreeSet<JobId>,
             now: SimTime,
             state_move_bandwidth: f64,
         }
@@ -442,6 +459,7 @@ impl Turbine {
             fn request_stop(&mut self, job: JobId) {
                 if self.paused.insert(job) {
                     self.task_service.invalidate();
+                    self.dirty_jobs.insert(job);
                 }
             }
             fn all_stopped(&mut self, job: JobId) -> bool {
@@ -485,10 +503,35 @@ impl Turbine {
             task_managers: &self.task_managers,
             engine: &self.engine,
             state_moves: &mut self.state_moves,
+            dirty_jobs: &mut self.pending_dirty.jobs,
             now: self.now,
             state_move_bandwidth: self.config.state_move_bandwidth,
         };
-        let report = self.syncer.run_round(&mut self.jobs, &mut env);
+        let report = if self.config.sparse_data_plane {
+            self.syncer.run_round_sparse(&mut self.jobs, &mut env)
+        } else {
+            self.syncer.run_round(&mut self.jobs, &mut env)
+        };
+        self.metrics
+            .sync_jobs_examined
+            .add(report.jobs_examined as u64);
+        // Everything the round touched is dirty for the next invariant
+        // check: pause marks moved, quarantine membership or failure
+        // counts changed, store rows advanced.
+        for &job in report
+            .started
+            .iter()
+            .chain(&report.simple)
+            .chain(&report.complex_completed)
+            .chain(&report.deleted)
+            .chain(&report.quarantined)
+            .chain(report.failed.iter().map(|(job, _)| job))
+        {
+            self.pending_dirty.jobs.insert(job);
+        }
+        if !report.quarantined.is_empty() || !report.failed.is_empty() {
+            self.pending_dirty.quarantine = true;
+        }
         let now = self.now;
         for (jobs, outcome) in [
             (&report.started, "started"),
@@ -523,6 +566,7 @@ impl Turbine {
             self.shard_manager.clear_standby(job);
             self.shadow.remove_job(job);
             self.outages.remove(&job);
+            self.pending_dirty.standby = true;
             invalidate = true;
         }
         if invalidate {
@@ -821,12 +865,40 @@ impl Turbine {
         }
     }
 
-    /// Task Manager load reports to the Shard Manager.
+    /// Task Manager load reports to the Shard Manager. In sparse mode only
+    /// containers whose reports could have moved re-report: those whose
+    /// ownership or task set changed, plus every container hosting a task
+    /// of a job whose engine state changed. A skipped container's previous
+    /// report is still current (`report_load` is a pure overwrite), so the
+    /// Shard Manager sees the same load map either way.
     pub(crate) fn load_report_round(&mut self) {
+        self.drain_engine_dirty();
         let usage = self.engine.task_usage_map();
-        for tm in self.task_managers.values() {
-            for (shard, load) in tm.aggregate_shard_loads(&usage) {
-                self.shard_manager.report_load(shard, load);
+        if self.config.sparse_data_plane {
+            let jobs = std::mem::take(&mut self.load_dirty_jobs);
+            let mut containers = std::mem::take(&mut self.load_dirty_containers);
+            for job in jobs {
+                for (_, task) in self.engine.tasks_of_job(job) {
+                    containers.insert(task.container);
+                }
+            }
+            self.metrics.load_reports_sent.add(containers.len() as u64);
+            for container in containers {
+                let Some(tm) = self.task_managers.get(&container) else {
+                    continue;
+                };
+                for (shard, load) in tm.aggregate_shard_loads(&usage) {
+                    self.shard_manager.report_load(shard, load);
+                }
+            }
+        } else {
+            self.metrics
+                .load_reports_sent
+                .add(self.task_managers.len() as u64);
+            for tm in self.task_managers.values() {
+                for (shard, load) in tm.aggregate_shard_loads(&usage) {
+                    self.shard_manager.report_load(shard, load);
+                }
             }
         }
     }
@@ -875,10 +947,14 @@ impl Turbine {
                 if self.capacity_stopped.insert(job) {
                     self.metrics.alerts.incr();
                 }
+                self.pending_dirty.jobs.insert(job);
             }
             self.task_service.invalidate();
         } else if directive.priority_floor.is_none() && !self.capacity_stopped.is_empty() {
             // Pressure cleared: resume capacity-stopped jobs.
+            self.pending_dirty
+                .jobs
+                .extend(self.capacity_stopped.iter().copied());
             self.capacity_stopped.clear();
             self.task_service.invalidate();
         }
@@ -889,13 +965,18 @@ impl Turbine {
     /// job's input alongside the primary but never write the checkpoint
     /// store.
     pub(crate) fn checkpoint_round(&mut self) {
-        let categories = self.categories.clone();
-        self.engine.sync_durable(
-            self.now,
-            &mut self.scribe,
-            &mut self.checkpoints,
-            &move |job| categories.get(&job).cloned().unwrap_or_default(),
-        );
+        // Destructure so the category lookup borrows the map in place —
+        // no per-round clone of every category name.
+        let Turbine {
+            engine,
+            scribe,
+            checkpoints,
+            categories,
+            now,
+            ..
+        } = self;
+        let lookup = |job: JobId| categories.get(&job).cloned().unwrap_or_default();
+        engine.sync_durable(*now, scribe, checkpoints, &lookup);
         let shadowed: Vec<JobId> = self.shard_manager.standbys().map(|(job, _)| job).collect();
         for job in shadowed {
             let Some(category) = self.categories.get(&job) else {
@@ -1021,6 +1102,14 @@ impl Turbine {
     pub(crate) fn apply_movements(&mut self, moves: &[ShardMovement]) {
         for m in moves {
             self.metrics.shard_moves.incr();
+            // Ownership changes even when no tasks move (empty shards):
+            // both endpoints must re-report loads, and the distributed
+            // invariant scope must re-scan.
+            self.pending_dirty.distributed = true;
+            if let Some(from) = m.from {
+                self.load_dirty_containers.insert(from);
+            }
+            self.load_dirty_containers.insert(m.to);
             if let Some(from) = m.from {
                 let events = self
                     .task_managers
@@ -1045,6 +1134,11 @@ impl Turbine {
     pub(crate) fn apply_promotion(&mut self, moves: &[ShardMovement]) {
         for m in moves {
             self.metrics.shard_moves.incr();
+            self.pending_dirty.distributed = true;
+            if let Some(from) = m.from {
+                self.load_dirty_containers.insert(from);
+            }
+            self.load_dirty_containers.insert(m.to);
             if let Some(from) = m.from {
                 let events = self
                     .task_managers
@@ -1074,6 +1168,13 @@ impl Turbine {
         events: &[TaskEvent],
         restart_delay: Duration,
     ) {
+        if !events.is_empty() {
+            // Task starts/stops move the distributed-state picture and
+            // this container's shard loads (the engine marks the affected
+            // jobs itself).
+            self.pending_dirty.distributed = true;
+            self.load_dirty_containers.insert(container);
+        }
         for event in events {
             match event {
                 TaskEvent::Started(spec) => {
@@ -1112,6 +1213,7 @@ impl Turbine {
         if same_host {
             self.shard_manager.clear_standby(job);
             self.shadow.remove_job(job);
+            self.pending_dirty.standby = true;
         }
     }
 }

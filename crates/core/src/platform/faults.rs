@@ -17,6 +17,9 @@ impl Turbine {
         self.container_down_since
             .entry(container)
             .or_insert(self.now);
+        // Severing shrinks the live-container set the distributed
+        // invariant scope checks against.
+        self.pending_dirty.distributed = true;
         self.severed.entry(container).or_insert(SeveredState {
             at: self.now,
             rebooted: false,
@@ -31,6 +34,8 @@ impl Turbine {
         let Some(state) = self.severed.remove(&container) else {
             return;
         };
+        self.pending_dirty.distributed = true;
+        self.load_dirty_containers.insert(container);
         if state.rebooted {
             use turbine_shardmgr::ContainerStatus;
             let status = self.shard_manager.status(container);
@@ -108,7 +113,15 @@ impl Turbine {
                 // Restart: a fresh syncer with empty in-memory state. The
                 // expected-vs-running difference persisted in the Job Store
                 // is the recovery log — the next round resumes exactly the
-                // syncs that were in flight (§III-B fault tolerance).
+                // syncs that were in flight (§III-B fault tolerance). The
+                // restart also empties the quarantine set, so every
+                // formerly quarantined job must be re-examined; the fresh
+                // syncer's changelog cursor of zero already makes its
+                // first sparse round a full-coverage one.
+                self.pending_dirty.quarantine = true;
+                self.pending_dirty
+                    .jobs
+                    .extend(self.syncer.quarantined_jobs());
                 self.syncer = StateSyncer::new(self.config.syncer);
                 self.clamp_recovered_checkpoints();
             }
@@ -176,6 +189,8 @@ impl Turbine {
                     .or_insert(self.now);
             }
         }
+        self.pending_dirty.cluster = true;
+        self.pending_dirty.distributed = true;
         self.cluster.fail_host(host).map_err(|e| e.to_string())
     }
 
@@ -191,8 +206,11 @@ impl Turbine {
             .containers_on(host)
             .map_err(|e| e.to_string())?;
         self.cluster.recover_host(host).map_err(|e| e.to_string())?;
+        self.pending_dirty.cluster = true;
+        self.pending_dirty.distributed = true;
         for container in containers {
             self.container_down_since.remove(&container);
+            self.load_dirty_containers.insert(container);
             if self.shard_manager.status(container) == Some(ContainerStatus::Alive) {
                 // Recovered before fail-over: ownership is unchanged and
                 // the local state is still valid.

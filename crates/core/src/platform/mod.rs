@@ -103,6 +103,13 @@ pub struct TurbineConfig {
     /// Ring capacity of the decision trace (records retained; the digest
     /// covers evicted records too).
     pub trace_capacity: usize,
+    /// Sparse data plane: per-round control-plane work proportional to
+    /// what changed rather than fleet size. State Syncer rounds walk only
+    /// the attention set plus the Job Store changelog delta, invariant
+    /// checks walk only dirty scopes, and load reports skip containers
+    /// whose loads cannot have moved. Observably identical to the dense
+    /// paths (periodic audits compare them); off forces full scans.
+    pub sparse_data_plane: bool,
 }
 
 impl Default for TurbineConfig {
@@ -132,6 +139,7 @@ impl Default for TurbineConfig {
             load_balancing_enabled: true,
             trace_enabled: true,
             trace_capacity: turbine_trace::DEFAULT_TRACE_CAPACITY,
+            sparse_data_plane: true,
         }
     }
 }
@@ -198,6 +206,42 @@ pub struct PlatformFingerprint {
     pub slo_digest: u64,
     /// Number of recovery records in the SLO log.
     pub recoveries: usize,
+}
+
+/// Accumulated change knowledge between invariant checks. Every control
+/// loop that mutates checker-visible state marks the scope it touched;
+/// the sparse invariant check drains this into a
+/// [`crate::invariants::DirtyInput`]. Flags are conservative: a set flag
+/// only means "may have changed", and anything uncertain must set its
+/// flag (the safe direction is a wasted rescan, never a missed one).
+#[derive(Debug, Default)]
+pub(crate) struct PendingDirty {
+    /// Jobs whose checker-visible state (engine tasks, pause/stop marks,
+    /// quarantine membership, store rows) may have changed.
+    pub(crate) jobs: BTreeSet<JobId>,
+    /// Task-manager ownership or the live-container set may have changed.
+    pub(crate) distributed: bool,
+    /// Cluster hosts or capacities may have changed.
+    pub(crate) cluster: bool,
+    /// The quarantine set or its failure counts may have changed.
+    pub(crate) quarantine: bool,
+    /// Standby registrations or standby-relevant placement may have
+    /// changed.
+    pub(crate) standby: bool,
+}
+
+impl PendingDirty {
+    /// Everything dirty: the state a fresh (or freshly re-enabled)
+    /// checker starts from, so its first sparse pass covers the world.
+    pub(crate) fn all(jobs: impl IntoIterator<Item = JobId>) -> Self {
+        PendingDirty {
+            jobs: jobs.into_iter().collect(),
+            distributed: true,
+            cluster: true,
+            quarantine: true,
+            standby: true,
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -274,6 +318,21 @@ pub struct Turbine {
     pub(crate) trace: TraceBuffer,
     /// Continuous invariant checking (enabled for chaos runs).
     pub(crate) invariants: Option<InvariantChecker>,
+    /// Change scopes accumulated since the last invariant check (sparse
+    /// data plane).
+    pub(crate) pending_dirty: PendingDirty,
+    /// Jobs whose engine state changed since the last load-report round;
+    /// their containers must re-report shard loads.
+    pub(crate) load_dirty_jobs: BTreeSet<JobId>,
+    /// Containers whose ownership or task set changed since the last
+    /// load-report round.
+    pub(crate) load_dirty_containers: BTreeSet<ContainerId>,
+    /// Per-job resiliency tier, maintained from the Job Store changelog
+    /// delta so per-round consumers (standby coverage) never re-decode
+    /// every job config in the fleet.
+    pub(crate) resiliency_cache: BTreeMap<JobId, ResiliencyClass>,
+    /// How much of the changelog the resiliency cache has consumed.
+    pub(crate) resiliency_cursor: u64,
     /// The control-plane schedule: per-component cadences plus the event
     /// queue the event-driven drive loop runs on.
     pub(crate) sched: ControlSchedule,
@@ -335,6 +394,11 @@ impl Turbine {
                 TraceBuffer::disabled()
             },
             invariants: None,
+            pending_dirty: PendingDirty::all([]),
+            load_dirty_jobs: BTreeSet::new(),
+            load_dirty_containers: BTreeSet::new(),
+            resiliency_cache: BTreeMap::new(),
+            resiliency_cursor: 0,
             sched: ControlSchedule::new(&config),
             last_scaler_drain: SimTime::ZERO,
             config,
@@ -393,7 +457,10 @@ impl Turbine {
                 container,
                 LocalTaskManager::new(container, self.config.shard_count),
             );
+            self.load_dirty_containers.insert(container);
         }
+        self.pending_dirty.cluster = true;
+        self.pending_dirty.distributed = true;
         self.capacity
             .register_cluster("primary", self.cluster.total_healthy_capacity());
         // Fast initial scheduling: place shards on the new containers now
@@ -679,21 +746,16 @@ impl Turbine {
             .job(job)
             .map(|rt| rt.partition_count())
             .unwrap_or(0);
-        let mut total = 0u64;
-        for i in 0..n_partitions {
+        // One category lookup for the whole job; partitions Scribe has
+        // never seen an append for have no durable bytes yet and are
+        // skipped inside the batched read.
+        let cursors = (0..n_partitions).map(|i| {
             let partition = turbine_types::PartitionId(i as u64);
-            // Partitions the engine knows but Scribe has never seen an
-            // append for have no durable bytes yet.
-            if self.scribe.tail_offset(category, partition).is_err() {
-                continue;
-            }
-            let from = self.checkpoints.get(job, partition);
-            total += self
-                .scribe
-                .bytes_available(category, partition, from)
-                .map_err(|e| format!("{job}/p{i}: {e}"))?;
-        }
-        Ok(total)
+            (partition, self.checkpoints.get(job, partition))
+        });
+        self.scribe
+            .category_backlog(category, cursors)
+            .map_err(|(p, e)| format!("{job}/p{}: {e}", p.raw()))
     }
 
     /// Turn on continuous invariant checking: every executed instant from
@@ -701,6 +763,61 @@ impl Turbine {
     /// invariants.
     pub fn enable_invariant_checks(&mut self, config: InvariantConfig) {
         self.invariants = Some(InvariantChecker::new(config));
+        // A fresh checker has seen nothing, so its first sparse check
+        // must treat the whole current world as dirty.
+        self.pending_dirty = PendingDirty::all(self.engine.job_ids());
+        self.pending_dirty
+            .jobs
+            .extend(self.jobs.store().expected_jobs());
+        self.pending_dirty
+            .jobs
+            .extend(self.jobs.store().running_jobs());
+    }
+
+    /// Bring the per-job resiliency cache up to date with the Job Store
+    /// changelog: only jobs whose rows changed since the last call are
+    /// re-decoded. A cursor past the changelog end (store swapped out
+    /// from under us, e.g. by a test harness) forces a full rebuild.
+    pub(crate) fn refresh_resiliency_cache(&mut self) {
+        let log_len = self.jobs.store().changelog_len();
+        if self.resiliency_cursor > log_len {
+            self.resiliency_cache.clear();
+            self.resiliency_cursor = 0;
+        }
+        if self.resiliency_cursor == 0 {
+            for job in self.jobs.store().expected_jobs() {
+                let tier = self.job_resiliency(job);
+                self.resiliency_cache.insert(job, tier);
+            }
+        } else {
+            let changed: Vec<JobId> = self
+                .jobs
+                .store()
+                .changed_since(self.resiliency_cursor)
+                .to_vec();
+            for job in changed {
+                if self.jobs.store().has_job(job) {
+                    let tier = self.job_resiliency(job);
+                    self.resiliency_cache.insert(job, tier);
+                } else {
+                    self.resiliency_cache.remove(&job);
+                }
+            }
+        }
+        self.resiliency_cursor = log_len;
+    }
+
+    /// Fold the engine's freshly dirtied jobs into every per-consumer
+    /// pending set. `Engine::take_dirty` is destructive, so each consumer
+    /// (sparse invariant checks, sparse load reports) reads its own
+    /// accumulator instead of the engine's set directly.
+    pub(crate) fn drain_engine_dirty(&mut self) {
+        let fresh = self.engine.take_dirty();
+        if fresh.is_empty() {
+            return;
+        }
+        self.load_dirty_jobs.extend(fresh.iter().copied());
+        self.pending_dirty.jobs.extend(fresh);
     }
 
     /// Violations recorded so far (empty when checking is disabled).

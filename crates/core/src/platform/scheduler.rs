@@ -553,6 +553,18 @@ impl Turbine {
         let Some(mut checker) = self.invariants.take() else {
             return;
         };
+        // Drain the accumulated change scopes before borrowing the world:
+        // the sparse check walks only these, the full check ignores them
+        // (either way they are consumed, so the set stays bounded).
+        self.drain_engine_dirty();
+        let dirty_jobs = std::mem::take(&mut self.pending_dirty.jobs);
+        let dirty = crate::invariants::DirtyInput {
+            jobs: &dirty_jobs,
+            distributed_changed: std::mem::take(&mut self.pending_dirty.distributed),
+            cluster_changed: std::mem::take(&mut self.pending_dirty.cluster),
+            quarantine_changed: std::mem::take(&mut self.pending_dirty.quarantine),
+            standby_changed: std::mem::take(&mut self.pending_dirty.standby),
+        };
         // Containers whose local state is authoritative: healthy host
         // and an intact Shard Manager connection. A dead or partitioned
         // container legitimately holds stale state until it rejoins.
@@ -566,7 +578,7 @@ impl Turbine {
             .collect();
         let quiet_since = (!self.faults.any_active())
             .then(|| self.faults.last_transition().unwrap_or(SimTime::ZERO));
-        checker.check(&InvariantView {
+        let view = InvariantView {
             now: self.now,
             cluster: &self.cluster,
             engine: &self.engine,
@@ -581,7 +593,12 @@ impl Turbine {
             shadow: &self.shadow,
             fresh_promotions: &self.fresh_promotions,
             fresh_revivals: &self.fresh_revivals,
-        });
+        };
+        if self.config.sparse_data_plane {
+            checker.check_sparse(&view, &dirty);
+        } else {
+            checker.check(&view);
+        }
         self.fresh_promotions.clear();
         self.fresh_revivals.clear();
         self.invariants = Some(checker);

@@ -102,6 +102,11 @@ pub struct JobStore<W: WalStorage> {
     /// Change counters for running rows (bumped on commit/clear), letting
     /// callers cache derived views of the running config.
     running_tokens: BTreeMap<JobId, u64>,
+    /// Append-only log of jobs whose expected or running row changed, in
+    /// commit order. Readers keep a cursor into it and ask
+    /// [`JobStore::changed_since`] for the jobs touched since their last
+    /// visit instead of rescanning both tables.
+    changelog: Vec<JobId>,
     wal: W,
     /// Set when the last recovery had to discard a corrupt tail.
     salvage: Option<WalSalvage>,
@@ -119,6 +124,7 @@ impl<W: WalStorage> JobStore<W> {
             expected: BTreeMap::new(),
             running: BTreeMap::new(),
             running_tokens: BTreeMap::new(),
+            changelog: Vec::new(),
             wal,
             salvage: None,
         }
@@ -137,6 +143,7 @@ impl<W: WalStorage> JobStore<W> {
             expected: BTreeMap::new(),
             running: BTreeMap::new(),
             running_tokens: BTreeMap::new(),
+            changelog: Vec::new(),
             wal,
             salvage: None,
         };
@@ -183,6 +190,7 @@ impl<W: WalStorage> JobStore<W> {
                 row.versions[0] = 1;
                 row.recompute_merged();
                 self.expected.insert(job, row);
+                self.changelog.push(job);
             }
             "level" => {
                 let [_, job, level, version, payload] = fields[..] else {
@@ -203,6 +211,7 @@ impl<W: WalStorage> JobStore<W> {
                 row.levels[level.index()] = config;
                 row.versions[level.index()] = version;
                 row.recompute_merged();
+                self.changelog.push(job);
             }
             "running" => {
                 let [_, job, payload] = fields[..] else {
@@ -212,6 +221,7 @@ impl<W: WalStorage> JobStore<W> {
                 self.running
                     .insert(job, parse(payload).map_err(|e| e.to_string())?);
                 *self.running_tokens.entry(job).or_insert(0) += 1;
+                self.changelog.push(job);
             }
             "clear_running" => {
                 let [_, job] = fields[..] else {
@@ -220,12 +230,15 @@ impl<W: WalStorage> JobStore<W> {
                 let job = parse_job(job)?;
                 self.running.remove(&job);
                 *self.running_tokens.entry(job).or_insert(0) += 1;
+                self.changelog.push(job);
             }
             "delete" => {
                 let [_, job] = fields[..] else {
                     return Err("delete needs 1 field".into());
                 };
-                self.expected.remove(&parse_job(job)?);
+                let job = parse_job(job)?;
+                self.expected.remove(&job);
+                self.changelog.push(job);
             }
             other => return Err(format!("unknown op '{other}'")),
         }
@@ -244,6 +257,7 @@ impl<W: WalStorage> JobStore<W> {
         row.versions[0] = 1;
         row.recompute_merged();
         self.expected.insert(job, row);
+        self.changelog.push(job);
         Ok(())
     }
 
@@ -304,6 +318,7 @@ impl<W: WalStorage> JobStore<W> {
         row.levels[level.index()] = config;
         row.versions[level.index()] = new_version;
         row.recompute_merged();
+        self.changelog.push(job);
         Ok(new_version)
     }
 
@@ -369,6 +384,7 @@ impl<W: WalStorage> JobStore<W> {
             .append(&format!("running\t{}\t{}", job.raw(), to_text(&config)))?;
         self.running.insert(job, config);
         *self.running_tokens.entry(job).or_insert(0) += 1;
+        self.changelog.push(job);
         Ok(())
     }
 
@@ -377,6 +393,7 @@ impl<W: WalStorage> JobStore<W> {
         self.wal.append(&format!("clear_running\t{}", job.raw()))?;
         self.running.remove(&job);
         *self.running_tokens.entry(job).or_insert(0) += 1;
+        self.changelog.push(job);
         Ok(())
     }
 
@@ -388,6 +405,7 @@ impl<W: WalStorage> JobStore<W> {
         }
         self.wal.append(&format!("delete\t{}", job.raw()))?;
         self.expected.remove(&job);
+        self.changelog.push(job);
         Ok(())
     }
 
@@ -426,6 +444,23 @@ impl<W: WalStorage> JobStore<W> {
         }
         self.wal.replace_all(&records)?;
         Ok(())
+    }
+
+    /// Current length of the change log — the cursor value a reader should
+    /// hold after consuming everything up to now.
+    pub fn changelog_len(&self) -> u64 {
+        self.changelog.len() as u64
+    }
+
+    /// Jobs whose expected or running row changed since `cursor` (a value
+    /// previously returned by [`JobStore::changelog_len`]), in commit order.
+    /// A job appears once per change, so callers should dedup. A cursor
+    /// from the future (e.g. after a store swap) yields the whole log —
+    /// callers detect that via [`JobStore::changelog_len`] going backwards
+    /// and fall back to a full rescan.
+    pub fn changed_since(&self, cursor: u64) -> &[JobId] {
+        let start = (cursor as usize).min(self.changelog.len());
+        &self.changelog[start..]
     }
 
     /// Number of records currently in the WAL.
@@ -713,6 +748,45 @@ mod tests {
         let store = store_with_job();
         let recovered = JobStore::recover(store.wal.clone()).expect("recover");
         assert!(recovered.salvage_report().is_none());
+    }
+
+    #[test]
+    fn changelog_records_every_table_mutation() {
+        let mut store = store_with_job();
+        let cursor = store.changelog_len();
+        assert_eq!(store.changed_since(0), &[JOB], "create is logged");
+        assert!(store.changed_since(cursor).is_empty());
+
+        let mut cfg = ConfigValue::empty_map();
+        cfg.insert("task_count", 8u32.into());
+        store
+            .write_level(JOB, ConfigLevel::Scaler, Some(cfg), 0)
+            .expect("write");
+        store
+            .commit_running(JOB, store.expected_merged(JOB).expect("merge"))
+            .expect("commit");
+        let job2 = JobId(2);
+        store
+            .create_job(job2, JobConfig::stateless("other", 1, 4).to_value())
+            .expect("create");
+        store.delete_job(job2).expect("delete");
+        store.clear_running(JOB).expect("clear");
+        assert_eq!(store.changed_since(cursor), &[JOB, JOB, job2, job2, JOB]);
+
+        // A failed write logs nothing.
+        let cursor = store.changelog_len();
+        assert!(store
+            .write_level(JOB, ConfigLevel::Scaler, None, 99)
+            .is_err());
+        assert!(store.changed_since(cursor).is_empty());
+        // A future cursor yields the whole log rather than panicking.
+        assert_eq!(store.changed_since(cursor + 10), &[] as &[JobId]);
+
+        // Recovery replays the same mutations, so the changelog covers
+        // every job a reader could be stale on.
+        let recovered = JobStore::recover(store.wal.clone()).expect("recover");
+        assert_eq!(recovered.changelog_len(), store.changelog_len());
+        assert_eq!(recovered.changed_since(0), store.changed_since(0));
     }
 
     #[test]

@@ -298,6 +298,57 @@ impl Scribe {
         Ok(())
     }
 
+    /// Batched per-category backlog: the sum of [`Scribe::bytes_available`]
+    /// across many partitions of one category, with a single category
+    /// lookup instead of two name probes per partition. `cursors` supplies
+    /// each partition's read offset in the order the caller wants them
+    /// evaluated; partitions the category does not have (yet) contribute
+    /// nothing, matching the per-stream path that skips partitions Scribe
+    /// has never seen. The first beyond-tail cursor aborts the sum, tagged
+    /// with its partition.
+    pub fn category_backlog<I>(
+        &self,
+        category: &str,
+        cursors: I,
+    ) -> Result<u64, (PartitionId, ScribeError)>
+    where
+        I: IntoIterator<Item = (PartitionId, u64)>,
+    {
+        let Ok(cat) = self.category(category) else {
+            return Ok(0);
+        };
+        let mut total = 0u64;
+        for (partition, from_offset) in cursors {
+            let Some(part) = cat.partitions.get(partition.raw() as usize) else {
+                continue;
+            };
+            if from_offset > part.appended {
+                return Err((
+                    partition,
+                    ScribeError::OffsetBeyondTail {
+                        requested: from_offset,
+                        tail: part.appended,
+                    },
+                ));
+            }
+            total += part.appended - from_offset.max(part.trimmed);
+        }
+        Ok(total)
+    }
+
+    /// Mutable single-category view: one name lookup amortized across the
+    /// many per-partition operations of a durable-sync pass.
+    pub fn category_view(&mut self, name: &str) -> Result<CategoryView<'_>, ScribeError> {
+        let cat = self
+            .categories
+            .get_mut(name)
+            .ok_or_else(|| ScribeError::UnknownCategory(name.to_string()))?;
+        Ok(CategoryView {
+            name: name.to_string(),
+            cat,
+        })
+    }
+
     /// Aggregate statistics of a category.
     pub fn stats(&self, category: &str) -> Result<CategoryStats, ScribeError> {
         let cat = self.category(category)?;
@@ -311,6 +362,55 @@ impl Scribe {
     /// Names of all categories, sorted.
     pub fn category_names(&self) -> Vec<&str> {
         self.categories.keys().map(String::as_str).collect()
+    }
+}
+
+/// A borrowed mutable view of one category (see [`Scribe::category_view`]).
+/// Every operation behaves exactly like its [`Scribe`] counterpart on the
+/// viewed category, minus the repeated name lookup.
+#[derive(Debug)]
+pub struct CategoryView<'a> {
+    name: String,
+    cat: &'a mut Category,
+}
+
+impl CategoryView<'_> {
+    /// Number of partitions in the viewed category.
+    pub fn partition_count(&self) -> u32 {
+        self.cat.partitions.len() as u32
+    }
+
+    /// Total bytes ever appended to the category (monotone except for
+    /// torn-tail salvage, which subtracts the lost range) — a cheap
+    /// change detector for the category's durable tails.
+    pub fn total_appended(&self) -> u64 {
+        self.cat.total_appended
+    }
+
+    /// Tail offset of a partition (see [`Scribe::tail_offset`]).
+    pub fn tail_offset(&self, partition: PartitionId) -> Result<u64, ScribeError> {
+        self.cat
+            .partitions
+            .get(partition.raw() as usize)
+            .map(|p| p.appended)
+            .ok_or_else(|| ScribeError::UnknownPartition(self.name.clone(), partition))
+    }
+
+    /// Append offset-only traffic (see [`Scribe::append_bytes`]).
+    pub fn append_bytes(
+        &mut self,
+        partition: PartitionId,
+        bytes: u64,
+        at: SimTime,
+    ) -> Result<(), ScribeError> {
+        let idx = partition.raw() as usize;
+        if idx >= self.cat.partitions.len() {
+            return Err(ScribeError::UnknownPartition(self.name.clone(), partition));
+        }
+        self.cat.partitions[idx].appended += bytes;
+        self.cat.total_appended += bytes;
+        self.cat.last_append_at = self.cat.last_append_at.max(at);
+        Ok(())
     }
 }
 
@@ -461,6 +561,62 @@ mod tests {
         // Trimming beyond the tail clamps.
         bus.trim("c", p(0), 1_000_000).expect("trim");
         assert_eq!(bus.bytes_available("c", p(0), 8).expect("avail"), 0);
+    }
+
+    #[test]
+    fn category_backlog_matches_per_partition_sum() {
+        let mut bus = Scribe::new();
+        bus.create_category("c", 3).expect("create");
+        bus.append_bytes("c", p(0), 1000, SimTime::ZERO)
+            .expect("append");
+        bus.append_bytes("c", p(1), 500, SimTime::ZERO)
+            .expect("append");
+        bus.trim("c", p(0), 100).expect("trim");
+        let cursors = [(p(0), 50u64), (p(1), 200), (p(2), 0)];
+        let expected: u64 = cursors
+            .iter()
+            .map(|&(part, from)| bus.bytes_available("c", part, from).expect("avail"))
+            .sum();
+        assert_eq!(bus.category_backlog("c", cursors), Ok(expected));
+        // Partitions the category lacks are skipped; unknown categories sum
+        // to zero (as when no data was ever written).
+        assert_eq!(bus.category_backlog("c", [(p(9), 0)]), Ok(0));
+        assert_eq!(bus.category_backlog("nope", [(p(0), 0)]), Ok(0));
+        // A beyond-tail cursor aborts with its partition, like the
+        // per-stream path's first error.
+        assert_eq!(
+            bus.category_backlog("c", [(p(1), 501)]),
+            Err((
+                p(1),
+                ScribeError::OffsetBeyondTail {
+                    requested: 501,
+                    tail: 500
+                }
+            ))
+        );
+    }
+
+    #[test]
+    fn category_view_mirrors_bus_operations() {
+        let mut bus = Scribe::new();
+        bus.create_category("c", 2).expect("create");
+        let at = SimTime::from_millis(7000);
+        {
+            let mut view = bus.category_view("c").expect("view");
+            assert_eq!(view.partition_count(), 2);
+            view.append_bytes(p(0), 123, at).expect("append");
+            assert_eq!(view.tail_offset(p(0)), Ok(123));
+            assert!(matches!(
+                view.append_bytes(p(5), 1, at),
+                Err(ScribeError::UnknownPartition(_, _))
+            ));
+            assert!(view.tail_offset(p(5)).is_err());
+        }
+        assert_eq!(bus.tail_offset("c", p(0)), Ok(123));
+        let stats = bus.stats("c").expect("stats");
+        assert_eq!(stats.total_appended, 123);
+        assert_eq!(stats.last_append_at, at);
+        assert!(bus.category_view("nope").is_err());
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //! rebalance rounds (paper §IV-A2, §IV-B, §IV-C).
 
 use crate::movement::ShardMovement;
-use crate::placement::{compute_placement, PlacementConfig, PlacementInput, PlacementResult};
+use crate::placement::{
+    compute_placement_with, PlacementConfig, PlacementInput, PlacementResult, PlacementScratch,
+};
 use std::collections::{BTreeMap, HashMap};
 use turbine_types::{ContainerId, Duration, JobId, Resources, ShardId, SimTime};
 
@@ -61,6 +63,12 @@ pub struct ShardManager {
     /// consumes the job's input but owns no shards; promotion hands it the
     /// job's shards through the fast path.
     standbys: BTreeMap<JobId, ContainerId>,
+    /// Placement working memory, reused across rounds (the per-round
+    /// allocations show up at 10k hosts).
+    scratch: PlacementScratch,
+    /// Reused snapshot buffers for the placement inputs.
+    shard_input: Vec<(ShardId, Resources)>,
+    container_input: Vec<(ContainerId, Resources)>,
 }
 
 impl ShardManager {
@@ -72,6 +80,9 @@ impl ShardManager {
             containers: BTreeMap::new(),
             assignment: HashMap::new(),
             standbys: BTreeMap::new(),
+            scratch: PlacementScratch::default(),
+            shard_input: Vec::new(),
+            container_input: Vec::new(),
         }
     }
 
@@ -309,18 +320,21 @@ impl ShardManager {
     }
 
     fn run_placement(&mut self) -> PlacementResult {
-        let shards: Vec<(ShardId, Resources)> =
-            self.shard_loads.iter().map(|(&s, &l)| (s, l)).collect();
-        let containers: Vec<(ContainerId, Resources)> = self
-            .containers
-            .iter()
-            .filter(|(_, e)| e.status == ContainerStatus::Alive)
-            .map(|(&id, e)| (id, e.capacity))
-            .collect();
-        let result = compute_placement(
+        self.shard_input.clear();
+        self.shard_input
+            .extend(self.shard_loads.iter().map(|(&s, &l)| (s, l)));
+        self.container_input.clear();
+        self.container_input.extend(
+            self.containers
+                .iter()
+                .filter(|(_, e)| e.status == ContainerStatus::Alive)
+                .map(|(&id, e)| (id, e.capacity)),
+        );
+        let result = compute_placement_with(
+            &mut self.scratch,
             PlacementInput {
-                shards: &shards,
-                containers: &containers,
+                shards: &self.shard_input,
+                containers: &self.container_input,
                 current: &self.assignment,
             },
             self.config.placement,

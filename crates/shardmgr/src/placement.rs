@@ -116,8 +116,41 @@ fn placement_util(load: &Resources, cap: &Resources) -> f64 {
     }
 }
 
-/// Compute a new placement. See module docs for the algorithm.
+/// Reusable working memory for [`compute_placement_with`]. One placement
+/// round over a 10k-container tier otherwise churns through ~10 fresh
+/// heap allocations (capacity tables, per-container shard lists, the
+/// first-fit heap); a caller that places every round keeps one scratch
+/// alive and the buffers' capacities stabilize after the first round.
+/// The buffers carry no state between rounds — every pass below fully
+/// rewrites what it reads — so reuse cannot change the result.
+#[derive(Debug, Default)]
+pub struct PlacementScratch {
+    effective_cap: Vec<Resources>,
+    usable: Vec<bool>,
+    container_index: HashMap<ContainerId, usize>,
+    loads: Vec<Resources>,
+    pool: Vec<(ShardId, Resources)>,
+    by_container: Vec<Vec<(ShardId, Resources)>>,
+    shard_counts: Vec<usize>,
+    heap: BinaryHeap<Reverse<(Util, usize, usize)>>,
+    skipped: Vec<Reverse<(Util, usize, usize)>>,
+    utils: Vec<f64>,
+}
+
+/// Compute a new placement with one-shot scratch buffers. See module docs
+/// for the algorithm; hot callers should hold a [`PlacementScratch`] and
+/// use [`compute_placement_with`].
 pub fn compute_placement(input: PlacementInput<'_>, config: PlacementConfig) -> PlacementResult {
+    compute_placement_with(&mut PlacementScratch::default(), input, config)
+}
+
+/// Compute a new placement, reusing `scratch` across the three passes and
+/// across rounds. Identical to [`compute_placement`] in every output.
+pub fn compute_placement_with(
+    scratch: &mut PlacementScratch,
+    input: PlacementInput<'_>,
+    config: PlacementConfig,
+) -> PlacementResult {
     assert!(
         (0.0..1.0).contains(&config.headroom),
         "headroom must be a fraction below 1"
@@ -132,31 +165,44 @@ pub fn compute_placement(input: PlacementInput<'_>, config: PlacementConfig) -> 
     }
 
     let n_containers = input.containers.len();
-    let effective_cap: Vec<Resources> = input
-        .containers
-        .iter()
-        .map(|(_, cap)| cap.scale(1.0 - config.headroom))
-        .collect();
+    scratch.effective_cap.clear();
+    scratch.effective_cap.extend(
+        input
+            .containers
+            .iter()
+            .map(|(_, cap)| cap.scale(1.0 - config.headroom)),
+    );
+    let effective_cap = &scratch.effective_cap;
     // A container whose effective capacity is zero in every dimension
     // cannot meaningfully host shards: `fits_within` would still accept
     // zero-load shards (0 <= 0) and `dominant_utilization` reads 0.0
     // (every dimension is skipped), which makes the container look
     // *empty* rather than full. Mark it unusable: no stickiness, never a
     // placement or eviction target, excluded from tier statistics.
-    let usable: Vec<bool> = effective_cap.iter().map(|c| !c.is_zero()).collect();
-    let container_index: HashMap<ContainerId, usize> = input
-        .containers
-        .iter()
-        .enumerate()
-        .map(|(i, (id, _))| (*id, i))
-        .collect();
+    scratch.usable.clear();
+    scratch
+        .usable
+        .extend(effective_cap.iter().map(|c| !c.is_zero()));
+    let usable = &scratch.usable;
+    scratch.container_index.clear();
+    scratch.container_index.extend(
+        input
+            .containers
+            .iter()
+            .enumerate()
+            .map(|(i, (id, _))| (*id, i)),
+    );
+    let container_index = &scratch.container_index;
 
-    let mut loads: Vec<Resources> = vec![Resources::ZERO; n_containers];
+    scratch.loads.clear();
+    scratch.loads.resize(n_containers, Resources::ZERO);
+    let loads = &mut scratch.loads;
     let mut assignment: HashMap<ShardId, ContainerId> = HashMap::with_capacity(input.shards.len());
 
     // Pass 1 — stickiness: keep each shard on its current container when
     // that container is still alive and the shard still fits.
-    let mut pool: Vec<(ShardId, Resources)> = Vec::new();
+    scratch.pool.clear();
+    let pool = &mut scratch.pool;
     for &(shard, load) in input.shards {
         match input
             .current
@@ -174,9 +220,13 @@ pub fn compute_placement(input: PlacementInput<'_>, config: PlacementConfig) -> 
     // Pass 2 — band enforcement: evict from hot containers (largest shards
     // first: fastest load reduction with fewest movements) until every
     // container is within `mean + band`.
-    let mean_util = mean_utilization(&loads, &effective_cap, &usable);
+    let mean_util = mean_utilization(loads, effective_cap, usable);
     let hot_threshold = mean_util + config.band;
-    let mut by_container: Vec<Vec<(ShardId, Resources)>> = vec![Vec::new(); n_containers];
+    for per_container in &mut scratch.by_container {
+        per_container.clear();
+    }
+    scratch.by_container.resize_with(n_containers, Vec::new);
+    let by_container = &mut scratch.by_container;
     for (&shard, container) in &assignment {
         let idx = container_index[container];
         let load = lookup_load(input.shards, shard);
@@ -238,26 +288,28 @@ pub fn compute_placement(input: PlacementInput<'_>, config: PlacementConfig) -> 
     // count tie-break matters when loads are uniform or still unreported
     // (all-zero): without it, zero-load shards would all pile onto one
     // container because placing them never changes its utilization.
-    let mut shard_counts: Vec<usize> = vec![0; n_containers];
+    scratch.shard_counts.clear();
+    scratch.shard_counts.resize(n_containers, 0);
+    let shard_counts = &mut scratch.shard_counts;
     for container in assignment.values() {
         shard_counts[container_index[container]] += 1;
     }
     // Unusable (zero-capacity) containers never enter the heap, so they
     // are never first-fit targets; they can still absorb overflow via the
     // fallback below when the tier has no usable container at all.
-    let mut heap: BinaryHeap<Reverse<(Util, usize, usize)>> = (0..n_containers)
-        .filter(|&idx| usable[idx])
-        .map(|idx| {
-            Reverse((
-                Util(placement_util(&loads[idx], &effective_cap[idx])),
-                shard_counts[idx],
-                idx,
-            ))
-        })
-        .collect();
+    scratch.heap.clear();
+    let heap = &mut scratch.heap;
+    heap.extend((0..n_containers).filter(|&idx| usable[idx]).map(|idx| {
+        Reverse((
+            Util(placement_util(&loads[idx], &effective_cap[idx])),
+            shard_counts[idx],
+            idx,
+        ))
+    }));
     let mut overflowed = 0usize;
-    for (shard, load) in pool {
-        let mut skipped: Vec<Reverse<(Util, usize, usize)>> = Vec::new();
+    let skipped = &mut scratch.skipped;
+    for &(shard, load) in pool.iter() {
+        skipped.clear();
         let mut placed_at: Option<usize> = None;
         while let Some(Reverse((util, count, idx))) = heap.pop() {
             let fresh = Util(placement_util(&loads[idx], &effective_cap[idx]));
@@ -293,7 +345,7 @@ pub fn compute_placement(input: PlacementInput<'_>, config: PlacementConfig) -> 
                 idx,
             )));
         }
-        for entry in skipped {
+        for &entry in skipped.iter() {
             heap.push(entry);
         }
     }
@@ -311,10 +363,13 @@ pub fn compute_placement(input: PlacementInput<'_>, config: PlacementConfig) -> 
 
     // Statistics cover usable containers only: an unusable container's
     // `+inf` sentinel would otherwise poison the mean and max.
-    let utils: Vec<f64> = (0..n_containers)
-        .filter(|&idx| usable[idx])
-        .map(|idx| placement_util(&loads[idx], &effective_cap[idx]))
-        .collect();
+    scratch.utils.clear();
+    scratch.utils.extend(
+        (0..n_containers)
+            .filter(|&idx| usable[idx])
+            .map(|idx| placement_util(&loads[idx], &effective_cap[idx])),
+    );
+    let utils = &scratch.utils;
     let stats = PlacementStats {
         mean_util: if utils.is_empty() {
             0.0
@@ -666,6 +721,40 @@ mod tests {
             cfg(),
         );
         assert_eq!(result.assignment.len(), 10);
+    }
+
+    #[test]
+    fn scratch_reuse_is_equivalent_to_fresh_buffers() {
+        // One long-lived scratch driven through rounds of very different
+        // fleet shapes (growing, shrinking, imbalanced, overcommitted)
+        // must reproduce the fresh-buffer result exactly every round.
+        let mut scratch = PlacementScratch::default();
+        let mut current: HashMap<ShardId, ContainerId> = HashMap::new();
+        for (n_shards, n_conts, cpu) in [
+            (500u64, 16u64, 24.0),
+            (300, 8, 24.0),
+            (700, 24, 24.0),
+            (700, 2, 4.0),
+            (100, 24, 24.0),
+        ] {
+            let shards: Vec<_> = (0..n_shards)
+                .map(|i| shard(i, 0.1 + (i % 13) as f64 * 0.07))
+                .collect();
+            let conts = containers(n_conts, cpu);
+            let input = PlacementInput {
+                shards: &shards,
+                containers: &conts,
+                current: &current,
+            };
+            let reused = compute_placement_with(&mut scratch, input, cfg());
+            let fresh = compute_placement(input, cfg());
+            assert_eq!(reused.assignment, fresh.assignment);
+            assert_eq!(reused.moves, fresh.moves);
+            assert_eq!(reused.stats.moved, fresh.stats.moved);
+            assert_eq!(reused.stats.overflowed, fresh.stats.overflowed);
+            assert_eq!(reused.stats.mean_util, fresh.stats.mean_util);
+            current = reused.assignment;
+        }
     }
 
     #[test]

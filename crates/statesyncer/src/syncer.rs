@@ -102,6 +102,10 @@ pub struct SyncReport {
     /// grant this round (fast-path fail-over: the promoted standby already
     /// holds warm state, so nothing moved).
     pub warm_handoffs: Vec<JobId>,
+    /// How many jobs this round actually examined. Full rounds examine the
+    /// whole expected∪running universe; sparse rounds only the candidates,
+    /// so this is the control-plane work measure the scale gate watches.
+    pub jobs_examined: usize,
 }
 
 impl SyncReport {
@@ -131,6 +135,11 @@ pub struct StateSyncer {
     /// pause the job for a state move. Grants are in-memory only — a
     /// syncer crash drops them and the job degrades to the full path.
     warm_handoffs: BTreeSet<JobId>,
+    /// Jobs that must be revisited next round regardless of store
+    /// changes: mid-flight plans, failures awaiting retry, backoffs.
+    attention: BTreeSet<JobId>,
+    /// How much of the Job Store changelog the sparse round has consumed.
+    changelog_cursor: u64,
 }
 
 impl StateSyncer {
@@ -149,6 +158,8 @@ impl StateSyncer {
             resume_round: BTreeMap::new(),
             rng: SimRng::seeded(config.backoff_seed),
             warm_handoffs: BTreeSet::new(),
+            attention: BTreeSet::new(),
+            changelog_cursor: 0,
         }
     }
 
@@ -158,6 +169,9 @@ impl StateSyncer {
     /// promoted on the fast path.
     pub fn grant_warm_handoff(&mut self, job: JobId) {
         self.warm_handoffs.insert(job);
+        // Make sure the sparse round revisits the job even if its store
+        // rows have not changed, so the grant is consumed promptly.
+        self.attention.insert(job);
     }
 
     /// True while a warm-handoff grant is pending for the job.
@@ -191,6 +205,9 @@ impl StateSyncer {
         self.failure_counts.remove(&job);
         self.inflight_rounds.remove(&job);
         self.resume_round.remove(&job);
+        // The job's store rows may not have changed while it sat in
+        // quarantine; put it back on the sparse round's radar explicitly.
+        self.attention.insert(job);
     }
 
     /// Run one synchronization round (production cadence: every 30 s) over
@@ -204,6 +221,12 @@ impl StateSyncer {
         self.round += 1;
         let mut jobs: BTreeSet<JobId> = service.store().expected_jobs().into_iter().collect();
         jobs.extend(service.store().running_jobs());
+        report.jobs_examined = jobs.len();
+        // A full round re-derives everything, so any sparse bookkeeping is
+        // both stale and unnecessary afterwards: the changelog is caught up
+        // and unfinished business re-enters attention below.
+        self.changelog_cursor = service.store().changelog_len();
+        self.attention.clear();
 
         for job in jobs {
             if self.quarantined.contains(&job) {
@@ -234,7 +257,87 @@ impl StateSyncer {
                 );
             }
         }
+        self.refresh_attention(&report);
         report
+    }
+
+    /// Run one synchronization round over only the jobs that can have
+    /// changed: the Job Store changelog since the last round plus the
+    /// syncer's own attention set (mid-flight plans, retry backoffs, fresh
+    /// warm-handoff grants, just-unquarantined jobs).
+    ///
+    /// Equivalence with [`run_round`]: a job outside both sets has had no
+    /// expected/running row change since it was last seen in sync, so the
+    /// full round would take the hot no-op path for it (or `continue` past
+    /// it while quarantined) — no report entry, no store write, no RNG
+    /// draw. Candidates are processed in ascending job order, the same
+    /// relative order the full round visits them in, so the backoff jitter
+    /// stream is drawn identically in both modes. If the changelog
+    /// regressed (store rebuilt underneath us), the round falls back to a
+    /// full rescan — the safe direction.
+    pub fn run_round_sparse<W: WalStorage>(
+        &mut self,
+        service: &mut JobService<W>,
+        env: &mut dyn SyncEnvironment,
+    ) -> SyncReport {
+        let log_len = service.store().changelog_len();
+        if self.changelog_cursor > log_len {
+            return self.run_round(service, env);
+        }
+        let mut candidates = std::mem::take(&mut self.attention);
+        candidates.extend(service.store().changed_since(self.changelog_cursor));
+        // Entries our own commits append *during* this round are
+        // deliberately left beyond the cursor: the next round re-verifies
+        // those jobs on the hot no-op path, exactly as a full round would.
+        self.changelog_cursor = log_len;
+
+        let mut report = SyncReport {
+            jobs_examined: candidates.len(),
+            ..SyncReport::default()
+        };
+        self.round += 1;
+        for job in candidates {
+            if self.quarantined.contains(&job) {
+                continue;
+            }
+            if let Some(&resume) = self.resume_round.get(&job) {
+                if self.round < resume {
+                    report.backed_off.push(job);
+                    continue;
+                }
+                self.resume_round.remove(&job);
+            }
+            if service.store().has_job(job) {
+                self.sync_existing(job, service, env, &mut report);
+            } else if service.store().running(job).is_some() {
+                // Deleted job still running: wind it down.
+                self.run_actions(
+                    job,
+                    &build_delete_plan(job),
+                    None,
+                    service,
+                    env,
+                    &mut report,
+                );
+            }
+            // Neither expected nor running: fully gone. The full round's
+            // universe would not contain it either.
+        }
+        self.refresh_attention(&report);
+        report
+    }
+
+    /// Re-arm the attention set from a round's outcome: jobs with
+    /// unfinished business must be revisited next round even if the Job
+    /// Store stays quiet. (Quarantined jobs appear in `failed` on the
+    /// round that quarantines them; they re-enter attention once, get
+    /// skipped next round, and drop out — matching the full round's
+    /// per-round `continue`.)
+    fn refresh_attention(&mut self, report: &SyncReport) {
+        self.attention.extend(report.backed_off.iter().copied());
+        self.attention.extend(report.in_progress.iter().copied());
+        self.attention
+            .extend(report.failed.iter().map(|(job, _)| *job));
     }
 
     fn sync_existing<W: WalStorage>(
@@ -853,5 +956,267 @@ mod tests {
         }
         let r = syncer.run_round(&mut svc, &mut env);
         assert_eq!(r.simple.len(), n as usize);
+    }
+
+    /// Everything observable about a round except the work counter, which
+    /// legitimately differs between full and sparse rounds.
+    fn assert_rounds_equal(round: usize, full: &SyncReport, sparse: &SyncReport) {
+        assert_eq!(full.started, sparse.started, "round {round}: started");
+        assert_eq!(full.simple, sparse.simple, "round {round}: simple");
+        assert_eq!(
+            full.complex_completed, sparse.complex_completed,
+            "round {round}: complex_completed"
+        );
+        assert_eq!(
+            full.in_progress, sparse.in_progress,
+            "round {round}: in_progress"
+        );
+        assert_eq!(full.deleted, sparse.deleted, "round {round}: deleted");
+        assert_eq!(full.failed, sparse.failed, "round {round}: failed");
+        assert_eq!(
+            full.backed_off, sparse.backed_off,
+            "round {round}: backed_off"
+        );
+        assert_eq!(
+            full.quarantined, sparse.quarantined,
+            "round {round}: quarantined"
+        );
+        assert_eq!(full.alerts, sparse.alerts, "round {round}: alerts");
+        assert_eq!(
+            full.warm_handoffs, sparse.warm_handoffs,
+            "round {round}: warm_handoffs"
+        );
+    }
+
+    fn step(
+        round: &mut usize,
+        full: &mut StateSyncer,
+        sparse: &mut StateSyncer,
+        svc_f: &mut JobService<MemWal>,
+        svc_s: &mut JobService<MemWal>,
+        env_f: &mut MockEnv,
+        env_s: &mut MockEnv,
+    ) -> (SyncReport, SyncReport) {
+        *round += 1;
+        let rf = full.run_round(svc_f, env_f);
+        let rs = sparse.run_round_sparse(svc_s, env_s);
+        assert_rounds_equal(*round, &rf, &rs);
+        (rf, rs)
+    }
+
+    /// Two identical worlds, one driven by full rounds and one by sparse
+    /// rounds, stay observably identical through starts, releases, complex
+    /// syncs, injected failures (exercising the backoff RNG), quarantine,
+    /// un-quarantine, warm handoffs, and deletion — while the sparse side
+    /// examines only the jobs that could have changed.
+    #[test]
+    fn sparse_rounds_are_observably_identical_to_full_rounds() {
+        let mut svc_f = JobService::new(JobStore::new(MemWal::new()));
+        let mut svc_s = JobService::new(JobStore::new(MemWal::new()));
+        let mut env_f = MockEnv {
+            redistribute_failures: 2,
+            ..Default::default()
+        };
+        let mut env_s = MockEnv {
+            redistribute_failures: 2,
+            ..Default::default()
+        };
+        let mut full = StateSyncer::default();
+        let mut sparse = StateSyncer::default();
+        let mut round = 0usize;
+
+        for i in 1..=6u64 {
+            let cfg = JobConfig::stateless(&format!("job{i}"), 4, 64);
+            svc_f.provision(JobId(i), &cfg).expect("provision");
+            svc_s.provision(JobId(i), &cfg).expect("provision");
+        }
+        let (rf, _) = step(
+            &mut round,
+            &mut full,
+            &mut sparse,
+            &mut svc_f,
+            &mut svc_s,
+            &mut env_f,
+            &mut env_s,
+        );
+        assert_eq!(rf.started.len(), 6);
+        // The commits from round 1 leave changelog entries the sparse side
+        // re-verifies on the hot path next round; after that it is quiet.
+        let (_, rs) = step(
+            &mut round,
+            &mut full,
+            &mut sparse,
+            &mut svc_f,
+            &mut svc_s,
+            &mut env_f,
+            &mut env_s,
+        );
+        assert_eq!(rs.jobs_examined, 6);
+        let (rf, rs) = step(
+            &mut round,
+            &mut full,
+            &mut sparse,
+            &mut svc_f,
+            &mut svc_s,
+            &mut env_f,
+            &mut env_s,
+        );
+        assert_eq!(
+            rs.jobs_examined, 0,
+            "quiescent sparse round examines nothing"
+        );
+        assert_eq!(rf.jobs_examined, 6, "full round always scans the universe");
+
+        // Complex sync with two injected redistribution failures: the
+        // backoff jitter stream must line up between the two modes.
+        for svc in [&mut svc_f, &mut svc_s] {
+            svc.set_level_field(JobId(3), ConfigLevel::Scaler, "task_count", 8u32.into())
+                .expect("scale");
+        }
+        let mut completed = false;
+        for _ in 0..10 {
+            let (rf, _) = step(
+                &mut round,
+                &mut full,
+                &mut sparse,
+                &mut svc_f,
+                &mut svc_s,
+                &mut env_f,
+                &mut env_s,
+            );
+            completed |= rf.complex_completed.contains(&JobId(3));
+        }
+        assert!(completed, "job 3 recovers after the injected failures");
+        assert_eq!(env_f.redistributions, env_s.redistributions);
+
+        // A poisoned config never self-heals: the job fails its way into
+        // quarantine in both modes, then is released and repaired.
+        for svc in [&mut svc_f, &mut svc_s] {
+            svc.set_level_field(JobId(4), ConfigLevel::Oncall, "task_count", "lots".into())
+                .expect("poison");
+        }
+        for _ in 0..12 {
+            step(
+                &mut round,
+                &mut full,
+                &mut sparse,
+                &mut svc_f,
+                &mut svc_s,
+                &mut env_f,
+                &mut env_s,
+            );
+        }
+        assert!(full.is_quarantined(JobId(4)));
+        assert!(sparse.is_quarantined(JobId(4)));
+        for svc in [&mut svc_f, &mut svc_s] {
+            svc.set_level_field(JobId(4), ConfigLevel::Oncall, "task_count", 6u32.into())
+                .expect("repair");
+        }
+        full.unquarantine(JobId(4));
+        sparse.unquarantine(JobId(4));
+
+        // A warm-handoff grant satisfies job 5's redistribution in both
+        // modes, and a deletion winds job 2 down.
+        full.grant_warm_handoff(JobId(5));
+        sparse.grant_warm_handoff(JobId(5));
+        for svc in [&mut svc_f, &mut svc_s] {
+            svc.set_level_field(JobId(5), ConfigLevel::Scaler, "task_count", 2u32.into())
+                .expect("scale");
+            svc.store_mut().delete_job(JobId(2)).expect("delete");
+        }
+        let mut deleted = false;
+        let mut warm = false;
+        for _ in 0..6 {
+            let (rf, _) = step(
+                &mut round,
+                &mut full,
+                &mut sparse,
+                &mut svc_f,
+                &mut svc_s,
+                &mut env_f,
+                &mut env_s,
+            );
+            deleted |= rf.deleted.contains(&JobId(2));
+            warm |= rf.warm_handoffs.contains(&JobId(5));
+        }
+        assert!(deleted, "job 2 wound down");
+        assert!(warm, "job 5 consumed its warm-handoff grant");
+
+        for i in 1..=6u64 {
+            assert_eq!(
+                full.failure_count(JobId(i)),
+                sparse.failure_count(JobId(i)),
+                "job {i} failure count"
+            );
+            assert_eq!(
+                full.is_quarantined(JobId(i)),
+                sparse.is_quarantined(JobId(i)),
+                "job {i} quarantine"
+            );
+        }
+        let (_, rs) = step(
+            &mut round,
+            &mut full,
+            &mut sparse,
+            &mut svc_f,
+            &mut svc_s,
+            &mut env_f,
+            &mut env_s,
+        );
+        let (_, rs2) = step(
+            &mut round,
+            &mut full,
+            &mut sparse,
+            &mut svc_f,
+            &mut svc_s,
+            &mut env_f,
+            &mut env_s,
+        );
+        assert!(rs.jobs_examined <= 6);
+        assert_eq!(rs2.jobs_examined, 0, "the fleet settles back to quiet");
+    }
+
+    #[test]
+    fn quiescent_sparse_rounds_examine_no_jobs_at_scale() {
+        let mut svc = JobService::new(JobStore::new(MemWal::new()));
+        let n = 500u64;
+        for i in 0..n {
+            svc.provision(JobId(i), &JobConfig::stateless(&format!("job{i}"), 2, 8))
+                .expect("provision");
+        }
+        let mut env = MockEnv::default();
+        let mut syncer = StateSyncer::default();
+        let r = syncer.run_round_sparse(&mut svc, &mut env);
+        assert_eq!(r.started.len(), n as usize);
+        // Round 2 re-verifies the round-1 commits on the hot path; round 3
+        // touches nothing at all.
+        let r = syncer.run_round_sparse(&mut svc, &mut env);
+        assert_eq!(r.jobs_examined, n as usize);
+        assert_eq!(r.total_changed(), 0);
+        let r = syncer.run_round_sparse(&mut svc, &mut env);
+        assert_eq!(r.jobs_examined, 0);
+        assert_eq!(r.total_changed(), 0);
+    }
+
+    #[test]
+    fn changelog_regression_falls_back_to_a_full_rescan() {
+        let mut svc = JobService::new(JobStore::new(MemWal::new()));
+        for i in 0..4u64 {
+            svc.provision(JobId(i), &JobConfig::stateless(&format!("job{i}"), 2, 8))
+                .expect("provision");
+        }
+        let mut env = MockEnv::default();
+        let mut syncer = StateSyncer::default();
+        assert_eq!(syncer.run_round_sparse(&mut svc, &mut env).started.len(), 4);
+        // The syncer fails over to a freshly-rebuilt Job Store whose
+        // (shorter) changelog no longer matches the cursor: the next round
+        // must rescan everything rather than trust stale bookkeeping.
+        let mut fresh = JobService::new(JobStore::new(MemWal::new()));
+        fresh
+            .provision(JobId(9), &JobConfig::stateless("late", 2, 8))
+            .expect("provision");
+        let r = syncer.run_round_sparse(&mut fresh, &mut env);
+        assert_eq!(r.started, vec![JobId(9)]);
+        assert_eq!(r.jobs_examined, 1);
     }
 }

@@ -143,30 +143,61 @@ pub struct Percentiles {
     pub mean: f64,
 }
 
+/// Snapshot size above which [`Percentiles::from_samples`] switches from a
+/// full sort to O(n) selection. Below it the sort path is kept verbatim so
+/// small-fleet runs stay bit-for-bit identical (the sorted-order mean sum
+/// rounds differently from an input-order sum).
+const SELECT_THRESHOLD: usize = 1024;
+
 impl Percentiles {
     /// Compute p5/p50/p95/mean from `samples`. Returns the zero summary for
-    /// an empty input. Uses the nearest-rank method on a sorted copy.
+    /// an empty input. Uses the nearest-rank method: a sorted copy for
+    /// small snapshots, and O(n) selection of the three order statistics
+    /// for snapshots past [`SELECT_THRESHOLD`] — at 100k-host scale a full
+    /// O(n log n) sort per dashboard render dominates the sample pass. The
+    /// selected ranks are exactly the sort path's (the nearest-rank value
+    /// is a unique order statistic); only the mean's summation order
+    /// differs at large n.
     pub fn from_samples(samples: &[f64]) -> Percentiles {
         if samples.is_empty() {
             return Percentiles::default();
         }
-        let mut sorted: Vec<f64> = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("metric samples must not be NaN"));
-        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
-        Percentiles {
-            p5: rank(&sorted, 0.05),
-            p50: rank(&sorted, 0.50),
-            p95: rank(&sorted, 0.95),
-            mean,
+        if samples.len() <= SELECT_THRESHOLD {
+            let mut sorted: Vec<f64> = samples.to_vec();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("metric samples must not be NaN"));
+            let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+            return Percentiles {
+                p5: rank(&sorted, 0.05),
+                p50: rank(&sorted, 0.50),
+                p95: rank(&sorted, 0.95),
+                mean,
+            };
         }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let mut scratch: Vec<f64> = samples.to_vec();
+        let n = scratch.len();
+        let cmp = |a: &f64, b: &f64| a.partial_cmp(b).expect("metric samples must not be NaN");
+        // Select the highest rank first; each later selection works on the
+        // "everything <= previous pivot" prefix the partition left behind.
+        let i95 = rank_index(n, 0.95);
+        let i50 = rank_index(n, 0.50);
+        let i5 = rank_index(n, 0.05);
+        let (_, &mut p95, _) = scratch.select_nth_unstable_by(i95, cmp);
+        let (_, &mut p50, _) = scratch[..i95].select_nth_unstable_by(i50, cmp);
+        let (_, &mut p5, _) = scratch[..i50.max(1)].select_nth_unstable_by(i5, cmp);
+        Percentiles { p5, p50, p95, mean }
     }
+}
+
+/// 0-based index of the nearest-rank percentile in a sorted slice of `n`.
+fn rank_index(n: usize, q: f64) -> usize {
+    ((q * n as f64).ceil() as usize).clamp(1, n) - 1
 }
 
 /// Nearest-rank percentile of an already-sorted slice.
 fn rank(sorted: &[f64], q: f64) -> f64 {
     debug_assert!(!sorted.is_empty());
-    let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
-    sorted[idx]
+    sorted[rank_index(sorted.len(), q)]
 }
 
 /// An empirical cumulative distribution function.
@@ -299,6 +330,51 @@ mod tests {
         assert_eq!(Percentiles::from_samples(&[]), Percentiles::default());
         let p = Percentiles::from_samples(&[7.0]);
         assert_eq!((p.p5, p.p50, p.p95), (7.0, 7.0, 7.0));
+    }
+
+    #[test]
+    fn selection_path_matches_the_sort_path() {
+        // Reference implementation: the pre-selection full-sort path.
+        fn reference(samples: &[f64]) -> Percentiles {
+            let mut sorted = samples.to_vec();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            Percentiles {
+                p5: rank(&sorted, 0.05),
+                p50: rank(&sorted, 0.50),
+                p95: rank(&sorted, 0.95),
+                mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            }
+        }
+        // Deterministic pseudo-random snapshot well past SELECT_THRESHOLD,
+        // with duplicates, plus a couple of boundary sizes.
+        for n in [
+            SELECT_THRESHOLD - 1,
+            SELECT_THRESHOLD,
+            SELECT_THRESHOLD + 1,
+            10_000,
+        ] {
+            let mut x = 0x9E3779B97F4A7C15u64;
+            let samples: Vec<f64> = (0..n)
+                .map(|_| {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ((x >> 33) % 1000) as f64 / 10.0
+                })
+                .collect();
+            let fast = Percentiles::from_samples(&samples);
+            let slow = reference(&samples);
+            // The percentile ranks are unique order statistics: exact.
+            assert_eq!(fast.p5, slow.p5, "p5 at n={n}");
+            assert_eq!(fast.p50, slow.p50, "p50 at n={n}");
+            assert_eq!(fast.p95, slow.p95, "p95 at n={n}");
+            // The mean may differ only by summation order.
+            assert!((fast.mean - slow.mean).abs() < 1e-9 * slow.mean.abs().max(1.0));
+            // At or below the threshold the whole summary is bit-identical.
+            if n <= SELECT_THRESHOLD {
+                assert_eq!(fast, slow);
+            }
+        }
     }
 
     #[test]
