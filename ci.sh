@@ -53,6 +53,22 @@ echo "== sched_soak (event-driven scheduler speedup) =="
 echo "== trace_soak (decision-trace overhead + determinism gate) =="
 ./target/release/trace_soak --hours 2 --repeats 7
 
+echo "== ods_soak (metrics registry + alerting overhead and determinism gate) =="
+# ods_soak exits non-zero unless the platform fingerprint is bit-equal
+# with ODS on and off, incident logs and trace digests match across
+# drive modes and on replay, and ODS costs < 5 % wall clock.
+./target/release/ods_soak --hours 2 --repeats 7
+
+echo "== alert-rule smoke: tiered outage drill fires exactly one critical incident =="
+# The drill's 8-minute billing scribe stall is the only sustained SLO
+# breach, so the default per-critical-job lag rule must open exactly one
+# deduplicated critical incident (flap suppression holds it to one).
+crit=$(./target/release/turbinesim metrics scenarios/tiered_outage_drill.json --jsonl \
+    | grep '"kind":"incident"' | grep -c '"severity":"critical"') || true
+[ "$crit" = "1" ] \
+    || { echo "expected exactly 1 critical incident from the drill, got $crit"; exit 1; }
+echo "drill fired exactly one deduplicated critical incident"
+
 echo "== fuzz_campaign smoke (200 deterministic cases, all oracles) =="
 fuzz_out=$(./target/release/fuzz_campaign --cases 200 --seed 1)
 echo "$fuzz_out" | tail -1

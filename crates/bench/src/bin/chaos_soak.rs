@@ -56,6 +56,7 @@ fn soak(total: Duration, seed: u64, mode: DriveMode) -> SoakOutcome {
         seed,
         mode,
         trace_enabled: true,
+        ods: true,
         invariants: true,
     });
     let checker = turbine.invariant_checker().expect("checker enabled");

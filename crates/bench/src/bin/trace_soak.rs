@@ -45,6 +45,9 @@ fn run(total: Duration, seed: u64, mode: DriveMode, trace_enabled: bool) -> (Tur
         seed,
         mode,
         trace_enabled,
+        // ODS stays on (its production default) so tracing cost is the
+        // only variable between the two arms.
+        ods: true,
         // The invariant checker's per-tick sweep would drown the signal
         // this benchmark measures; correctness runs under chaos_soak.
         invariants: false,

@@ -31,6 +31,9 @@ pub struct SoakParams {
     pub mode: DriveMode,
     /// Whether the causal decision trace is recorded.
     pub trace_enabled: bool,
+    /// Whether the ODS metrics registry and alerting engine run (with the
+    /// default per-critical-job lag rules installed).
+    pub ods: bool,
     /// Whether the invariant checker runs on every tick.
     pub invariants: bool,
 }
@@ -42,10 +45,11 @@ pub struct SoakParams {
 /// soak exercises the warm-standby fast path next to the standard one:
 /// `soak_counters` and the stateful `soak_sessions` are critical,
 /// `soak_events` standard, `soak_metrics` best-effort.
-pub fn build_platform(trace_enabled: bool) -> (Turbine, Vec<HostId>) {
+pub fn build_platform(trace_enabled: bool, ods_enabled: bool) -> (Turbine, Vec<HostId>) {
     let mut config = TurbineConfig::default();
     config.scaler.downscale_stability = Duration::from_hours(4);
     config.trace_enabled = trace_enabled;
+    config.ods_enabled = ods_enabled;
     let mut turbine = Turbine::new(config);
     let hosts = turbine.add_hosts(8, scuba_host());
     for (i, &(name, tasks, rate, swing, seed, tier)) in [
@@ -179,7 +183,10 @@ pub fn flap_schedule(total: Duration, hosts: usize, rng: &mut SimRng) -> Vec<Hos
 /// invariant checker) from it.
 pub fn run_soak(params: &SoakParams) -> Turbine {
     let mut rng = SimRng::seeded(params.seed);
-    let (mut turbine, hosts) = build_platform(params.trace_enabled);
+    let (mut turbine, hosts) = build_platform(params.trace_enabled, params.ods);
+    if params.ods {
+        turbine.install_default_alert_rules();
+    }
     if params.invariants {
         turbine.enable_invariant_checks(InvariantConfig::default());
     }

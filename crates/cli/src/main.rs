@@ -4,6 +4,8 @@
 //! turbinesim demo                 # run the built-in demo scenario
 //! turbinesim run scenario.json    # run a scenario file
 //! turbinesim trace <scenario>     # run, then query the causal decision trace
+//! turbinesim metrics <scenario>   # run, then export the ODS registry (--jsonl | --prom)
+//! turbinesim top <scenario>       # live operator console while the scenario runs
 //! turbinesim repro <repro.json>   # replay a fuzz repro file through every oracle
 //! turbinesim schema               # print the demo scenario JSON as a format reference
 //! turbinesim faults               # list chaos fault events for scenario timelines
@@ -16,7 +18,8 @@
 //! their addressing fields.
 
 use turbine_cli::{
-    repro_report, run_scenario, run_scenario_traced, trace_report, Scenario, TraceQuery,
+    metrics_report, repro_report, run_scenario, run_scenario_traced, run_top, trace_report,
+    MetricsFormat, Scenario, TraceQuery,
 };
 
 const TRACE_HELP: &str = "\
@@ -57,9 +60,31 @@ fault names:
 optional: \"duration_mins\": M auto-clears the fault M minutes later;
 without it the fault stays active until a matching clear_fault event.";
 
+/// Load `demo` or a scenario file, exiting with a message on failure.
+fn load_scenario(target: &str) -> Scenario {
+    if target == "demo" {
+        return Scenario::demo();
+    }
+    let text = match std::fs::read_to_string(target) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {target}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match Scenario::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let usage = "usage: turbinesim <demo | run <scenario.json> | trace <scenario> [flags] | \
+                 metrics <scenario> [--jsonl | --prom] | top <scenario> [--refresh-mins N] | \
                  repro <repro.json> | schema | faults>";
     match args.get(1).map(String::as_str) {
         Some("demo") => {
@@ -103,24 +128,7 @@ fn main() {
                 println!("{TRACE_HELP}");
                 return;
             }
-            let scenario = if target == "demo" {
-                Scenario::demo()
-            } else {
-                let text = match std::fs::read_to_string(target) {
-                    Ok(t) => t,
-                    Err(e) => {
-                        eprintln!("cannot read {target}: {e}");
-                        std::process::exit(1);
-                    }
-                };
-                match Scenario::parse(&text) {
-                    Ok(s) => s,
-                    Err(e) => {
-                        eprintln!("{e}");
-                        std::process::exit(1);
-                    }
-                }
-            };
+            let scenario = load_scenario(target);
             let query = match TraceQuery::parse(&args[3..]) {
                 Ok(q) => q,
                 Err(e) => {
@@ -136,6 +144,59 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+        }
+        Some("metrics") => {
+            let Some(target) = args.get(2) else {
+                eprintln!("usage: turbinesim metrics <demo | scenario.json> [--jsonl | --prom]");
+                std::process::exit(2);
+            };
+            let scenario = load_scenario(target);
+            let format = match MetricsFormat::parse(&args[3..]) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("{e}\nusage: turbinesim metrics <scenario> [--jsonl | --prom]");
+                    std::process::exit(2);
+                }
+            };
+            print!("{}", metrics_report(&scenario, format));
+        }
+        Some("top") => {
+            let Some(target) = args.get(2) else {
+                eprintln!("usage: turbinesim top <demo | scenario.json> [--refresh-mins N]");
+                std::process::exit(2);
+            };
+            let scenario = load_scenario(target);
+            let mut refresh_mins = scenario.report_every_mins;
+            let mut rest = args[3..].iter();
+            while let Some(flag) = rest.next() {
+                match flag.as_str() {
+                    "--refresh-mins" => {
+                        refresh_mins = rest
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&n| n > 0)
+                            .unwrap_or_else(|| {
+                                eprintln!("--refresh-mins needs a positive integer");
+                                std::process::exit(2);
+                            });
+                    }
+                    other => {
+                        eprintln!("unknown top flag '{other}'");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            // On a live terminal each frame repaints the screen; piped
+            // output just concatenates frames (and stays deterministic).
+            use std::io::IsTerminal;
+            let live = std::io::stdout().is_terminal();
+            run_top(&scenario, refresh_mins, |frame| {
+                if live {
+                    print!("\x1b[2J\x1b[H{frame}");
+                } else {
+                    println!("{frame}");
+                }
+            });
         }
         Some("repro") => {
             let Some(path) = args.get(2) else {

@@ -82,9 +82,74 @@ pub fn run_scenario(scenario: &Scenario) -> RunSummary {
 /// Execute a scenario and keep the causal trace alongside the summary
 /// (the `turbinesim trace` subcommand's entry point).
 pub fn run_scenario_traced(scenario: &Scenario) -> TracedRun {
+    let mut rows = Vec::new();
+    let (turbine, ids) = drive_scenario(scenario, |turbine, minute| {
+        let total_mins = (scenario.duration_hours * 60.0).ceil() as u64;
+        if minute % scenario.report_every_mins == 0 || minute == total_mins {
+            rows.push((
+                turbine.now().as_hours_f64(),
+                turbine.metrics.cluster_traffic.last().unwrap_or(0.0) / 1.0e6,
+                turbine.metrics.task_count.last().unwrap_or(0.0),
+                turbine.metrics.slo_ok_fraction.last().unwrap_or(0.0),
+                turbine.metrics.total_backlog.last().unwrap_or(0.0) / 1.0e6,
+            ));
+        }
+    });
+
+    let jobs = ids
+        .iter()
+        .map(|(name, &id)| match turbine.job_status(id) {
+            Some(status) => (
+                name.clone(),
+                status.running_tasks,
+                status.backlog_bytes / 1.0e6,
+            ),
+            None => (format!("{name} (deleted)"), 0, 0.0),
+        })
+        .collect();
+    let dashboard = turbine::fleet_health(&turbine).render();
+    let counters = [
+        turbine.metrics.task_starts.get(),
+        turbine.metrics.task_stops.get(),
+        turbine.metrics.task_restarts.get(),
+        turbine.metrics.shard_moves.get(),
+        turbine.metrics.failovers.get(),
+        turbine.metrics.scaling_actions.get(),
+        turbine.metrics.alerts.get(),
+    ];
+    let fault_log = turbine
+        .fault_injector()
+        .log()
+        .iter()
+        .map(|(at, entry)| (at.as_hours_f64(), entry.clone()))
+        .collect();
+    TracedRun {
+        summary: RunSummary {
+            rows,
+            jobs,
+            counters,
+            dashboard,
+            fault_log,
+        },
+        trace: turbine.trace().clone(),
+        jobs: ids,
+    }
+}
+
+/// Provision a scenario's fleet and drive it minute by minute, calling
+/// `observer` after each simulated minute (timeline events for that minute
+/// have already fired). Returns the final platform and the name → id map.
+/// This is the drive loop every observing subcommand shares: `run`/`trace`
+/// sample report rows from it, `metrics` exports the ODS registry after
+/// it, and `top` renders console frames inside it.
+pub fn drive_scenario(
+    scenario: &Scenario,
+    mut observer: impl FnMut(&Turbine, u64),
+) -> (Turbine, BTreeMap<String, JobId>) {
     let mut config = TurbineConfig::default();
     config.scaler_enabled = scenario.scaler_enabled;
     config.load_balancing_enabled = scenario.load_balancing;
+    config.ods_enabled = scenario.ods_enabled;
     let mut turbine = Turbine::new(config);
     let hosts = turbine.add_hosts(
         scenario.hosts,
@@ -114,6 +179,13 @@ pub fn run_scenario_traced(scenario: &Scenario) -> TracedRun {
                 .expect("scenario job provisions");
         }
         ids.insert(job.name.clone(), id);
+    }
+
+    // Arm the alerting engine: the platform's default per-critical-job lag
+    // rules, then whatever the scenario's "alerts" section adds.
+    if scenario.ods_enabled {
+        turbine.install_default_alert_rules();
+        turbine.install_alert_rules(scenario.alert_rules.iter().cloned());
     }
 
     // Pre-register storm windows on every job's traffic model (they are
@@ -149,7 +221,6 @@ pub fn run_scenario_traced(scenario: &Scenario) -> TracedRun {
         .iter()
         .filter(|e| !matches!(e, ScenarioEvent::Storm { .. }))
         .collect();
-    let mut rows = Vec::new();
     for minute in 1..=total_mins {
         turbine.run_for(Duration::from_mins(1));
         while let Some(event) = pending.first().filter(|e| e.at_mins() <= minute) {
@@ -193,55 +264,9 @@ pub fn run_scenario_traced(scenario: &Scenario) -> TracedRun {
             }
             pending.remove(0);
         }
-        if minute % scenario.report_every_mins == 0 || minute == total_mins {
-            rows.push((
-                turbine.now().as_hours_f64(),
-                turbine.metrics.cluster_traffic.last().unwrap_or(0.0) / 1.0e6,
-                turbine.metrics.task_count.last().unwrap_or(0.0),
-                turbine.metrics.slo_ok_fraction.last().unwrap_or(0.0),
-                turbine.metrics.total_backlog.last().unwrap_or(0.0) / 1.0e6,
-            ));
-        }
+        observer(&turbine, minute);
     }
-
-    let jobs = ids
-        .iter()
-        .map(|(name, &id)| match turbine.job_status(id) {
-            Some(status) => (
-                name.clone(),
-                status.running_tasks,
-                status.backlog_bytes / 1.0e6,
-            ),
-            None => (format!("{name} (deleted)"), 0, 0.0),
-        })
-        .collect();
-    let dashboard = turbine::fleet_health(&turbine).render();
-    let counters = [
-        turbine.metrics.task_starts.get(),
-        turbine.metrics.task_stops.get(),
-        turbine.metrics.task_restarts.get(),
-        turbine.metrics.shard_moves.get(),
-        turbine.metrics.failovers.get(),
-        turbine.metrics.scaling_actions.get(),
-        turbine.metrics.alerts.get(),
-    ];
-    let fault_log = turbine
-        .fault_injector()
-        .log()
-        .iter()
-        .map(|(at, entry)| (at.as_hours_f64(), entry.clone()))
-        .collect();
-    TracedRun {
-        summary: RunSummary {
-            rows,
-            jobs,
-            counters,
-            dashboard,
-            fault_log,
-        },
-        trace: turbine.trace().clone(),
-        jobs: ids,
-    }
+    (turbine, ids)
 }
 
 /// Map a validated scenario fault name (plus its addressing fields) to the

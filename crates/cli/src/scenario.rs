@@ -5,6 +5,7 @@
 //! same deterministic parse/print semantics as job configurations.
 
 use std::fmt;
+use turbine::AlertRule;
 use turbine_config::{ConfigValue, ResiliencyClass};
 
 /// A job described by a scenario.
@@ -153,10 +154,16 @@ pub struct Scenario {
     pub scaler_enabled: bool,
     /// Whether the load balancer runs.
     pub load_balancing: bool,
+    /// Whether the ODS metrics registry and alerting engine run.
+    pub ods_enabled: bool,
     /// The jobs to provision at time zero.
     pub jobs: Vec<ScenarioJob>,
     /// Timeline events, sorted by firing time.
     pub events: Vec<ScenarioEvent>,
+    /// Declarative alert rules from the scenario's `"alerts"` array,
+    /// already resolved against the scenario's job names. Installed on
+    /// top of the platform's default per-critical-job lag rules.
+    pub alert_rules: Vec<AlertRule>,
 }
 
 /// Error describing why a scenario failed to parse or validate.
@@ -316,6 +323,19 @@ impl Scenario {
         }
         events.sort_by_key(ScenarioEvent::at_mins);
 
+        // Alert rules resolve job names against the provisioning order the
+        // runner uses: the i-th scenario job becomes `JobId(i + 1)`.
+        let mut alert_rules = Vec::new();
+        if let Some(list) = root.get_path("alerts").and_then(|v| v.as_array()) {
+            let resolve = |name: &str| {
+                jobs.iter()
+                    .position(|j| j.name == name)
+                    .map(|i| i as u64 + 1)
+            };
+            alert_rules =
+                turbine::parse_rules(list, resolve).map_err(|e| err(format!("alerts: {e}")))?;
+        }
+
         let scenario = Scenario {
             hosts: get_u64(root, "hosts", Some(4))? as usize,
             host_cpu: get_f64(root, "host.cpu", Some(56.0))?,
@@ -330,8 +350,13 @@ impl Scenario {
                 .get_path("load_balancing")
                 .and_then(|v| v.as_bool())
                 .unwrap_or(true),
+            ods_enabled: root
+                .get_path("ods_enabled")
+                .and_then(|v| v.as_bool())
+                .unwrap_or(true),
             jobs,
             events,
+            alert_rules,
         };
         if scenario.hosts == 0 {
             return Err(err("scenario needs at least one host"));
@@ -479,6 +504,47 @@ mod tests {
         assert!(
             Scenario::parse(r#"{"jobs": [{"name": "a", "resiliency": "platinum"}]}"#).is_err(),
             "unknown resiliency class"
+        );
+    }
+
+    #[test]
+    fn alert_rules_parse_and_resolve_job_names() {
+        let s = Scenario::parse(
+            r#"{"jobs": [{"name": "other"}, {"name": "billing"}],
+                "alerts": [
+                  {"name": "lag-high", "scope": "job", "job": "billing",
+                   "metric": "lag_secs", "kind": "threshold", "above": 90.0,
+                   "for_mins": 2, "severity": "critical"},
+                  {"name": "fleet-quiet", "metric": "cluster_traffic_bps",
+                   "kind": "absence", "stale_for_mins": 5}
+                ]}"#,
+        )
+        .expect("parse");
+        assert_eq!(s.alert_rules.len(), 2);
+        assert_eq!(s.alert_rules[0].name, "lag-high");
+        // "billing" is the second job, so it resolves to JobId 2's raw id.
+        assert_eq!(s.alert_rules[0].metric.to_string(), "job/2/lag_secs");
+        assert!(s.ods_enabled, "ODS defaults on");
+    }
+
+    #[test]
+    fn alert_rules_with_unknown_jobs_are_rejected() {
+        assert!(
+            Scenario::parse(
+                r#"{"jobs": [{"name": "j"}],
+                    "alerts": [{"name": "r", "scope": "job", "job": "ghost",
+                                "metric": "lag_secs", "kind": "threshold", "above": 1.0}]}"#
+            )
+            .is_err(),
+            "unknown job in alert rule"
+        );
+        assert!(
+            Scenario::parse(
+                r#"{"jobs": [{"name": "j"}],
+                    "alerts": [{"name": "r", "metric": "m", "kind": "sorcery"}]}"#
+            )
+            .is_err(),
+            "unknown rule kind"
         );
     }
 

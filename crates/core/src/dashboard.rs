@@ -104,6 +104,9 @@ pub struct FleetHealth {
     pub recent_decisions: Vec<(JobId, Vec<String>)>,
     /// Per-tier SLO accounting, in tier order (best-effort → critical).
     pub tier_slo: Vec<TierSlo>,
+    /// Active (unresolved) ODS alert incidents, rendered one per line as
+    /// `[severity] rule: message`. Empty when alerting is quiet or off.
+    pub active_incidents: Vec<String>,
 }
 
 impl FleetHealth {
@@ -139,6 +142,12 @@ impl FleetHealth {
                         }
                     }
                 }
+            }
+        }
+        if !self.active_incidents.is_empty() {
+            let _ = writeln!(out, "active incidents ({}):", self.active_incidents.len());
+            for line in &self.active_incidents {
+                let _ = writeln!(out, "  {line}");
             }
         }
         for t in &self.tier_slo {
@@ -291,6 +300,12 @@ pub fn fleet_health(turbine: &Turbine) -> FleetHealth {
         unhealthy,
         recent_decisions,
         tier_slo: tier_slo_table(turbine),
+        active_incidents: turbine
+            .incidents()
+            .iter()
+            .filter(|i| i.is_active())
+            .map(|i| format!("[{}] {}: {}", i.severity, i.rule, i.message))
+            .collect(),
     }
 }
 
@@ -427,6 +442,7 @@ mod tests {
                     budget_ms: 150_000,
                 },
             ],
+            active_incidents: vec!["[critical] lag-slo-2: job 2 lag 240s above SLO 90s".to_string()],
         };
         let rendered = health.render();
         assert!(rendered.contains("unhealthy jobs (4):"), "{rendered}");
@@ -444,6 +460,11 @@ mod tests {
             "{rendered}"
         );
         assert!(rendered.contains("paused for a complex sync"), "{rendered}");
+        assert!(rendered.contains("active incidents (1):"), "{rendered}");
+        assert!(
+            rendered.contains("[critical] lag-slo-2: job 2 lag 240s above SLO 90s"),
+            "{rendered}"
+        );
         // The decisions panel appears once, under job 2 only.
         assert_eq!(rendered.matches("recent decisions:").count(), 1);
         assert!(

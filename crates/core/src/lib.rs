@@ -56,3 +56,10 @@ pub use turbine_sim::{Fault, FaultPlan, FaultTransition};
 // Re-exported so downstream crates can query the decision trace without
 // depending on the trace crate directly.
 pub use turbine_trace::{Component as TraceComponent, TraceBuffer, TraceData, TraceEvent, TraceId};
+// Re-exported so downstream crates can read the metrics registry, install
+// alert rules, and export series without depending on the ods crate
+// directly.
+pub use turbine_ods::{
+    parse_rules, AlertEngine, AlertRule, Incident, MetricId, MetricKey, Registry as OdsRegistry,
+    RuleKind, Scope as OdsScope, Severity, ThresholdOp,
+};

@@ -148,6 +148,12 @@ pub struct PlatformMetrics {
     /// reads cost a rank lookup instead of a per-render sort.
     tier_recovery_sorted: BTreeMap<ResiliencyClass, Vec<u64>>,
 
+    /// Alerting incidents opened by the ODS pipeline. Deliberately *not*
+    /// part of the platform fingerprint: the alerting layer is
+    /// observational, and folding its counter into the fingerprint would
+    /// make "ODS on vs off" runs trivially unequal.
+    pub incidents: Counter,
+
     /// Jobs examined across State Syncer rounds. Sparse rounds examine
     /// only the attention set plus the changelog delta, so on a quiescent
     /// fleet this grows far slower than rounds × jobs — the scale gate's
@@ -213,15 +219,14 @@ impl PlatformMetrics {
 
     /// Nearest-rank quantile of a tier's recovery durations, identical to
     /// `Cdf::from_samples(...).quantile(q)` over the same samples but
-    /// without rebuilding and re-sorting the sample set.
+    /// without rebuilding and re-sorting the sample set (both paths share
+    /// [`turbine_types::nearest_rank_index`]).
     pub fn tier_recovery_quantile(&self, tier: ResiliencyClass, q: f64) -> Option<u64> {
         let sorted = self.tier_recovery_sorted(tier);
         if sorted.is_empty() {
             return None;
         }
-        let q = q.clamp(0.0, 1.0);
-        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
-        Some(sorted[rank])
+        Some(turbine_types::nearest_rank_u64(sorted, q.clamp(0.0, 1.0)))
     }
 }
 

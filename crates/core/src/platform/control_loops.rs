@@ -606,6 +606,7 @@ impl Turbine {
             let stats = self.engine.drain_window(job);
             let runtime = self.engine.job(job).expect("registered");
             let backlog = runtime.backlog();
+            let key_cardinality = runtime.stateful.then_some(runtime.key_cardinality);
             let mut per_task_rates = Vec::new();
             let mut per_task_memory = Vec::new();
             for (id, task) in self.engine.tasks_of_job(job) {
@@ -618,17 +619,32 @@ impl Turbine {
                 per_task_rates.push(processed / window);
                 per_task_memory.push(task.memory_usage_mb);
             }
+            // Symptom inputs flow through the ODS registry when it is on:
+            // publish, then read the identical `f64`s back — every scaler
+            // decision is driven by the same uniform metrics plane the
+            // operator console reads, at zero behavioral drift.
+            let (input_rate, processing_rate, total_bytes_lagged) = if self.config.ods_enabled {
+                self.ods_scaler_roundtrip(
+                    job,
+                    now,
+                    stats.arrived / window,
+                    stats.processed / window,
+                    backlog,
+                )
+            } else {
+                (stats.arrived / window, stats.processed / window, backlog)
+            };
             let metrics = JobMetrics {
-                input_rate: stats.arrived / window,
-                processing_rate: stats.processed / window,
-                total_bytes_lagged: backlog,
+                input_rate,
+                processing_rate,
+                total_bytes_lagged,
                 per_task_rates,
                 per_task_memory_mb: per_task_memory,
                 oom_events: stats.ooms,
                 task_count: config.task_count,
                 threads_per_task: config.threads_per_task,
                 reserved: config.task_resources,
-                key_cardinality: runtime.stateful.then_some(runtime.key_cardinality),
+                key_cardinality,
             };
             // Track releases (for the root-causer's bad-update rule).
             match self.releases.get(&job) {
@@ -1046,6 +1062,7 @@ impl Turbine {
         let mut ok = 0usize;
         let mut total = 0usize;
         let mut total_backlog = 0.0;
+        let mut ods_jobs: Vec<super::ods::JobSample> = Vec::new();
         let watched: Vec<JobId> = self.metrics.watched_job_lag.keys().copied().collect();
         for job in self.engine.job_ids() {
             let Some(rt) = self.engine.job(job) else {
@@ -1064,6 +1081,14 @@ impl Turbine {
             if lag_secs <= config.slo_lag_secs {
                 ok += 1;
             }
+            if self.config.ods_enabled {
+                ods_jobs.push(super::ods::JobSample {
+                    job,
+                    lag_secs,
+                    backlog_bytes: backlog,
+                    running_tasks: self.engine.running_tasks_of(job),
+                });
+            }
             if watched.contains(&job) {
                 self.metrics
                     .watched_job_lag
@@ -1077,10 +1102,9 @@ impl Turbine {
                     .record(now, self.engine.running_tasks_of(job) as f64);
             }
         }
-        if total > 0 {
-            self.metrics
-                .slo_ok_fraction
-                .record(now, ok as f64 / total as f64);
+        let slo_frac = (total > 0).then(|| ok as f64 / total as f64);
+        if let Some(frac) = slo_frac {
+            self.metrics.slo_ok_fraction.record(now, frac);
         }
         self.metrics.total_backlog.record(now, total_backlog);
 
@@ -1095,6 +1119,24 @@ impl Turbine {
         }
         self.metrics.reserved_cpu.record(now, reserved_cpu);
         self.metrics.reserved_memory_mb.record(now, reserved_mem);
+
+        // ODS publication + alert evaluation last: the registry sees this
+        // round's observations, then rules are evaluated against them on
+        // the same grid instant in every drive mode.
+        if self.config.ods_enabled {
+            self.ods_metrics_publish(
+                now,
+                super::ods::MetricsRoundSample {
+                    traffic,
+                    cpu_samples: &cpu_samples,
+                    mem_samples: &mem_samples,
+                    jobs: &ods_jobs,
+                    total_backlog,
+                    slo_ok_fraction: slo_frac,
+                },
+            );
+            self.ods_evaluate_alerts(now);
+        }
     }
 
     /// Apply shard movements: DROP_SHARD on the source before ADD_SHARD on

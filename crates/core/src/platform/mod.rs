@@ -19,6 +19,7 @@
 
 mod control_loops;
 mod faults;
+mod ods;
 mod scheduler;
 
 pub use scheduler::{ControlEvent, DriveMode};
@@ -110,6 +111,11 @@ pub struct TurbineConfig {
     /// whose loads cannot have moved. Observably identical to the dense
     /// paths (periodic audits compare them); off forces full scans.
     pub sparse_data_plane: bool,
+    /// Master switch for the ODS metrics plane (registry publication and
+    /// alert evaluation). Like tracing, the pipeline is observational:
+    /// turning it off changes no simulation outcome, only whether the
+    /// uniform time-series registry is populated and alert rules fire.
+    pub ods_enabled: bool,
 }
 
 impl Default for TurbineConfig {
@@ -140,6 +146,7 @@ impl Default for TurbineConfig {
             trace_enabled: true,
             trace_capacity: turbine_trace::DEFAULT_TRACE_CAPACITY,
             sparse_data_plane: true,
+            ods_enabled: true,
         }
     }
 }
@@ -337,6 +344,9 @@ pub struct Turbine {
     /// queue the event-driven drive loop runs on.
     pub(crate) sched: ControlSchedule,
     pub(crate) last_scaler_drain: SimTime,
+    /// The ODS metrics plane: registry, alert engine, and id caches
+    /// (inert while [`TurbineConfig::ods_enabled`] is off).
+    pub(crate) ods: ods::OdsState,
 }
 
 impl Turbine {
@@ -401,6 +411,7 @@ impl Turbine {
             resiliency_cursor: 0,
             sched: ControlSchedule::new(&config),
             last_scaler_drain: SimTime::ZERO,
+            ods: ods::OdsState::default(),
             config,
         })
     }

@@ -250,6 +250,11 @@ pub(crate) struct ControlSchedule {
 }
 
 impl ControlSchedule {
+    /// Pending control events (the ODS `control_queue_depth` gauge).
+    pub(crate) fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
     pub(crate) fn new(config: &TurbineConfig) -> Self {
         ControlSchedule {
             queue: EventQueue::new(),

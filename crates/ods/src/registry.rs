@@ -1,0 +1,256 @@
+//! The time-series registry: interned metric identities over bounded
+//! series.
+//!
+//! Registration (a `BTreeMap` lookup plus a string key) happens once per
+//! series; publishers cache the returned [`MetricId`] and every subsequent
+//! publish is a dense `Vec` index plus a bounded ring push. That keeps the
+//! registry safe to leave on by default even at scale-soak fleet sizes.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use turbine_types::{SimTime, TimeSeries};
+
+/// The entity a metric is about — the "component/job/host" axis of the
+/// ODS identity tuple.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Scope {
+    /// Fleet-wide platform aggregates.
+    Platform,
+    /// One control-plane component (scheduler table / trace component
+    /// names).
+    Component(String),
+    /// One job, by raw id.
+    Job(u64),
+    /// One host, by raw id.
+    Host(u64),
+    /// One resiliency tier, by name.
+    Tier(String),
+}
+
+impl fmt::Display for Scope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scope::Platform => write!(f, "platform"),
+            Scope::Component(name) => write!(f, "component/{name}"),
+            Scope::Job(id) => write!(f, "job/{id}"),
+            Scope::Host(id) => write!(f, "host/{id}"),
+            Scope::Tier(name) => write!(f, "tier/{name}"),
+        }
+    }
+}
+
+/// Identity of one series: an entity scope plus a metric name.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// What the metric is about.
+    pub scope: Scope,
+    /// The metric name, e.g. `lag_secs` or `backlog_bytes`.
+    pub name: String,
+}
+
+impl MetricKey {
+    /// Convenience constructor.
+    pub fn new(scope: Scope, name: impl Into<String>) -> Self {
+        MetricKey {
+            scope,
+            name: name.into(),
+        }
+    }
+
+    /// A platform-scoped key.
+    pub fn platform(name: impl Into<String>) -> Self {
+        Self::new(Scope::Platform, name)
+    }
+
+    /// A job-scoped key.
+    pub fn job(job: u64, name: impl Into<String>) -> Self {
+        Self::new(Scope::Job(job), name)
+    }
+}
+
+impl fmt::Display for MetricKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.scope, self.name)
+    }
+}
+
+/// Dense handle of a registered series — cache it; publishing through it
+/// is O(1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricId(u32);
+
+impl MetricId {
+    /// The dense index backing this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Exact-tail capacity of each registry series. Alert windows span
+/// minutes, so they always hit the exact tail; older history downsamples
+/// deterministically, bounding a 12k-job fleet's registry to tens of
+/// megabytes.
+pub const REGISTRY_SERIES_CAPACITY: usize = 512;
+
+/// The uniform time-series registry every layer publishes into.
+#[derive(Debug, Default)]
+pub struct Registry {
+    index: BTreeMap<MetricKey, MetricId>,
+    keys: Vec<MetricKey>,
+    series: Vec<TimeSeries>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a key, returning its dense id (registering an empty series
+    /// on first sight). Publishers should call this once and cache the id.
+    pub fn series_id(&mut self, key: MetricKey) -> MetricId {
+        if let Some(&id) = self.index.get(&key) {
+            return id;
+        }
+        let id = MetricId(self.series.len() as u32);
+        self.index.insert(key.clone(), id);
+        self.keys.push(key);
+        self.series
+            .push(TimeSeries::with_capacity(REGISTRY_SERIES_CAPACITY));
+        id
+    }
+
+    /// Append a sample to a registered series — the hot path: a `Vec`
+    /// index plus a bounded ring push.
+    pub fn publish(&mut self, id: MetricId, at: SimTime, value: f64) {
+        self.series[id.index()].record(at, value);
+    }
+
+    /// Intern-and-publish in one call, for cold paths where caching the id
+    /// is not worth the bookkeeping.
+    pub fn publish_key(&mut self, key: MetricKey, at: SimTime, value: f64) {
+        let id = self.series_id(key);
+        self.publish(id, at, value);
+    }
+
+    /// Look up a series id without registering.
+    pub fn lookup(&self, key: &MetricKey) -> Option<MetricId> {
+        self.index.get(key).copied()
+    }
+
+    /// A registered series by id.
+    pub fn series(&self, id: MetricId) -> &TimeSeries {
+        &self.series[id.index()]
+    }
+
+    /// A series by key, if registered.
+    pub fn series_by_key(&self, key: &MetricKey) -> Option<&TimeSeries> {
+        self.lookup(key).map(|id| self.series(id))
+    }
+
+    /// The key a series was registered under.
+    pub fn key(&self, id: MetricId) -> &MetricKey {
+        &self.keys[id.index()]
+    }
+
+    /// Number of registered series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// True when no series are registered.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Iterate every registered series in key order (deterministic,
+    /// export-friendly).
+    pub fn iter(&self) -> impl Iterator<Item = (&MetricKey, &TimeSeries)> {
+        self.index.iter().map(|(key, &id)| (key, self.series(id)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbine_types::Duration;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + Duration::from_secs(secs)
+    }
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut r = Registry::new();
+        let a = r.series_id(MetricKey::platform("cluster_traffic_bps"));
+        let b = r.series_id(MetricKey::job(7, "lag_secs"));
+        let a2 = r.series_id(MetricKey::platform("cluster_traffic_bps"));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(r.len(), 2);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+    }
+
+    #[test]
+    fn publish_and_query_roundtrip() {
+        let mut r = Registry::new();
+        let id = r.series_id(MetricKey::job(1, "backlog_bytes"));
+        r.publish(id, t(60), 1024.0);
+        r.publish(id, t(120), 2048.0);
+        assert_eq!(r.series(id).last(), Some(2048.0));
+        assert_eq!(
+            r.series_by_key(&MetricKey::job(1, "backlog_bytes"))
+                .and_then(|s| s.last()),
+            Some(2048.0)
+        );
+        assert!(r
+            .series_by_key(&MetricKey::job(2, "backlog_bytes"))
+            .is_none());
+        // The f64 round-trips bit for bit — callers may read their own
+        // published value back without behavioural drift.
+        let v = 0.1 + 0.2;
+        r.publish(id, t(180), v);
+        assert_eq!(r.series(id).last().map(f64::to_bits), Some(v.to_bits()));
+    }
+
+    #[test]
+    fn iteration_is_key_ordered() {
+        let mut r = Registry::new();
+        r.series_id(MetricKey::job(2, "b"));
+        r.series_id(MetricKey::job(1, "z"));
+        r.series_id(MetricKey::platform("a"));
+        // Key order (scope variant, then payload, then name) is independent
+        // of registration order — registering in a different order yields
+        // the same iteration sequence.
+        let order: Vec<String> = r.iter().map(|(k, _)| k.to_string()).collect();
+        assert_eq!(order, ["platform/a", "job/1/z", "job/2/b"]);
+        let mut r2 = Registry::new();
+        r2.series_id(MetricKey::platform("a"));
+        r2.series_id(MetricKey::job(1, "z"));
+        r2.series_id(MetricKey::job(2, "b"));
+        let order2: Vec<String> = r2.iter().map(|(k, _)| k.to_string()).collect();
+        assert_eq!(order, order2);
+    }
+
+    #[test]
+    fn keys_render_the_ods_identity() {
+        assert_eq!(
+            MetricKey::new(Scope::Tier("critical".into()), "recovery_p99_ms").to_string(),
+            "tier/critical/recovery_p99_ms"
+        );
+        assert_eq!(MetricKey::job(3, "lag_secs").to_string(), "job/3/lag_secs");
+        assert_eq!(
+            MetricKey::new(Scope::Component("scaler".into()), "round_p99_us").to_string(),
+            "component/scaler/round_p99_us"
+        );
+        assert_eq!(
+            MetricKey::platform("task_count").to_string(),
+            "platform/task_count"
+        );
+        assert_eq!(
+            MetricKey::new(Scope::Host(4), "cpu_fraction").to_string(),
+            "host/4/cpu_fraction"
+        );
+    }
+}

@@ -266,7 +266,7 @@ impl StateSyncer {
     /// syncer's own attention set (mid-flight plans, retry backoffs, fresh
     /// warm-handoff grants, just-unquarantined jobs).
     ///
-    /// Equivalence with [`run_round`]: a job outside both sets has had no
+    /// Equivalence with [`Self::run_round`]: a job outside both sets has had no
     /// expected/running row change since it was last seen in sync, so the
     /// full round would take the hot no-op path for it (or `continue` past
     /// it while quarantined) — no report entry, no store write, no RNG

@@ -220,6 +220,20 @@ pub enum TraceData {
         /// True when the recovery went through the warm-standby fast path.
         fast: bool,
     },
+    /// The ODS alerting engine opened an incident. The cause link (when
+    /// the alert condition is fault-attributable) points at the fault
+    /// edge that ultimately produced the breach, so `--explain` walks
+    /// from the page back to the root cause.
+    Incident {
+        /// The firing rule's name.
+        rule: String,
+        /// Severity name (`info`/`warning`/`critical`).
+        severity: &'static str,
+        /// The alerted job, when the rule is job-scoped.
+        job: Option<JobId>,
+        /// One-line incident description.
+        message: String,
+    },
     /// The auto root-causer classified an untriaged problem.
     Diagnosis {
         /// The diagnosed job.
@@ -252,6 +266,7 @@ impl TraceData {
             TraceData::StandbyPlaced { .. } => "standby_placed",
             TraceData::StandbyPromoted { .. } => "standby_promoted",
             TraceData::SloRecovery { .. } => "slo_recovery",
+            TraceData::Incident { .. } => "incident",
             TraceData::Diagnosis { .. } => "diagnosis",
         }
     }
@@ -269,6 +284,7 @@ impl TraceData {
             | TraceData::SloRecovery { job, .. }
             | TraceData::Diagnosis { job, .. } => Some(*job),
             TraceData::OomRestart { task, .. } => Some(task.job),
+            TraceData::Incident { job, .. } => *job,
             _ => None,
         }
     }
@@ -289,6 +305,7 @@ impl TraceData {
                 | TraceData::CheckpointClamp { .. }
                 | TraceData::StandbyPlaced { .. }
                 | TraceData::StandbyPromoted { .. }
+                | TraceData::Incident { .. }
                 | TraceData::Diagnosis { .. }
         )
     }
@@ -338,6 +355,12 @@ impl TraceData {
                 let path = if *fast { "fast path" } else { "full sync" };
                 format!("{job} ({tier}) recovered in {ms}ms via {path}")
             }
+            TraceData::Incident {
+                rule,
+                severity,
+                message,
+                ..
+            } => format!("[{severity}] alert {rule} fired: {message}"),
             TraceData::Diagnosis {
                 job,
                 cause,
@@ -425,6 +448,17 @@ impl TraceData {
                 field(tier.as_bytes());
                 field(&ms.to_le_bytes());
                 field(&[*fast as u8]);
+            }
+            TraceData::Incident {
+                rule,
+                severity,
+                job,
+                message,
+            } => {
+                field(rule.as_bytes());
+                field(severity.as_bytes());
+                field(&job.map_or(u64::MAX, |j| j.raw()).to_le_bytes());
+                field(message.as_bytes());
             }
             TraceData::Diagnosis {
                 job,
@@ -531,6 +565,18 @@ impl TraceEvent {
             }
             TraceData::SloRecovery { tier, ms, fast, .. } => {
                 out.push_str(&format!(",\"tier\":\"{tier}\",\"ms\":{ms},\"fast\":{fast}"));
+            }
+            TraceData::Incident {
+                rule,
+                severity,
+                message,
+                ..
+            } => {
+                out.push_str(&format!(
+                    ",\"rule\":\"{}\",\"severity\":\"{severity}\",\"message\":\"{}\"",
+                    json_escape(rule),
+                    json_escape(message)
+                ));
             }
             TraceData::Diagnosis {
                 cause,

@@ -13,7 +13,10 @@ pub mod resources;
 pub mod time;
 
 pub use ids::{ContainerId, HostId, JobId, PartitionId, ShardId, TaskId};
-pub use metrics::{Cdf, Counter, Gauge, Percentiles, TimeSeries};
+pub use metrics::{
+    nearest_rank, nearest_rank_index, nearest_rank_u64, Cdf, Counter, Gauge, Percentiles,
+    SeriesBucket, TimeSeries, DEFAULT_SERIES_CAPACITY,
+};
 pub use priority::Priority;
 pub use resources::{ResourceKind, Resources};
 pub use time::{Duration, SimTime};

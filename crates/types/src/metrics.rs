@@ -4,6 +4,11 @@
 //! CDFs of per-task footprints (Fig. 5), and long-horizon series of traffic
 //! and task counts (Fig. 1, 8, 9). These light-weight recorders back all of
 //! those without any external dependency.
+//!
+//! [`TimeSeries`] is **bounded**: it keeps an exact tail of recent samples
+//! and deterministically downsamples older history into aggregate
+//! [`SeriesBucket`]s, so a multi-day soak (or the ODS registry, which keeps
+//! one series per metric per job) cannot grow memory without bound.
 
 use crate::time::SimTime;
 
@@ -44,55 +49,207 @@ impl Gauge {
     }
 }
 
-/// An append-only series of timestamped samples.
-#[derive(Debug, Clone, Default)]
+/// One compacted span of downsampled history: the aggregate of a run of
+/// consecutive samples that have been evicted from the exact tail.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesBucket {
+    /// Time of the first sample folded into this bucket.
+    pub start: SimTime,
+    /// Time of the last sample folded into this bucket.
+    pub end: SimTime,
+    /// Sum of the folded sample values.
+    pub sum: f64,
+    /// Number of folded samples.
+    pub count: u64,
+    /// Smallest folded sample value.
+    pub min: f64,
+    /// Largest folded sample value.
+    pub max: f64,
+    /// Value of the last folded sample.
+    pub last: f64,
+}
+
+impl SeriesBucket {
+    fn from_point(at: SimTime, v: f64) -> Self {
+        SeriesBucket {
+            start: at,
+            end: at,
+            sum: v,
+            count: 1,
+            min: v,
+            max: v,
+            last: v,
+        }
+    }
+
+    fn absorb_point(&mut self, at: SimTime, v: f64) {
+        self.end = at;
+        self.sum += v;
+        self.count += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.last = v;
+    }
+
+    fn merge(&mut self, other: &SeriesBucket) {
+        self.end = other.end;
+        self.sum += other.sum;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.last = other.last;
+    }
+}
+
+/// Default exact-tail capacity: a 48-hour soak at the default 1-minute
+/// metric cadence (2 880 samples) fits entirely in the tail, so existing
+/// figure/bench consumers see identical data, while indefinitely long runs
+/// stay bounded.
+pub const DEFAULT_SERIES_CAPACITY: usize = 4096;
+
+/// Smallest accepted exact-tail capacity (the compaction step drains the
+/// older half in pairs, which needs a few points to be meaningful).
+const MIN_SERIES_CAPACITY: usize = 8;
+
+/// A bounded series of timestamped samples: an exact recent tail plus a
+/// deterministically downsampled head.
+///
+/// Samples are appended in non-decreasing time order. While fewer than the
+/// configured capacity have been recorded, the series is exact. Once the
+/// tail fills, its older half is folded pairwise into [`SeriesBucket`]
+/// aggregates; when the bucket head itself fills, adjacent buckets are
+/// pair-merged (doubling their span). The compaction schedule depends only
+/// on the sample sequence, so two identical runs produce identical series.
+///
+/// Window queries are exact over the tail; over compacted history they
+/// count a bucket iff it lies entirely inside the window (bucket
+/// granularity, conservative). Full-range queries are exact for mean and
+/// max because sums/counts/maxima are preserved under merging.
+#[derive(Debug, Clone)]
 pub struct TimeSeries {
-    points: Vec<(SimTime, f64)>,
+    raw: Vec<(SimTime, f64)>,
+    head: Vec<SeriesBucket>,
+    raw_capacity: usize,
+    head_capacity: usize,
+    total: u64,
+}
+
+impl Default for TimeSeries {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_SERIES_CAPACITY)
+    }
 }
 
 impl TimeSeries {
-    /// Empty series.
+    /// Empty series with the default bounded capacity.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Empty series retaining at most `capacity` exact samples (clamped to
+    /// a small minimum); older history is downsampled into at most
+    /// `capacity / 2` aggregate buckets. Memory stays proportional to
+    /// `capacity` no matter how many samples are recorded.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let raw_capacity = capacity.max(MIN_SERIES_CAPACITY);
+        TimeSeries {
+            raw: Vec::new(),
+            head: Vec::new(),
+            raw_capacity,
+            head_capacity: (raw_capacity / 2).max(1),
+            total: 0,
+        }
     }
 
     /// Append a sample. Samples should arrive in non-decreasing time order
     /// (the simulator guarantees this); queries assume it.
     pub fn record(&mut self, at: SimTime, value: f64) {
         debug_assert!(
-            self.points.last().is_none_or(|&(t, _)| t <= at),
+            self.raw.last().is_none_or(|&(t, _)| t <= at),
             "samples must be appended in time order"
         );
-        self.points.push((at, value));
+        if self.raw.len() >= self.raw_capacity {
+            self.compact();
+        }
+        self.raw.push((at, value));
+        self.total += 1;
     }
 
-    /// All samples, in time order.
+    /// Fold the older half of the exact tail into pairwise buckets, then
+    /// pair-merge the bucket head (doubling bucket spans) until it fits.
+    fn compact(&mut self) {
+        let drain_n = (self.raw_capacity / 2).max(2) & !1;
+        for pair in self.raw[..drain_n].chunks(2) {
+            let mut bucket = SeriesBucket::from_point(pair[0].0, pair[0].1);
+            if let Some(&(t, v)) = pair.get(1) {
+                bucket.absorb_point(t, v);
+            }
+            self.head.push(bucket);
+        }
+        self.raw.drain(..drain_n);
+        while self.head.len() > self.head_capacity {
+            let merged: Vec<SeriesBucket> = self
+                .head
+                .chunks(2)
+                .map(|pair| {
+                    let mut b = pair[0];
+                    if let Some(next) = pair.get(1) {
+                        b.merge(next);
+                    }
+                    b
+                })
+                .collect();
+            self.head = merged;
+        }
+    }
+
+    /// The exact recent samples still retained, in time order. Until the
+    /// series exceeds its capacity this is every sample ever recorded;
+    /// afterwards older history lives in [`Self::buckets`].
     pub fn points(&self) -> &[(SimTime, f64)] {
-        &self.points
+        &self.raw
     }
 
-    /// Number of samples.
+    /// The downsampled aggregate buckets covering history older than the
+    /// exact tail, in time order (empty until compaction first runs).
+    pub fn buckets(&self) -> &[SeriesBucket] {
+        &self.head
+    }
+
+    /// Number of samples ever recorded (including downsampled ones).
     pub fn len(&self) -> usize {
-        self.points.len()
+        self.total as usize
     }
 
     /// True if no samples have been recorded.
     pub fn is_empty(&self) -> bool {
-        self.points.is_empty()
+        self.total == 0
     }
 
     /// Most recent sample value, if any.
     pub fn last(&self) -> Option<f64> {
-        self.points.last().map(|&(_, v)| v)
+        self.raw
+            .last()
+            .map(|&(_, v)| v)
+            .or_else(|| self.head.last().map(|b| b.last))
+    }
+
+    /// Time of the most recent sample, if any.
+    pub fn last_at(&self) -> Option<SimTime> {
+        self.raw
+            .last()
+            .map(|&(t, _)| t)
+            .or_else(|| self.head.last().map(|b| b.end))
     }
 
     /// Mean of samples with `start <= t < end`; `None` if the window is
-    /// empty. Used e.g. for "average input rate in the last 30 minutes"
-    /// (paper §V-C).
+    /// empty. Exact over the retained tail; compacted buckets contribute
+    /// their sum/count iff they lie entirely inside the window. Used e.g.
+    /// for "average input rate in the last 30 minutes" (paper §V-C).
     pub fn mean_in_window(&self, start: SimTime, end: SimTime) -> Option<f64> {
         let mut sum = 0.0;
-        let mut n = 0usize;
-        for &(t, v) in self.points.iter().rev() {
+        let mut n = 0u64;
+        for &(t, v) in self.raw.iter().rev() {
             if t >= end {
                 continue;
             }
@@ -102,13 +259,25 @@ impl TimeSeries {
             sum += v;
             n += 1;
         }
+        for b in self.head.iter().rev() {
+            if b.end >= end {
+                continue;
+            }
+            if b.start < start {
+                break;
+            }
+            sum += b.sum;
+            n += b.count;
+        }
         (n > 0).then(|| sum / n as f64)
     }
 
-    /// Maximum sample value in `start <= t < end`.
+    /// Maximum sample value in `start <= t < end`. Exact over the retained
+    /// tail; compacted buckets contribute their max iff entirely inside
+    /// the window.
     pub fn max_in_window(&self, start: SimTime, end: SimTime) -> Option<f64> {
         let mut max: Option<f64> = None;
-        for &(t, v) in self.points.iter().rev() {
+        for &(t, v) in self.raw.iter().rev() {
             if t >= end {
                 continue;
             }
@@ -117,16 +286,33 @@ impl TimeSeries {
             }
             max = Some(max.map_or(v, |m: f64| m.max(v)));
         }
+        for b in self.head.iter().rev() {
+            if b.end >= end {
+                continue;
+            }
+            if b.start < start {
+                break;
+            }
+            max = Some(max.map_or(b.max, |m: f64| m.max(b.max)));
+        }
         max
     }
 
-    /// Value of the latest sample at or before `at`.
+    /// Value of the latest sample at or before `at`. Exact within the
+    /// retained tail; in compacted history the resolution degrades to
+    /// bucket granularity (the containing bucket's last value).
     pub fn value_at(&self, at: SimTime) -> Option<f64> {
-        match self.points.binary_search_by_key(&at, |&(t, _)| t) {
-            Ok(i) => Some(self.points[i].1),
-            Err(0) => None,
-            Err(i) => Some(self.points[i - 1].1),
+        if let Some(&(t0, _)) = self.raw.first() {
+            if at >= t0 {
+                return match self.raw.binary_search_by_key(&at, |&(t, _)| t) {
+                    Ok(i) => Some(self.raw[i].1),
+                    Err(0) => None,
+                    Err(i) => Some(self.raw[i - 1].1),
+                };
+            }
         }
+        let i = self.head.partition_point(|b| b.start <= at);
+        (i > 0).then(|| self.head[i - 1].last)
     }
 }
 
@@ -153,7 +339,7 @@ impl Percentiles {
     /// Compute p5/p50/p95/mean from `samples`. Returns the zero summary for
     /// an empty input. Uses the nearest-rank method: a sorted copy for
     /// small snapshots, and O(n) selection of the three order statistics
-    /// for snapshots past [`SELECT_THRESHOLD`] — at 100k-host scale a full
+    /// for snapshots past `SELECT_THRESHOLD` — at 100k-host scale a full
     /// O(n log n) sort per dashboard render dominates the sample pass. The
     /// selected ranks are exactly the sort path's (the nearest-rank value
     /// is a unique order statistic); only the mean's summation order
@@ -167,9 +353,9 @@ impl Percentiles {
             sorted.sort_by(|a, b| a.partial_cmp(b).expect("metric samples must not be NaN"));
             let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
             return Percentiles {
-                p5: rank(&sorted, 0.05),
-                p50: rank(&sorted, 0.50),
-                p95: rank(&sorted, 0.95),
+                p5: nearest_rank(&sorted, 0.05),
+                p50: nearest_rank(&sorted, 0.50),
+                p95: nearest_rank(&sorted, 0.95),
                 mean,
             };
         }
@@ -179,9 +365,9 @@ impl Percentiles {
         let cmp = |a: &f64, b: &f64| a.partial_cmp(b).expect("metric samples must not be NaN");
         // Select the highest rank first; each later selection works on the
         // "everything <= previous pivot" prefix the partition left behind.
-        let i95 = rank_index(n, 0.95);
-        let i50 = rank_index(n, 0.50);
-        let i5 = rank_index(n, 0.05);
+        let i95 = nearest_rank_index(n, 0.95);
+        let i50 = nearest_rank_index(n, 0.50);
+        let i5 = nearest_rank_index(n, 0.05);
         let (_, &mut p95, _) = scratch.select_nth_unstable_by(i95, cmp);
         let (_, &mut p50, _) = scratch[..i95].select_nth_unstable_by(i50, cmp);
         let (_, &mut p5, _) = scratch[..i50.max(1)].select_nth_unstable_by(i5, cmp);
@@ -189,15 +375,26 @@ impl Percentiles {
     }
 }
 
-/// 0-based index of the nearest-rank percentile in a sorted slice of `n`.
-fn rank_index(n: usize, q: f64) -> usize {
+/// 0-based index of the nearest-rank percentile in a sorted collection of
+/// `n` samples. This is **the** quantile rank used everywhere in the
+/// workspace — [`Percentiles`], [`Cdf`], and the dashboard's per-tier
+/// recovery quantiles all share it, so their answers agree bit for bit.
+pub fn nearest_rank_index(n: usize, q: f64) -> usize {
     ((q * n as f64).ceil() as usize).clamp(1, n) - 1
 }
 
-/// Nearest-rank percentile of an already-sorted slice.
-fn rank(sorted: &[f64], q: f64) -> f64 {
+/// Nearest-rank percentile of an already-sorted slice (must be non-empty).
+pub fn nearest_rank(sorted: &[f64], q: f64) -> f64 {
     debug_assert!(!sorted.is_empty());
-    sorted[rank_index(sorted.len(), q)]
+    sorted[nearest_rank_index(sorted.len(), q)]
+}
+
+/// Nearest-rank percentile of an already-sorted `u64` slice (must be
+/// non-empty) — the integer twin of [`nearest_rank`], for millisecond
+/// durations kept sorted incrementally (per-tier recovery vectors).
+pub fn nearest_rank_u64(sorted: &[u64], q: f64) -> u64 {
+    debug_assert!(!sorted.is_empty());
+    sorted[nearest_rank_index(sorted.len(), q)]
 }
 
 /// An empirical cumulative distribution function.
@@ -230,7 +427,7 @@ impl Cdf {
         if self.sorted.is_empty() {
             return None;
         }
-        Some(rank(&self.sorted, q.clamp(0.0, 1.0)))
+        Some(nearest_rank(&self.sorted, q.clamp(0.0, 1.0)))
     }
 
     /// Number of samples.
@@ -316,6 +513,43 @@ mod tests {
     }
 
     #[test]
+    fn timeseries_compacts_past_capacity() {
+        let mut ts = TimeSeries::with_capacity(16);
+        for i in 0..100u64 {
+            ts.record(t(i * 10), i as f64);
+        }
+        // Bounded storage, full logical length.
+        assert!(ts.points().len() <= 16);
+        assert!(ts.buckets().len() <= 8);
+        assert_eq!(ts.len(), 100);
+        assert_eq!(ts.last(), Some(99.0));
+        assert_eq!(ts.last_at(), Some(t(990)));
+        // Full-range aggregates survive compaction exactly.
+        let mean = ts.mean_in_window(SimTime::ZERO, t(10_000)).expect("mean");
+        assert!((mean - 49.5).abs() < 1e-9);
+        assert_eq!(ts.max_in_window(SimTime::ZERO, t(10_000)), Some(99.0));
+        // Recent-window queries stay exact.
+        assert_eq!(ts.mean_in_window(t(970), t(1000)), Some(98.0));
+        assert_eq!(ts.value_at(t(985)), Some(98.0));
+        // Old lookups degrade to bucket granularity but stay in range.
+        let old = ts.value_at(t(100)).expect("covered by compacted history");
+        assert!((0.0..=99.0).contains(&old));
+    }
+
+    #[test]
+    fn timeseries_total_counts_are_preserved_under_merging() {
+        let mut ts = TimeSeries::with_capacity(8);
+        for i in 0..10_000u64 {
+            ts.record(t(i), 1.0);
+        }
+        assert_eq!(ts.len(), 10_000);
+        let retained_raw = ts.points().len() as u64;
+        let bucketed: u64 = ts.buckets().iter().map(|b| b.count).sum();
+        assert_eq!(retained_raw + bucketed, 10_000);
+        assert!(ts.buckets().len() <= 4);
+    }
+
+    #[test]
     fn percentiles_of_uniform_ramp() {
         let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
         let p = Percentiles::from_samples(&samples);
@@ -333,15 +567,31 @@ mod tests {
     }
 
     #[test]
+    fn nearest_rank_variants_agree() {
+        let as_u64 = [1u64, 5, 7, 7, 33, 90, 120];
+        let as_f64: Vec<f64> = as_u64.iter().map(|&v| v as f64).collect();
+        for q in [0.0, 0.01, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(
+                nearest_rank_u64(&as_u64, q),
+                nearest_rank(&as_f64, q) as u64,
+                "u64 and f64 nearest-rank must agree at q={q}"
+            );
+        }
+        assert_eq!(nearest_rank_index(1, 0.0), 0);
+        assert_eq!(nearest_rank_index(1, 1.0), 0);
+        assert_eq!(nearest_rank_index(100, 0.95), 94);
+    }
+
+    #[test]
     fn selection_path_matches_the_sort_path() {
         // Reference implementation: the pre-selection full-sort path.
         fn reference(samples: &[f64]) -> Percentiles {
             let mut sorted = samples.to_vec();
             sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
             Percentiles {
-                p5: rank(&sorted, 0.05),
-                p50: rank(&sorted, 0.50),
-                p95: rank(&sorted, 0.95),
+                p5: nearest_rank(&sorted, 0.05),
+                p50: nearest_rank(&sorted, 0.50),
+                p95: nearest_rank(&sorted, 0.95),
                 mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
             }
         }
