@@ -69,6 +69,28 @@ crit=$(./target/release/turbinesim metrics scenarios/tiered_outage_drill.json --
     || { echo "expected exactly 1 critical incident from the drill, got $crit"; exit 1; }
 echo "drill fired exactly one deduplicated critical incident"
 
+echo "== snap_smoke: mid-soak snapshot/restore of the chaos drill reproduces the run =="
+# Capture the tiered outage drill 30 minutes in (mid heartbeat-loss
+# recovery), restore the blob, drive to the horizon, and require the
+# restored run's job states and lifecycle counters to match the
+# uninterrupted run exactly.
+./target/release/turbinesim snapshot scenarios/tiered_outage_drill.json \
+    --at-mins 30 --out /tmp/drill.at30.tsnap
+full=$(./target/release/turbinesim run scenarios/tiered_outage_drill.json \
+    | grep -E '^(job |lifecycle:)')
+resumed=$(./target/release/turbinesim restore /tmp/drill.at30.tsnap \
+    | grep -E '^(job |lifecycle:)')
+[ -n "$full" ] && [ "$full" = "$resumed" ] \
+    || { echo "snap_smoke: restored run diverged from the uninterrupted run"; exit 1; }
+echo "snap_smoke: restored drill matches the uninterrupted run"
+
+echo "== snap_soak: restore-divergence gate + digest-divergence bisection speedup =="
+# snap_soak exits non-zero if any auto-snapshot restore diverges from the
+# uninterrupted run (either drive mode), or if bisecting a seeded
+# divergence misses the exact first divergent round or is less than 5x
+# cheaper than a full replay. The report goes to BENCH_snap.json.
+./target/release/snap_soak --mins 90
+
 echo "== fuzz_campaign smoke (200 deterministic cases, all oracles) =="
 fuzz_out=$(./target/release/fuzz_campaign --cases 200 --seed 1)
 echo "$fuzz_out" | tail -1

@@ -160,6 +160,36 @@ impl Default for CapacityManager {
     }
 }
 
+impl turbine_types::Snap for CapacityManagerConfig {
+    fn snap(&self, w: &mut turbine_types::SnapWriter) {
+        w.put(&self.pressure_threshold);
+        w.put(&self.critical_threshold);
+        w.put(&self.pressure_floor);
+    }
+
+    fn unsnap(r: &mut turbine_types::SnapReader<'_>) -> Result<Self, turbine_types::SnapError> {
+        Ok(CapacityManagerConfig {
+            pressure_threshold: r.get()?,
+            critical_threshold: r.get()?,
+            pressure_floor: r.get()?,
+        })
+    }
+}
+
+impl turbine_types::Snap for CapacityManager {
+    fn snap(&self, w: &mut turbine_types::SnapWriter) {
+        w.put(&self.config);
+        w.put(&self.clusters);
+    }
+
+    fn unsnap(r: &mut turbine_types::SnapReader<'_>) -> Result<Self, turbine_types::SnapError> {
+        Ok(CapacityManager {
+            config: r.get()?,
+            clusters: r.get()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

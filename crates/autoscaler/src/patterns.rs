@@ -305,6 +305,101 @@ impl PatternAnalyzer {
     }
 }
 
+impl turbine_types::Snap for ThroughputModel {
+    fn snap(&self, w: &mut turbine_types::SnapWriter) {
+        w.put(&self.p);
+    }
+
+    fn unsnap(r: &mut turbine_types::SnapReader<'_>) -> Result<Self, turbine_types::SnapError> {
+        let p: f64 = r.get()?;
+        if !p.is_finite() || p <= 0.0 {
+            return Err(turbine_types::SnapError::Value(
+                "ThroughputModel.p not positive",
+            ));
+        }
+        Ok(ThroughputModel { p })
+    }
+}
+
+impl turbine_types::Snap for PatternConfig {
+    fn snap(&self, w: &mut turbine_types::SnapWriter) {
+        w.put(&self.history_days);
+        w.put(&self.bucket);
+        w.put(&self.lookahead);
+        w.put(&self.recent_window);
+        w.put(&self.anomaly_threshold);
+        w.put(&self.min_history_days);
+    }
+
+    fn unsnap(r: &mut turbine_types::SnapReader<'_>) -> Result<Self, turbine_types::SnapError> {
+        let config = PatternConfig {
+            history_days: r.get()?,
+            bucket: r.get()?,
+            lookahead: r.get()?,
+            recent_window: r.get()?,
+            anomaly_threshold: r.get()?,
+            min_history_days: r.get()?,
+        };
+        if config.bucket.is_zero()
+            || Duration::from_days(1).as_millis() / config.bucket.as_millis() == 0
+        {
+            return Err(turbine_types::SnapError::Value(
+                "PatternConfig.bucket does not divide a day",
+            ));
+        }
+        Ok(config)
+    }
+}
+
+impl turbine_types::Snap for JobHistory {
+    fn snap(&self, w: &mut turbine_types::SnapWriter) {
+        w.put(&self.buckets);
+        w.put(&self.slot_bucket);
+    }
+
+    fn unsnap(r: &mut turbine_types::SnapReader<'_>) -> Result<Self, turbine_types::SnapError> {
+        let history = JobHistory {
+            buckets: r.get()?,
+            slot_bucket: r.get()?,
+        };
+        if history.buckets.len() != history.slot_bucket.len() || history.buckets.is_empty() {
+            return Err(turbine_types::SnapError::Value(
+                "JobHistory ring length mismatch",
+            ));
+        }
+        Ok(history)
+    }
+}
+
+impl turbine_types::Snap for PatternAnalyzer {
+    fn snap(&self, w: &mut turbine_types::SnapWriter) {
+        w.put(&self.config);
+        let sorted: std::collections::BTreeMap<JobId, &JobHistory> =
+            self.history.iter().map(|(j, h)| (*j, h)).collect();
+        w.u64(sorted.len() as u64);
+        for (job, history) in sorted {
+            w.put(&job);
+            w.put(history);
+        }
+    }
+
+    fn unsnap(r: &mut turbine_types::SnapReader<'_>) -> Result<Self, turbine_types::SnapError> {
+        let config: PatternConfig = r.get()?;
+        let buckets_per_day = Duration::from_days(1).as_millis() / config.bucket.as_millis();
+        let len = r.len_prefix("PatternAnalyzer.history")?;
+        let mut history = HashMap::with_capacity(len);
+        for _ in 0..len {
+            let job: JobId = r.get()?;
+            history.insert(job, r.get::<JobHistory>()?);
+        }
+        Ok(PatternAnalyzer {
+            config,
+            buckets_per_day,
+            history,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

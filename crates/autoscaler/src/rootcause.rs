@@ -233,6 +233,91 @@ impl RootCauser {
     }
 }
 
+impl turbine_types::Snap for RootCause {
+    fn snap(&self, w: &mut turbine_types::SnapWriter) {
+        match self {
+            RootCause::HardwareIssue { task } => {
+                w.u8(0);
+                w.put(task);
+            }
+            RootCause::BadUserUpdate {
+                suspect_version,
+                previous_version,
+            } => {
+                w.u8(1);
+                w.u64(*suspect_version);
+                w.u64(*previous_version);
+            }
+            RootCause::DependencyFailure => w.u8(2),
+            RootCause::Unknown => w.u8(3),
+        }
+    }
+
+    fn unsnap(r: &mut turbine_types::SnapReader<'_>) -> Result<Self, turbine_types::SnapError> {
+        match r.u8("RootCause.tag")? {
+            0 => Ok(RootCause::HardwareIssue { task: r.get()? }),
+            1 => Ok(RootCause::BadUserUpdate {
+                suspect_version: r.u64("RootCause.suspect_version")?,
+                previous_version: r.u64("RootCause.previous_version")?,
+            }),
+            2 => Ok(RootCause::DependencyFailure),
+            3 => Ok(RootCause::Unknown),
+            tag => Err(turbine_types::SnapError::Tag("RootCause", tag as u64)),
+        }
+    }
+}
+
+impl turbine_types::Snap for Mitigation {
+    fn snap(&self, w: &mut turbine_types::SnapWriter) {
+        match self {
+            Mitigation::MoveTask(task) => {
+                w.u8(0);
+                w.put(task);
+            }
+            Mitigation::RecommendRollback(version) => {
+                w.u8(1);
+                w.u64(*version);
+            }
+            Mitigation::AlertAndWait => w.u8(2),
+        }
+    }
+
+    fn unsnap(r: &mut turbine_types::SnapReader<'_>) -> Result<Self, turbine_types::SnapError> {
+        match r.u8("Mitigation.tag")? {
+            0 => Ok(Mitigation::MoveTask(r.get()?)),
+            1 => Ok(Mitigation::RecommendRollback(r.u64("Mitigation.version")?)),
+            2 => Ok(Mitigation::AlertAndWait),
+            tag => Err(turbine_types::SnapError::Tag("Mitigation", tag as u64)),
+        }
+    }
+}
+
+impl turbine_types::Snap for RootCauserConfig {
+    fn snap(&self, w: &mut turbine_types::SnapWriter) {
+        w.put(&self.anomaly_ratio);
+        w.put(&self.update_window);
+        w.put(&self.collapse_ratio);
+    }
+
+    fn unsnap(r: &mut turbine_types::SnapReader<'_>) -> Result<Self, turbine_types::SnapError> {
+        Ok(RootCauserConfig {
+            anomaly_ratio: r.get()?,
+            update_window: r.get()?,
+            collapse_ratio: r.get()?,
+        })
+    }
+}
+
+impl turbine_types::Snap for RootCauser {
+    fn snap(&self, w: &mut turbine_types::SnapWriter) {
+        w.put(&self.config);
+    }
+
+    fn unsnap(r: &mut turbine_types::SnapReader<'_>) -> Result<Self, turbine_types::SnapError> {
+        Ok(RootCauser { config: r.get()? })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -16,10 +16,12 @@ pub mod ods_cmd;
 pub mod repro_cmd;
 pub mod runner;
 pub mod scenario;
+pub mod snap_cmd;
 pub mod trace_cmd;
 
 pub use ods_cmd::{metrics_report, run_top, top_frame, MetricsFormat};
 pub use repro_cmd::repro_report;
 pub use runner::{drive_scenario, run_scenario, run_scenario_traced, RunSummary, TracedRun};
 pub use scenario::{Scenario, ScenarioError, ScenarioEvent};
+pub use snap_cmd::{restore_blob, snapshot_scenario};
 pub use trace_cmd::{trace_report, TraceQuery};

@@ -7,6 +7,8 @@
 //! turbinesim metrics <scenario>   # run, then export the ODS registry (--jsonl | --prom)
 //! turbinesim top <scenario>       # live operator console while the scenario runs
 //! turbinesim repro <repro.json>   # replay a fuzz repro file through every oracle
+//! turbinesim snapshot <scenario> --at-mins N   # capture mid-run state to a blob
+//! turbinesim restore <blob.tsnap>              # resume a blob to the scenario horizon
 //! turbinesim schema               # print the demo scenario JSON as a format reference
 //! turbinesim faults               # list chaos fault events for scenario timelines
 //! ```
@@ -85,7 +87,8 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let usage = "usage: turbinesim <demo | run <scenario.json> | trace <scenario> [flags] | \
                  metrics <scenario> [--jsonl | --prom] | top <scenario> [--refresh-mins N] | \
-                 repro <repro.json> | schema | faults>";
+                 repro <repro.json> | snapshot <scenario> --at-mins N [--out FILE] | \
+                 restore <blob.tsnap> | schema | faults>";
     match args.get(1).map(String::as_str) {
         Some("demo") => {
             let scenario = Scenario::demo();
@@ -219,6 +222,103 @@ fn main() {
                 }
                 Err(e) => {
                     eprintln!("invalid repro file {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some("snapshot") => {
+            let Some(target) = args.get(2) else {
+                eprintln!(
+                    "usage: turbinesim snapshot <demo | scenario.json> --at-mins N [--out FILE]"
+                );
+                std::process::exit(2);
+            };
+            let text = if target == "demo" {
+                turbine_cli::scenario::DEMO_SCENARIO.to_string()
+            } else {
+                match std::fs::read_to_string(target) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("cannot read {target}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            };
+            let scenario = match Scenario::parse(&text) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+            };
+            let mut at_mins = None;
+            let mut out = None;
+            let mut rest = args[3..].iter();
+            while let Some(flag) = rest.next() {
+                match flag.as_str() {
+                    "--at-mins" => {
+                        at_mins = rest.next().and_then(|v| v.parse::<u64>().ok());
+                        if at_mins.is_none() {
+                            eprintln!("--at-mins needs a positive integer");
+                            std::process::exit(2);
+                        }
+                    }
+                    "--out" => out = rest.next().cloned(),
+                    other => {
+                        eprintln!("unknown snapshot flag '{other}'");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            let Some(at_mins) = at_mins else {
+                eprintln!(
+                    "usage: turbinesim snapshot <demo | scenario.json> --at-mins N [--out FILE]"
+                );
+                std::process::exit(2);
+            };
+            let stem = if target == "demo" {
+                "demo"
+            } else {
+                target.as_str()
+            };
+            let out = out.unwrap_or_else(|| format!("{stem}.at{at_mins}.tsnap"));
+            match turbine_cli::snapshot_scenario(&scenario, &text, at_mins) {
+                Ok((snapshot, report)) => {
+                    if let Err(e) = std::fs::write(&out, snapshot.to_bytes()) {
+                        eprintln!("cannot write {out}: {e}");
+                        std::process::exit(1);
+                    }
+                    print!("{report}");
+                    println!("wrote {out}");
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some("restore") => {
+            let Some(path) = args.get(2) else {
+                eprintln!("usage: turbinesim restore <blob.tsnap>");
+                std::process::exit(2);
+            };
+            let blob = match std::fs::read(path) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            match turbine_cli::restore_blob(&blob) {
+                Ok((at_mins, summary, scenario)) => {
+                    eprintln!(
+                        "restored minute {at_mins}/{}; resuming to the horizon",
+                        scenario.total_mins()
+                    );
+                    print!("{}", summary.render());
+                }
+                Err(e) => {
+                    eprintln!("{e}");
                     std::process::exit(1);
                 }
             }

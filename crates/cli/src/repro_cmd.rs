@@ -46,6 +46,11 @@ pub fn repro_report(json: &str) -> Result<(String, bool), String> {
         for failure in &report.failures {
             let _ = writeln!(out, "FAIL {failure}");
         }
+        // Fingerprint divergences come with a bisection verdict: the
+        // first divergent round, localized via the runs' auto-snapshots.
+        for divergence in &report.divergences {
+            let _ = write!(out, "{divergence}");
+        }
     }
     Ok((out, report.passed()))
 }

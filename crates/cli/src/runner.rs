@@ -83,8 +83,18 @@ pub fn run_scenario(scenario: &Scenario) -> RunSummary {
 /// (the `turbinesim trace` subcommand's entry point).
 pub fn run_scenario_traced(scenario: &Scenario) -> TracedRun {
     let mut rows = Vec::new();
-    let (turbine, ids) = drive_scenario(scenario, |turbine, minute| {
-        let total_mins = (scenario.duration_hours * 60.0).ceil() as u64;
+    let (turbine, ids) = drive_scenario(scenario, report_row_observer(scenario, &mut rows));
+    summarize(&turbine, ids, rows)
+}
+
+/// The report-row sampling observer every summary-producing drive shares:
+/// one row per report interval plus the final minute.
+pub fn report_row_observer<'a>(
+    scenario: &'a Scenario,
+    rows: &'a mut Vec<(f64, f64, f64, f64, f64)>,
+) -> impl FnMut(&Turbine, u64) + 'a {
+    let total_mins = scenario.total_mins();
+    move |turbine, minute| {
         if minute % scenario.report_every_mins == 0 || minute == total_mins {
             rows.push((
                 turbine.now().as_hours_f64(),
@@ -94,8 +104,16 @@ pub fn run_scenario_traced(scenario: &Scenario) -> TracedRun {
                 turbine.metrics.total_backlog.last().unwrap_or(0.0) / 1.0e6,
             ));
         }
-    });
+    }
+}
 
+/// Fold a finished platform and its sampled rows into the rendered-run
+/// bundle (shared by the front-to-back runner and the restore verb).
+pub fn summarize(
+    turbine: &Turbine,
+    ids: BTreeMap<String, JobId>,
+    rows: Vec<(f64, f64, f64, f64, f64)>,
+) -> TracedRun {
     let jobs = ids
         .iter()
         .map(|(name, &id)| match turbine.job_status(id) {
@@ -107,7 +125,7 @@ pub fn run_scenario_traced(scenario: &Scenario) -> TracedRun {
             None => (format!("{name} (deleted)"), 0, 0.0),
         })
         .collect();
-    let dashboard = turbine::fleet_health(&turbine).render();
+    let dashboard = turbine::fleet_health(turbine).render();
     let counters = [
         turbine.metrics.task_starts.get(),
         turbine.metrics.task_stops.get(),
@@ -144,14 +162,49 @@ pub fn run_scenario_traced(scenario: &Scenario) -> TracedRun {
 /// it, and `top` renders console frames inside it.
 pub fn drive_scenario(
     scenario: &Scenario,
-    mut observer: impl FnMut(&Turbine, u64),
+    observer: impl FnMut(&Turbine, u64),
 ) -> (Turbine, BTreeMap<String, JobId>) {
+    let (mut turbine, ids) = provision_scenario(scenario);
+    drive_scenario_minutes(
+        &mut turbine,
+        scenario,
+        &ids,
+        0,
+        scenario.total_mins(),
+        observer,
+    );
+    (turbine, ids)
+}
+
+/// Rebuild the scenario-order artifacts a resumed run needs: host ids in
+/// provisioning order (the cluster reports them in creation order) and
+/// the name → id map (the i-th scenario job is `JobId(i + 1)`). Both are
+/// pure functions of the scenario plus the platform, so a restored
+/// snapshot needs no side-channel state.
+pub fn scenario_bindings(
+    turbine: &Turbine,
+    scenario: &Scenario,
+) -> (Vec<HostId>, BTreeMap<String, JobId>) {
+    let hosts = turbine.cluster.hosts();
+    let ids = scenario
+        .jobs
+        .iter()
+        .enumerate()
+        .map(|(i, job)| (job.name.clone(), JobId(i as u64 + 1)))
+        .collect();
+    (hosts, ids)
+}
+
+/// Provision a scenario's fleet: hosts, jobs, alert rules, and the
+/// pre-registered storm windows — everything up to (but not including)
+/// minute 1.
+pub fn provision_scenario(scenario: &Scenario) -> (Turbine, BTreeMap<String, JobId>) {
     let mut config = TurbineConfig::default();
     config.scaler_enabled = scenario.scaler_enabled;
     config.load_balancing_enabled = scenario.load_balancing;
     config.ods_enabled = scenario.ods_enabled;
     let mut turbine = Turbine::new(config);
-    let hosts = turbine.add_hosts(
+    turbine.add_hosts(
         scenario.hosts,
         Resources::new(
             scenario.host_cpu,
@@ -211,17 +264,32 @@ pub fn drive_scenario(
         }
     }
 
-    // Drive time, firing non-storm events at their minutes and sampling a
-    // report row every interval. `run_for` rides the event-driven control
-    // scheduler, so quiet minutes cost a handful of control events rather
-    // than a dense tick grid.
-    let total_mins = (scenario.duration_hours * 60.0).ceil() as u64;
+    (turbine, ids)
+}
+
+/// Drive minutes `after_min + 1 ..= to_min` of a scenario, firing
+/// non-storm timeline events at their minutes and calling `observer`
+/// after each minute. `run_for` rides the event-driven control scheduler,
+/// so quiet minutes cost a handful of control events rather than a dense
+/// tick grid. A restored snapshot resumes by passing its capture minute
+/// as `after_min`: events at or before it already fired in the captured
+/// run, so only the remainder is re-applied — the resumed drive is the
+/// uninterrupted run's tail, minute for minute.
+pub fn drive_scenario_minutes(
+    turbine: &mut Turbine,
+    scenario: &Scenario,
+    ids: &BTreeMap<String, JobId>,
+    after_min: u64,
+    to_min: u64,
+    mut observer: impl FnMut(&Turbine, u64),
+) {
+    let hosts = turbine.cluster.hosts();
     let mut pending: Vec<&ScenarioEvent> = scenario
         .events
         .iter()
-        .filter(|e| !matches!(e, ScenarioEvent::Storm { .. }))
+        .filter(|e| !matches!(e, ScenarioEvent::Storm { .. }) && e.at_mins().max(1) > after_min)
         .collect();
-    for minute in 1..=total_mins {
+    for minute in (after_min + 1)..=to_min {
         turbine.run_for(Duration::from_mins(1));
         while let Some(event) = pending.first().filter(|e| e.at_mins() <= minute) {
             match event {
@@ -251,22 +319,21 @@ pub fn drive_scenario(
                     duration_mins,
                     ..
                 } => {
-                    let fault = resolve_fault(fault, *host, job.as_deref(), &hosts, &ids, &turbine);
+                    let fault = resolve_fault(fault, *host, job.as_deref(), &hosts, ids, turbine);
                     turbine.inject_fault(fault, duration_mins.map(Duration::from_mins));
                 }
                 ScenarioEvent::ClearFault {
                     fault, host, job, ..
                 } => {
-                    let fault = resolve_fault(fault, *host, job.as_deref(), &hosts, &ids, &turbine);
+                    let fault = resolve_fault(fault, *host, job.as_deref(), &hosts, ids, turbine);
                     turbine.clear_fault(&fault);
                 }
                 ScenarioEvent::Storm { .. } => unreachable!("pre-registered"),
             }
             pending.remove(0);
         }
-        observer(&turbine, minute);
+        observer(turbine, minute);
     }
-    (turbine, ids)
 }
 
 /// Map a validated scenario fault name (plus its addressing fields) to the

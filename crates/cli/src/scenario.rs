@@ -204,6 +204,65 @@ fn get_str(v: &ConfigValue, path: &str) -> Result<String, ScenarioError> {
         .ok_or_else(|| err(format!("missing string field '{path}'")))
 }
 
+/// Every key the scenario root object understands. Anything else is a
+/// typo (e.g. `duration_hour`) and fails loudly instead of silently
+/// falling back to a default.
+const ROOT_KEYS: [&str; 10] = [
+    "hosts",
+    "host",
+    "duration_hours",
+    "report_every_mins",
+    "scaler_enabled",
+    "load_balancing",
+    "ods_enabled",
+    "jobs",
+    "events",
+    "alerts",
+];
+
+/// Keys a job object understands.
+const JOB_KEYS: [&str; 9] = [
+    "name",
+    "tasks",
+    "partitions",
+    "rate_mbps",
+    "diurnal",
+    "max_tasks",
+    "stateful_keys",
+    "seed",
+    "resiliency",
+];
+
+/// Keys a timeline event understands (the union across actions; each
+/// action validates its required fields separately).
+const EVENT_KEYS: [&str; 9] = [
+    "action",
+    "at_mins",
+    "host",
+    "job",
+    "path",
+    "int",
+    "multiplier",
+    "duration_mins",
+    "fault",
+];
+
+/// Reject unknown keys in a scenario object so misspellings fail loudly.
+fn reject_unknown_keys(v: &ConfigValue, what: &str, allowed: &[&str]) -> Result<(), ScenarioError> {
+    let Some(map) = v.as_map() else {
+        return Err(err(format!("{what} must be an object")));
+    };
+    for key in map.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(err(format!(
+                "{what}: unknown key '{key}' (one of: {})",
+                allowed.join(", ")
+            )));
+        }
+    }
+    Ok(())
+}
+
 impl Scenario {
     /// Parse a scenario from JSON text.
     pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
@@ -211,8 +270,17 @@ impl Scenario {
         Self::from_value(&root)
     }
 
+    /// Total simulated minutes this scenario drives.
+    pub fn total_mins(&self) -> u64 {
+        (self.duration_hours * 60.0).ceil() as u64
+    }
+
     /// Decode a scenario from an already-parsed config value.
     pub fn from_value(root: &ConfigValue) -> Result<Scenario, ScenarioError> {
+        reject_unknown_keys(root, "scenario", &ROOT_KEYS)?;
+        if let Some(host) = root.get_path("host") {
+            reject_unknown_keys(host, "host", &["cpu", "memory_gb"])?;
+        }
         let jobs_value = root
             .get_path("jobs")
             .and_then(|v| v.as_array())
@@ -222,6 +290,7 @@ impl Scenario {
         }
         let mut jobs = Vec::with_capacity(jobs_value.len());
         for (i, jv) in jobs_value.iter().enumerate() {
+            reject_unknown_keys(jv, &format!("job {i}"), &JOB_KEYS)?;
             let name = get_str(jv, "name")?;
             let tasks = get_u64(jv, "tasks", Some(1))? as u32;
             let partitions = get_u64(jv, "partitions", Some(64))? as u32;
@@ -254,7 +323,8 @@ impl Scenario {
 
         let mut events = Vec::new();
         if let Some(list) = root.get_path("events").and_then(|v| v.as_array()) {
-            for ev in list {
+            for (i, ev) in list.iter().enumerate() {
+                reject_unknown_keys(ev, &format!("event {i}"), &EVENT_KEYS)?;
                 let action = get_str(ev, "action")?;
                 let at_mins = get_u64(ev, "at_mins", None)?;
                 let event = match action.as_str() {
@@ -581,6 +651,25 @@ mod tests {
             "unknown action"
         );
         assert!(Scenario::parse("not json").is_err());
+    }
+
+    #[test]
+    fn misspelled_keys_are_rejected_loudly() {
+        let e = Scenario::parse(r#"{"jobs": [{"name": "j"}], "duration_hour": 2.0}"#)
+            .expect_err("root typo");
+        assert!(e.to_string().contains("unknown key 'duration_hour'"), "{e}");
+        let e = Scenario::parse(r#"{"jobs": [{"name": "j", "resilency": "critical"}]}"#)
+            .expect_err("job typo");
+        assert!(e.to_string().contains("unknown key 'resilency'"), "{e}");
+        let e = Scenario::parse(
+            r#"{"jobs": [{"name": "j"}],
+                "events": [{"action": "fail_host", "at_mins": 1, "host": 0, "durationmins": 5}]}"#,
+        )
+        .expect_err("event typo");
+        assert!(e.to_string().contains("unknown key 'durationmins'"), "{e}");
+        let e = Scenario::parse(r#"{"jobs": [{"name": "j"}], "host": {"cpus": 4.0}}"#)
+            .expect_err("host typo");
+        assert!(e.to_string().contains("unknown key 'cpus'"), "{e}");
     }
 
     #[test]

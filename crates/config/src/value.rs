@@ -199,6 +199,51 @@ impl fmt::Display for ConfigValue {
     }
 }
 
+impl turbine_types::Snap for ConfigValue {
+    fn snap(&self, w: &mut turbine_types::SnapWriter) {
+        match self {
+            ConfigValue::Null => w.u8(0),
+            ConfigValue::Bool(b) => {
+                w.u8(1);
+                w.put(b);
+            }
+            ConfigValue::Int(i) => {
+                w.u8(2);
+                w.put(i);
+            }
+            ConfigValue::Float(f) => {
+                w.u8(3);
+                w.put(f);
+            }
+            ConfigValue::Str(s) => {
+                w.u8(4);
+                w.put(s);
+            }
+            ConfigValue::Array(items) => {
+                w.u8(5);
+                w.put(items);
+            }
+            ConfigValue::Map(map) => {
+                w.u8(6);
+                w.put(map);
+            }
+        }
+    }
+
+    fn unsnap(r: &mut turbine_types::SnapReader<'_>) -> Result<Self, turbine_types::SnapError> {
+        match r.u8("ConfigValue.tag")? {
+            0 => Ok(ConfigValue::Null),
+            1 => Ok(ConfigValue::Bool(r.get()?)),
+            2 => Ok(ConfigValue::Int(r.get()?)),
+            3 => Ok(ConfigValue::Float(r.get()?)),
+            4 => Ok(ConfigValue::Str(r.get()?)),
+            5 => Ok(ConfigValue::Array(r.get()?)),
+            6 => Ok(ConfigValue::Map(r.get()?)),
+            tag => Err(turbine_types::SnapError::Tag("ConfigValue", tag as u64)),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

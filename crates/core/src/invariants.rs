@@ -863,3 +863,120 @@ fn describe_divergence(view: &InvariantView<'_>, job: JobId) -> String {
         view.engine.running_tasks_of(job)
     )
 }
+
+use turbine_types::{Snap, SnapError, SnapReader, SnapWriter};
+
+/// Every invariant name a [`Violation`] can carry; decode re-interns the
+/// stored string into this table so the restored record keeps the same
+/// `&'static str` identity the checker emits.
+const INVARIANT_NAMES: [&str; 10] = [
+    "single-partition-ownership",
+    "single-task-ownership",
+    "single-shard-ownership",
+    "no-host-overcommit",
+    "quarantine-after-max-failures",
+    "standby-isolated",
+    "standby-never-commits",
+    "promotion-single-owner",
+    "container-revival-clean",
+    "post-fault-convergence",
+];
+
+impl Snap for InvariantConfig {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put(&self.convergence_window);
+        w.put(&self.max_recorded);
+        w.u64(self.audit_interval);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(InvariantConfig {
+            convergence_window: r.get()?,
+            max_recorded: r.get()?,
+            audit_interval: r.u64("InvariantConfig.audit_interval")?,
+        })
+    }
+}
+
+impl Snap for Violation {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put(&self.at);
+        w.put(&self.invariant.to_string());
+        w.put(&self.detail);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let at = r.get()?;
+        let name: String = r.get()?;
+        let invariant = INVARIANT_NAMES
+            .iter()
+            .copied()
+            .find(|n| *n == name)
+            .ok_or(SnapError::Value("Violation.invariant unknown"))?;
+        Ok(Violation {
+            at,
+            invariant,
+            detail: r.get()?,
+        })
+    }
+}
+
+impl Snap for ScopedKeys {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put(&self.partition);
+        w.put(&self.distributed);
+        w.put(&self.overcommit);
+        w.put(&self.quarantine);
+        w.put(&self.standby);
+        w.put(&self.shadow);
+        w.put(&self.promotion);
+        w.put(&self.revival);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(ScopedKeys {
+            partition: r.get()?,
+            distributed: r.get()?,
+            overcommit: r.get()?,
+            quarantine: r.get()?,
+            standby: r.get()?,
+            shadow: r.get()?,
+            promotion: r.get()?,
+            revival: r.get()?,
+        })
+    }
+}
+
+impl Snap for InvariantChecker {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put(&self.config);
+        w.put(&self.violations);
+        w.u64(self.total);
+        w.put(&self.active);
+        w.put(&self.convergence_jobs);
+        w.u64(self.changelog_cursor);
+        w.put(&self.diverged_since);
+        w.put(&self.convergence_flagged);
+        w.u64(self.ticks_checked);
+        w.u64(self.sparse_checks);
+        w.u64(self.audit_rounds);
+        w.u64(self.audit_mismatches);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(InvariantChecker {
+            config: r.get()?,
+            violations: r.get()?,
+            total: r.u64("InvariantChecker.total")?,
+            active: r.get()?,
+            convergence_jobs: r.get()?,
+            changelog_cursor: r.u64("InvariantChecker.changelog_cursor")?,
+            diverged_since: r.get()?,
+            convergence_flagged: r.get()?,
+            ticks_checked: r.u64("InvariantChecker.ticks_checked")?,
+            sparse_checks: r.u64("InvariantChecker.sparse_checks")?,
+            audit_rounds: r.u64("InvariantChecker.audit_rounds")?,
+            audit_mismatches: r.u64("InvariantChecker.audit_mismatches")?,
+        })
+    }
+}

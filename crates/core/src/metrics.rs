@@ -230,6 +230,141 @@ impl PlatformMetrics {
     }
 }
 
+use turbine_types::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for BandSeries {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put(&self.p5);
+        w.put(&self.p50);
+        w.put(&self.p95);
+        w.put(&self.mean);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(BandSeries {
+            p5: r.get()?,
+            p50: r.get()?,
+            p95: r.get()?,
+            mean: r.get()?,
+        })
+    }
+}
+
+impl Snap for DiagnosisRecord {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put(&self.at);
+        w.put(&self.job);
+        w.put(&self.cause);
+        w.put(&self.mitigation);
+        w.put(&self.rationale);
+        w.put(&self.trace);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(DiagnosisRecord {
+            at: r.get()?,
+            job: r.get()?,
+            cause: r.get()?,
+            mitigation: r.get()?,
+            rationale: r.get()?,
+            trace: r.get()?,
+        })
+    }
+}
+
+impl Snap for RecoveryRecord {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put(&self.at);
+        w.put(&self.job);
+        w.put(&self.tier);
+        w.u64(self.ms);
+        w.put(&self.fast);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(RecoveryRecord {
+            at: r.get()?,
+            job: r.get()?,
+            tier: r.get()?,
+            ms: r.u64("RecoveryRecord.ms")?,
+            fast: r.get()?,
+        })
+    }
+}
+
+impl Snap for PlatformMetrics {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put(&self.cluster_traffic);
+        w.put(&self.task_count);
+        w.put(&self.host_cpu);
+        w.put(&self.host_memory);
+        w.put(&self.slo_ok_fraction);
+        w.put(&self.total_backlog);
+        w.put(&self.watched_job_lag);
+        w.put(&self.watched_job_tasks);
+        w.put(&self.reserved_cpu);
+        w.put(&self.reserved_memory_mb);
+        w.put(&self.task_starts);
+        w.put(&self.task_stops);
+        w.put(&self.task_restarts);
+        w.put(&self.shard_moves);
+        w.put(&self.failovers);
+        w.put(&self.oom_kills);
+        w.put(&self.scaling_actions);
+        w.put(&self.alerts);
+        w.put(&self.ticks_executed);
+        w.put(&self.standby_promotions);
+        w.put(&self.container_revivals);
+        w.put(&self.diagnoses);
+        w.put(&self.recoveries);
+        w.put(&self.tier_downtime_ms);
+        w.put(&self.incidents);
+        w.put(&self.sync_jobs_examined);
+        w.put(&self.load_reports_sent);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let mut metrics = PlatformMetrics {
+            cluster_traffic: r.get()?,
+            task_count: r.get()?,
+            host_cpu: r.get()?,
+            host_memory: r.get()?,
+            slo_ok_fraction: r.get()?,
+            total_backlog: r.get()?,
+            watched_job_lag: r.get()?,
+            watched_job_tasks: r.get()?,
+            reserved_cpu: r.get()?,
+            reserved_memory_mb: r.get()?,
+            task_starts: r.get()?,
+            task_stops: r.get()?,
+            task_restarts: r.get()?,
+            shard_moves: r.get()?,
+            failovers: r.get()?,
+            oom_kills: r.get()?,
+            scaling_actions: r.get()?,
+            alerts: r.get()?,
+            ticks_executed: r.get()?,
+            standby_promotions: r.get()?,
+            container_revivals: r.get()?,
+            diagnoses: r.get()?,
+            recoveries: r.get()?,
+            tier_downtime_ms: r.get()?,
+            tier_recovery_sorted: BTreeMap::new(),
+            incidents: r.get()?,
+            sync_jobs_examined: r.get()?,
+            load_reports_sent: r.get()?,
+        };
+        // The sorted-per-tier index is a pure function of the recovery log;
+        // rebuilding it from the log reproduces the insert-maintained state.
+        for record in &metrics.recoveries {
+            let sorted = metrics.tier_recovery_sorted.entry(record.tier).or_default();
+            let at_rank = sorted.partition_point(|&v| v <= record.ms);
+            sorted.insert(at_rank, record.ms);
+        }
+        Ok(metrics)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -911,3 +911,233 @@ impl Turbine {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Snapshot support: bit-exact serialization of the whole platform.
+// ---------------------------------------------------------------------------
+
+use turbine_types::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for TurbineConfig {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put(&self.tick);
+        w.u64(self.shard_count);
+        w.put(&self.container_fraction);
+        w.put(&self.sync_interval);
+        w.put(&self.tm_refresh_interval);
+        w.put(&self.task_service_ttl);
+        w.put(&self.heartbeat_interval);
+        w.put(&self.connection_timeout);
+        w.put(&self.load_report_interval);
+        w.put(&self.rebalance_interval);
+        w.put(&self.scaler_interval);
+        w.put(&self.capacity_interval);
+        w.put(&self.metrics_interval);
+        w.put(&self.checkpoint_interval);
+        w.put(&self.restart_delay);
+        w.put(&self.state_move_bandwidth);
+        w.put(&self.syncer);
+        w.put(&self.scaler);
+        w.put(&self.shardmgr);
+        w.put(&self.capacity);
+        w.put(&self.scaler_enabled);
+        w.put(&self.load_balancing_enabled);
+        w.put(&self.trace_enabled);
+        w.put(&self.trace_capacity);
+        w.put(&self.sparse_data_plane);
+        w.put(&self.ods_enabled);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let config = TurbineConfig {
+            tick: r.get()?,
+            shard_count: r.u64("TurbineConfig.shard_count")?,
+            container_fraction: r.get()?,
+            sync_interval: r.get()?,
+            tm_refresh_interval: r.get()?,
+            task_service_ttl: r.get()?,
+            heartbeat_interval: r.get()?,
+            connection_timeout: r.get()?,
+            load_report_interval: r.get()?,
+            rebalance_interval: r.get()?,
+            scaler_interval: r.get()?,
+            capacity_interval: r.get()?,
+            metrics_interval: r.get()?,
+            checkpoint_interval: r.get()?,
+            restart_delay: r.get()?,
+            state_move_bandwidth: r.get()?,
+            syncer: r.get()?,
+            scaler: r.get()?,
+            shardmgr: r.get()?,
+            capacity: r.get()?,
+            scaler_enabled: r.get()?,
+            load_balancing_enabled: r.get()?,
+            trace_enabled: r.get()?,
+            trace_capacity: r.get()?,
+            sparse_data_plane: r.get()?,
+            ods_enabled: r.get()?,
+        };
+        // The same tick-vs-cadence rules enforced at construction apply to
+        // decoded configs: a corrupt blob must not yield a platform that
+        // silently skips control rounds.
+        config
+            .validate()
+            .map_err(|_| SnapError::Value("TurbineConfig failed validation"))?;
+        Ok(config)
+    }
+}
+
+impl Snap for PendingDirty {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put(&self.jobs);
+        w.put(&self.distributed);
+        w.put(&self.cluster);
+        w.put(&self.quarantine);
+        w.put(&self.standby);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(PendingDirty {
+            jobs: r.get()?,
+            distributed: r.get()?,
+            cluster: r.get()?,
+            quarantine: r.get()?,
+            standby: r.get()?,
+        })
+    }
+}
+
+impl Snap for SeveredState {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put(&self.at);
+        w.put(&self.rebooted);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(SeveredState {
+            at: r.get()?,
+            rebooted: r.get()?,
+        })
+    }
+}
+
+impl Snap for OutageState {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put(&self.since);
+        w.put(&self.fast);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(OutageState {
+            since: r.get()?,
+            fast: r.get()?,
+        })
+    }
+}
+
+/// Encode an unordered map deterministically: sorted by key. Two captures
+/// of identical platform state must produce identical bytes, so every
+/// `HashMap` field goes through this.
+fn snap_sorted<K: Ord + Copy + Snap, V: Snap + Clone>(w: &mut SnapWriter, map: &HashMap<K, V>) {
+    let sorted: BTreeMap<K, V> = map.iter().map(|(k, v)| (*k, v.clone())).collect();
+    w.put(&sorted);
+}
+
+fn unsnap_hash<K: Ord + Copy + Snap + std::hash::Hash, V: Snap>(
+    r: &mut SnapReader<'_>,
+) -> Result<HashMap<K, V>, SnapError> {
+    let sorted: BTreeMap<K, V> = r.get()?;
+    Ok(sorted.into_iter().collect())
+}
+
+impl Snap for Turbine {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put(&self.config);
+        w.put(&self.now);
+        w.put(&self.cluster);
+        w.put(&self.scribe);
+        w.put(&self.metrics);
+        w.put(&self.jobs);
+        w.put(&self.syncer);
+        w.put(&self.task_service);
+        w.put(&self.shard_manager);
+        w.put(&self.task_managers);
+        w.put(&self.scaler);
+        w.put(&self.capacity);
+        w.put(&self.checkpoints);
+        w.put(&self.engine);
+        w.put(&self.paused);
+        w.put(&self.capacity_stopped);
+        snap_sorted(w, &self.state_moves);
+        w.put(&self.crash_mtbf);
+        w.put(&self.rng);
+        w.put(&self.root_causer);
+        snap_sorted(w, &self.releases);
+        snap_sorted(w, &self.lag_since);
+        snap_sorted(w, &self.last_diagnosis);
+        snap_sorted(w, &self.severed);
+        w.put(&self.categories);
+        w.put(&self.shadow);
+        w.put(&self.outages);
+        w.put(&self.container_down_since);
+        w.put(&self.fresh_promotions);
+        w.put(&self.fresh_revivals);
+        w.put(&self.faults);
+        w.put(&self.trace);
+        w.put(&self.invariants);
+        w.put(&self.pending_dirty);
+        w.put(&self.load_dirty_jobs);
+        w.put(&self.load_dirty_containers);
+        w.put(&self.resiliency_cache);
+        w.u64(self.resiliency_cursor);
+        w.put(&self.sched);
+        w.put(&self.last_scaler_drain);
+        w.put(&self.ods);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Turbine {
+            config: r.get()?,
+            now: r.get()?,
+            cluster: r.get()?,
+            scribe: r.get()?,
+            metrics: r.get()?,
+            jobs: r.get()?,
+            syncer: r.get()?,
+            task_service: r.get()?,
+            shard_manager: r.get()?,
+            task_managers: r.get()?,
+            scaler: r.get()?,
+            capacity: r.get()?,
+            checkpoints: r.get()?,
+            engine: r.get()?,
+            paused: r.get()?,
+            capacity_stopped: r.get()?,
+            state_moves: unsnap_hash(r)?,
+            crash_mtbf: r.get()?,
+            rng: r.get()?,
+            root_causer: r.get()?,
+            releases: unsnap_hash(r)?,
+            lag_since: unsnap_hash(r)?,
+            last_diagnosis: unsnap_hash(r)?,
+            severed: unsnap_hash(r)?,
+            categories: r.get()?,
+            shadow: r.get()?,
+            outages: r.get()?,
+            container_down_since: r.get()?,
+            fresh_promotions: r.get()?,
+            fresh_revivals: r.get()?,
+            faults: r.get()?,
+            trace: r.get()?,
+            invariants: r.get()?,
+            pending_dirty: r.get()?,
+            load_dirty_jobs: r.get()?,
+            load_dirty_containers: r.get()?,
+            resiliency_cache: r.get()?,
+            resiliency_cursor: r.u64("Turbine.resiliency_cursor")?,
+            sched: r.get()?,
+            last_scaler_drain: r.get()?,
+            ods: r.get()?,
+        })
+    }
+}

@@ -384,3 +384,47 @@ impl Turbine {
         self.ods.alerts.incidents()
     }
 }
+
+impl turbine_types::Snap for OdsState {
+    fn snap(&self, w: &mut turbine_types::SnapWriter) {
+        w.put(&self.registry);
+        w.put(&self.alerts);
+        // Scribe watermarks are real state (rate deltas); the id halves are
+        // re-interned from the restored registry. The per-job/per-tier id
+        // caches refill lazily to the same dense ids, so they are omitted.
+        let watermarks: BTreeMap<&String, u64> = self
+            .scribe_series
+            .iter()
+            .map(|(category, &(_, last))| (category, last))
+            .collect();
+        w.put(&watermarks.len());
+        for (category, last) in watermarks {
+            w.put(category);
+            w.u64(last);
+        }
+    }
+
+    fn unsnap(r: &mut turbine_types::SnapReader<'_>) -> Result<Self, turbine_types::SnapError> {
+        let mut registry: Registry = r.get()?;
+        let alerts = r.get()?;
+        let count: usize = r.get()?;
+        let mut scribe_series = BTreeMap::new();
+        for _ in 0..count {
+            let category: String = r.get()?;
+            let last = r.u64("OdsState.scribe_watermark")?;
+            let id = registry.series_id(MetricKey::new(
+                Scope::Component("scribe".to_string()),
+                format!("{category}_appends_per_sec"),
+            ));
+            scribe_series.insert(category, (id, last));
+        }
+        Ok(OdsState {
+            registry,
+            alerts,
+            job_series: BTreeMap::new(),
+            scaler_series: BTreeMap::new(),
+            tier_series: BTreeMap::new(),
+            scribe_series,
+        })
+    }
+}

@@ -18,14 +18,22 @@
 //!   event-mode replay and evaluates the oracles;
 //! * [`mod@shrink`] — greedy minimization of a failing scenario;
 //! * [`campaign`] — the N-case loop used by the `fuzz_campaign` binary and
-//!   the CI smoke test.
+//!   the CI smoke test;
+//! * [`bisect`] — when a fingerprint oracle trips, binary-search the runs'
+//!   periodic auto-snapshots to name the first divergent round instead of
+//!   replaying from minute zero.
 
+pub mod bisect;
 pub mod campaign;
 pub mod runner;
 pub mod scenario;
 pub mod shrink;
 
+pub use bisect::{bisect_recorded, DivergenceReport};
 pub use campaign::{run_campaign, CampaignFailure, CampaignSummary};
-pub use runner::{run_case, CaseReport, OracleFailure, RunArtifacts};
+pub use runner::{
+    auto_snap_interval, drive_recorded, resume_to_horizon, run_case, CaseReport, Checkpoint,
+    OracleFailure, Perturbation, RecordedRun, RunArtifacts,
+};
 pub use scenario::{generate, FuzzFault, FuzzFlap, FuzzJob, FuzzScenario, FuzzTrafficEvent};
 pub use shrink::shrink;

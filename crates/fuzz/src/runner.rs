@@ -15,12 +15,14 @@
 //!    checkpoints must be readable against the Scribe tails
 //!    (`durable_backlog` returns `Ok`).
 
+use crate::bisect::{bisect_recorded, DivergenceReport};
 use crate::scenario::{FuzzScenario, FuzzTrafficEvent};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use turbine::{
     DriveMode, Fault, FaultPlan, InvariantConfig, PlatformFingerprint, Turbine, TurbineConfig,
 };
 use turbine_config::{JobConfig, ResiliencyClass};
+use turbine_snap::Snapshot;
 use turbine_types::{Duration, HostId, JobId, Resources, SimTime};
 use turbine_workloads::{TrafficEvent, TrafficEventKind, TrafficModel};
 
@@ -91,6 +93,10 @@ pub struct CaseReport {
     /// The event-mode artifacts, when that run completed without
     /// panicking (repro verification wants the reference digests).
     pub event_artifacts: Option<RunArtifacts>,
+    /// Bisection results for each fingerprint-divergence failure: the
+    /// first divergent round, localized by binary-searching the runs'
+    /// auto-snapshots instead of replaying from minute zero.
+    pub divergences: Vec<DivergenceReport>,
 }
 
 impl CaseReport {
@@ -199,29 +205,91 @@ fn schedule_faults(turbine: &mut Turbine, s: &FuzzScenario, hosts: &[HostId]) {
     }
 }
 
-/// Drive one mode to the horizon, applying host flaps on minute edges.
-fn drive(s: &FuzzScenario, mode: DriveMode) -> RunArtifacts {
-    let (mut turbine, hosts) =
-        build_platform(s).expect("generated/validated scenarios always build");
-    turbine.enable_invariant_checks(InvariantConfig::default());
-    schedule_faults(&mut turbine, s, &hosts);
+/// Seeded divergence injection: fail one extra host at a minute edge in
+/// one run but not its counterpart. This is not a scenario feature — it
+/// exists so the bisector (and its CI gate) can be exercised against a
+/// divergence whose first round is known in advance, without waiting for
+/// a real platform bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Perturbation {
+    /// Index into the scenario's host list (taken modulo the host count).
+    pub host: usize,
+    /// Minute edge at which the extra `fail_host` fires.
+    pub at_min: u32,
+}
 
-    let end = at_min(s.horizon_mins);
-    let mut fails: Vec<(SimTime, usize)> = s
-        .flaps
-        .iter()
-        .map(|f| (at_min(f.fail_min), f.host as usize))
-        .collect();
-    let mut recovers: Vec<(SimTime, usize)> = s
-        .flaps
-        .iter()
-        .map(|f| (at_min(f.recover_min), f.host as usize))
-        .collect();
-    while turbine.now() < end {
+/// One auto-snapshot taken during a recorded drive: the platform digests
+/// at a minute edge plus the full serialized state to resume from.
+pub struct Checkpoint {
+    /// Minute the checkpoint was taken at (after that minute's host-flap
+    /// edges fired, before the next minute was driven).
+    pub minute: u32,
+    /// Bit-exact platform fingerprint at the edge.
+    pub fingerprint: PlatformFingerprint,
+    /// Full-history trace digest at the edge.
+    pub trace_digest: u64,
+    /// Whole-platform snapshot to restore the run from this edge.
+    pub snapshot: Snapshot,
+}
+
+/// A drive plus the periodic auto-snapshots recorded along the way.
+pub struct RecordedRun {
+    /// The mode this run was driven in.
+    pub mode: DriveMode,
+    /// The seeded divergence applied, if any.
+    pub perturb: Option<Perturbation>,
+    /// End-of-run oracle artifacts.
+    pub artifacts: RunArtifacts,
+    /// Auto-snapshots, in minute order (always includes minute 0 and the
+    /// horizon minute when recording is on).
+    pub checkpoints: Vec<Checkpoint>,
+}
+
+/// Host-flap (and seeded-perturbation) edges pending against the minute
+/// loop. Factored out so a run resumed from a [`Checkpoint`] replays the
+/// exact edge schedule the recording run used.
+pub(crate) struct EdgeSet {
+    fails: Vec<(SimTime, usize)>,
+    recovers: Vec<(SimTime, usize)>,
+    perturb: Option<(SimTime, usize)>,
+}
+
+impl EdgeSet {
+    pub(crate) fn new(s: &FuzzScenario, perturb: Option<Perturbation>) -> EdgeSet {
+        EdgeSet {
+            fails: s
+                .flaps
+                .iter()
+                .map(|f| (at_min(f.fail_min), f.host as usize))
+                .collect(),
+            recovers: s
+                .flaps
+                .iter()
+                .map(|f| (at_min(f.recover_min), f.host as usize))
+                .collect(),
+            perturb: perturb.map(|p| (at_min(p.at_min), p.host)),
+        }
+    }
+
+    /// Drop edges that had already fired when a checkpoint at `now` was
+    /// captured (checkpoints are taken after the edges of their minute).
+    pub(crate) fn resume_at(mut self, now: SimTime) -> EdgeSet {
+        self.fails.retain(|&(at, _)| at > now);
+        self.recovers.retain(|&(at, _)| at > now);
+        if let Some((at, _)) = self.perturb {
+            if at <= now {
+                self.perturb = None;
+            }
+        }
+        self
+    }
+
+    /// Fire every edge due at `now`, exactly once.
+    pub(crate) fn fire(&mut self, turbine: &mut Turbine, hosts: &[HostId]) {
         let now = turbine.now();
         // Recoveries before failures: a host flapped twice in one scenario
         // must come back up before it can go down again.
-        recovers.retain(|&(at, h)| {
+        self.recovers.retain(|&(at, h)| {
             if at <= now {
                 let _ = turbine.recover_host(hosts[h]);
                 false
@@ -229,7 +297,7 @@ fn drive(s: &FuzzScenario, mode: DriveMode) -> RunArtifacts {
                 true
             }
         });
-        fails.retain(|&(at, h)| {
+        self.fails.retain(|&(at, h)| {
             if at <= now {
                 let _ = turbine.fail_host(hosts[h]);
                 false
@@ -237,9 +305,16 @@ fn drive(s: &FuzzScenario, mode: DriveMode) -> RunArtifacts {
                 true
             }
         });
-        turbine.drive_for(Duration::from_mins(1).min(end.since(now)), mode);
+        if let Some((at, h)) = self.perturb {
+            if at <= now {
+                let _ = turbine.fail_host(hosts[h % hosts.len()]);
+                self.perturb = None;
+            }
+        }
     }
+}
 
+fn end_of_run_artifacts(turbine: &Turbine, s: &FuzzScenario) -> RunArtifacts {
     let invariant_violations = turbine
         .invariant_violations()
         .iter()
@@ -256,8 +331,157 @@ fn drive(s: &FuzzScenario, mode: DriveMode) -> RunArtifacts {
     }
 }
 
-fn drive_caught(s: &FuzzScenario, mode: DriveMode) -> Result<RunArtifacts, String> {
-    catch_unwind(AssertUnwindSafe(|| drive(s, mode))).map_err(|payload| {
+/// Checkpoint cadence for auto-snapshots: aim for ~8 checkpoints per run,
+/// at least one per minute, at most one every 30 minutes.
+pub fn auto_snap_interval(horizon_mins: u32) -> u32 {
+    (horizon_mins / 8).clamp(1, 30)
+}
+
+/// Drive one mode to the horizon, applying host flaps on minute edges.
+/// With `snap_every`, record a [`Checkpoint`] at minute 0, every
+/// `snap_every` minutes, and at the horizon; with `perturb`, apply the
+/// seeded divergence at its minute edge.
+pub fn drive_recorded(
+    s: &FuzzScenario,
+    mode: DriveMode,
+    snap_every: Option<u32>,
+    perturb: Option<Perturbation>,
+) -> RecordedRun {
+    let (mut turbine, hosts) =
+        build_platform(s).expect("generated/validated scenarios always build");
+    turbine.enable_invariant_checks(InvariantConfig::default());
+    schedule_faults(&mut turbine, s, &hosts);
+
+    let end = at_min(s.horizon_mins);
+    let mut edges = EdgeSet::new(s, perturb);
+    let mut checkpoints = Vec::new();
+    loop {
+        let now = turbine.now();
+        if now < end {
+            edges.fire(&mut turbine, &hosts);
+        }
+        if let Some(every) = snap_every {
+            let minute = (now.as_millis() / 60_000) as u32;
+            if minute.is_multiple_of(every) || now >= end {
+                checkpoints.push(Checkpoint {
+                    minute,
+                    fingerprint: turbine.fingerprint(),
+                    trace_digest: turbine.trace().digest(),
+                    snapshot: Snapshot::capture(&turbine),
+                });
+            }
+        }
+        if now >= end {
+            break;
+        }
+        turbine.drive_for(Duration::from_mins(1).min(end.since(now)), mode);
+    }
+
+    RecordedRun {
+        mode,
+        perturb,
+        artifacts: end_of_run_artifacts(&turbine, s),
+        checkpoints,
+    }
+}
+
+/// A run resumed from a [`Checkpoint`]: the restored platform plus the
+/// edge schedule still ahead of it. Used by the bisector to replay the
+/// divergent span one minute at a time.
+pub(crate) struct ResumedRun {
+    turbine: Turbine,
+    hosts: Vec<HostId>,
+    edges: EdgeSet,
+    mode: DriveMode,
+    end: SimTime,
+}
+
+impl ResumedRun {
+    /// Restore a checkpoint of `run` and rebuild the pending edge set.
+    /// Host ids are recovered from the restored cluster — `hosts()`
+    /// returns them in creation order, matching [`build_platform`].
+    pub(crate) fn from_checkpoint(
+        s: &FuzzScenario,
+        run: &RecordedRun,
+        checkpoint: &Checkpoint,
+    ) -> Result<ResumedRun, String> {
+        let turbine = checkpoint
+            .snapshot
+            .restore()
+            .map_err(|e| format!("checkpoint at minute {} unreadable: {e}", checkpoint.minute))?;
+        let hosts = turbine.cluster.hosts();
+        let edges = EdgeSet::new(s, run.perturb).resume_at(turbine.now());
+        Ok(ResumedRun {
+            turbine,
+            hosts,
+            edges,
+            mode: run.mode,
+            end: at_min(s.horizon_mins),
+        })
+    }
+
+    /// Fire the current minute's edges and drive one minute, mirroring
+    /// the recording loop exactly. No-op at the horizon.
+    pub(crate) fn step_minute(&mut self) {
+        let now = self.turbine.now();
+        if now >= self.end {
+            return;
+        }
+        self.edges.fire(&mut self.turbine, &self.hosts);
+        self.turbine
+            .drive_for(Duration::from_mins(1).min(self.end.since(now)), self.mode);
+    }
+
+    pub(crate) fn fingerprint(&self) -> PlatformFingerprint {
+        self.turbine.fingerprint()
+    }
+
+    pub(crate) fn trace_digest(&self) -> u64 {
+        self.turbine.trace().digest()
+    }
+
+    /// Trace events recorded in the window `(from_min, to_min]`, rendered
+    /// as JSONL lines (the trace export format).
+    pub(crate) fn trace_window(&self, from_min: u32, to_min: u32) -> Vec<String> {
+        let (from, to) = (at_min(from_min), at_min(to_min));
+        self.turbine
+            .trace()
+            .events()
+            .filter(|e| e.at > from && e.at <= to)
+            .map(|e| e.to_json())
+            .collect()
+    }
+}
+
+/// Restore one of `run`'s auto-snapshots and drive it to the horizon,
+/// replaying the recorded edge schedule. The returned artifacts must match
+/// `run.artifacts` bit-for-bit — any mismatch means some platform state
+/// escaped serialization (the restore-divergence CI gate).
+pub fn resume_to_horizon(
+    s: &FuzzScenario,
+    run: &RecordedRun,
+    checkpoint_index: usize,
+) -> Result<RunArtifacts, String> {
+    let checkpoint = run
+        .checkpoints
+        .get(checkpoint_index)
+        .ok_or_else(|| format!("run has no checkpoint {checkpoint_index}"))?;
+    let mut resumed = ResumedRun::from_checkpoint(s, run, checkpoint)?;
+    for _ in checkpoint.minute..s.horizon_mins {
+        resumed.step_minute();
+    }
+    Ok(end_of_run_artifacts(&resumed.turbine, s))
+}
+
+fn drive_caught(
+    s: &FuzzScenario,
+    mode: DriveMode,
+    snap_every: Option<u32>,
+) -> Result<RecordedRun, String> {
+    catch_unwind(AssertUnwindSafe(|| {
+        drive_recorded(s, mode, snap_every, None)
+    }))
+    .map_err(|payload| {
         if let Some(msg) = payload.downcast_ref::<&str>() {
             (*msg).to_string()
         } else if let Some(msg) = payload.downcast_ref::<String>() {
@@ -268,21 +492,24 @@ fn drive_caught(s: &FuzzScenario, mode: DriveMode) -> Result<RunArtifacts, Strin
     })
 }
 
-/// Run one case: three drives, four oracles.
+/// Run one case: three drives, four oracles. Each drive auto-snapshots on
+/// a horizon-scaled cadence; when the mode-equivalence or replay oracle
+/// trips, the snapshots are bisected to localize the first divergent
+/// round (reported in [`CaseReport::divergences`]).
 pub fn run_case(s: &FuzzScenario) -> CaseReport {
     let mut failures = Vec::new();
-    let mut check = |mode: &'static str, run: &Result<RunArtifacts, String>| match run {
-        Ok(artifacts) => {
-            if !artifacts.invariant_violations.is_empty() {
+    let mut check = |mode: &'static str, run: &Result<RecordedRun, String>| match run {
+        Ok(recorded) => {
+            if !recorded.artifacts.invariant_violations.is_empty() {
                 failures.push(OracleFailure::Invariant {
                     mode,
-                    violations: artifacts.invariant_violations.clone(),
+                    violations: recorded.artifacts.invariant_violations.clone(),
                 });
             }
-            if !artifacts.durable_errors.is_empty() {
+            if !recorded.artifacts.durable_errors.is_empty() {
                 failures.push(OracleFailure::DurableBacklog {
                     mode,
-                    errors: artifacts.durable_errors.clone(),
+                    errors: recorded.artifacts.durable_errors.clone(),
                 });
             }
         }
@@ -292,26 +519,33 @@ pub fn run_case(s: &FuzzScenario) -> CaseReport {
         }),
     };
 
-    let dense = drive_caught(s, DriveMode::DenseTick);
+    let every = Some(auto_snap_interval(s.horizon_mins));
+    let dense = drive_caught(s, DriveMode::DenseTick, every);
     check("dense", &dense);
-    let event = drive_caught(s, DriveMode::EventDriven);
+    let event = drive_caught(s, DriveMode::EventDriven, every);
     check("event", &event);
-    let replay = drive_caught(s, DriveMode::EventDriven);
+    let replay = drive_caught(s, DriveMode::EventDriven, every);
     check("replay", &replay);
 
+    let mut divergences = Vec::new();
     if let (Ok(d), Ok(e)) = (&dense, &event) {
-        if d.fingerprint != e.fingerprint {
+        if d.artifacts.fingerprint != e.artifacts.fingerprint {
             failures.push(OracleFailure::ModeDivergence);
+            divergences.extend(bisect_recorded(s, d, e, "mode", "dense", "event"));
         }
     }
     if let (Ok(e), Ok(r)) = (&event, &replay) {
-        if e.fingerprint != r.fingerprint || e.trace_digest != r.trace_digest {
+        if e.artifacts.fingerprint != r.artifacts.fingerprint
+            || e.artifacts.trace_digest != r.artifacts.trace_digest
+        {
             failures.push(OracleFailure::ReplayDivergence);
+            divergences.extend(bisect_recorded(s, e, r, "replay", "event", "replay"));
         }
     }
 
     CaseReport {
         failures,
-        event_artifacts: event.ok(),
+        event_artifacts: event.ok().map(|r| r.artifacts),
+        divergences,
     }
 }

@@ -397,6 +397,7 @@ impl FuzzScenario {
     }
 
     fn from_value(value: &ConfigValue) -> Result<FuzzScenario, String> {
+        reject_unknown_keys(value, "scenario", &ROOT_KEYS)?;
         let int = |key: &str| -> Result<i64, String> {
             value
                 .get(key)
@@ -528,7 +529,60 @@ impl FuzzScenario {
     }
 }
 
+/// Repro files are hand-edited during shrinking and triage; a silently
+/// ignored misspelled key (`"len_mins"` for `"len_min"`) would change what
+/// the repro reproduces. Every object in the file rejects unknown keys.
+const ROOT_KEYS: [&str; 12] = [
+    "seed",
+    "horizon_mins",
+    "tick_secs",
+    "hosts",
+    "host_cpu",
+    "host_memory_mb",
+    "headroom",
+    "band",
+    "scaler_enabled",
+    "jobs",
+    "faults",
+    "flaps",
+];
+const JOB_KEYS: [&str; 14] = [
+    "name",
+    "stateful",
+    "tasks",
+    "threads",
+    "partitions",
+    "max_tasks",
+    "rate",
+    "diurnal",
+    "traffic_seed",
+    "per_thread_rate",
+    "message_bytes",
+    "key_cardinality",
+    "resiliency",
+    "events",
+];
+const TRAFFIC_EVENT_KEYS: [&str; 5] = ["kind", "start_min", "end_min", "magnitude", "ramp_mins"];
+const FAULT_KEYS: [&str; 4] = ["kind", "target", "from_min", "len_min"];
+const FLAP_KEYS: [&str; 3] = ["host", "fail_min", "recover_min"];
+
+fn reject_unknown_keys(value: &ConfigValue, what: &str, allowed: &[&str]) -> Result<(), String> {
+    let Some(map) = value.as_map() else {
+        return Err(format!("{what} must be an object"));
+    };
+    for key in map.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(format!(
+                "{what}: unknown key '{key}' (one of: {})",
+                allowed.join(", ")
+            ));
+        }
+    }
+    Ok(())
+}
+
 fn parse_job(value: &ConfigValue) -> Result<FuzzJob, String> {
+    reject_unknown_keys(value, "job", &JOB_KEYS)?;
     let int = |key: &str| -> Result<i64, String> {
         value
             .get(key)
@@ -578,6 +632,7 @@ fn parse_job(value: &ConfigValue) -> Result<FuzzJob, String> {
 }
 
 fn parse_event(value: &ConfigValue) -> Result<FuzzTrafficEvent, String> {
+    reject_unknown_keys(value, "traffic event", &TRAFFIC_EVENT_KEYS)?;
     let int = |key: &str| -> Result<i64, String> {
         value
             .get(key)
@@ -601,6 +656,7 @@ fn parse_event(value: &ConfigValue) -> Result<FuzzTrafficEvent, String> {
 }
 
 fn parse_fault(value: &ConfigValue) -> Result<FuzzFault, String> {
+    reject_unknown_keys(value, "fault", &FAULT_KEYS)?;
     let int = |key: &str| -> Result<i64, String> {
         value
             .get(key)
@@ -620,6 +676,7 @@ fn parse_fault(value: &ConfigValue) -> Result<FuzzFault, String> {
 }
 
 fn parse_flap(value: &ConfigValue) -> Result<FuzzFlap, String> {
+    reject_unknown_keys(value, "flap", &FLAP_KEYS)?;
     let int = |key: &str| -> Result<i64, String> {
         value
             .get(key)
@@ -642,6 +699,30 @@ mod tests {
         for seed in 0..20 {
             assert_eq!(generate(seed), generate(seed));
         }
+    }
+
+    #[test]
+    fn misspelled_repro_keys_are_rejected_loudly() {
+        let canonical = generate(7).to_json();
+        for (good, bad) in [
+            ("\"horizon_mins\"", "\"horizon_min\""),
+            ("\"len_min\"", "\"len_mins\""),
+            ("\"recover_min\"", "\"recovermin\""),
+            ("\"per_thread_rate\"", "\"per_thread_rates\""),
+        ] {
+            if !canonical.contains(good) {
+                continue;
+            }
+            let broken = canonical.replacen(good, bad, 1);
+            let err =
+                FuzzScenario::from_json(&broken).expect_err("misspelled repro key must not parse");
+            assert!(
+                err.contains("unknown key"),
+                "want unknown-key error for {bad}, got: {err}"
+            );
+        }
+        // The canonical form itself still parses.
+        FuzzScenario::from_json(&canonical).expect("canonical repro parses");
     }
 
     #[test]

@@ -310,8 +310,219 @@ fn describe(rule: &AlertRule, value: f64) -> String {
     }
 }
 
+use turbine_types::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for Severity {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.u8(match self {
+            Severity::Info => 0,
+            Severity::Warning => 1,
+            Severity::Critical => 2,
+        });
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.u8("Severity.tag")? {
+            0 => Ok(Severity::Info),
+            1 => Ok(Severity::Warning),
+            2 => Ok(Severity::Critical),
+            tag => Err(SnapError::Tag("Severity", tag as u64)),
+        }
+    }
+}
+
+impl Snap for ThresholdOp {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.u8(match self {
+            ThresholdOp::Above => 0,
+            ThresholdOp::Below => 1,
+        });
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.u8("ThresholdOp.tag")? {
+            0 => Ok(ThresholdOp::Above),
+            1 => Ok(ThresholdOp::Below),
+            tag => Err(SnapError::Tag("ThresholdOp", tag as u64)),
+        }
+    }
+}
+
+impl Snap for RuleKind {
+    fn snap(&self, w: &mut SnapWriter) {
+        match self {
+            RuleKind::Threshold { op, value } => {
+                w.u8(0);
+                w.put(op);
+                w.put(value);
+            }
+            RuleKind::Absence { stale_for } => {
+                w.u8(1);
+                w.put(stale_for);
+            }
+            RuleKind::RateOfChange { window, per_sec } => {
+                w.u8(2);
+                w.put(window);
+                w.put(per_sec);
+            }
+            RuleKind::BurnRate { window, budget_ms } => {
+                w.u8(3);
+                w.put(window);
+                w.put(budget_ms);
+            }
+        }
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.u8("RuleKind.tag")? {
+            0 => Ok(RuleKind::Threshold {
+                op: r.get()?,
+                value: r.get()?,
+            }),
+            1 => Ok(RuleKind::Absence {
+                stale_for: r.get()?,
+            }),
+            2 => Ok(RuleKind::RateOfChange {
+                window: r.get()?,
+                per_sec: r.get()?,
+            }),
+            3 => Ok(RuleKind::BurnRate {
+                window: r.get()?,
+                budget_ms: r.get()?,
+            }),
+            tag => Err(SnapError::Tag("RuleKind", tag as u64)),
+        }
+    }
+}
+
+impl Snap for AlertRule {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put(&self.name);
+        w.put(&self.metric);
+        w.put(&self.kind);
+        w.put(&self.for_duration);
+        w.put(&self.severity);
+        w.put(&self.suppress_for);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(AlertRule {
+            name: r.get()?,
+            metric: r.get()?,
+            kind: r.get()?,
+            for_duration: r.get()?,
+            severity: r.get()?,
+            suppress_for: r.get()?,
+        })
+    }
+}
+
+impl Snap for Incident {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put(&self.rule);
+        w.put(&self.severity);
+        w.put(&self.metric);
+        w.put(&self.opened_at);
+        w.put(&self.resolved_at);
+        w.put(&self.value);
+        w.put(&self.message);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Incident {
+            rule: r.get()?,
+            severity: r.get()?,
+            metric: r.get()?,
+            opened_at: r.get()?,
+            resolved_at: r.get()?,
+            value: r.get()?,
+            message: r.get()?,
+        })
+    }
+}
+
+impl Snap for RuleState {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put(&self.pending_since);
+        w.put(&self.active);
+        w.put(&self.suppressed_until);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(RuleState {
+            pending_since: r.get()?,
+            active: r.get()?,
+            suppressed_until: r.get()?,
+        })
+    }
+}
+
+impl Snap for AlertEngine {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put(&self.rules);
+        w.put(&self.states);
+        w.put(&self.incidents);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let rules: Vec<AlertRule> = r.get()?;
+        let states: Vec<RuleState> = r.get()?;
+        let incidents: Vec<Incident> = r.get()?;
+        if rules.len() != states.len() {
+            return Err(SnapError::Value("AlertEngine rule/state length mismatch"));
+        }
+        if states
+            .iter()
+            .any(|s| s.active.is_some_and(|idx| idx >= incidents.len()))
+        {
+            return Err(SnapError::Value(
+                "AlertEngine active incident index out of range",
+            ));
+        }
+        Ok(AlertEngine {
+            rules,
+            states,
+            incidents,
+        })
+    }
+}
+
 fn perr(msg: impl Into<String>) -> String {
     format!("invalid alert rule: {}", msg.into())
+}
+
+/// Every key the rule grammar understands. Anything else in a rule object
+/// is a typo ("sevrity") that would otherwise be silently ignored.
+const RULE_KEYS: [&str; 17] = [
+    "name",
+    "severity",
+    "scope",
+    "job",
+    "host",
+    "tier",
+    "component",
+    "metric",
+    "kind",
+    "above",
+    "below",
+    "stale_for_mins",
+    "window_mins",
+    "per_sec",
+    "budget_ms",
+    "for_mins",
+    "suppress_mins",
+];
+
+fn reject_unknown_keys(rv: &ConfigValue) -> Result<(), String> {
+    let map = rv
+        .as_map()
+        .ok_or_else(|| perr("each rule must be an object"))?;
+    for key in map.keys() {
+        if !RULE_KEYS.contains(&key.as_str()) {
+            return Err(perr(format!("unknown key '{key}'")));
+        }
+    }
+    Ok(())
 }
 
 fn opt_f64(v: &ConfigValue, path: &str) -> Option<f64> {
@@ -347,6 +558,7 @@ pub fn parse_rules(
 ) -> Result<Vec<AlertRule>, String> {
     let mut rules = Vec::with_capacity(list.len());
     for rv in list {
+        reject_unknown_keys(rv)?;
         let name = rv
             .get_path("name")
             .and_then(|x| x.as_str())
@@ -689,5 +901,22 @@ mod tests {
         assert_eq!(rules[2].severity, Severity::Warning);
         // Unknown job is an error, not a silent no-op rule.
         assert!(parse_rules(list, |_| None).is_err());
+    }
+
+    #[test]
+    fn misspelled_rule_keys_are_rejected() {
+        // "sevrity" would silently fall back to the default severity if
+        // unknown keys were tolerated.
+        let text = r#"{"alerts": [
+            {"name": "lag", "sevrity": "critical", "metric": "lag_secs",
+             "kind": "threshold", "above": 90.0}
+        ]}"#;
+        let root = turbine_config::parse(text).expect("parse");
+        let list = root
+            .get_path("alerts")
+            .and_then(|v| v.as_array())
+            .expect("array");
+        let err = parse_rules(list, |_| None).expect_err("must reject");
+        assert!(err.contains("unknown key 'sevrity'"), "{err}");
     }
 }

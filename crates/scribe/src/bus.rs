@@ -159,21 +159,14 @@ impl Scribe {
             .categories
             .get_mut(category)
             .ok_or_else(|| ScribeError::UnknownCategory(category.to_string()))?;
-        let idx = partition.raw() as usize;
-        if idx >= cat.partitions.len() {
-            return Err(ScribeError::UnknownPartition(
-                category.to_string(),
-                partition,
-            ));
-        }
+        let idx = partition_index(category, &cat.partitions, partition)?;
         Ok((cat, idx))
     }
 
     fn partition(&self, category: &str, partition: PartitionId) -> Result<&Partition, ScribeError> {
         let cat = self.category(category)?;
-        cat.partitions
-            .get(partition.raw() as usize)
-            .ok_or_else(|| ScribeError::UnknownPartition(category.to_string(), partition))
+        let idx = partition_index(category, &cat.partitions, partition)?;
+        Ok(&cat.partitions[idx])
     }
 
     /// Append `bytes` of traffic to a partition without retaining payloads.
@@ -319,9 +312,10 @@ impl Scribe {
         };
         let mut total = 0u64;
         for (partition, from_offset) in cursors {
-            let Some(part) = cat.partitions.get(partition.raw() as usize) else {
+            let Ok(idx) = partition_index(category, &cat.partitions, partition) else {
                 continue;
             };
+            let part = &cat.partitions[idx];
             if from_offset > part.appended {
                 return Err((
                     partition,
@@ -389,11 +383,8 @@ impl CategoryView<'_> {
 
     /// Tail offset of a partition (see [`Scribe::tail_offset`]).
     pub fn tail_offset(&self, partition: PartitionId) -> Result<u64, ScribeError> {
-        self.cat
-            .partitions
-            .get(partition.raw() as usize)
-            .map(|p| p.appended)
-            .ok_or_else(|| ScribeError::UnknownPartition(self.name.clone(), partition))
+        let idx = partition_index(&self.name, &self.cat.partitions, partition)?;
+        Ok(self.cat.partitions[idx].appended)
     }
 
     /// Append offset-only traffic (see [`Scribe::append_bytes`]).
@@ -403,14 +394,86 @@ impl CategoryView<'_> {
         bytes: u64,
         at: SimTime,
     ) -> Result<(), ScribeError> {
-        let idx = partition.raw() as usize;
-        if idx >= self.cat.partitions.len() {
-            return Err(ScribeError::UnknownPartition(self.name.clone(), partition));
-        }
+        let idx = partition_index(&self.name, &self.cat.partitions, partition)?;
         self.cat.partitions[idx].appended += bytes;
         self.cat.total_appended += bytes;
         self.cat.last_append_at = self.cat.last_append_at.max(at);
         Ok(())
+    }
+}
+
+/// The one bounds check between a wire-supplied [`PartitionId`] and an
+/// index into a category's partition vector. `usize::try_from` (rather
+/// than `as usize`) keeps the check exact on 32-bit targets, where a
+/// corrupt 64-bit id could otherwise truncate into a valid-looking index.
+fn partition_index(
+    category: &str,
+    partitions: &[Partition],
+    partition: PartitionId,
+) -> Result<usize, ScribeError> {
+    usize::try_from(partition.raw())
+        .ok()
+        .filter(|&idx| idx < partitions.len())
+        .ok_or_else(|| ScribeError::UnknownPartition(category.to_string(), partition))
+}
+
+impl turbine_types::Snap for Record {
+    fn snap(&self, w: &mut turbine_types::SnapWriter) {
+        w.u64(self.offset);
+        w.bytes(&self.payload);
+    }
+
+    fn unsnap(r: &mut turbine_types::SnapReader<'_>) -> Result<Self, turbine_types::SnapError> {
+        Ok(Record {
+            offset: r.u64("Record.offset")?,
+            payload: r.bytes("Record.payload")?.to_vec(),
+        })
+    }
+}
+
+impl turbine_types::Snap for Partition {
+    fn snap(&self, w: &mut turbine_types::SnapWriter) {
+        w.u64(self.appended);
+        w.u64(self.trimmed);
+        w.put(&self.records);
+    }
+
+    fn unsnap(r: &mut turbine_types::SnapReader<'_>) -> Result<Self, turbine_types::SnapError> {
+        Ok(Partition {
+            appended: r.u64("Partition.appended")?,
+            trimmed: r.u64("Partition.trimmed")?,
+            records: r.get()?,
+        })
+    }
+}
+
+impl turbine_types::Snap for Category {
+    fn snap(&self, w: &mut turbine_types::SnapWriter) {
+        w.put(&self.partitions);
+        w.put(&self.retain_payloads);
+        w.u64(self.total_appended);
+        w.put(&self.last_append_at);
+    }
+
+    fn unsnap(r: &mut turbine_types::SnapReader<'_>) -> Result<Self, turbine_types::SnapError> {
+        Ok(Category {
+            partitions: r.get()?,
+            retain_payloads: r.get()?,
+            total_appended: r.u64("Category.total_appended")?,
+            last_append_at: r.get()?,
+        })
+    }
+}
+
+impl turbine_types::Snap for Scribe {
+    fn snap(&self, w: &mut turbine_types::SnapWriter) {
+        w.put(&self.categories);
+    }
+
+    fn unsnap(r: &mut turbine_types::SnapReader<'_>) -> Result<Self, turbine_types::SnapError> {
+        Ok(Scribe {
+            categories: r.get()?,
+        })
     }
 }
 
@@ -467,18 +530,31 @@ mod tests {
     #[test]
     fn salvage_tail_moves_tail_backwards_and_drops_records() {
         let mut bus = Scribe::new();
-        bus.create_category_with_payloads("clicks", 1).unwrap();
+        bus.create_category_with_payloads("clicks", 1)
+            .expect("fresh bus must accept a new category");
         bus.append_record("clicks", PartitionId(0), b"aaaa", SimTime::ZERO)
-            .unwrap();
+            .expect("append to an existing partition must succeed");
         bus.append_record("clicks", PartitionId(0), b"bbbb", SimTime::ZERO)
-            .unwrap();
-        assert_eq!(bus.tail_offset("clicks", PartitionId(0)).unwrap(), 8);
+            .expect("append to an existing partition must succeed");
+        assert_eq!(
+            bus.tail_offset("clicks", PartitionId(0))
+                .expect("tail of an existing partition must be readable"),
+            8
+        );
         // Torn tail: the last record was half-written and dropped.
-        assert_eq!(bus.salvage_tail("clicks", PartitionId(0), 4).unwrap(), 4);
-        assert_eq!(bus.tail_offset("clicks", PartitionId(0)).unwrap(), 4);
+        assert_eq!(
+            bus.salvage_tail("clicks", PartitionId(0), 4)
+                .expect("salvage of an existing partition must succeed"),
+            4
+        );
+        assert_eq!(
+            bus.tail_offset("clicks", PartitionId(0))
+                .expect("tail of an existing partition must be readable"),
+            4
+        );
         assert_eq!(
             bus.read_records("clicks", PartitionId(0), 0, 10)
-                .unwrap()
+                .expect("read below the tail must succeed")
                 .len(),
             1
         );
@@ -491,8 +567,16 @@ mod tests {
             })
         ));
         // Salvage at/above the tail is a no-op.
-        assert_eq!(bus.salvage_tail("clicks", PartitionId(0), 9).unwrap(), 0);
-        assert_eq!(bus.tail_offset("clicks", PartitionId(0)).unwrap(), 4);
+        assert_eq!(
+            bus.salvage_tail("clicks", PartitionId(0), 9)
+                .expect("salvage of an existing partition must succeed"),
+            0
+        );
+        assert_eq!(
+            bus.tail_offset("clicks", PartitionId(0))
+                .expect("tail of an existing partition must be readable"),
+            4
+        );
     }
 
     #[test]

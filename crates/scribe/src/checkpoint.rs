@@ -103,6 +103,16 @@ impl CheckpointStore {
     }
 }
 
+impl turbine_types::Snap for CheckpointStore {
+    fn snap(&self, w: &mut turbine_types::SnapWriter) {
+        w.put(&self.offsets);
+    }
+
+    fn unsnap(r: &mut turbine_types::SnapReader<'_>) -> Result<Self, turbine_types::SnapError> {
+        Ok(CheckpointStore { offsets: r.get()? })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

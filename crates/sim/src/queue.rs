@@ -108,6 +108,47 @@ impl<E> EventQueue<E> {
     }
 }
 
+impl<E: turbine_types::Snap> turbine_types::Snap for EventQueue<E> {
+    fn snap(&self, w: &mut turbine_types::SnapWriter) {
+        w.put(&self.now);
+        w.u64(self.next_seq);
+        // Heap iteration order is arbitrary; emit entries sorted by the
+        // queue's own (time, sequence) ordering so equal queues always
+        // serialize to equal bytes.
+        let mut entries: Vec<&Entry<E>> = self.heap.iter().map(|Reverse(e)| e).collect();
+        entries.sort_by_key(|e| (e.at, e.seq));
+        w.u64(entries.len() as u64);
+        for entry in entries {
+            w.put(&entry.at);
+            w.u64(entry.seq);
+            w.put(&entry.event);
+        }
+    }
+
+    fn unsnap(r: &mut turbine_types::SnapReader<'_>) -> Result<Self, turbine_types::SnapError> {
+        let now = r.get()?;
+        let next_seq = r.u64("EventQueue.next_seq")?;
+        let len = r.len_prefix("EventQueue.entries")?;
+        let mut heap = BinaryHeap::with_capacity(len);
+        for _ in 0..len {
+            let at = r.get()?;
+            let seq = r.u64("EventQueue.entry.seq")?;
+            if seq >= next_seq {
+                return Err(turbine_types::SnapError::Value(
+                    "EventQueue entry seq beyond next_seq",
+                ));
+            }
+            let event = r.get()?;
+            heap.push(Reverse(Entry { at, seq, event }));
+        }
+        Ok(EventQueue {
+            heap,
+            next_seq,
+            now,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

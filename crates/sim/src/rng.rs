@@ -169,6 +169,30 @@ impl SimRng {
     }
 }
 
+impl turbine_types::Snap for SimRng {
+    fn snap(&self, w: &mut turbine_types::SnapWriter) {
+        for word in &self.inner.s {
+            w.u64(*word);
+        }
+        w.put(&self.gauss_spare);
+    }
+
+    fn unsnap(r: &mut turbine_types::SnapReader<'_>) -> Result<Self, turbine_types::SnapError> {
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            *word = r.u64("SimRng.state")?;
+        }
+        if s == [0, 0, 0, 0] {
+            return Err(turbine_types::SnapError::Value("SimRng.state all-zero"));
+        }
+        let gauss_spare = r.get()?;
+        Ok(SimRng {
+            inner: Xoshiro256 { s },
+            gauss_spare,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

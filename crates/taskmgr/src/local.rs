@@ -188,6 +188,47 @@ impl LocalTaskManager {
     }
 }
 
+impl turbine_types::Snap for LocalTaskManager {
+    fn snap(&self, w: &mut turbine_types::SnapWriter) {
+        w.put(&self.container);
+        w.u64(self.shard_count);
+        w.put(&self.owned_shards);
+        w.u64(self.running.len() as u64);
+        for (task, (shard, spec)) in &self.running {
+            w.put(task);
+            w.put(shard);
+            w.put(spec.as_ref());
+        }
+        w.put(self.snapshot.as_ref());
+    }
+
+    fn unsnap(r: &mut turbine_types::SnapReader<'_>) -> Result<Self, turbine_types::SnapError> {
+        let container = r.get()?;
+        let shard_count = r.u64("LocalTaskManager.shard_count")?;
+        if shard_count == 0 {
+            return Err(turbine_types::SnapError::Value(
+                "LocalTaskManager.shard_count zero",
+            ));
+        }
+        let owned_shards = r.get()?;
+        let len = r.len_prefix("LocalTaskManager.running")?;
+        let mut running = BTreeMap::new();
+        for _ in 0..len {
+            let task: TaskId = r.get()?;
+            let shard: ShardId = r.get()?;
+            let spec: TaskSpec = r.get()?;
+            running.insert(task, (shard, Arc::new(spec)));
+        }
+        Ok(LocalTaskManager {
+            container,
+            shard_count,
+            owned_shards,
+            running,
+            snapshot: Arc::new(r.get()?),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -114,6 +114,27 @@ impl TaskService {
     }
 }
 
+impl turbine_types::Snap for TaskService {
+    fn snap(&self, w: &mut turbine_types::SnapWriter) {
+        w.put(&self.ttl);
+        w.u64(self.shard_count);
+        w.put(self.cached.as_ref());
+        w.put(&self.cached_at);
+        // shard_cache is a pure memo of the MD5 task→shard map; it refills
+        // on demand after restore.
+    }
+
+    fn unsnap(r: &mut turbine_types::SnapReader<'_>) -> Result<Self, turbine_types::SnapError> {
+        Ok(TaskService {
+            ttl: r.get()?,
+            shard_count: r.u64("TaskService.shard_count")?,
+            cached: Arc::new(r.get()?),
+            cached_at: r.get()?,
+            shard_cache: HashMap::new(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -85,6 +85,40 @@ impl TaskSnapshot {
     }
 }
 
+impl turbine_types::Snap for TaskSnapshot {
+    fn snap(&self, w: &mut turbine_types::SnapWriter) {
+        w.u64(self.shard_count);
+        // Specs sorted by task id; the shard index is rebuilt from the MD5
+        // mapping on decode, which is pure in (task, shard_count).
+        let mut specs: Vec<&Arc<TaskSpec>> = self.by_task.values().collect();
+        specs.sort_unstable_by_key(|s| s.id);
+        w.u64(specs.len() as u64);
+        for spec in specs {
+            w.put(spec.as_ref());
+        }
+    }
+
+    fn unsnap(r: &mut turbine_types::SnapReader<'_>) -> Result<Self, turbine_types::SnapError> {
+        let shard_count = r.u64("TaskSnapshot.shard_count")?;
+        let len = r.len_prefix("TaskSnapshot.specs")?;
+        if shard_count == 0 {
+            // Only the never-built placeholder snapshot has no shards.
+            if len != 0 {
+                return Err(turbine_types::SnapError::Value(
+                    "TaskSnapshot with tasks but zero shards",
+                ));
+            }
+            return Ok(TaskSnapshot::default());
+        }
+        let mut specs = Vec::with_capacity(len);
+        for _ in 0..len {
+            specs.push(r.get::<TaskSpec>()?);
+        }
+        let mut scratch = HashMap::new();
+        Ok(TaskSnapshot::build(specs, shard_count, &mut scratch))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

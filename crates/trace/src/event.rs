@@ -613,6 +613,266 @@ pub fn json_escape(s: &str) -> String {
     out
 }
 
+use turbine_types::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for TraceId {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.u64(self.0);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(TraceId(r.u64("TraceId")?))
+    }
+}
+
+impl Snap for Component {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.u8(self.index() as u8);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let tag = r.u8("Component.tag")?;
+        COMPONENTS
+            .get(tag as usize)
+            .copied()
+            .ok_or(SnapError::Tag("Component", tag as u64))
+    }
+}
+
+/// Intern a decoded string back to the `&'static str` vocabulary a trace
+/// field draws from. Restore must reproduce pointer-free static strings, so
+/// any value outside the table is a corrupt blob, not a new vocabulary word.
+fn intern_static(
+    what: &'static str,
+    table: &[&'static str],
+    value: &str,
+) -> Result<&'static str, SnapError> {
+    table
+        .iter()
+        .copied()
+        .find(|s| *s == value)
+        .ok_or(SnapError::Value(what))
+}
+
+const SYNC_OUTCOMES: [&str; 4] = ["started", "simple", "complex_completed", "deleted"];
+const SLO_TIERS: [&str; 3] = ["best_effort", "standard", "critical"];
+const SEVERITIES: [&str; 3] = ["info", "warning", "critical"];
+
+impl Snap for TraceData {
+    fn snap(&self, w: &mut SnapWriter) {
+        match self {
+            TraceData::RoundStart { component } => {
+                w.u8(0);
+                w.put(component);
+            }
+            TraceData::FaultEdge { fault, activated } => {
+                w.u8(1);
+                w.put(fault);
+                w.put(activated);
+            }
+            TraceData::Symptom { job, description } => {
+                w.u8(2);
+                w.put(job);
+                w.put(description);
+            }
+            TraceData::ScalingAction { job, action } => {
+                w.u8(3);
+                w.put(job);
+                w.put(action);
+            }
+            TraceData::Failover { moves } => {
+                w.u8(4);
+                w.put(moves);
+            }
+            TraceData::RebalancePlan { moves } => {
+                w.u8(5);
+                w.put(moves);
+            }
+            TraceData::ShardMove { shard, to } => {
+                w.u8(6);
+                w.put(shard);
+                w.put(to);
+            }
+            TraceData::SyncOutcome { job, outcome } => {
+                w.u8(7);
+                w.put(job);
+                w.put(&outcome.to_string());
+            }
+            TraceData::Quarantine { job } => {
+                w.u8(8);
+                w.put(job);
+            }
+            TraceData::OomRestart { task, container } => {
+                w.u8(9);
+                w.put(task);
+                w.put(container);
+            }
+            TraceData::CheckpointClamp {
+                job,
+                partition,
+                from,
+                to,
+            } => {
+                w.u8(10);
+                w.put(job);
+                w.u64(*partition);
+                w.u64(*from);
+                w.u64(*to);
+            }
+            TraceData::ContainerRevived {
+                container,
+                stale_shards,
+            } => {
+                w.u8(11);
+                w.put(container);
+                w.put(stale_shards);
+            }
+            TraceData::StandbyPlaced { job, container } => {
+                w.u8(12);
+                w.put(job);
+                w.put(container);
+            }
+            TraceData::StandbyPromoted { job, to, moves } => {
+                w.u8(13);
+                w.put(job);
+                w.put(to);
+                w.put(moves);
+            }
+            TraceData::SloRecovery {
+                job,
+                tier,
+                ms,
+                fast,
+            } => {
+                w.u8(14);
+                w.put(job);
+                w.put(&tier.to_string());
+                w.u64(*ms);
+                w.put(fast);
+            }
+            TraceData::Incident {
+                rule,
+                severity,
+                job,
+                message,
+            } => {
+                w.u8(15);
+                w.put(rule);
+                w.put(&severity.to_string());
+                w.put(job);
+                w.put(message);
+            }
+            TraceData::Diagnosis {
+                job,
+                cause,
+                mitigation,
+                rationale,
+            } => {
+                w.u8(16);
+                w.put(job);
+                w.put(cause);
+                w.put(mitigation);
+                w.put(rationale);
+            }
+        }
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.u8("TraceData.tag")? {
+            0 => Ok(TraceData::RoundStart {
+                component: r.get()?,
+            }),
+            1 => Ok(TraceData::FaultEdge {
+                fault: r.get()?,
+                activated: r.get()?,
+            }),
+            2 => Ok(TraceData::Symptom {
+                job: r.get()?,
+                description: r.get()?,
+            }),
+            3 => Ok(TraceData::ScalingAction {
+                job: r.get()?,
+                action: r.get()?,
+            }),
+            4 => Ok(TraceData::Failover { moves: r.get()? }),
+            5 => Ok(TraceData::RebalancePlan { moves: r.get()? }),
+            6 => Ok(TraceData::ShardMove {
+                shard: r.get()?,
+                to: r.get()?,
+            }),
+            7 => Ok(TraceData::SyncOutcome {
+                job: r.get()?,
+                outcome: intern_static(
+                    "TraceData.sync_outcome",
+                    &SYNC_OUTCOMES,
+                    &r.get::<String>()?,
+                )?,
+            }),
+            8 => Ok(TraceData::Quarantine { job: r.get()? }),
+            9 => Ok(TraceData::OomRestart {
+                task: r.get()?,
+                container: r.get()?,
+            }),
+            10 => Ok(TraceData::CheckpointClamp {
+                job: r.get()?,
+                partition: r.u64("TraceData.partition")?,
+                from: r.u64("TraceData.from")?,
+                to: r.u64("TraceData.to")?,
+            }),
+            11 => Ok(TraceData::ContainerRevived {
+                container: r.get()?,
+                stale_shards: r.get()?,
+            }),
+            12 => Ok(TraceData::StandbyPlaced {
+                job: r.get()?,
+                container: r.get()?,
+            }),
+            13 => Ok(TraceData::StandbyPromoted {
+                job: r.get()?,
+                to: r.get()?,
+                moves: r.get()?,
+            }),
+            14 => Ok(TraceData::SloRecovery {
+                job: r.get()?,
+                tier: intern_static("TraceData.slo_tier", &SLO_TIERS, &r.get::<String>()?)?,
+                ms: r.u64("TraceData.ms")?,
+                fast: r.get()?,
+            }),
+            15 => Ok(TraceData::Incident {
+                rule: r.get()?,
+                severity: intern_static("TraceData.severity", &SEVERITIES, &r.get::<String>()?)?,
+                job: r.get()?,
+                message: r.get()?,
+            }),
+            16 => Ok(TraceData::Diagnosis {
+                job: r.get()?,
+                cause: r.get()?,
+                mitigation: r.get()?,
+                rationale: r.get()?,
+            }),
+            tag => Err(SnapError::Tag("TraceData", tag as u64)),
+        }
+    }
+}
+
+impl Snap for TraceEvent {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put(&self.id);
+        w.put(&self.at);
+        w.put(&self.cause);
+        w.put(&self.data);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(TraceEvent {
+            id: r.get()?,
+            at: r.get()?,
+            cause: r.get()?,
+            data: r.get()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -10,6 +10,7 @@ pub mod ids;
 pub mod metrics;
 pub mod priority;
 pub mod resources;
+pub mod snap;
 pub mod time;
 
 pub use ids::{ContainerId, HostId, JobId, PartitionId, ShardId, TaskId};
@@ -19,4 +20,5 @@ pub use metrics::{
 };
 pub use priority::Priority;
 pub use resources::{ResourceKind, Resources};
+pub use snap::{Snap, SnapError, SnapReader, SnapWriter};
 pub use time::{Duration, SimTime};

@@ -10,6 +10,7 @@
 //! [`SeriesBucket`]s, so a multi-day soak (or the ODS registry, which keeps
 //! one series per metric per job) cannot grow memory without bound.
 
+use crate::snap::{Snap, SnapError, SnapReader, SnapWriter};
 use crate::time::SimTime;
 
 /// A monotonically increasing event counter.
@@ -454,6 +455,66 @@ impl Cdf {
                 (x, self.fraction_at_or_below(x))
             })
             .collect()
+    }
+}
+
+impl Snap for Counter {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.u64(self.0);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Counter(r.u64("Counter")?))
+    }
+}
+
+impl Snap for Gauge {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put(&self.0);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Gauge(r.get()?))
+    }
+}
+
+impl Snap for SeriesBucket {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put(&self.start);
+        w.put(&self.end);
+        w.put(&self.sum);
+        w.u64(self.count);
+        w.put(&self.min);
+        w.put(&self.max);
+        w.put(&self.last);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(SeriesBucket {
+            start: r.get()?,
+            end: r.get()?,
+            sum: r.get()?,
+            count: r.u64("SeriesBucket.count")?,
+            min: r.get()?,
+            max: r.get()?,
+            last: r.get()?,
+        })
+    }
+}
+
+impl Snap for TimeSeries {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put(&self.raw);
+        w.put(&self.head);
+        w.put(&self.raw_capacity);
+        w.put(&self.head_capacity);
+        w.u64(self.total);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(TimeSeries {
+            raw: r.get()?,
+            head: r.get()?,
+            raw_capacity: r.get()?,
+            head_capacity: r.get()?,
+            total: r.u64("TimeSeries.total")?,
+        })
     }
 }
 

@@ -1,0 +1,583 @@
+//! The deterministic binary codec behind whole-sim snapshots.
+//!
+//! Every stateful component implements [`Snap`] for its state so the
+//! platform can be serialized into a byte blob and rebuilt bit-for-bit:
+//! restore-then-drive must produce the identical fingerprint and trace
+//! digest as an uninterrupted run. The format is deliberately simple —
+//! fixed-width little-endian scalars, length-prefixed collections, one
+//! tag byte per enum variant — because simplicity is what makes "did we
+//! capture everything?" auditable. There is no versioning or skipping:
+//! a snapshot is only ever read by the binary that wrote it.
+//!
+//! Decoding is total: every read is bounds-checked and every tag is
+//! matched exhaustively, so a truncated or bit-flipped blob surfaces as a
+//! typed [`SnapError`], never a panic.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+/// A failed snapshot decode. Carries the field being decoded so a corrupt
+/// blob points at the layer that rejected it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapError {
+    /// The blob ended while decoding `what`.
+    Eof(&'static str),
+    /// An enum tag had no matching variant while decoding `what`.
+    Tag(&'static str, u64),
+    /// A decoded value violated an invariant of `what`.
+    Value(&'static str),
+    /// Blob-level corruption: bad magic, chunk digest mismatch, manifest
+    /// inconsistency. The string names the mismatch.
+    Corrupt(String),
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapError::Eof(what) => write!(f, "snapshot truncated while decoding {what}"),
+            SnapError::Tag(what, tag) => {
+                write!(f, "snapshot has unknown tag {tag} for {what}")
+            }
+            SnapError::Value(what) => write!(f, "snapshot holds an invalid value for {what}"),
+            SnapError::Corrupt(detail) => write!(f, "snapshot corrupt: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+/// Append-only byte sink for encoding.
+#[derive(Debug, Default)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finish and take the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Write one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Write a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write raw bytes with a length prefix.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Encode any [`Snap`] value.
+    pub fn put<T: Snap>(&mut self, v: &T) {
+        v.snap(self);
+    }
+}
+
+/// Bounds-checked cursor over an encoded blob.
+#[derive(Debug)]
+pub struct SnapReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    /// A reader over `data`, positioned at the start.
+    pub fn new(data: &'a [u8]) -> Self {
+        SnapReader { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Fail unless the whole blob was consumed — catches a decoder that
+    /// silently read less state than the encoder wrote.
+    pub fn expect_end(&self) -> Result<(), SnapError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(SnapError::Corrupt(format!(
+                "{} trailing bytes after decode",
+                self.remaining()
+            )))
+        }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], SnapError> {
+        if self.remaining() < n {
+            return Err(SnapError::Eof(what));
+        }
+        let slice = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self, what: &'static str) -> Result<u8, SnapError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self, what: &'static str) -> Result<u32, SnapError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self, what: &'static str) -> Result<u64, SnapError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    /// Read a length-prefixed byte string.
+    pub fn bytes(&mut self, what: &'static str) -> Result<&'a [u8], SnapError> {
+        let len = self.len_prefix(what)?;
+        self.take(len, what)
+    }
+
+    /// Read a collection length prefix, bounds-checked against the bytes
+    /// actually remaining so a corrupt length cannot trigger a huge
+    /// allocation.
+    pub fn len_prefix(&mut self, what: &'static str) -> Result<usize, SnapError> {
+        let len = self.u64(what)?;
+        if len > self.remaining() as u64 {
+            return Err(SnapError::Eof(what));
+        }
+        Ok(len as usize)
+    }
+
+    /// Decode any [`Snap`] value.
+    pub fn get<T: Snap>(&mut self) -> Result<T, SnapError> {
+        T::unsnap(self)
+    }
+}
+
+/// Complete, deterministic (de)serialization of one piece of simulation
+/// state. `unsnap(snap(x)) == x` must hold for every observable behavior
+/// of `x` — any state that influences future evolution must round-trip.
+pub trait Snap: Sized {
+    /// Encode `self` into the writer.
+    fn snap(&self, w: &mut SnapWriter);
+    /// Decode a value; total (never panics on corrupt input).
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError>;
+}
+
+impl Snap for u8 {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.u8(*self);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        r.u8("u8")
+    }
+}
+
+impl Snap for u32 {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.u32(*self);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        r.u32("u32")
+    }
+}
+
+impl Snap for u64 {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.u64(*self);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        r.u64("u64")
+    }
+}
+
+impl Snap for i64 {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.u64(*self as u64);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(r.u64("i64")? as i64)
+    }
+}
+
+impl Snap for usize {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.u64(*self as u64);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        usize::try_from(r.u64("usize")?).map_err(|_| SnapError::Value("usize"))
+    }
+}
+
+impl Snap for bool {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.u8(*self as u8);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.u8("bool")? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(SnapError::Tag("bool", tag as u64)),
+        }
+    }
+}
+
+impl Snap for f64 {
+    /// Bit-pattern round-trip: NaN payloads and signed zeros survive, so
+    /// restored floating-point state is indistinguishable from the
+    /// original.
+    fn snap(&self, w: &mut SnapWriter) {
+        w.u64(self.to_bits());
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(f64::from_bits(r.u64("f64")?))
+    }
+}
+
+impl Snap for String {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.bytes(self.as_bytes());
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let bytes = r.bytes("string")?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| SnapError::Value("string utf-8"))
+    }
+}
+
+impl<T: Snap> Snap for Option<T> {
+    fn snap(&self, w: &mut SnapWriter) {
+        match self {
+            None => w.u8(0),
+            Some(v) => {
+                w.u8(1);
+                v.snap(w);
+            }
+        }
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.u8("option tag")? {
+            0 => Ok(None),
+            1 => Ok(Some(T::unsnap(r)?)),
+            tag => Err(SnapError::Tag("option", tag as u64)),
+        }
+    }
+}
+
+impl<T: Snap> Snap for Vec<T> {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.u64(self.len() as u64);
+        for item in self {
+            item.snap(w);
+        }
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let len = r.len_prefix("vec length")?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::unsnap(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Snap> Snap for VecDeque<T> {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.u64(self.len() as u64);
+        for item in self {
+            item.snap(w);
+        }
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let len = r.len_prefix("deque length")?;
+        let mut out = VecDeque::with_capacity(len);
+        for _ in 0..len {
+            out.push_back(T::unsnap(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: Snap + Ord, V: Snap> Snap for BTreeMap<K, V> {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.u64(self.len() as u64);
+        for (k, v) in self {
+            k.snap(w);
+            v.snap(w);
+        }
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let len = r.len_prefix("map length")?;
+        let mut out = BTreeMap::new();
+        for _ in 0..len {
+            let k = K::unsnap(r)?;
+            let v = V::unsnap(r)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Snap + Ord> Snap for BTreeSet<T> {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.u64(self.len() as u64);
+        for item in self {
+            item.snap(w);
+        }
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let len = r.len_prefix("set length")?;
+        let mut out = BTreeSet::new();
+        for _ in 0..len {
+            out.insert(T::unsnap(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Snap, B: Snap> Snap for (A, B) {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.0.snap(w);
+        self.1.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok((A::unsnap(r)?, B::unsnap(r)?))
+    }
+}
+
+impl<A: Snap, B: Snap, C: Snap> Snap for (A, B, C) {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.0.snap(w);
+        self.1.snap(w);
+        self.2.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok((A::unsnap(r)?, B::unsnap(r)?, C::unsnap(r)?))
+    }
+}
+
+impl<A: Snap, B: Snap, C: Snap, D: Snap> Snap for (A, B, C, D) {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.0.snap(w);
+        self.1.snap(w);
+        self.2.snap(w);
+        self.3.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok((A::unsnap(r)?, B::unsnap(r)?, C::unsnap(r)?, D::unsnap(r)?))
+    }
+}
+
+impl Snap for crate::SimTime {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.u64(self.as_millis());
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(crate::SimTime::from_millis(r.u64("SimTime")?))
+    }
+}
+
+impl Snap for crate::Duration {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.u64(self.as_millis());
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(crate::Duration::from_millis(r.u64("Duration")?))
+    }
+}
+
+macro_rules! snap_raw_id {
+    ($($id:ident),*) => {$(
+        impl Snap for crate::$id {
+            fn snap(&self, w: &mut SnapWriter) {
+                w.u64(self.0);
+            }
+            fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+                Ok(crate::$id(r.u64(stringify!($id))?))
+            }
+        }
+    )*};
+}
+
+snap_raw_id!(JobId, ShardId, ContainerId, HostId, PartitionId);
+
+impl Snap for crate::TaskId {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.u64(self.job.0);
+        w.u32(self.index);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(crate::TaskId {
+            job: crate::JobId(r.u64("TaskId.job")?),
+            index: r.u32("TaskId.index")?,
+        })
+    }
+}
+
+impl Snap for crate::Priority {
+    fn snap(&self, w: &mut SnapWriter) {
+        let tag = match self {
+            crate::Priority::Low => 0u8,
+            crate::Priority::Normal => 1,
+            crate::Priority::High => 2,
+            crate::Priority::Privileged => 3,
+        };
+        w.u8(tag);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.u8("Priority")? {
+            0 => Ok(crate::Priority::Low),
+            1 => Ok(crate::Priority::Normal),
+            2 => Ok(crate::Priority::High),
+            3 => Ok(crate::Priority::Privileged),
+            tag => Err(SnapError::Tag("Priority", tag as u64)),
+        }
+    }
+}
+
+impl Snap for crate::Resources {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put(&self.cpu);
+        w.put(&self.memory_mb);
+        w.put(&self.disk_mb);
+        w.put(&self.network_mbps);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(crate::Resources {
+            cpu: r.get()?,
+            memory_mb: r.get()?,
+            disk_mb: r.get()?,
+            network_mbps: r.get()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Snap + PartialEq + std::fmt::Debug>(v: T) {
+        let mut w = SnapWriter::new();
+        w.put(&v);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let back: T = r.get().expect("decode");
+        r.expect_end().expect("fully consumed");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(u32::MAX);
+        roundtrip(u64::MAX);
+        roundtrip(-42i64);
+        roundtrip(usize::MAX);
+        roundtrip(true);
+        roundtrip(f64::NEG_INFINITY);
+        roundtrip("héllo".to_string());
+    }
+
+    #[test]
+    fn nan_bits_survive() {
+        let weird = f64::from_bits(0x7FF8_0000_0000_1234);
+        let mut w = SnapWriter::new();
+        w.put(&weird);
+        let bytes = w.into_bytes();
+        let back: f64 = SnapReader::new(&bytes).get().expect("decode");
+        assert_eq!(back.to_bits(), weird.to_bits());
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip(Some(vec!["a".to_string()]));
+        roundtrip(Option::<u64>::None);
+        let mut map = BTreeMap::new();
+        map.insert("k".to_string(), 7u64);
+        roundtrip(map);
+        let set: BTreeSet<u64> = [3, 1, 2].into_iter().collect();
+        roundtrip(set);
+        let deque: VecDeque<u32> = [9, 8].into_iter().collect();
+        roundtrip(deque);
+        roundtrip((1u64, "x".to_string(), false));
+    }
+
+    #[test]
+    fn domain_types_roundtrip() {
+        roundtrip(crate::SimTime::from_millis(123_456));
+        roundtrip(crate::Duration::from_millis(789));
+        roundtrip(crate::JobId(7));
+        roundtrip(crate::TaskId {
+            job: crate::JobId(7),
+            index: 3,
+        });
+        roundtrip(crate::Priority::Privileged);
+        roundtrip(crate::Resources::new(1.5, 2.5, 3.5, 4.5));
+    }
+
+    #[test]
+    fn truncation_is_a_clean_error() {
+        let mut w = SnapWriter::new();
+        w.put(&vec![1u64, 2, 3]);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = SnapReader::new(&bytes[..cut]);
+            assert!(
+                Vec::<u64>::unsnap(&mut r).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_length_prefix_is_rejected_without_allocation() {
+        let mut w = SnapWriter::new();
+        w.u64(u64::MAX); // absurd length
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert!(matches!(Vec::<u64>::unsnap(&mut r), Err(SnapError::Eof(_))));
+    }
+
+    #[test]
+    fn bad_tags_are_rejected() {
+        let bytes = [9u8];
+        assert!(matches!(
+            bool::unsnap(&mut SnapReader::new(&bytes)),
+            Err(SnapError::Tag("bool", 9))
+        ));
+        assert!(matches!(
+            crate::Priority::unsnap(&mut SnapReader::new(&bytes)),
+            Err(SnapError::Tag("Priority", 9))
+        ));
+        assert!(matches!(
+            Option::<u64>::unsnap(&mut SnapReader::new(&bytes)),
+            Err(SnapError::Tag("option", 9))
+        ));
+    }
+}

@@ -1,0 +1,158 @@
+//! Snapshot/restore equivalence: restoring a mid-run capture and driving
+//! to the horizon must be bit-for-bit identical — platform fingerprint,
+//! trace digest, and ODS incident log — to the uninterrupted run, in both
+//! drive modes, under chaos faults and host flaps. Anything a component
+//! forgets to serialize shows up here as a restore-divergence.
+
+use proptest::prelude::*;
+use turbine::{DriveMode, Fault, FaultPlan, InvariantConfig, Turbine, TurbineConfig};
+use turbine_config::JobConfig;
+use turbine_snap::{Snapshot, SnapshotMeta};
+use turbine_types::{Duration, JobId, Resources, SimTime};
+use turbine_workloads::TrafficModel;
+
+fn host_shape() -> Resources {
+    Resources::new(56.0, 256.0 * 1024.0, 1.0e6, 1000.0)
+}
+
+/// A busy little platform: two stateless pipelines (one diurnal), one
+/// stateful job, default alert rules, invariant checking on.
+fn build() -> Turbine {
+    let mut config = TurbineConfig::default();
+    config.shard_count = 256;
+    let mut t = Turbine::new(config);
+    t.add_hosts(5, host_shape());
+    t.enable_invariant_checks(InvariantConfig::default());
+    t.provision_job(
+        JobId(1),
+        JobConfig::stateless("snap_diurnal", 4, 16),
+        TrafficModel::diurnal(3.0e6, 0.3, 11),
+        1.0e6,
+        256.0,
+    )
+    .expect("provision");
+    t.provision_job(
+        JobId(2),
+        JobConfig::stateless("snap_flat", 2, 16),
+        TrafficModel::flat(1.0e6),
+        1.0e6,
+        256.0,
+    )
+    .expect("provision");
+    t.provision_stateful_job(
+        JobId(3),
+        JobConfig::stateless("snap_agg", 2, 8),
+        TrafficModel::flat(8.0e5),
+        1.0e6,
+        256.0,
+        1.0e5,
+    )
+    .expect("provision");
+    t.install_default_alert_rules();
+    t
+}
+
+fn schedule_chaos(t: &mut Turbine) {
+    let hosts = t.cluster.hosts();
+    let container = t.cluster.containers_on(hosts[1]).expect("containers")[0];
+    t.schedule_fault(FaultPlan {
+        fault: Fault::HeartbeatLoss(container),
+        from: SimTime::ZERO + Duration::from_mins(25),
+        until: Some(SimTime::ZERO + Duration::from_mins(45)),
+    });
+    t.schedule_fault(FaultPlan {
+        fault: Fault::SyncerCrash,
+        from: SimTime::ZERO + Duration::from_mins(70),
+        until: Some(SimTime::ZERO + Duration::from_mins(80)),
+    });
+    t.schedule_fault(FaultPlan {
+        fault: Fault::TaskServiceDown,
+        from: SimTime::ZERO + Duration::from_mins(100),
+        until: Some(SimTime::ZERO + Duration::from_mins(110)),
+    });
+}
+
+/// Everything the equivalence contract covers, in one comparable bundle.
+fn observe(
+    t: &Turbine,
+) -> (
+    turbine::PlatformFingerprint,
+    u64,
+    Vec<turbine_ods::Incident>,
+) {
+    (t.fingerprint(), t.trace().digest(), t.incidents().to_vec())
+}
+
+/// Drive minute-by-minute to `horizon_mins`, mirroring the CLI runner.
+fn drive_to(t: &mut Turbine, horizon_mins: u64, mode: DriveMode) {
+    let end = SimTime::ZERO + Duration::from_mins(horizon_mins);
+    while t.now() < end {
+        t.drive_for(Duration::from_mins(1), mode);
+    }
+}
+
+/// The core check: capture at `at_mins`, restore, drive both the original
+/// and the restored platform to the horizon, and demand identical
+/// observables at capture time and at the horizon.
+fn assert_restore_equivalence(at_mins: u64, horizon_mins: u64, mode: DriveMode) {
+    let mut original = build();
+    schedule_chaos(&mut original);
+    drive_to(&mut original, at_mins, mode);
+
+    let snapshot = Snapshot::capture(&original);
+    let mut restored = snapshot.restore().expect("restore");
+    assert_eq!(
+        observe(&original),
+        observe(&restored),
+        "restore diverged at capture time (mode {mode:?}, minute {at_mins})"
+    );
+
+    drive_to(&mut original, horizon_mins, mode);
+    drive_to(&mut restored, horizon_mins, mode);
+    assert_eq!(
+        observe(&original),
+        observe(&restored),
+        "restore-then-drive diverged (mode {mode:?}, captured at {at_mins}, horizon {horizon_mins})"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Capture at a random minute — before, inside, and after the chaos
+    /// windows — and drive past every fault edge; restored and
+    /// uninterrupted runs must match bit for bit in both drive modes.
+    #[test]
+    fn restore_then_drive_matches_uninterrupted(at_mins in 5u64..115, event_mode in any::<bool>()) {
+        let mode = if event_mode { DriveMode::EventDriven } else { DriveMode::DenseTick };
+        assert_restore_equivalence(at_mins, 130, mode);
+    }
+}
+
+/// Deterministic anchor for the same property at a fault-window boundary
+/// (cheap enough to run every time even when the property shrinks).
+#[test]
+fn restore_mid_fault_window_matches_uninterrupted() {
+    assert_restore_equivalence(30, 130, DriveMode::EventDriven);
+    assert_restore_equivalence(30, 130, DriveMode::DenseTick);
+}
+
+/// A snapshot round-trips through its on-disk blob form unchanged, and
+/// the blob carries its scenario context.
+#[test]
+fn blob_meta_carries_scenario_context() {
+    let mut t = build();
+    drive_to(&mut t, 10, DriveMode::EventDriven);
+    let snap = Snapshot::capture_with_meta(
+        &t,
+        SnapshotMeta {
+            captured_at_ms: t.now().as_millis(),
+            scenario: Some("{\"hosts\": 5}".to_string()),
+            at_mins: Some(10),
+        },
+    );
+    let back = Snapshot::from_bytes(&snap.to_bytes()).expect("parse");
+    assert_eq!(back.meta.at_mins, Some(10));
+    assert_eq!(back.meta.scenario.as_deref(), Some("{\"hosts\": 5}"));
+    assert_eq!(observe(&back.restore().expect("restore")), observe(&t));
+}
